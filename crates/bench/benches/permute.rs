@@ -1,0 +1,41 @@
+//! Criterion micro-benchmarks for the six construction algorithms
+//! (the statistical companion to Figures 6.1/6.2; the `figures` binary
+//! produces the full sweeps).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ist_bench::sorted_keys;
+use ist_core::{permute_in_place, permute_in_place_seq, Algorithm, Layout};
+
+fn bench_permute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("permute");
+    group.sample_size(10);
+    let n = (1usize << 18) - 1;
+    let combos = [
+        ("involution_bst", Layout::Bst, Algorithm::Involution),
+        ("involution_btree", Layout::Btree { b: 8 }, Algorithm::Involution),
+        ("involution_veb", Layout::Veb, Algorithm::Involution),
+        ("cycle_leader_bst", Layout::Bst, Algorithm::CycleLeader),
+        ("cycle_leader_btree", Layout::Btree { b: 8 }, Algorithm::CycleLeader),
+        ("cycle_leader_veb", Layout::Veb, Algorithm::CycleLeader),
+    ];
+    for (name, layout, algo) in combos {
+        group.bench_function(BenchmarkId::new("seq", name), |bch| {
+            bch.iter_batched(
+                || sorted_keys(n),
+                |mut v| permute_in_place_seq(&mut v, layout, algo).unwrap(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_function(BenchmarkId::new("par", name), |bch| {
+            bch.iter_batched(
+                || sorted_keys(n),
+                |mut v| permute_in_place(&mut v, layout, algo).unwrap(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_permute);
+criterion_main!(benches);

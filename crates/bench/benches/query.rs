@@ -1,0 +1,39 @@
+//! Criterion micro-benchmarks for point queries per layout
+//! (the statistical companion to Figure 6.5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ist_bench::{sorted_keys, uniform_queries};
+use ist_core::{permute_in_place, Algorithm, Layout};
+use ist_query::{QueryKind, Searcher};
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query");
+    group.sample_size(20);
+    let n = (1usize << 20) - 1;
+    let queries = uniform_queries(n, 10_000, 42);
+    let kinds: [(QueryKind, Option<Layout>); 5] = [
+        (QueryKind::Sorted, None),
+        (QueryKind::Bst, Some(Layout::Bst)),
+        (QueryKind::BstPrefetch, Some(Layout::Bst)),
+        (QueryKind::Btree(8), Some(Layout::Btree { b: 8 })),
+        (QueryKind::Veb, Some(Layout::Veb)),
+    ];
+    for (kind, layout) in kinds {
+        let mut data = sorted_keys(n);
+        if let Some(l) = layout {
+            permute_in_place(&mut data, l, Algorithm::CycleLeader).unwrap();
+        }
+        let name = match kind {
+            QueryKind::BstPrefetch => "bst_prefetch",
+            k => k.name(),
+        };
+        group.bench_function(BenchmarkId::new("10k_queries", name), |bch| {
+            let s = Searcher::new(&data, kind);
+            bch.iter(|| std::hint::black_box(s.batch_count_seq(&queries)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! # ist-bits
+//!
+//! Integer primitives underlying the implicit search tree layout algorithms:
+//!
+//! * base-`k` digit arithmetic and **digit reversal** (`rev_k`), the building
+//!   block of the involution-based permutation algorithms (Fich et al.;
+//!   Yang et al.),
+//! * modular arithmetic (extended Euclid, modular inverse) used by the
+//!   `J`-involutions of the k-way perfect shuffle,
+//! * perfect-tree size/height helpers shared by every layout.
+//!
+//! The paper parameterizes the cost of digit reversal as `T_REV_k(N)`:
+//! some architectures (e.g. the NVIDIA K40 evaluated on the GPU side) expose
+//! a hardware bit-reversal instruction making `T_REV_2 = O(1)`, while a
+//! software implementation costs `O(log_k N)`. This crate exposes both a
+//! hardware-backed path for `k = 2` ([`rev2`], which compiles to
+//! `u64::reverse_bits` plus a shift) and a portable software path for
+//! arbitrary `k` ([`rev_k`]), mirroring that distinction.
+
+pub mod digits;
+pub mod modular;
+pub mod tree;
+
+pub use digits::{from_digits, num_digits, rev2, rev2_software, rev_k, to_digits};
+pub use modular::{extended_gcd, gcd, mod_inverse, mod_mul};
+pub use tree::{
+    complete_bst_height, ilog, ilog2_floor, is_perfect_bst_size, is_perfect_btree_size,
+    perfect_bst_size, perfect_btree_height, perfect_btree_size,
+};

@@ -1,0 +1,245 @@
+//! Cycle-leader construction algorithms (Chapter 3).
+//!
+//! These algorithms are built from the equidistant gather family in
+//! `ist-gather`:
+//!
+//! * **vEB** (§3.1): one equidistant gather separates the top subtree `T₀`
+//!   from the `r + 1` bottom subtrees, then all subtrees recurse in
+//!   parallel. For odd `d` (where `r = 2l + 1 > l`), the array is split
+//!   into two even halves, each gathered independently, and the two top
+//!   halves are joined with one circular shift. Work `O(N log log N)`,
+//!   depth `O(log log N)` (Propositions 7–8).
+//! * **B-tree** (§3.2): the *extended* equidistant gather hoists all
+//!   internal keys to the front, then the internal prefix recurses. Work
+//!   `O(N log_{B+1} N)`, depth `O(log²_{B+1} N)` (Propositions 11–12).
+//! * **BST** (§3.3): the B-tree algorithm with `B = 1`.
+
+use ist_gather::{
+    equidistant_gather, equidistant_gather_par, extended_equidistant_gather,
+    extended_equidistant_gather_par,
+};
+use ist_layout::veb_split;
+use ist_shuffle::rotate_right_par;
+
+/// Below this length the `_par` drivers run sequentially.
+const SEQ_CUTOFF: usize = 1 << 12;
+
+fn assert_pow2_size(n: usize, d: u32) {
+    assert_eq!(n as u64, (1u64 << d) - 1, "need n = 2^d - 1");
+}
+
+fn assert_btree_size(n: usize, b: usize, m: u32) {
+    assert!(b >= 1);
+    assert_eq!(n as u64, (b as u64 + 1).pow(m) - 1, "need n = (B+1)^m - 1");
+}
+
+/// Sequential cycle-leader vEB construction. `data.len() = 2^d − 1`.
+///
+/// # Examples
+/// ```
+/// use ist_core::cycle_leader::veb_seq;
+/// let mut v: Vec<u32> = (1..=15).collect();
+/// veb_seq(&mut v, 4);
+/// assert_eq!(v, vec![8, 4, 12, 2, 1, 3, 6, 5, 7, 10, 9, 11, 14, 13, 15]);
+/// ```
+pub fn veb_seq<T>(data: &mut [T], d: u32) {
+    assert_pow2_size(data.len(), d);
+    veb_rec_seq(data, d);
+}
+
+fn veb_rec_seq<T>(data: &mut [T], d: u32) {
+    if d <= 1 {
+        return;
+    }
+    let (t, bb) = veb_split(d);
+    let r = (1usize << t) - 1;
+    let l = (1usize << bb) - 1;
+    if t == bb {
+        // Even number of levels: r = l, gather directly.
+        equidistant_gather(data, r, l);
+    } else {
+        // Odd: r = 2l + 1. Gather each half (a perfect tree of d−1
+        // levels with square shape l × l), then one circular shift joins
+        // the two gathered tops around the median.
+        let half = (data.len() - 1) / 2;
+        equidistant_gather(&mut data[..half], l, l);
+        equidistant_gather(&mut data[half + 1..], l, l);
+        // Region [l, l + half + 1) = [rest_left | median | top_right];
+        // shift the last l + 1 elements (median + right top) to its front.
+        data[l..=l + half].rotate_right(l + 1);
+    }
+    let (top, rest) = data.split_at_mut(r);
+    veb_rec_seq(top, t);
+    for chunk in rest.chunks_exact_mut(l) {
+        veb_rec_seq(chunk, bb);
+    }
+}
+
+/// Parallel cycle-leader vEB construction (`O(N/P log log N)` time,
+/// Propositions 7–8) — the fastest CPU algorithm in the paper's
+/// evaluation.
+pub fn veb_par<T: Send>(data: &mut [T], d: u32) {
+    assert_pow2_size(data.len(), d);
+    veb_rec_par(data, d);
+}
+
+fn veb_rec_par<T: Send>(data: &mut [T], d: u32) {
+    if data.len() < SEQ_CUTOFF {
+        return veb_rec_seq(data, d);
+    }
+    let (t, bb) = veb_split(d);
+    let r = (1usize << t) - 1;
+    let l = (1usize << bb) - 1;
+    if t == bb {
+        equidistant_gather_par(data, r, l);
+    } else {
+        let half = (data.len() - 1) / 2;
+        {
+            let (left, right) = data.split_at_mut(half);
+            rayon::join(
+                || equidistant_gather_par(left, l, l),
+                || equidistant_gather_par(&mut right[1..], l, l),
+            );
+        }
+        rotate_right_par(&mut data[l..=l + half], l + 1);
+    }
+    let (top, rest) = data.split_at_mut(r);
+    rayon::join(
+        || veb_rec_par(top, t),
+        || {
+            use rayon::prelude::*;
+            rest.par_chunks_exact_mut(l)
+                .for_each(|chunk| veb_rec_par(chunk, bb));
+        },
+    );
+}
+
+/// Sequential cycle-leader B-tree construction.
+/// `data.len() = (b+1)^m − 1`.
+///
+/// # Examples
+/// ```
+/// use ist_core::cycle_leader::btree_seq;
+/// let mut v: Vec<u32> = (1..=8).collect(); // B = 2, m = 2
+/// btree_seq(&mut v, 2, 2);
+/// assert_eq!(v, vec![3, 6, 1, 2, 4, 5, 7, 8]);
+/// ```
+pub fn btree_seq<T>(data: &mut [T], b: usize, m: u32) {
+    assert_btree_size(data.len(), b, m);
+    let k = b + 1;
+    let mut mm = m;
+    while mm >= 2 {
+        let n_cur = k.pow(mm) - 1;
+        // Hoist internal keys of the current prefix to its front; the
+        // leaf nodes below settle into their final positions.
+        extended_equidistant_gather(&mut data[..n_cur], b);
+        mm -= 1;
+    }
+}
+
+/// Parallel cycle-leader B-tree construction
+/// (`O((N/P + log_{B+1} N) log_{B+1} N)` time, Propositions 11–12).
+pub fn btree_par<T: Send>(data: &mut [T], b: usize, m: u32) {
+    assert_btree_size(data.len(), b, m);
+    let k = b + 1;
+    let mut mm = m;
+    while mm >= 2 {
+        let n_cur = k.pow(mm) - 1;
+        if n_cur < SEQ_CUTOFF {
+            extended_equidistant_gather(&mut data[..n_cur], b);
+        } else {
+            extended_equidistant_gather_par(&mut data[..n_cur], b);
+        }
+        mm -= 1;
+    }
+}
+
+/// Sequential cycle-leader BST construction: the B-tree algorithm with
+/// `B = 1` (§3.3). `data.len() = 2^d − 1`.
+///
+/// # Examples
+/// ```
+/// use ist_core::cycle_leader::bst_seq;
+/// let mut v: Vec<u32> = (1..=7).collect();
+/// bst_seq(&mut v, 3);
+/// assert_eq!(v, vec![4, 2, 6, 1, 3, 5, 7]);
+/// ```
+pub fn bst_seq<T>(data: &mut [T], d: u32) {
+    assert_pow2_size(data.len(), d);
+    btree_seq(data, 1, d);
+}
+
+/// Parallel cycle-leader BST construction (`B = 1`).
+pub fn bst_par<T: Send>(data: &mut [T], d: u32) {
+    assert_pow2_size(data.len(), d);
+    btree_par(data, 1, d);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::reference_permutation;
+    use crate::Layout;
+
+    #[test]
+    fn veb_matches_oracle_even_and_odd() {
+        for d in 1..=16u32 {
+            let n = (1usize << d) - 1;
+            let orig: Vec<u64> = (0..n as u64).collect();
+            let expect = reference_permutation(&orig, Layout::Veb);
+            let mut a = orig.clone();
+            veb_seq(&mut a, d);
+            assert_eq!(a, expect, "seq d={d}");
+            let mut b = orig.clone();
+            veb_par(&mut b, d);
+            assert_eq!(b, expect, "par d={d}");
+        }
+    }
+
+    #[test]
+    fn btree_matches_oracle() {
+        for b in [1usize, 2, 3, 8] {
+            for m in 1..=4u32 {
+                let n = (b + 1).pow(m) - 1;
+                if n > 1 << 15 {
+                    continue;
+                }
+                let orig: Vec<u64> = (0..n as u64).collect();
+                let expect = reference_permutation(&orig, Layout::Btree { b });
+                let mut s = orig.clone();
+                btree_seq(&mut s, b, m);
+                assert_eq!(s, expect, "seq b={b} m={m}");
+                let mut p = orig.clone();
+                btree_par(&mut p, b, m);
+                assert_eq!(p, expect, "par b={b} m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn bst_matches_oracle() {
+        for d in 1..=14u32 {
+            let n = (1usize << d) - 1;
+            let orig: Vec<u64> = (0..n as u64).collect();
+            let expect = reference_permutation(&orig, Layout::Bst);
+            let mut a = orig.clone();
+            bst_seq(&mut a, d);
+            assert_eq!(a, expect, "seq d={d}");
+            let mut b = orig.clone();
+            bst_par(&mut b, d);
+            assert_eq!(b, expect, "par d={d}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_involution_family() {
+        let d = 13u32;
+        let n = (1usize << d) - 1;
+        let orig: Vec<u64> = (0..n as u64).collect();
+        let mut a = orig.clone();
+        let mut b = orig.clone();
+        veb_seq(&mut a, d);
+        crate::involution::veb_seq(&mut b, d);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,295 @@
+//! # ist-core
+//!
+//! Parallel in-place construction of implicit search tree layouts — the
+//! primary contribution of *Beyond Binary Search: Parallel In-Place
+//! Construction of Implicit Search Tree Layouts* (Berney, 2018).
+//!
+//! Given an array sorted in ascending order, the algorithms here permute
+//! it **in place** into one of three implicit layouts so that subsequent
+//! searches are more cache-efficient than binary search:
+//!
+//! | Layout | Description | Query I/Os |
+//! |---|---|---|
+//! | [`Layout::Bst`] | level order of a complete binary search tree | `O(log(N/B))` |
+//! | [`Layout::Btree`] | level order of a complete `(B+1)`-ary search tree | `Θ(log_B N)` |
+//! | [`Layout::Veb`] | recursive van Emde Boas order (cache-oblivious) | `Θ(log_B N)` |
+//!
+//! Two algorithm families are implemented for every layout:
+//!
+//! * [`Algorithm::Involution`] — every constituent permutation is applied
+//!   as a product of two involutions (digit reversals or modular-inverse
+//!   `J` maps), i.e. two parallel rounds of disjoint swaps (Chapter 2);
+//! * [`Algorithm::CycleLeader`] — the equidistant-gather based algorithms
+//!   with explicitly enumerated disjoint cycles and better locality
+//!   (Chapter 3).
+//!
+//! Arbitrary (non-perfect) sizes are handled per Chapter 5: the non-full
+//! leaf level is first moved, in place, to the array's suffix; the
+//! remaining elements form a perfect tree. The resulting format is
+//! `[perfect layout | sorted overflow leaves]` (see
+//! [`ist_layout::complete`]), which `ist-query` searches natively.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ist_core::{permute_in_place, Algorithm, Layout};
+//!
+//! let mut data: Vec<u64> = (0..(1 << 16) - 1).collect(); // sorted
+//! permute_in_place(&mut data, Layout::Veb, Algorithm::CycleLeader).unwrap();
+//! // `data` is now the vEB layout of the original sorted array.
+//! ```
+
+pub mod cycle_leader;
+pub mod fich_baseline;
+pub mod involution;
+pub mod nonperfect;
+pub mod oracle;
+
+pub use ist_layout::LayoutKind;
+pub use fich_baseline::fich_baseline;
+pub use oracle::reference_permutation;
+
+use ist_layout::{complete::BtreeCompleteShape, CompleteShape};
+
+/// Target memory layout for [`permute_in_place`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Layout {
+    /// Level-order complete binary search tree.
+    Bst,
+    /// Level-order complete multiway tree with `B` keys per node.
+    Btree {
+        /// Keys per node; the paper uses the cache-line size in keys
+        /// (`B = 8` for 64-byte lines and 64-bit keys on the CPU,
+        /// `B = 32` on the GPU).
+        b: usize,
+    },
+    /// van Emde Boas (recursive, cache-oblivious) order.
+    Veb,
+}
+
+impl Layout {
+    /// The corresponding runtime tag (drops the B-tree parameter).
+    pub fn kind(self) -> LayoutKind {
+        match self {
+            Layout::Bst => LayoutKind::Bst,
+            Layout::Btree { .. } => LayoutKind::Btree,
+            Layout::Veb => LayoutKind::Veb,
+        }
+    }
+}
+
+/// Construction algorithm family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Product-of-involutions algorithms (Chapter 2): simple, trivially
+    /// parallel rounds of disjoint swaps; poorer locality.
+    Involution,
+    /// Cycle-leader / equidistant-gather algorithms (Chapter 3): better
+    /// spatial locality (I/O-efficient per Chapter 4).
+    CycleLeader,
+}
+
+impl Algorithm {
+    /// Both families, for exhaustive sweeps.
+    pub const ALL: [Algorithm; 2] = [Algorithm::Involution, Algorithm::CycleLeader];
+
+    /// Stable lowercase name used in CSV output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Involution => "involution",
+            Algorithm::CycleLeader => "cycle_leader",
+        }
+    }
+}
+
+/// Errors reported by the construction entry points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// `Layout::Btree { b: 0 }` was requested.
+    ZeroNodeCapacity,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::ZeroNodeCapacity => write!(f, "B-tree node capacity B must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Permute sorted `data` in place into `layout`, **in parallel** (rayon).
+///
+/// Handles arbitrary input sizes; non-perfect trees use the Chapter-5
+/// extension (perfect prefix + sorted overflow suffix). The permutation
+/// uses `O(P log N)` extra space (recursion stacks), never a second
+/// buffer.
+///
+/// # Examples
+/// ```
+/// use ist_core::{permute_in_place, Algorithm, Layout};
+/// let mut v: Vec<u32> = (0..1000).collect();
+/// permute_in_place(&mut v, Layout::Btree { b: 8 }, Algorithm::CycleLeader).unwrap();
+/// ```
+pub fn permute_in_place<T: Send>(
+    data: &mut [T],
+    layout: Layout,
+    algorithm: Algorithm,
+) -> Result<(), Error> {
+    dispatch(data, layout, algorithm, true)
+}
+
+/// Sequential variant of [`permute_in_place`] (used for the `P = 1`
+/// baselines in the evaluation).
+///
+/// # Examples
+/// ```
+/// use ist_core::{permute_in_place_seq, Algorithm, Layout};
+/// let mut v: Vec<u32> = (0..127).collect();
+/// permute_in_place_seq(&mut v, Layout::Bst, Algorithm::Involution).unwrap();
+/// assert_eq!(v[0], 63); // root is the median
+/// ```
+pub fn permute_in_place_seq<T: Send>(
+    data: &mut [T],
+    layout: Layout,
+    algorithm: Algorithm,
+) -> Result<(), Error> {
+    dispatch(data, layout, algorithm, false)
+}
+
+fn dispatch<T: Send>(
+    data: &mut [T],
+    layout: Layout,
+    algorithm: Algorithm,
+    par: bool,
+) -> Result<(), Error> {
+    let n = data.len();
+    if n <= 1 {
+        if matches!(layout, Layout::Btree { b: 0 }) {
+            return Err(Error::ZeroNodeCapacity);
+        }
+        return Ok(());
+    }
+    match layout {
+        Layout::Bst | Layout::Veb => {
+            let shape = CompleteShape::new(n);
+            if !shape.is_perfect() {
+                nonperfect::strip_overflow_binary(data, shape, par);
+            }
+            let full = &mut data[..shape.full_count()];
+            let d = shape.full_levels();
+            match (layout, algorithm, par) {
+                (Layout::Bst, Algorithm::Involution, false) => involution::bst_seq(full, d),
+                (Layout::Bst, Algorithm::Involution, true) => involution::bst_par(full, d),
+                (Layout::Bst, Algorithm::CycleLeader, false) => cycle_leader::bst_seq(full, d),
+                (Layout::Bst, Algorithm::CycleLeader, true) => cycle_leader::bst_par(full, d),
+                (Layout::Veb, Algorithm::Involution, false) => involution::veb_seq(full, d),
+                (Layout::Veb, Algorithm::Involution, true) => involution::veb_par(full, d),
+                (Layout::Veb, Algorithm::CycleLeader, false) => cycle_leader::veb_seq(full, d),
+                (Layout::Veb, Algorithm::CycleLeader, true) => cycle_leader::veb_par(full, d),
+                _ => unreachable!(),
+            }
+            Ok(())
+        }
+        Layout::Btree { b } => {
+            if b == 0 {
+                return Err(Error::ZeroNodeCapacity);
+            }
+            let shape = BtreeCompleteShape::new(n, b);
+            if !shape.is_perfect() {
+                nonperfect::strip_overflow_btree(data, shape, par);
+            }
+            let full = &mut data[..shape.full_count()];
+            let m = shape.full_node_levels();
+            match (algorithm, par) {
+                (Algorithm::Involution, false) => involution::btree_seq(full, b, m),
+                (Algorithm::Involution, true) => involution::btree_par(full, b, m),
+                (Algorithm::CycleLeader, false) => cycle_leader::btree_seq(full, b, m),
+                (Algorithm::CycleLeader, true) => cycle_leader::btree_par(full, b, m),
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oracle::reference_permutation;
+
+    fn check(n: usize, layout: Layout) {
+        let orig: Vec<u64> = (0..n as u64).collect();
+        let expect = reference_permutation(&orig, layout);
+        for algo in Algorithm::ALL {
+            let mut seq = orig.clone();
+            permute_in_place_seq(&mut seq, layout, algo).unwrap();
+            assert_eq!(seq, expect, "seq n={n} layout={layout:?} algo={algo:?}");
+            let mut par = orig.clone();
+            permute_in_place(&mut par, layout, algo).unwrap();
+            assert_eq!(par, expect, "par n={n} layout={layout:?} algo={algo:?}");
+        }
+    }
+
+    #[test]
+    fn perfect_bst_sizes() {
+        for d in 1..=14u32 {
+            check((1 << d) - 1, Layout::Bst);
+        }
+    }
+
+    #[test]
+    fn perfect_veb_sizes() {
+        for d in 1..=14u32 {
+            check((1 << d) - 1, Layout::Veb);
+        }
+    }
+
+    #[test]
+    fn perfect_btree_sizes() {
+        for b in [1usize, 2, 3, 7] {
+            for m in 1..=4u32 {
+                let n = (b + 1).pow(m) - 1;
+                if n <= 1 << 14 {
+                    check(n, Layout::Btree { b });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nonperfect_sizes() {
+        for n in [2usize, 4, 5, 6, 10, 100, 1000, 4095, 4096, 5000] {
+            check(n, Layout::Bst);
+            check(n, Layout::Veb);
+            check(n, Layout::Btree { b: 3 });
+            check(n, Layout::Btree { b: 8 });
+        }
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        for n in 0..=3usize {
+            check(n, Layout::Bst);
+            check(n, Layout::Veb);
+            check(n, Layout::Btree { b: 2 });
+        }
+    }
+
+    #[test]
+    fn rejects_zero_b() {
+        let mut v = vec![1u8, 2, 3];
+        assert_eq!(
+            permute_in_place(&mut v, Layout::Btree { b: 0 }, Algorithm::Involution),
+            Err(Error::ZeroNodeCapacity)
+        );
+    }
+
+    #[test]
+    fn large_parallel_all_layouts() {
+        let n = (1 << 18) - 1;
+        check(n, Layout::Bst);
+        check(n, Layout::Veb);
+        check(n, Layout::Btree { b: 8 });
+    }
+}

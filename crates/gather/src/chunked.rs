@@ -1,0 +1,243 @@
+//! Equidistant gather on **chunks**: each logical unit is a run of `C`
+//! contiguous elements.
+//!
+//! The B-tree cycle-leader algorithm applies the gather at every recursion
+//! level while "treating each chunk of C elements as a single unit"
+//! (§3.2). Because chunks are contiguous, every move is a `C`-element
+//! block swap — the access pattern that makes the algorithm I/O-efficient
+//! for `C ≥ B` (§4.3). The same primitive underlies Figure 6.4, which
+//! compares the throughput of one chunked gather against the simplest
+//! possible big-block move, [`swap_halves_par`].
+
+use crate::{check_params, t0_slot};
+use ist_perm::SharedSlice;
+use ist_shuffle::rotate::swap_regions_par;
+use ist_shuffle::rotate_right_par;
+use rayon::prelude::*;
+
+/// Sequential equidistant gather treating each `chunk` consecutive
+/// elements as one unit.
+///
+/// Requires `data.len() == gather_len(r, l) * chunk`, `r ≤ l`, `l ≥ 1`,
+/// `chunk ≥ 1`. With `chunk = 1` this is exactly
+/// [`crate::equidistant_gather`].
+///
+/// # Examples
+/// ```
+/// use ist_gather::equidistant_gather_chunks;
+/// // r = 1, l = 1, chunk = 2: [T1 (2 elems) | t1 (2) | T2 (2)]
+/// let mut v = vec![10, 11, 0, 1, 20, 21];
+/// equidistant_gather_chunks(&mut v, 1, 1, 2);
+/// assert_eq!(v, vec![0, 1, 10, 11, 20, 21]);
+/// ```
+pub fn equidistant_gather_chunks<T>(data: &mut [T], r: usize, l: usize, chunk: usize) {
+    assert!(chunk >= 1);
+    assert_eq!(data.len() % chunk, 0, "length must be a multiple of chunk");
+    check_params(data.len() / chunk, r, l);
+    if r == 0 {
+        return;
+    }
+    // Stage 1: the r disjoint cycles, on chunk units.
+    for c in 1..=r {
+        run_cycle_chunks(data, c, l, chunk);
+    }
+    // Stage 2: fix each block's rotation (block = l chunks).
+    for (j0, block) in data[r * chunk..].chunks_exact_mut(l * chunk).enumerate() {
+        let amount = (r + 1 - (j0 + 1)) % l;
+        if amount != 0 {
+            block.rotate_right(amount * chunk);
+        }
+    }
+}
+
+/// Parallel chunked equidistant gather.
+///
+/// Cycles execute one after another but each constituent `C`-element swap
+/// is internally parallel, and the stage-2 block rotations run
+/// concurrently — mirroring the paper's observation that this stage is
+/// bound by big-block swap throughput (Figure 6.4), not by cycle-level
+/// parallelism.
+///
+/// # Examples
+/// ```
+/// use ist_gather::{equidistant_gather_chunks, equidistant_gather_chunks_par, gather_len};
+/// let (r, l, c) = (3, 3, 1000);
+/// let n = gather_len(r, l) * c;
+/// let mut a: Vec<u64> = (0..n as u64).collect();
+/// let mut b = a.clone();
+/// equidistant_gather_chunks(&mut a, r, l, c);
+/// equidistant_gather_chunks_par(&mut b, r, l, c);
+/// assert_eq!(a, b);
+/// ```
+pub fn equidistant_gather_chunks_par<T: Send>(data: &mut [T], r: usize, l: usize, chunk: usize) {
+    assert!(chunk >= 1);
+    assert_eq!(data.len() % chunk, 0, "length must be a multiple of chunk");
+    check_params(data.len() / chunk, r, l);
+    if r == 0 {
+        return;
+    }
+    if data.len() < (1 << 14) {
+        return equidistant_gather_chunks(data, r, l, chunk);
+    }
+    if chunk >= (1 << 12) {
+        // Few, large chunks (the top of the B-tree recursion): parallelize
+        // inside each block move.
+        for c in 1..=r {
+            run_cycle_chunks_par(data, c, l, chunk);
+        }
+    } else {
+        // Many small chunks: parallelize across the disjoint cycles.
+        let n = data.len();
+        let shared = SharedSlice::new(data);
+        (1..=r).into_par_iter().for_each(|c| {
+            // SAFETY: distinct cycles touch disjoint chunk sets (the
+            // gather chunk t_c plus the anti-diagonal row+col = c-1), so
+            // concurrent tasks never alias.
+            let whole = unsafe { shared.slice_mut(0, n) };
+            run_cycle_chunks(whole, c, l, chunk);
+        });
+    }
+    data[r * chunk..]
+        .par_chunks_exact_mut(l * chunk)
+        .enumerate()
+        .for_each(|(j0, block)| {
+            let amount = (r + 1 - (j0 + 1)) % l;
+            if amount != 0 {
+                rotate_right_par(block, amount * chunk);
+            }
+        });
+}
+
+#[inline]
+fn cycle_slot(m: usize, c: usize, l: usize) -> usize {
+    if m == 0 {
+        t0_slot(c, l)
+    } else {
+        (m - 1) * (l + 1) + (c - m)
+    }
+}
+
+#[inline]
+fn run_cycle_chunks<T>(data: &mut [T], c: usize, l: usize, chunk: usize) {
+    for m in (1..=c).rev() {
+        let a = cycle_slot(m, c, l) * chunk;
+        let b = cycle_slot(m - 1, c, l) * chunk;
+        // SAFETY: distinct chunk indices map to disjoint element ranges.
+        unsafe {
+            std::ptr::swap_nonoverlapping(
+                data.as_mut_ptr().add(a),
+                data.as_mut_ptr().add(b),
+                chunk,
+            );
+        }
+    }
+}
+
+#[inline]
+fn run_cycle_chunks_par<T: Send>(data: &mut [T], c: usize, l: usize, chunk: usize) {
+    for m in (1..=c).rev() {
+        let a = cycle_slot(m, c, l) * chunk;
+        let b = cycle_slot(m - 1, c, l) * chunk;
+        swap_regions_par(data, a, b, chunk);
+    }
+}
+
+/// Swap the first half of `data` with the second half, in parallel — the
+/// throughput baseline of Figure 6.4. Requires even length.
+///
+/// # Examples
+/// ```
+/// use ist_gather::swap_halves_par;
+/// let mut v = vec![1, 2, 3, 4];
+/// swap_halves_par(&mut v);
+/// assert_eq!(v, vec![3, 4, 1, 2]);
+/// ```
+pub fn swap_halves_par<T: Send>(data: &mut [T]) {
+    let n = data.len();
+    assert_eq!(n % 2, 0, "swap_halves requires even length");
+    if n == 0 {
+        return;
+    }
+    swap_regions_par(data, 0, n / 2, n / 2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gather_len, reference_gather};
+
+    /// Reference: gather on the chunk-index sequence, expanded back.
+    fn reference_chunked<T: Clone>(data: &[T], r: usize, l: usize, chunk: usize) -> Vec<T> {
+        let units = data.len() / chunk;
+        let ids: Vec<usize> = (0..units).collect();
+        let permuted = reference_gather(&ids, r, l);
+        let mut out = Vec::with_capacity(data.len());
+        for u in permuted {
+            out.extend_from_slice(&data[u * chunk..(u + 1) * chunk]);
+        }
+        out
+    }
+
+    #[test]
+    fn chunked_matches_reference() {
+        for (r, l) in [(0usize, 1usize), (1, 1), (2, 2), (3, 5), (7, 7)] {
+            for chunk in [1usize, 2, 3, 16] {
+                let n = gather_len(r, l) * chunk;
+                let orig: Vec<usize> = (0..n).collect();
+                let expect = reference_chunked(&orig, r, l, chunk);
+                let mut a = orig.clone();
+                equidistant_gather_chunks(&mut a, r, l, chunk);
+                assert_eq!(a, expect, "seq r={r} l={l} chunk={chunk}");
+                let mut b = orig.clone();
+                equidistant_gather_chunks_par(&mut b, r, l, chunk);
+                assert_eq!(b, expect, "par r={r} l={l} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_one_matches_plain_gather() {
+        let (r, l) = (5usize, 9usize);
+        let n = gather_len(r, l);
+        let mut a: Vec<usize> = (0..n).collect();
+        let mut b = a.clone();
+        crate::equidistant_gather(&mut a, r, l);
+        equidistant_gather_chunks(&mut b, r, l, 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn big_chunks_parallel_path() {
+        let (r, l) = (3usize, 3usize);
+        let chunk = 1 << 13; // triggers the large-chunk parallel path
+        let n = gather_len(r, l) * chunk;
+        let orig: Vec<u64> = (0..n as u64).collect();
+        let expect = reference_chunked(&orig, r, l, chunk);
+        let mut got = orig.clone();
+        equidistant_gather_chunks_par(&mut got, r, l, chunk);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn many_small_chunks_parallel_path() {
+        let (r, l) = (63usize, 63usize);
+        let chunk = 8;
+        let n = gather_len(r, l) * chunk;
+        let orig: Vec<u64> = (0..n as u64).collect();
+        let expect = reference_chunked(&orig, r, l, chunk);
+        let mut got = orig.clone();
+        equidistant_gather_chunks_par(&mut got, r, l, chunk);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn swap_halves_roundtrip() {
+        let n = 1 << 15;
+        let orig: Vec<u32> = (0..n).collect();
+        let mut v = orig.clone();
+        swap_halves_par(&mut v);
+        assert_eq!(&v[..(n / 2) as usize], &orig[(n / 2) as usize..]);
+        swap_halves_par(&mut v);
+        assert_eq!(v, orig);
+    }
+}

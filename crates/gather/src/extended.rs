@@ -1,0 +1,233 @@
+//! The **extended equidistant gather** (`r > l`), §3.2 of the paper.
+//!
+//! For the B-tree pattern — every `(B+1)`-th element is *internal*, i.e.
+//! the array of `N = (B+1)^m − 1` elements looks like
+//!
+//! ```text
+//! [ leaf run (B) | internal | leaf run (B) | internal | … | leaf run (B) ]
+//! ```
+//!
+//! — there are `r = ⌊N/(B+1)⌋` internal elements but blocks of only
+//! `l = B` leaves, so the basic gather (which needs `r ≤ l`) does not
+//! apply. The extended gather recurses: split the array into `B + 1`
+//! partitions, gather each partition's internal elements to its front
+//! recursively, then run one **chunked** gather (`r = l = B`, chunk
+//! `C = (B+1)^{m−2}`) that hoists all internal elements to the global
+//! front. Work `O(N log_{B+1} N)`, depth `O(log_{B+1} N)` (Props 9–10).
+//!
+//! Postcondition: the internal elements appear at the front **in sorted
+//! order**, followed by the leaf elements in their original order — i.e.
+//! the output equals a stable partition of the input by
+//! `position mod (B+1) == B`.
+
+use crate::chunked::{equidistant_gather_chunks, equidistant_gather_chunks_par};
+use crate::equidistant_gather;
+use ist_bits::ilog;
+
+/// Below this size the parallel driver falls back to sequential recursion.
+const SEQ_CUTOFF: usize = 1 << 13;
+
+/// Sequential extended equidistant gather for the B-tree pattern.
+///
+/// Requires `data.len() = (b+1)^m − 1` for some `m ≥ 1` and `b ≥ 1`.
+///
+/// # Examples
+/// ```
+/// use ist_gather::extended_equidistant_gather;
+/// // b = 2, m = 2: N = 8, internal at positions 2 and 5 (0-indexed).
+/// let mut v = vec![0, 1, 100, 2, 3, 101, 4, 5];
+/// extended_equidistant_gather(&mut v, 2);
+/// assert_eq!(v, vec![100, 101, 0, 1, 2, 3, 4, 5]);
+/// ```
+pub fn extended_equidistant_gather<T>(data: &mut [T], b: usize) {
+    let m = check_shape(data.len(), b);
+    gather_rec_seq(data, b, m);
+}
+
+/// Parallel extended equidistant gather: the `B + 1` partitions recurse
+/// concurrently; the final hoist is a parallel chunked gather.
+///
+/// # Examples
+/// ```
+/// use ist_gather::{extended_equidistant_gather, extended_equidistant_gather_par};
+/// let b = 3;
+/// let n = 4usize.pow(7) - 1;
+/// let mut a: Vec<u64> = (0..n as u64).collect();
+/// let mut p = a.clone();
+/// extended_equidistant_gather(&mut a, b);
+/// extended_equidistant_gather_par(&mut p, b);
+/// assert_eq!(a, p);
+/// ```
+pub fn extended_equidistant_gather_par<T: Send>(data: &mut [T], b: usize) {
+    let m = check_shape(data.len(), b);
+    gather_rec_par(data, b, m);
+}
+
+fn check_shape(n: usize, b: usize) -> u32 {
+    assert!(b >= 1, "b must be positive");
+    let k = (b + 1) as u64;
+    let m = ilog(k, n as u64 + 1);
+    assert_eq!(
+        k.pow(m),
+        n as u64 + 1,
+        "extended gather requires len = (b+1)^m - 1 (len = {n}, b = {b})"
+    );
+    m
+}
+
+fn gather_rec_seq<T>(data: &mut [T], b: usize, m: u32) {
+    let k = b + 1;
+    match m {
+        0 | 1 => (), // a single (leaf) node: no internal elements
+        2 => equidistant_gather(data, b, b),
+        _ => {
+            let c = k.pow(m - 2); // chunk size C = (B+1)^{m-2}
+            // Partition 0 has C·k − 1 elements (C−1 internal, standard
+            // pattern); partitions 1..=b have C·k elements each and start
+            // with an internal element followed by a standard pattern.
+            let part_len = c * k;
+            gather_rec_seq(&mut data[..part_len - 1], b, m - 1);
+            for p in 1..k {
+                let start = part_len - 1 + (p - 1) * part_len;
+                gather_rec_seq(&mut data[start + 1..start + part_len], b, m - 1);
+            }
+            // Hoist: from global offset C−1 the array reads, in chunk
+            // units, [L₀ (b) | I₁ | L₁ (b) | … | I_b | L_b (b)] — the
+            // exact gather pattern with r = l = b.
+            equidistant_gather_chunks(&mut data[c - 1..], b, b, c);
+        }
+    }
+}
+
+fn gather_rec_par<T: Send>(data: &mut [T], b: usize, m: u32) {
+    let k = b + 1;
+    if data.len() < SEQ_CUTOFF {
+        return gather_rec_seq(data, b, m);
+    }
+    match m {
+        0 | 1 => (),
+        2 => equidistant_gather(data, b, b),
+        _ => {
+            let c = k.pow(m - 2);
+            let part_len = c * k;
+            let (head, mut rest) = data.split_at_mut(part_len - 1);
+            let mut parts: Vec<&mut [T]> = vec![head];
+            for _ in 1..k {
+                let (p, r) = rest.split_at_mut(part_len);
+                parts.push(p);
+                rest = r;
+            }
+            debug_assert!(rest.is_empty());
+            rayon::scope(|s| {
+                for (p, part) in parts.into_iter().enumerate() {
+                    s.spawn(move |_| {
+                        if p == 0 {
+                            gather_rec_par(part, b, m - 1);
+                        } else {
+                            gather_rec_par(&mut part[1..], b, m - 1);
+                        }
+                    });
+                }
+            });
+            equidistant_gather_chunks_par(&mut data[c - 1..], b, b, c);
+        }
+    }
+}
+
+/// Out-of-place reference: stable partition by `pos mod (b+1) == b`.
+pub fn reference_extended<T: Clone>(data: &[T], b: usize) -> Vec<T> {
+    let k = b + 1;
+    let mut out: Vec<T> = data
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % k == b)
+        .map(|(_, v)| v.clone())
+        .collect();
+    out.extend(
+        data.iter()
+            .enumerate()
+            .filter(|(i, _)| i % k != b)
+            .map(|(_, v)| v.clone()),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(b: usize, m: u32) {
+        let n = (b + 1).pow(m) - 1;
+        let orig: Vec<usize> = (0..n).collect();
+        let expect = reference_extended(&orig, b);
+        let mut a = orig.clone();
+        extended_equidistant_gather(&mut a, b);
+        assert_eq!(a, expect, "seq b={b} m={m}");
+        let mut p = orig.clone();
+        extended_equidistant_gather_par(&mut p, b);
+        assert_eq!(p, expect, "par b={b} m={m}");
+    }
+
+    #[test]
+    fn all_small_shapes() {
+        for b in 1..=5usize {
+            for m in 1..=5u32 {
+                if (b + 1).pow(m) > 1 << 16 {
+                    continue;
+                }
+                check(b, m);
+            }
+        }
+    }
+
+    #[test]
+    fn bst_case_b1() {
+        // b = 1 is the BST case: internal = odd positions.
+        for m in 1..=12u32 {
+            check(1, m);
+        }
+    }
+
+    #[test]
+    fn wide_nodes() {
+        check(8, 3);
+        check(15, 3);
+        check(31, 2);
+    }
+
+    #[test]
+    fn large_parallel() {
+        let b = 3usize;
+        let m = 9u32; // 4^9 - 1 = 262143
+        let n = (b + 1).pow(m) - 1;
+        let orig: Vec<u64> = (0..n as u64).collect();
+        let expect = reference_extended(&orig, b);
+        let mut got = orig;
+        extended_equidistant_gather_par(&mut got, b);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn internal_prefix_is_sorted_pattern() {
+        // After the gather, the first (k^{m-1} - 1) elements must be the
+        // original internal elements in order — which themselves form the
+        // B-tree pattern one level up.
+        let b = 2usize;
+        let m = 4u32;
+        let k = b + 1;
+        let n = k.pow(m) - 1;
+        let mut v: Vec<usize> = (0..n).collect();
+        extended_equidistant_gather(&mut v, b);
+        let internal = k.pow(m - 1) - 1;
+        for (idx, &val) in v[..internal].iter().enumerate() {
+            assert_eq!(val, (idx + 1) * k - 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires len")]
+    fn rejects_bad_length() {
+        let mut v = vec![0u8; 10];
+        extended_equidistant_gather(&mut v, 2);
+    }
+}

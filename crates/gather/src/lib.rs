@@ -1,0 +1,298 @@
+//! # ist-gather
+//!
+//! The **equidistant gather** family — the workhorse of the paper's
+//! cycle-leader construction algorithms (Chapter 3).
+//!
+//! Given an array interleaving `r` "gather" elements among `r + 1` blocks
+//! of `l` elements each,
+//!
+//! ```text
+//! [ T₁ (l) | t₁ | T₂ (l) | t₂ | … | T_r (l) | t_r | T_{r+1} (l) ]
+//! ```
+//!
+//! the equidistant gather permutes it to
+//!
+//! ```text
+//! [ t₁ … t_r | T₁ (l) | T₂ (l) | … | T_{r+1} (l) ]
+//! ```
+//!
+//! in place. In the vEB construction the `tᵢ` are the root subtree `T₀`'s
+//! keys and the `Tⱼ` are bottom subtrees; in the B-tree construction the
+//! `tᵢ` are internal keys and the `Tⱼ` leaf runs.
+//!
+//! Variants provided:
+//!
+//! * [`equidistant_gather`] / [`equidistant_gather_par`] — the two-stage
+//!   cycle-leader algorithm (`r ≤ l`): `r` disjoint anti-diagonal cycles,
+//!   then one circular shift per block (§3.1),
+//! * [`chunked`] — the same operation on *chunks* of `C` elements treated
+//!   as units (used at every level of the B-tree algorithm; I/O-efficient
+//!   because every move is a `C`-element swap),
+//! * [`extended`] — the **extended** equidistant gather (`r > l`) built by
+//!   recursive partitioning (§3.2),
+//! * [`transpose`] — the I/O-optimized variant that makes each cycle
+//!   contiguous via row shifts + an in-place matrix transpose (§4.2).
+
+pub mod chunked;
+pub mod extended;
+pub mod transpose;
+
+pub use chunked::{equidistant_gather_chunks, equidistant_gather_chunks_par, swap_halves_par};
+pub use extended::{extended_equidistant_gather, extended_equidistant_gather_par};
+pub use transpose::equidistant_gather_transposed;
+
+use ist_perm::SharedSlice;
+use rayon::prelude::*;
+
+/// Expected array length for gather parameters `r` (gather elements) and
+/// `l` (block size): `r + (r + 1) · l`.
+///
+/// # Examples
+/// ```
+/// use ist_gather::gather_len;
+/// assert_eq!(gather_len(3, 3), 15);
+/// assert_eq!(gather_len(0, 5), 5);
+/// ```
+#[inline]
+pub fn gather_len(r: usize, l: usize) -> usize {
+    r + (r + 1) * l
+}
+
+/// Original slot of gather element `t_c` (`c` is 1-indexed).
+///
+/// # Examples
+/// ```
+/// use ist_gather::t0_slot;
+/// assert_eq!(t0_slot(1, 3), 3); // first gather element follows T₁
+/// assert_eq!(t0_slot(2, 3), 7);
+/// ```
+#[inline]
+pub fn t0_slot(c: usize, l: usize) -> usize {
+    (c - 1) * (l + 1) + l
+}
+
+/// Slot of position `m` on gather cycle `c` (1-indexed): `m = 0` is the
+/// gather element `t_c`; `m ≥ 1` is `T_m[c−m+1]`. The cycle rotates the
+/// value at position `m` to position `m + 1 (mod c+1)`.
+///
+/// Exposed so instrumented replays (the PEM simulator) can trace the
+/// exact cycle structure the production gather executes.
+///
+/// # Examples
+/// ```
+/// use ist_gather::{cycle_slot, t0_slot};
+/// assert_eq!(cycle_slot(0, 2, 3), t0_slot(2, 3));
+/// assert_eq!(cycle_slot(1, 2, 3), 1); // T₁[2]
+/// assert_eq!(cycle_slot(2, 2, 3), 4); // T₂[1]
+/// ```
+#[inline]
+pub fn cycle_slot(m: usize, c: usize, l: usize) -> usize {
+    if m == 0 {
+        t0_slot(c, l)
+    } else {
+        (m - 1) * (l + 1) + (c - m)
+    }
+}
+
+/// Stage 1 unit: cycle `c` (1-indexed) rotates the slots
+/// `[t_c, T₁[c], T₂[c−1], …, T_c[1]]` forward by one, which moves `t_c` to
+/// front slot `c − 1` and every touched `Tⱼ` element into `Tⱼ`'s
+/// destination block (rotated; fixed by stage 2).
+#[inline]
+fn run_cycle<T>(data: &mut [T], c: usize, l: usize) {
+    // Slot of cycle position m (0 = the gather element; m >= 1 = T_m[c-m+1]):
+    //   m = 0: (c-1)(l+1) + l
+    //   m >= 1: (m-1)(l+1) + (c-m)
+    // "Rotate forward by one" moves the value at position m to position
+    // m+1 (wrapping); a backward swap walk realizes it in c swaps.
+    let slot = |m: usize| -> usize {
+        if m == 0 {
+            t0_slot(c, l)
+        } else {
+            (m - 1) * (l + 1) + (c - m)
+        }
+    };
+    for m in (1..=c).rev() {
+        data.swap(slot(m), slot(m - 1));
+    }
+}
+
+/// Stage 2 unit: after stage 1, block `j` (1-indexed) holds `T_j` rotated
+/// left by `r + 1 − j`; rotate it right by the same amount.
+#[inline]
+fn fix_block<T>(block: &mut [T], j: usize, r: usize, l: usize) {
+    let amount = (r + 1 - j) % l;
+    if amount != 0 {
+        block.rotate_right(amount);
+    }
+}
+
+/// Sequential equidistant gather (cycle-leader, two stages).
+///
+/// Requires `r ≤ l`, `l ≥ 1`, and `data.len() == gather_len(r, l)`.
+///
+/// # Examples
+/// ```
+/// use ist_gather::equidistant_gather;
+/// // r = 2, l = 2: [T1a T1b t1 T2a T2b t2 T3a T3b]
+/// let mut v = vec![10, 11, 0, 20, 21, 1, 30, 31];
+/// equidistant_gather(&mut v, 2, 2);
+/// assert_eq!(v, vec![0, 1, 10, 11, 20, 21, 30, 31]);
+/// ```
+pub fn equidistant_gather<T>(data: &mut [T], r: usize, l: usize) {
+    check_params(data.len(), r, l);
+    if r == 0 {
+        return;
+    }
+    for c in 1..=r {
+        run_cycle(data, c, l);
+    }
+    for (j0, block) in data[r..].chunks_exact_mut(l).enumerate() {
+        fix_block(block, j0 + 1, r, l);
+    }
+}
+
+/// Parallel equidistant gather: the `r` cycles run concurrently (they are
+/// slot-disjoint), then the block fix-ups run concurrently.
+///
+/// Semantics identical to [`equidistant_gather`].
+///
+/// # Examples
+/// ```
+/// use ist_gather::{equidistant_gather, equidistant_gather_par, gather_len};
+/// let n = gather_len(63, 63);
+/// let mut a: Vec<u32> = (0..n as u32).collect();
+/// let mut b = a.clone();
+/// equidistant_gather(&mut a, 63, 63);
+/// equidistant_gather_par(&mut b, 63, 63);
+/// assert_eq!(a, b);
+/// ```
+pub fn equidistant_gather_par<T: Send>(data: &mut [T], r: usize, l: usize) {
+    check_params(data.len(), r, l);
+    if r == 0 {
+        return;
+    }
+    if data.len() < (1 << 13) {
+        return equidistant_gather(data, r, l);
+    }
+    let n = data.len();
+    let shared = SharedSlice::new(data);
+    (1..=r).into_par_iter().for_each(|c| {
+        // SAFETY: cycle c touches gather slot t_c and the anti-diagonal
+        // {row + col = c - 1} of the conceptual matrix; distinct cycles
+        // touch disjoint slot sets, so concurrent tasks never alias.
+        let whole = unsafe { shared.slice_mut(0, n) };
+        run_cycle(whole, c, l);
+    });
+    data[r..]
+        .par_chunks_exact_mut(l)
+        .enumerate()
+        .for_each(|(j0, block)| fix_block(block, j0 + 1, r, l));
+}
+
+pub(crate) fn check_params(n: usize, r: usize, l: usize) {
+    assert!(l >= 1, "block size l must be positive");
+    assert!(r <= l, "equidistant gather requires r <= l (got r={r}, l={l})");
+    assert_eq!(
+        n,
+        gather_len(r, l),
+        "data length {n} != r + (r+1)l for r={r}, l={l}"
+    );
+}
+
+/// Out-of-place reference implementation used by tests and oracles.
+pub fn reference_gather<T: Clone>(data: &[T], r: usize, l: usize) -> Vec<T> {
+    check_params(data.len(), r, l);
+    let mut out = Vec::with_capacity(data.len());
+    for c in 1..=r {
+        out.push(data[t0_slot(c, l)].clone());
+    }
+    for j in 0..=r {
+        let base = j * (l + 1);
+        for i in 0..l {
+            out.push(data[base + i].clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(r: usize, l: usize) {
+        let n = gather_len(r, l);
+        let orig: Vec<usize> = (0..n).collect();
+        let expect = reference_gather(&orig, r, l);
+        let mut a = orig.clone();
+        equidistant_gather(&mut a, r, l);
+        assert_eq!(a, expect, "seq r={r} l={l}");
+        let mut b = orig.clone();
+        equidistant_gather_par(&mut b, r, l);
+        assert_eq!(b, expect, "par r={r} l={l}");
+    }
+
+    #[test]
+    fn all_small_shapes() {
+        for l in 1..=12usize {
+            for r in 0..=l {
+                check(r, l);
+            }
+        }
+    }
+
+    #[test]
+    fn veb_shapes() {
+        // Even-height trees: r = l = 2^x - 1.
+        for x in 1..=6u32 {
+            let rl = (1usize << x) - 1;
+            check(rl, rl);
+        }
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        check(1, 100);
+        check(7, 19);
+        check(63, 64);
+    }
+
+    #[test]
+    fn large_parallel_matches_reference() {
+        let r = 127usize;
+        let l = 127usize;
+        let n = gather_len(r, l);
+        let orig: Vec<u64> = (0..n as u64).rev().collect();
+        let expect = reference_gather(&orig, r, l);
+        let mut got = orig.clone();
+        equidistant_gather_par(&mut got, r, l);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn gather_is_value_preserving() {
+        let r = 10;
+        let l = 15;
+        let n = gather_len(r, l);
+        let mut v: Vec<usize> = (0..n).map(|i| i * 7 % 23).collect();
+        let mut sorted_before = v.clone();
+        sorted_before.sort_unstable();
+        equidistant_gather(&mut v, r, l);
+        v.sort_unstable();
+        assert_eq!(v, sorted_before);
+    }
+
+    #[test]
+    #[should_panic(expected = "r <= l")]
+    fn rejects_r_greater_than_l() {
+        let mut v = vec![0u8; gather_len(3, 2)];
+        equidistant_gather(&mut v, 3, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn rejects_bad_length() {
+        let mut v = vec![0u8; 10];
+        equidistant_gather(&mut v, 2, 2);
+    }
+}

@@ -1,0 +1,375 @@
+//! GPU query cost simulation (Figure 6.9).
+//!
+//! The paper assigns one thread per query and lets threads run
+//! independently; memory throughput is the bottleneck. We simulate warps
+//! of 32 queries in lockstep over the *real* permuted array: at every
+//! descent step the active lanes' addresses are coalesced into 128-byte
+//! segments and charged as transactions. A sample of queries is
+//! simulated and the per-query cost extrapolated.
+
+use crate::{Gpu, GpuCost};
+use ist_bits::ilog2_floor;
+use ist_layout::{complete::BtreeCompleteShape, veb_pos, CompleteShape};
+
+/// Which search algorithm the query kernel runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GpuQueryKind {
+    /// Binary search on the un-permuted sorted array (baseline).
+    BinarySearch,
+    /// BST layout descent.
+    Bst,
+    /// B-tree layout descent (keys per node inside).
+    Btree(usize),
+    /// vEB layout descent.
+    Veb,
+}
+
+impl GpuQueryKind {
+    /// Stable name used in CSV output.
+    pub fn name(self) -> &'static str {
+        match self {
+            GpuQueryKind::BinarySearch => "binary_search",
+            GpuQueryKind::Bst => "bst",
+            GpuQueryKind::Btree(_) => "btree",
+            GpuQueryKind::Veb => "veb",
+        }
+    }
+}
+
+/// Per-lane search state: the next address(es) to read, or done.
+trait LaneSearch {
+    /// Addresses this lane reads this step (empty = lane retired).
+    fn addrs(&self, out: &mut Vec<usize>);
+    /// Advance one step after reading; `data` is global memory.
+    fn step(&mut self, data: &[u64]);
+    fn done(&self) -> bool;
+}
+
+struct BinaryLane {
+    key: u64,
+    lo: usize,
+    hi: usize,
+    done: bool,
+}
+
+impl LaneSearch for BinaryLane {
+    fn addrs(&self, out: &mut Vec<usize>) {
+        if !self.done {
+            out.push(self.lo + (self.hi - self.lo) / 2);
+        }
+    }
+    fn step(&mut self, data: &[u64]) {
+        if self.done {
+            return;
+        }
+        if self.lo >= self.hi {
+            self.done = true;
+            return;
+        }
+        let mid = self.lo + (self.hi - self.lo) / 2;
+        match data[mid].cmp(&self.key) {
+            std::cmp::Ordering::Equal => self.done = true,
+            std::cmp::Ordering::Less => self.lo = mid + 1,
+            std::cmp::Ordering::Greater => self.hi = mid,
+        }
+        if self.lo >= self.hi {
+            self.done = true;
+        }
+    }
+    fn done(&self) -> bool {
+        self.done
+    }
+}
+
+struct BstLane {
+    key: u64,
+    v: usize,
+    i: usize,
+    done: bool,
+}
+
+impl LaneSearch for BstLane {
+    fn addrs(&self, out: &mut Vec<usize>) {
+        if !self.done {
+            out.push(self.v);
+        }
+    }
+    fn step(&mut self, data: &[u64]) {
+        if self.done {
+            return;
+        }
+        if self.v >= self.i {
+            self.done = true; // overflow probe omitted: one extra access at most
+            return;
+        }
+        let node = data[self.v];
+        if node == self.key {
+            self.done = true;
+        } else if self.key < node {
+            self.v = 2 * self.v + 1;
+        } else {
+            self.v = 2 * self.v + 2;
+        }
+        if self.v >= self.i {
+            self.done = true;
+        }
+    }
+    fn done(&self) -> bool {
+        self.done
+    }
+}
+
+struct BtreeLane {
+    key: u64,
+    v: usize,
+    b: usize,
+    num_nodes: usize,
+    done: bool,
+}
+
+impl LaneSearch for BtreeLane {
+    fn addrs(&self, out: &mut Vec<usize>) {
+        if !self.done {
+            // The node's B keys: contribute every 16th word (distinct
+            // segments within the node).
+            let start = self.v * self.b;
+            let mut a = start;
+            while a < start + self.b {
+                out.push(a);
+                a += 16;
+            }
+        }
+    }
+    fn step(&mut self, data: &[u64]) {
+        if self.done {
+            return;
+        }
+        if self.v >= self.num_nodes {
+            self.done = true;
+            return;
+        }
+        let keys = &data[self.v * self.b..self.v * self.b + self.b];
+        let mut c = 0usize;
+        for k in keys {
+            match self.key.cmp(k) {
+                std::cmp::Ordering::Equal => {
+                    self.done = true;
+                    return;
+                }
+                std::cmp::Ordering::Greater => c += 1,
+                std::cmp::Ordering::Less => break,
+            }
+        }
+        self.v = self.v * (self.b + 1) + c + 1;
+        if self.v >= self.num_nodes {
+            self.done = true;
+        }
+    }
+    fn done(&self) -> bool {
+        self.done
+    }
+}
+
+struct VebLane {
+    key: u64,
+    p: u64,
+    step_size: u64,
+    d: u32,
+    done: bool,
+}
+
+impl LaneSearch for VebLane {
+    fn addrs(&self, out: &mut Vec<usize>) {
+        if !self.done {
+            out.push(veb_pos(self.d, (self.p - 1) as usize));
+        }
+    }
+    fn step(&mut self, data: &[u64]) {
+        if self.done {
+            return;
+        }
+        let pos = veb_pos(self.d, (self.p - 1) as usize);
+        let node = data[pos];
+        if node == self.key {
+            self.done = true;
+            return;
+        }
+        self.step_size >>= 1;
+        if self.step_size == 0 {
+            self.done = true;
+            return;
+        }
+        if self.key < node {
+            self.p -= self.step_size;
+        } else {
+            self.p += self.step_size;
+        }
+    }
+    fn done(&self) -> bool {
+        self.done
+    }
+}
+
+/// Simulate `sample_keys` queries warp-by-warp over the device array and
+/// return the **average model cost per query** (transactions + compute;
+/// the per-kernel launch cost amortizes over millions of queries and is
+/// charged once per batch by the caller).
+pub fn per_query_cost(gpu: &Gpu, kind: GpuQueryKind, sample_keys: &[u64]) -> f64 {
+    assert!(!sample_keys.is_empty());
+    let data = &gpu.data;
+    let n = data.len();
+    let cfg = *gpu.config();
+    let mut cost = GpuCost::default();
+    let mut addrs: Vec<usize> = Vec::with_capacity(cfg.warp * 4);
+    let mut seen: Vec<usize> = Vec::with_capacity(cfg.warp * 4);
+    for warp_keys in sample_keys.chunks(cfg.warp) {
+        let mut lanes: Vec<Box<dyn LaneSearch>> = warp_keys
+            .iter()
+            .map(|&key| make_lane(kind, key, n))
+            .collect();
+        loop {
+            addrs.clear();
+            for lane in &lanes {
+                lane.addrs(&mut addrs);
+            }
+            if addrs.is_empty() {
+                break;
+            }
+            seen.clear();
+            for &a in &addrs {
+                let seg = a / cfg.line_words;
+                if !seen.contains(&seg) {
+                    seen.push(seg);
+                }
+            }
+            cost.transactions += seen.len() as u64;
+            cost.compute += lanes.iter().filter(|l| !l.done()).count() as f64 * 4.0;
+            for lane in &mut lanes {
+                lane.step(data);
+            }
+        }
+    }
+    cost.time(&cfg) / sample_keys.len() as f64
+}
+
+fn make_lane(kind: GpuQueryKind, key: u64, n: usize) -> Box<dyn LaneSearch> {
+    match kind {
+        GpuQueryKind::BinarySearch => Box::new(BinaryLane {
+            key,
+            lo: 0,
+            hi: n,
+            done: n == 0,
+        }),
+        GpuQueryKind::Bst => {
+            let shape = CompleteShape::new(n);
+            Box::new(BstLane {
+                key,
+                v: 0,
+                i: shape.full_count(),
+                done: n == 0,
+            })
+        }
+        GpuQueryKind::Btree(b) => {
+            let shape = BtreeCompleteShape::new(n, b);
+            Box::new(BtreeLane {
+                key,
+                v: 0,
+                b,
+                num_nodes: shape.full_count() / b,
+                done: n == 0,
+            })
+        }
+        GpuQueryKind::Veb => {
+            let shape = CompleteShape::new(n);
+            let d = if shape.full_count() > 0 {
+                ilog2_floor(shape.full_count() as u64 + 1)
+            } else {
+                0
+            };
+            Box::new(VebLane {
+                key,
+                p: 1u64 << d.saturating_sub(1),
+                step_size: 1u64 << d.saturating_sub(1),
+                d: d.max(1),
+                done: n == 0 || d == 0,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GpuConfig;
+    use ist_core::{permute_in_place_seq, Algorithm, Layout};
+
+    fn keys(n: usize, count: usize) -> Vec<u64> {
+        // Deterministic pseudo-random keys in range.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        (0..count)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x % n as u64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn btree_queries_cost_less_than_binary_search() {
+        // Figure 6.9's driver: the B-tree layout touches ~log_B N lines
+        // per query; binary search ~log2 N.
+        let n = (1 << 20) - 1;
+        let b = 31usize; // (b+1)^4 = 2^20
+        let q = keys(n, 4096);
+
+        let sorted = Gpu::from_sorted(n, GpuConfig::default());
+        let c_bin = per_query_cost(&sorted, GpuQueryKind::BinarySearch, &q);
+
+        let mut data: Vec<u64> = (0..n as u64).collect();
+        permute_in_place_seq(&mut data, Layout::Btree { b }, Algorithm::CycleLeader).unwrap();
+        let gpu = Gpu::new(data, GpuConfig::default());
+        let c_btree = per_query_cost(&gpu, GpuQueryKind::Btree(b), &q);
+
+        assert!(
+            c_btree * 2.0 < c_bin,
+            "btree={c_btree:.2} binary={c_bin:.2}"
+        );
+    }
+
+    #[test]
+    fn bst_layout_beats_sorted_binary_search() {
+        // The BST layout shares top levels across queries -> the hot top
+        // of the tree coalesces within a warp.
+        let n = (1 << 18) - 1;
+        let q = keys(n, 4096);
+        let sorted = Gpu::from_sorted(n, GpuConfig::default());
+        let c_bin = per_query_cost(&sorted, GpuQueryKind::BinarySearch, &q);
+        let mut data: Vec<u64> = (0..n as u64).collect();
+        permute_in_place_seq(&mut data, Layout::Bst, Algorithm::Involution).unwrap();
+        let gpu = Gpu::new(data, GpuConfig::default());
+        let c_bst = per_query_cost(&gpu, GpuQueryKind::Bst, &q);
+        assert!(c_bst < c_bin, "bst={c_bst:.2} binary={c_bin:.2}");
+    }
+
+    #[test]
+    fn all_kinds_terminate_and_are_positive() {
+        let n = 1000usize;
+        let q = keys(n, 256);
+        for (kind, layout) in [
+            (GpuQueryKind::BinarySearch, None),
+            (GpuQueryKind::Bst, Some(Layout::Bst)),
+            (GpuQueryKind::Btree(8), Some(Layout::Btree { b: 8 })),
+            (GpuQueryKind::Veb, Some(Layout::Veb)),
+        ] {
+            let mut data: Vec<u64> = (0..n as u64).collect();
+            if let Some(l) = layout {
+                permute_in_place_seq(&mut data, l, Algorithm::CycleLeader).unwrap();
+            }
+            let gpu = Gpu::new(data, GpuConfig::default());
+            let c = per_query_cost(&gpu, kind, &q);
+            assert!(c > 0.0, "{kind:?}");
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! A compact fully-associative LRU block cache.
+//!
+//! Models one processor's internal memory in the (P)EM model: capacity is
+//! `M / B` blocks; an access to a resident block is free, a miss costs one
+//! block transfer and evicts the least-recently-used block when full.
+//!
+//! Implementation: an intrusive doubly-linked list over a slot arena plus
+//! a block→slot hash map; all operations are `O(1)`.
+
+use std::collections::HashMap;
+
+const NIL: usize = usize::MAX;
+
+/// Fully-associative LRU set of block ids.
+///
+/// # Examples
+/// ```
+/// use ist_pem_sim::LruCache;
+/// let mut c = LruCache::new(2);
+/// assert!(!c.access(1)); // miss
+/// assert!(!c.access(2)); // miss
+/// assert!(c.access(1));  // hit
+/// assert!(!c.access(3)); // miss, evicts 2 (LRU)
+/// assert!(!c.access(2)); // miss again
+/// assert!(c.access(3));  // 3 still resident
+/// ```
+pub struct LruCache {
+    capacity: usize,
+    map: HashMap<usize, usize>, // block id -> slot
+    block: Vec<usize>,          // slot -> block id
+    prev: Vec<usize>,
+    next: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+}
+
+impl LruCache {
+    /// Cache holding up to `capacity` blocks (`capacity ≥ 1`).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "cache must hold at least one block");
+        Self {
+            capacity,
+            map: HashMap::with_capacity(capacity * 2),
+            block: Vec::with_capacity(capacity),
+            prev: Vec::with_capacity(capacity),
+            next: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Number of resident blocks.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` iff no blocks are resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (p, n) = (self.prev[slot], self.next[slot]);
+        if p != NIL {
+            self.next[p] = n;
+        } else {
+            self.head = n;
+        }
+        if n != NIL {
+            self.prev[n] = p;
+        } else {
+            self.tail = p;
+        }
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.prev[slot] = NIL;
+        self.next[slot] = self.head;
+        if self.head != NIL {
+            self.prev[self.head] = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    /// Touch `block_id`; returns `true` on a hit, `false` on a miss (the
+    /// block is then loaded, evicting the LRU block if the cache is
+    /// full).
+    pub fn access(&mut self, block_id: usize) -> bool {
+        if let Some(&slot) = self.map.get(&block_id) {
+            if self.head != slot {
+                self.unlink(slot);
+                self.push_front(slot);
+            }
+            return true;
+        }
+        // Miss: allocate or recycle a slot.
+        let slot = if self.block.len() < self.capacity {
+            self.block.push(block_id);
+            self.prev.push(NIL);
+            self.next.push(NIL);
+            self.block.len() - 1
+        } else {
+            let victim = self.tail;
+            self.unlink(victim);
+            self.map.remove(&self.block[victim]);
+            self.block[victim] = block_id;
+            victim
+        };
+        self.map.insert(block_id, slot);
+        self.push_front(slot);
+        false
+    }
+
+    /// Drop all resident blocks (e.g. between independent phases).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.block.clear();
+        self.prev.clear();
+        self.next.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = LruCache::new(3);
+        for b in [1, 2, 3] {
+            assert!(!c.access(b));
+        }
+        // Touch 1 -> order (1, 3, 2); inserting 4 evicts 2.
+        assert!(c.access(1));
+        assert!(!c.access(4));
+        assert!(c.access(1));
+        assert!(c.access(3));
+        assert!(!c.access(2));
+    }
+
+    #[test]
+    fn capacity_one() {
+        let mut c = LruCache::new(1);
+        assert!(!c.access(7));
+        assert!(c.access(7));
+        assert!(!c.access(8));
+        assert!(!c.access(7));
+    }
+
+    #[test]
+    fn matches_naive_reference() {
+        // Cross-check against an O(cap) reference on a pseudo-random trace.
+        struct Naive {
+            cap: usize,
+            items: Vec<usize>, // most recent first
+        }
+        impl Naive {
+            fn access(&mut self, b: usize) -> bool {
+                if let Some(pos) = self.items.iter().position(|&x| x == b) {
+                    self.items.remove(pos);
+                    self.items.insert(0, b);
+                    true
+                } else {
+                    self.items.insert(0, b);
+                    self.items.truncate(self.cap);
+                    false
+                }
+            }
+        }
+        let mut fast = LruCache::new(8);
+        let mut slow = Naive {
+            cap: 8,
+            items: vec![],
+        };
+        let mut x = 12345u64;
+        for _ in 0..20_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let b = (x >> 33) as usize % 24;
+            assert_eq!(fast.access(b), slow.access(b));
+        }
+        assert_eq!(fast.len(), 8);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut c = LruCache::new(2);
+        c.access(1);
+        c.access(2);
+        c.clear();
+        assert!(c.is_empty());
+        assert!(!c.access(1));
+    }
+}

@@ -1,0 +1,105 @@
+//! Out-of-place reference application and permutation validation.
+//!
+//! These are the oracles the in-place algorithms are tested against: the
+//! paper's observation that any permutation is trivially `O(N/P)` *with*
+//! a second buffer (`A[i] → B[π(i)]`) is exactly [`apply_out_of_place`].
+
+/// Apply `pi` out of place: returns `out` with `out[pi(i)] = data[i]`.
+///
+/// `pi` must be a permutation of `[0, data.len())`; duplicate targets
+/// panic.
+///
+/// # Examples
+/// ```
+/// use ist_perm::apply_out_of_place;
+/// let data = vec!['a', 'b', 'c'];
+/// let out = apply_out_of_place(&data, |i| (i + 1) % 3);
+/// assert_eq!(out, vec!['c', 'a', 'b']);
+/// ```
+pub fn apply_out_of_place<T: Clone, F>(data: &[T], pi: F) -> Vec<T>
+where
+    F: Fn(usize) -> usize,
+{
+    let n = data.len();
+    let mut out: Vec<Option<T>> = vec![None; n];
+    for (i, v) in data.iter().enumerate() {
+        let j = pi(i);
+        assert!(j < n, "pi({i}) = {j} out of bounds");
+        assert!(out[j].is_none(), "pi not injective at target {j}");
+        out[j] = Some(v.clone());
+    }
+    out.into_iter().map(|o| o.expect("pi not surjective")).collect()
+}
+
+/// Check whether `f` restricted to `[0, n)` is a permutation.
+///
+/// # Examples
+/// ```
+/// use ist_perm::is_permutation;
+/// assert!(is_permutation(4, |i| (i + 2) % 4));
+/// assert!(!is_permutation(4, |i| i / 2));
+/// ```
+pub fn is_permutation<F>(n: usize, f: F) -> bool
+where
+    F: Fn(usize) -> usize,
+{
+    let mut seen = vec![false; n];
+    for i in 0..n {
+        let j = f(i);
+        if j >= n || seen[j] {
+            return false;
+        }
+        seen[j] = true;
+    }
+    true
+}
+
+/// Materialize the inverse of permutation `f` on `[0, n)` as a table.
+///
+/// # Examples
+/// ```
+/// use ist_perm::invert_permutation;
+/// let inv = invert_permutation(4, |i| (i + 1) % 4);
+/// assert_eq!(inv, vec![3, 0, 1, 2]);
+/// ```
+pub fn invert_permutation<F>(n: usize, f: F) -> Vec<usize>
+where
+    F: Fn(usize) -> usize,
+{
+    let mut inv = vec![usize::MAX; n];
+    for i in 0..n {
+        let j = f(i);
+        assert!(j < n && inv[j] == usize::MAX, "not a permutation");
+        inv[j] = i;
+    }
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_then_inverse_is_identity() {
+        let n = 64usize;
+        let pi = |i: usize| (i * 5 + 3) % n;
+        let data: Vec<usize> = (0..n).collect();
+        let permuted = apply_out_of_place(&data, pi);
+        let inv = invert_permutation(n, pi);
+        let back = apply_out_of_place(&permuted, |i| inv[i]);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn validation_catches_bad_maps() {
+        assert!(!is_permutation(3, |_| 5));
+        assert!(is_permutation(0, |i| i));
+        assert!(is_permutation(1, |i| i));
+    }
+
+    #[test]
+    #[should_panic(expected = "not injective")]
+    fn apply_rejects_collisions() {
+        apply_out_of_place(&[1, 2], |_| 0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Cycle decomposition and cycle rotation.
+//!
+//! A permutation `π` decomposes into disjoint cycles. When the cycles can
+//! be enumerated analytically — as for the equidistant gather, where cycle
+//! `c` is an explicit anti-diagonal of a conceptual matrix — each cycle can
+//! be processed independently (the *cycle-leader* technique). This module
+//! provides:
+//!
+//! * [`cycle_decomposition`]: explicit decomposition of a permutation given
+//!   as a function, used by tests and the reference oracle (uses `O(N)`
+//!   scratch; the production algorithms never call it),
+//! * [`rotate_cycle`]: move each element one step along an explicit list of
+//!   slots, the primitive executed per cycle by the gather algorithms.
+
+/// Decompose the permutation `pi` (given as a forward map `i -> pi(i)` on
+/// `[0, n)`) into its disjoint cycles. Fixed points are omitted.
+///
+/// Cycles are reported starting from their smallest element, in increasing
+/// order of that element. Costs `O(n)` time and space — intended for tests
+/// and analysis, not for the in-place construction paths.
+///
+/// # Examples
+/// ```
+/// use ist_perm::cycle_decomposition;
+/// // pi = (0 1 2)(3 4), 5 fixed
+/// let map = [1, 2, 0, 4, 3, 5];
+/// let cycles = cycle_decomposition(6, |i| map[i]);
+/// assert_eq!(cycles, vec![vec![0, 1, 2], vec![3, 4]]);
+/// ```
+pub fn cycle_decomposition<F>(n: usize, pi: F) -> Vec<Vec<usize>>
+where
+    F: Fn(usize) -> usize,
+{
+    let mut seen = vec![false; n];
+    let mut cycles = Vec::new();
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        let mut cur = pi(start);
+        seen[start] = true;
+        if cur == start {
+            continue; // fixed point
+        }
+        let mut cycle = vec![start];
+        while cur != start {
+            assert!(cur < n, "permutation out of bounds: {cur}");
+            assert!(!seen[cur], "not a permutation: {cur} visited twice");
+            seen[cur] = true;
+            cycle.push(cur);
+            cur = pi(cur);
+        }
+        cycles.push(cycle);
+    }
+    cycles
+}
+
+/// Rotate values one step *forward* along the slot list: the value at
+/// `slots[m]` moves to `slots[m + 1]` (wrapping), i.e. after the call
+/// `data[slots[m + 1 mod L]] = old data[slots[m]]`.
+///
+/// This is the unit action of a cycle-leader pass: executing it for every
+/// cycle of `π` applies `π` when `slots` lists each cycle in `π`-order
+/// (`slots[m+1] = π(slots[m])`).
+///
+/// # Panics
+/// Debug-asserts that slots are in bounds; duplicate slots produce
+/// garbage (but no UB).
+///
+/// # Examples
+/// ```
+/// use ist_perm::rotate_cycle;
+/// let mut v = vec![10, 20, 30, 40];
+/// rotate_cycle(&mut v, &[0, 2, 3]);
+/// // value at 0 -> slot 2, at 2 -> slot 3, at 3 -> slot 0
+/// assert_eq!(v, vec![40, 20, 10, 30]);
+/// ```
+pub fn rotate_cycle<T>(data: &mut [T], slots: &[usize]) {
+    let l = slots.len();
+    if l < 2 {
+        return;
+    }
+    // Walk backwards swapping into the "hole": after the loop, the element
+    // initially at slots[m] sits at slots[m+1] for all m (mod l).
+    for m in (1..l).rev() {
+        debug_assert!(slots[m] < data.len() && slots[m - 1] < data.len());
+        data.swap(slots[m], slots[m - 1]);
+    }
+}
+
+/// Rotate values one step forward along a cycle described *implicitly* by a
+/// successor function, starting from `leader`, without materializing the
+/// slot list. `succ(s)` must eventually return to `leader`.
+///
+/// Equivalent to [`rotate_cycle`] with `slots = [leader, succ(leader),
+/// succ²(leader), …]`, using `O(1)` extra space — this is what the in-place
+/// algorithms actually execute.
+///
+/// # Examples
+/// ```
+/// use ist_perm::cycles::rotate_cycle_implicit;
+/// let mut v = vec![10, 20, 30, 40];
+/// // cycle 0 -> 2 -> 3 -> 0
+/// let succ = |s: usize| match s { 0 => 2, 2 => 3, 3 => 0, _ => unreachable!() };
+/// rotate_cycle_implicit(&mut v, 0, succ);
+/// assert_eq!(v, vec![40, 20, 10, 30]);
+/// ```
+pub fn rotate_cycle_implicit<T, F>(data: &mut [T], leader: usize, succ: F)
+where
+    F: Fn(usize) -> usize,
+{
+    let mut cur = succ(leader);
+    let mut steps = 0usize;
+    while cur != leader {
+        data.swap(leader, cur);
+        cur = succ(cur);
+        steps += 1;
+        debug_assert!(steps <= data.len(), "successor function does not cycle");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decomposition_covers_all_elements() {
+        let n = 257usize;
+        let pi = |i: usize| (i * 3 + 1) % n; // affine bijection mod prime
+        let cycles = cycle_decomposition(n, pi);
+        let total: usize = cycles.iter().map(Vec::len).sum();
+        let fixed = (0..n).filter(|&i| pi(i) == i).count();
+        assert_eq!(total + fixed, n);
+        for c in &cycles {
+            assert!(c.len() >= 2);
+            // successor property
+            for w in c.windows(2) {
+                assert_eq!(pi(w[0]), w[1]);
+            }
+            assert_eq!(pi(*c.last().unwrap()), c[0]);
+            assert_eq!(*c.iter().min().unwrap(), c[0]);
+        }
+    }
+
+    #[test]
+    fn rotating_all_cycles_applies_permutation() {
+        let n = 100usize;
+        let pi = |i: usize| (i * 7 + 3) % n;
+        let mut data: Vec<usize> = (0..n).collect();
+        for cycle in cycle_decomposition(n, pi) {
+            rotate_cycle(&mut data, &cycle);
+        }
+        // data[pi(i)] should now hold the value originally at i.
+        for i in 0..n {
+            assert_eq!(data[pi(i)], i);
+        }
+    }
+
+    #[test]
+    fn implicit_matches_explicit() {
+        let n = 60usize;
+        let pi = |i: usize| (i * 13 + 7) % n;
+        let mut a: Vec<usize> = (0..n).collect();
+        let mut b = a.clone();
+        for cycle in cycle_decomposition(n, pi) {
+            rotate_cycle(&mut a, &cycle);
+            rotate_cycle_implicit(&mut b, cycle[0], pi);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn short_cycles() {
+        let mut v = vec![1, 2];
+        rotate_cycle(&mut v, &[0]);
+        assert_eq!(v, vec![1, 2]);
+        rotate_cycle(&mut v, &[0, 1]);
+        assert_eq!(v, vec![2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn rejects_non_permutation() {
+        cycle_decomposition(3, |_| 1);
+    }
+}

@@ -1,0 +1,125 @@
+//! Fich–Munro–Poblete sequential in-place permutation of sorted data.
+//!
+//! For data initially in **sorted** order, Fich et al. observe that the
+//! "have I already been moved?" test needed by cycle-following can be
+//! answered without mark bits: follow a cycle only from its *minimum*
+//! element, and detect the minimum by walking the cycle with the inverse
+//! permutation. This yields `O(N · (τ_π + τ_π⁻¹))` time and `O(1)` extra
+//! space, sequentially.
+//!
+//! The implicit-layout paper uses this as the classical sequential
+//! baseline that its parallel algorithms are compared against; it is not
+//! parallelizable as-is (the cycle walks are inherently sequential), which
+//! is the gap the paper fills.
+
+/// Permute `data` in place so that `data[pi(i)] = old data[i]`, using
+/// cycle-leader with minimum-detection via the inverse permutation.
+///
+/// `pi` and `pi_inv` must be mutually inverse permutations of
+/// `[0, data.len())`. Works for arbitrary (not only sorted) data — the
+/// "sorted" in the title refers to the classical use where the inverse
+/// test exploits sortedness; here the caller supplies `pi_inv` explicitly,
+/// which is available in closed form for all layout permutations.
+///
+/// # Examples
+/// ```
+/// use ist_perm::permute_sorted_in_place;
+/// let n = 8;
+/// let mut v: Vec<u32> = (0..n as u32).collect();
+/// let pi = move |i: usize| (i + 3) % n;
+/// let pi_inv = move |i: usize| (i + n - 3) % n;
+/// permute_sorted_in_place(&mut v, pi, pi_inv);
+/// for i in 0..n {
+///     assert_eq!(v[(i + 3) % n], i as u32);
+/// }
+/// ```
+pub fn permute_sorted_in_place<T, F, G>(data: &mut [T], pi: F, pi_inv: G)
+where
+    F: Fn(usize) -> usize,
+    G: Fn(usize) -> usize,
+{
+    let n = data.len();
+    for leader in 0..n {
+        // Walk the cycle of `leader` backwards (via pi_inv). If we meet an
+        // index smaller than `leader`, this cycle was already processed
+        // from that smaller leader; skip. Walking backwards visits the
+        // same cycle, so minimality is decided correctly.
+        debug_assert_eq!(pi(pi_inv(leader)), leader, "pi/pi_inv not inverse");
+        let mut probe = pi_inv(leader);
+        let mut is_leader = true;
+        while probe != leader {
+            if probe < leader {
+                is_leader = false;
+                break;
+            }
+            probe = pi_inv(probe);
+        }
+        if !is_leader {
+            continue;
+        }
+        // Rotate the cycle: value at `leader` must end at pi(leader), etc.
+        // Keep swapping data[leader] with data[target]: after each swap the
+        // element now in `leader` is the one whose target we compute next.
+        let mut target = pi(leader);
+        while target != leader {
+            data.swap(leader, target);
+            target = pi(target);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apply::{apply_out_of_place, invert_permutation};
+
+    #[test]
+    fn matches_out_of_place_reference() {
+        for n in [0usize, 1, 2, 3, 10, 97, 256] {
+            let pi_table = invert_permutation(n, |i| (i * 7 + 5) % n.max(1));
+            // pi_table is some permutation; build its inverse too.
+            let pi = |i: usize| pi_table[i];
+            let inv_table = invert_permutation(n, pi);
+            let pi_inv = |i: usize| inv_table[i];
+            let data: Vec<usize> = (0..n).collect();
+            let expect = apply_out_of_place(&data, pi);
+            let mut got = data.clone();
+            permute_sorted_in_place(&mut got, pi, pi_inv);
+            assert_eq!(got, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let mut v = vec![5, 4, 3];
+        permute_sorted_in_place(&mut v, |i| i, |i| i);
+        assert_eq!(v, vec![5, 4, 3]);
+    }
+
+    #[test]
+    fn single_big_cycle() {
+        let n = 1000usize;
+        let mut v: Vec<usize> = (0..n).collect();
+        permute_sorted_in_place(&mut v, |i| (i + 1) % n, |i| (i + n - 1) % n);
+        for i in 0..n {
+            assert_eq!(v[(i + 1) % n], i);
+        }
+    }
+
+    #[test]
+    fn random_permutations_roundtrip() {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for n in [17usize, 64, 255] {
+            let mut table: Vec<usize> = (0..n).collect();
+            table.shuffle(&mut rng);
+            let inv = invert_permutation(n, |i| table[i]);
+            let data: Vec<usize> = (0..n).collect();
+            let expect = apply_out_of_place(&data, |i| table[i]);
+            let mut got = data;
+            permute_sorted_in_place(&mut got, |i| table[i], |i| inv[i]);
+            assert_eq!(got, expect);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # ist-perm
+//!
+//! Permutation framework for the implicit search tree layout algorithms.
+//!
+//! The paper's two algorithm families both reduce to applying permutations
+//! whose structure is known analytically:
+//!
+//! * **Involutions** (Yang et al.): a permutation `π` that is its own
+//!   inverse decomposes into disjoint transpositions, so it can be applied
+//!   *in place* and *in parallel* as one round of independent swaps.
+//!   Every permutation is a product of two involutions; when the two factors
+//!   are known (as they are for digit reversals and the `J` maps), the whole
+//!   permutation is two parallel swap rounds. See [`involution`].
+//! * **Cycle-leader**: when the disjoint cycles of `π` are enumerable, each
+//!   cycle is rotated independently. See [`cycles`].
+//!
+//! The crate also provides the sequential in-place algorithm of
+//! Fich–Munro–Poblete for permuting *sorted* data given `π` and `π⁻¹`
+//! ([`fich`]), used as a baseline, and out-of-place reference application
+//! plus permutation validation ([`apply`]) used by the test oracles.
+
+pub mod apply;
+pub mod cycles;
+pub mod fich;
+pub mod involution;
+pub mod shared;
+
+pub use apply::{apply_out_of_place, invert_permutation, is_permutation};
+pub use cycles::{cycle_decomposition, rotate_cycle};
+pub use fich::permute_sorted_in_place;
+pub use involution::{apply_involution, apply_involution_par, apply_involution_range};
+pub use shared::SharedSlice;

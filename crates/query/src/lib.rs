@@ -1,0 +1,707 @@
+//! # ist-query
+//!
+//! Search queries over the implicit layouts produced by `ist-core`, plus
+//! the plain binary-search baseline the paper compares against
+//! (Figures 6.5–6.7, 6.9).
+//!
+//! All searchers operate on the `[perfect layout | sorted overflow]`
+//! array format (see [`ist_layout::complete`]): they descend the perfect
+//! tree with pure index arithmetic and, on falling off at in-order gap
+//! `g`, probe the overflow suffix.
+//!
+//! * [`search_sorted`] — classical binary search on the *un-permuted*
+//!   array (the baseline; worst locality).
+//! * [`search_bst`] / [`search_bst_prefetch`] — level-order descent
+//!   (`v → 2v+1 / 2v+2`); the prefetch variant issues an explicit
+//!   prefetch of the grandchildren region, the optimization of
+//!   Khuong & Morin that the paper reproduces (~2× at large `N`).
+//! * [`search_btree`] — `(B+1)`-ary descent, one node (≤ one cache line
+//!   for `B` chosen to match it) per level: `Θ(log_B N)` I/Os.
+//! * [`search_veb`] — descent by in-order arithmetic with vEB position
+//!   re-computation per visited node (`O(log log N)` arithmetic per
+//!   step) — the "more costly index computations" the paper cites for
+//!   the vEB layout's constant-factor query overhead.
+//!
+//! [`Searcher`] bundles a layout tag with its precomputed shape for
+//! repeated queries, and [`Searcher::batch_count`] runs query batches in
+//! parallel (one thread per query slice — queries are independent, as on
+//! the paper's GPU).
+
+use ist_core::Layout;
+use ist_layout::{complete::BtreeCompleteShape, veb_pos, CompleteShape};
+use rayon::prelude::*;
+
+/// Binary search baseline on the sorted (un-permuted) array.
+///
+/// Returns the index of a matching element, if any.
+///
+/// # Examples
+/// ```
+/// use ist_query::search_sorted;
+/// let v = vec![10, 20, 30];
+/// assert_eq!(search_sorted(&v, &20), Some(1));
+/// assert_eq!(search_sorted(&v, &25), None);
+/// ```
+pub fn search_sorted<T: Ord>(data: &[T], key: &T) -> Option<usize> {
+    data.binary_search(key).ok()
+}
+
+/// Shape data for BST/vEB searches over a complete binary tree.
+#[derive(Debug, Clone, Copy)]
+struct BinaryShape {
+    d: u32,
+    i: usize,
+    l: usize,
+}
+
+impl BinaryShape {
+    fn new(n: usize) -> Self {
+        let s = CompleteShape::new(n);
+        Self {
+            d: s.full_levels(),
+            i: s.full_count(),
+            l: s.overflow(),
+        }
+    }
+}
+
+#[inline]
+fn probe_overflow<T: Ord>(data: &[T], i: usize, l: usize, g: usize, key: &T) -> Option<usize> {
+    if g < l && data[i + g] == *key {
+        Some(i + g)
+    } else {
+        None
+    }
+}
+
+#[inline(always)]
+fn prefetch<T>(data: &[T], index: usize) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if index < data.len() {
+            // SAFETY: the pointer is in bounds (checked) and prefetching
+            // any address is side-effect free.
+            unsafe {
+                core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(
+                    data.as_ptr().add(index) as *const i8,
+                );
+            }
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (data, index);
+    }
+}
+
+#[inline(always)]
+fn bst_descent<T: Ord, const PREFETCH: bool>(
+    data: &[T],
+    shape: BinaryShape,
+    key: &T,
+) -> Option<usize> {
+    let BinaryShape { i, l, .. } = shape;
+    let mut v = 0usize;
+    let mut lo = 0usize; // full-rank of the subtree's leftmost gap
+    let mut sz = i; // keys in the current subtree (2^λ − 1)
+    while v < i {
+        if PREFETCH {
+            // Prefetch the grandchildren region: by the time the two
+            // comparisons below resolve, the line is (ideally) resident.
+            prefetch(data, 4 * v + 3);
+        }
+        let node = &data[v];
+        if *key == *node {
+            return Some(v);
+        }
+        let half = sz >> 1;
+        if *key < *node {
+            v = 2 * v + 1;
+        } else {
+            v = 2 * v + 2;
+            lo += half + 1;
+        }
+        sz = half;
+    }
+    probe_overflow(data, i, l, lo, key)
+}
+
+/// Search the level-order BST layout.
+///
+/// # Examples
+/// ```
+/// use ist_core::{permute_in_place, Algorithm, Layout};
+/// use ist_query::search_bst;
+/// let mut v: Vec<u64> = (0..100).map(|x| x * 2).collect();
+/// permute_in_place(&mut v, Layout::Bst, Algorithm::Involution).unwrap();
+/// for x in 0..100u64 {
+///     let found = search_bst(&v, &(2 * x));
+///     assert_eq!(found.map(|p| v[p]), Some(2 * x));
+///     assert_eq!(search_bst(&v, &(2 * x + 1)), None);
+/// }
+/// ```
+pub fn search_bst<T: Ord>(data: &[T], key: &T) -> Option<usize> {
+    if data.is_empty() {
+        return None;
+    }
+    bst_descent::<T, false>(data, BinaryShape::new(data.len()), key)
+}
+
+/// Search the BST layout with explicit grandchild prefetching.
+///
+/// Semantically identical to [`search_bst`].
+pub fn search_bst_prefetch<T: Ord>(data: &[T], key: &T) -> Option<usize> {
+    if data.is_empty() {
+        return None;
+    }
+    bst_descent::<T, true>(data, BinaryShape::new(data.len()), key)
+}
+
+/// Shape data for B-tree searches.
+#[derive(Debug, Clone, Copy)]
+struct BtreeSearchShape {
+    b: usize,
+    i: usize,
+    num_nodes: usize,
+    q: usize,
+    s: usize,
+}
+
+impl BtreeSearchShape {
+    fn new(n: usize, b: usize) -> Self {
+        let s = BtreeCompleteShape::new(n, b);
+        Self {
+            b,
+            i: s.full_count(),
+            num_nodes: s.full_count() / b,
+            q: s.full_overflow_nodes(),
+            s: s.partial_node_len(),
+        }
+    }
+}
+
+#[inline(always)]
+fn btree_descent<T: Ord>(data: &[T], shape: BtreeSearchShape, key: &T) -> Option<usize> {
+    let BtreeSearchShape {
+        b,
+        i,
+        num_nodes,
+        q,
+        s,
+    } = shape;
+    let k = b + 1;
+    let mut v = 0usize; // node index
+    let mut lo = 0usize; // full-rank of the subtree's leftmost gap
+    let mut span = i; // keys spanned by the subtree: k^λ − 1
+    while v < num_nodes {
+        let keys = &data[v * b..v * b + b];
+        let child_span = (span - b) / k;
+        // Number of node keys smaller than `key` (b is small: linear scan
+        // stays in one cache line when B matches the line size).
+        let mut c = 0usize;
+        for kk in keys {
+            match key.cmp(kk) {
+                std::cmp::Ordering::Equal => return Some(v * b + c),
+                std::cmp::Ordering::Greater => c += 1,
+                std::cmp::Ordering::Less => break,
+            }
+        }
+        v = v * k + c + 1;
+        lo += c * (child_span + 1);
+        span = child_span;
+    }
+    // Fell off at gap `lo`: overflow node j < q lives in gap j; the
+    // partial node (s keys) in gap q.
+    let (start, len) = if lo < q {
+        (i + lo * b, b)
+    } else if lo == q {
+        (i + q * b, s)
+    } else {
+        return None;
+    };
+    data[start..start + len]
+        .iter()
+        .position(|x| *x == *key)
+        .map(|off| start + off)
+}
+
+/// Search the level-order B-tree layout with `b` keys per node.
+///
+/// # Examples
+/// ```
+/// use ist_core::{permute_in_place, Algorithm, Layout};
+/// use ist_query::search_btree;
+/// let mut v: Vec<u64> = (0..500).map(|x| 3 * x).collect();
+/// permute_in_place(&mut v, Layout::Btree { b: 8 }, Algorithm::CycleLeader).unwrap();
+/// for x in 0..500u64 {
+///     assert_eq!(search_btree(&v, 8, &(3 * x)).map(|p| v[p]), Some(3 * x));
+///     assert_eq!(search_btree(&v, 8, &(3 * x + 1)), None);
+/// }
+/// ```
+pub fn search_btree<T: Ord>(data: &[T], b: usize, key: &T) -> Option<usize> {
+    if data.is_empty() {
+        return None;
+    }
+    btree_descent(data, BtreeSearchShape::new(data.len(), b), key)
+}
+
+#[inline(always)]
+fn veb_descent<T: Ord>(data: &[T], shape: BinaryShape, key: &T) -> Option<usize> {
+    let BinaryShape { d, i, l } = shape;
+    if i == 0 {
+        return probe_overflow(data, i, l, 0, key);
+    }
+    // Descend by in-order position: root at p = 2^{d-1}; a node of height
+    // h has children at p ± 2^{h-1}. The layout index of each visited
+    // node is recomputed with veb_pos (O(log d) arithmetic per step).
+    let mut p = 1u64 << (d - 1);
+    let mut step = 1u64 << (d - 1);
+    loop {
+        let pos = veb_pos(d, (p - 1) as usize);
+        let node = &data[pos];
+        if *key == *node {
+            return Some(pos);
+        }
+        step >>= 1;
+        if step == 0 {
+            // Fell off a leaf (full-rank p−1): gap p−1 left, p right.
+            let g = if *key < *node { p - 1 } else { p } as usize;
+            return probe_overflow(data, i, l, g, key);
+        }
+        if *key < *node {
+            p -= step;
+        } else {
+            p += step;
+        }
+    }
+}
+
+/// Search the van Emde Boas layout.
+///
+/// # Examples
+/// ```
+/// use ist_core::{permute_in_place, Algorithm, Layout};
+/// use ist_query::search_veb;
+/// let mut v: Vec<u64> = (0..300).map(|x| 5 * x).collect();
+/// permute_in_place(&mut v, Layout::Veb, Algorithm::CycleLeader).unwrap();
+/// for x in 0..300u64 {
+///     assert_eq!(search_veb(&v, &(5 * x)).map(|p| v[p]), Some(5 * x));
+///     assert_eq!(search_veb(&v, &(5 * x + 2)), None);
+/// }
+/// ```
+pub fn search_veb<T: Ord>(data: &[T], key: &T) -> Option<usize> {
+    if data.is_empty() {
+        return None;
+    }
+    veb_descent(data, BinaryShape::new(data.len()), key)
+}
+
+/// Complete-binary-tree rank: `g` full elements are `< key`; add the
+/// overflow leaves below gap `g` and the gap-`g` leaf if it too is
+/// smaller.
+#[inline]
+fn binary_rank_from_gap<T: Ord>(data: &[T], i: usize, l: usize, g: usize, key: &T) -> usize {
+    let mut rank = g + g.min(l);
+    if g < l && data[i + g] < *key {
+        rank += 1;
+    }
+    rank
+}
+
+/// Which searcher a [`Searcher`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// Binary search on the un-permuted sorted array.
+    Sorted,
+    /// BST layout descent.
+    Bst,
+    /// BST layout descent with explicit prefetching.
+    BstPrefetch,
+    /// B-tree layout descent (keys per node inside).
+    Btree(usize),
+    /// vEB layout descent.
+    Veb,
+}
+
+impl QueryKind {
+    /// Stable lowercase name used in CSV output.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryKind::Sorted => "binary_search",
+            QueryKind::Bst => "bst",
+            QueryKind::BstPrefetch => "bst_prefetch",
+            QueryKind::Btree(_) => "btree",
+            QueryKind::Veb => "veb",
+        }
+    }
+}
+
+/// A reusable searcher: precomputes the layout shape once and answers
+/// point queries.
+///
+/// # Examples
+/// ```
+/// use ist_core::{permute_in_place, Algorithm, Layout};
+/// use ist_query::Searcher;
+/// let mut v: Vec<u64> = (0..1000).collect();
+/// permute_in_place(&mut v, Layout::Veb, Algorithm::CycleLeader).unwrap();
+/// let s = Searcher::for_layout(&v, Layout::Veb);
+/// assert!(s.contains(&123));
+/// assert!(!s.contains(&5000));
+/// assert_eq!(s.batch_count(&[1, 2, 3, 9999]), 3);
+/// ```
+pub struct Searcher<'a, T> {
+    data: &'a [T],
+    shape: ShapeData,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ShapeData {
+    Sorted,
+    Bst { shape: BinaryShape, prefetch: bool },
+    Btree(BtreeSearchShape),
+    Veb(BinaryShape),
+}
+
+impl<'a, T: Ord + Sync> Searcher<'a, T> {
+    /// Searcher for data permuted with [`ist_core::permute_in_place`]
+    /// into `layout` (BST uses the non-prefetching descent; see
+    /// [`Searcher::new`] for full control).
+    pub fn for_layout(data: &'a [T], layout: Layout) -> Self {
+        let kind = match layout {
+            Layout::Bst => QueryKind::Bst,
+            Layout::Btree { b } => QueryKind::Btree(b),
+            Layout::Veb => QueryKind::Veb,
+        };
+        Self::new(data, kind)
+    }
+
+    /// Searcher for an explicit [`QueryKind`].
+    pub fn new(data: &'a [T], kind: QueryKind) -> Self {
+        let shape = if data.is_empty() {
+            ShapeData::Sorted // degenerate; every search misses anyway
+        } else {
+            match kind {
+                QueryKind::Sorted => ShapeData::Sorted,
+                QueryKind::Bst => ShapeData::Bst {
+                    shape: BinaryShape::new(data.len()),
+                    prefetch: false,
+                },
+                QueryKind::BstPrefetch => ShapeData::Bst {
+                    shape: BinaryShape::new(data.len()),
+                    prefetch: true,
+                },
+                QueryKind::Btree(b) => ShapeData::Btree(BtreeSearchShape::new(data.len(), b)),
+                QueryKind::Veb => ShapeData::Veb(BinaryShape::new(data.len())),
+            }
+        };
+        Self { data, shape }
+    }
+
+    /// Find the layout index holding `key`, if present.
+    #[inline]
+    pub fn search(&self, key: &T) -> Option<usize> {
+        if self.data.is_empty() {
+            return None;
+        }
+        match self.shape {
+            ShapeData::Sorted => search_sorted(self.data, key),
+            ShapeData::Bst {
+                shape,
+                prefetch: false,
+            } => bst_descent::<T, false>(self.data, shape, key),
+            ShapeData::Bst {
+                shape,
+                prefetch: true,
+            } => bst_descent::<T, true>(self.data, shape, key),
+            ShapeData::Btree(shape) => btree_descent(self.data, shape, key),
+            ShapeData::Veb(shape) => veb_descent(self.data, shape, key),
+        }
+    }
+
+    /// `true` iff `key` is present.
+    #[inline]
+    pub fn contains(&self, key: &T) -> bool {
+        self.search(key).is_some()
+    }
+
+    /// The **rank** of `key`: how many stored keys are strictly smaller.
+    ///
+    /// Computed by the same cache-friendly descent as [`Searcher::search`]
+    /// (binary search on the un-permuted baseline), so ranks cost the
+    /// same I/Os as lookups.
+    ///
+    /// # Examples
+    /// ```
+    /// use ist_core::{permute_in_place, Algorithm, Layout};
+    /// use ist_query::Searcher;
+    /// let mut v: Vec<u64> = (0..100).map(|x| 2 * x).collect();
+    /// permute_in_place(&mut v, Layout::Veb, Algorithm::CycleLeader).unwrap();
+    /// let s = Searcher::for_layout(&v, Layout::Veb);
+    /// assert_eq!(s.rank(&0), 0);
+    /// assert_eq!(s.rank(&1), 1);   // one key (0) below
+    /// assert_eq!(s.rank(&10), 5);
+    /// assert_eq!(s.rank(&999), 100);
+    /// ```
+    pub fn rank(&self, key: &T) -> usize {
+        if self.data.is_empty() {
+            return 0;
+        }
+        match self.shape {
+            ShapeData::Sorted => self.data.partition_point(|x| x < key),
+            ShapeData::Bst { shape, .. } => {
+                // Count full elements < key via the descent's gap index,
+                // then add the overflow leaves that precede that gap.
+                let BinaryShape { i, l, .. } = shape;
+                let mut v = 0usize;
+                let mut lo = 0usize;
+                let mut sz = i;
+                while v < i {
+                    let node = &self.data[v];
+                    let half = sz >> 1;
+                    if *key <= *node {
+                        v = 2 * v + 1;
+                    } else {
+                        v = 2 * v + 2;
+                        lo += half + 1;
+                    }
+                    sz = half;
+                }
+                binary_rank_from_gap(self.data, i, l, lo, key)
+            }
+            ShapeData::Veb(shape) => {
+                // Same gap computation, but descending by in-order
+                // arithmetic with vEB position recomputation.
+                let BinaryShape { d, i, l } = shape;
+                let mut p = 1u64 << (d - 1);
+                let mut step = 1u64 << (d - 1);
+                let g = loop {
+                    let pos = veb_pos(d, (p - 1) as usize);
+                    let node = &self.data[pos];
+                    step >>= 1;
+                    if *key <= *node {
+                        if step == 0 {
+                            break (p - 1) as usize;
+                        }
+                        p -= step;
+                    } else {
+                        if step == 0 {
+                            break p as usize;
+                        }
+                        p += step;
+                    }
+                };
+                binary_rank_from_gap(self.data, i, l, g, key)
+            }
+            ShapeData::Btree(shape) => {
+                let BtreeSearchShape {
+                    b,
+                    i,
+                    num_nodes,
+                    q,
+                    s,
+                } = shape;
+                let k = b + 1;
+                let mut v = 0usize;
+                let mut lo = 0usize;
+                let mut span = i;
+                while v < num_nodes {
+                    let keys = &self.data[v * b..v * b + b];
+                    let child_span = (span - b) / k;
+                    let c = keys.iter().take_while(|kk| *kk < key).count();
+                    v = v * k + c + 1;
+                    lo += c * (child_span + 1);
+                    span = child_span;
+                }
+                let g = lo; // full elements < key
+                // Overflow keys in gaps before g, plus the within-gap-g
+                // prefix that is still < key.
+                let mut rank = g + (g.min(q)) * b + if g > q { s } else { 0 };
+                let (start, len) = if g < q {
+                    (i + g * b, b)
+                } else if g == q {
+                    (i + q * b, s)
+                } else {
+                    (0, 0)
+                };
+                rank += self.data[start..start + len]
+                    .iter()
+                    .take_while(|x| *x < key)
+                    .count();
+                rank
+            }
+        }
+    }
+
+    /// Layout index of the smallest stored key `≥ key` (the successor /
+    /// `lower_bound`), or `None` if every key is smaller.
+    ///
+    /// # Examples
+    /// ```
+    /// use ist_core::{permute_in_place, Algorithm, Layout};
+    /// use ist_query::Searcher;
+    /// let mut v: Vec<u64> = (0..100).map(|x| 2 * x).collect();
+    /// permute_in_place(&mut v, Layout::Btree { b: 4 }, Algorithm::Involution).unwrap();
+    /// let s = Searcher::for_layout(&v, Layout::Btree { b: 4 });
+    /// assert_eq!(s.lower_bound(&51).map(|p| v[p]), Some(52));
+    /// assert_eq!(s.lower_bound(&198).map(|p| v[p]), Some(198));
+    /// assert_eq!(s.lower_bound(&199), None);
+    /// ```
+    pub fn lower_bound(&self, key: &T) -> Option<usize> {
+        let r = self.rank(key);
+        if r >= self.data.len() {
+            return None;
+        }
+        // Map the sorted rank to a layout position via the closed-form
+        // position maps.
+        let n = self.data.len();
+        let pos = match self.shape {
+            ShapeData::Sorted => r,
+            ShapeData::Bst { .. } => CompleteShape::new(n).pos(r, ist_layout::bst_pos),
+            ShapeData::Veb(_) => CompleteShape::new(n).pos(r, veb_pos),
+            ShapeData::Btree(shape) => BtreeCompleteShape::new(n, shape.b).pos(r),
+        };
+        Some(pos)
+    }
+
+    /// Run a batch of queries sequentially, returning the number found
+    /// (the paper's query benchmarks measure exactly this loop).
+    pub fn batch_count_seq(&self, keys: &[T]) -> usize {
+        keys.iter().filter(|k| self.contains(k)).count()
+    }
+
+    /// Run a batch of queries in parallel (queries are independent),
+    /// returning the number found.
+    pub fn batch_count(&self, keys: &[T]) -> usize {
+        keys.par_iter()
+            .with_min_len(1 << 10)
+            .filter(|k| self.contains(k))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ist_core::{permute_in_place, Algorithm};
+
+    fn sorted_data(n: usize) -> Vec<u64> {
+        (0..n as u64).map(|x| 2 * x + 10).collect()
+    }
+
+    fn check_layout(n: usize, layout: Layout, kind: QueryKind) {
+        let mut data = sorted_data(n);
+        if !matches!(kind, QueryKind::Sorted) {
+            permute_in_place(&mut data, layout, Algorithm::CycleLeader).unwrap();
+        }
+        let s = Searcher::new(&data, kind);
+        for x in 0..n as u64 {
+            let key = 2 * x + 10;
+            let hit = s.search(&key);
+            assert_eq!(
+                hit.map(|p| data[p]),
+                Some(key),
+                "n={n} kind={kind:?} x={x}"
+            );
+            assert!(!s.contains(&(key + 1)), "n={n} kind={kind:?} miss x={x}");
+        }
+        assert!(!s.contains(&0));
+    }
+
+    #[test]
+    fn bst_all_sizes() {
+        for n in [1usize, 2, 3, 7, 8, 20, 63, 100, 127, 128, 1000] {
+            check_layout(n, Layout::Bst, QueryKind::Bst);
+            check_layout(n, Layout::Bst, QueryKind::BstPrefetch);
+        }
+    }
+
+    #[test]
+    fn veb_all_sizes() {
+        for n in [1usize, 2, 3, 7, 10, 31, 100, 511, 700, 4095, 5000] {
+            check_layout(n, Layout::Veb, QueryKind::Veb);
+        }
+    }
+
+    #[test]
+    fn btree_all_sizes() {
+        for b in [1usize, 2, 3, 8] {
+            for n in [1usize, 2, 5, 8, 26, 27, 30, 80, 100, 1000] {
+                check_layout(n, Layout::Btree { b }, QueryKind::Btree(b));
+            }
+        }
+    }
+
+    #[test]
+    fn sorted_baseline() {
+        check_layout(1000, Layout::Bst, QueryKind::Sorted);
+    }
+
+    #[test]
+    fn batch_counts() {
+        let n = 10_000usize;
+        let mut data = sorted_data(n);
+        permute_in_place(&mut data, Layout::Btree { b: 8 }, Algorithm::Involution).unwrap();
+        let s = Searcher::new(&data, QueryKind::Btree(8));
+        let keys: Vec<u64> = (0..n as u64).map(|x| x + 10).collect(); // half hit
+        let expect = keys.iter().filter(|k| (**k - 10) % 2 == 0).count();
+        assert_eq!(s.batch_count_seq(&keys), expect);
+        assert_eq!(s.batch_count(&keys), expect);
+    }
+
+    #[test]
+    fn empty_input() {
+        let data: Vec<u64> = vec![];
+        let s = Searcher::new(&data, QueryKind::Veb);
+        assert!(!s.contains(&5));
+        assert_eq!(search_bst(&data, &5), None);
+        assert_eq!(search_veb(&data, &5), None);
+        assert_eq!(search_btree(&data, 4, &5), None);
+    }
+
+    #[test]
+    fn rank_and_lower_bound_agree_with_sorted_reference() {
+        for n in [1usize, 2, 7, 26, 100, 511, 1000] {
+            let sorted: Vec<u64> = (0..n as u64).map(|x| 3 * x + 2).collect();
+            let kinds: Vec<(QueryKind, Option<Layout>)> = vec![
+                (QueryKind::Sorted, None),
+                (QueryKind::Bst, Some(Layout::Bst)),
+                (QueryKind::Btree(1), Some(Layout::Btree { b: 1 })),
+                (QueryKind::Btree(4), Some(Layout::Btree { b: 4 })),
+                (QueryKind::Veb, Some(Layout::Veb)),
+            ];
+            for (kind, layout) in kinds {
+                let mut data = sorted.clone();
+                if let Some(l) = layout {
+                    permute_in_place(&mut data, l, Algorithm::CycleLeader).unwrap();
+                }
+                let s = Searcher::new(&data, kind);
+                for probe in 0..(3 * n as u64 + 5) {
+                    let expect_rank = sorted.partition_point(|x| *x < probe);
+                    assert_eq!(s.rank(&probe), expect_rank, "n={n} {kind:?} probe={probe}");
+                    let expect_succ = sorted.get(expect_rank).copied();
+                    assert_eq!(
+                        s.lower_bound(&probe).map(|p| data[p]),
+                        expect_succ,
+                        "n={n} {kind:?} probe={probe}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn found_index_is_layout_index() {
+        // The returned index must point at the key within the permuted
+        // array, not the sorted rank.
+        let n = 255usize;
+        let mut data = sorted_data(n);
+        permute_in_place(&mut data, Layout::Veb, Algorithm::Involution).unwrap();
+        let s = Searcher::new(&data, QueryKind::Veb);
+        for x in (0..n as u64).step_by(17) {
+            let key = 2 * x + 10;
+            let p = s.search(&key).unwrap();
+            assert_eq!(data[p], key);
+        }
+    }
+}

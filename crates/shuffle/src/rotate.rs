@@ -1,0 +1,246 @@
+//! In-place reversals and circular shifts (rotations).
+//!
+//! A circular shift of `n` elements is two rounds of reversals:
+//! `rotate_left(A, c) = reverse(reverse(A[0..c]) ++ reverse(A[c..n]))`.
+//! Each reversal is `⌊len/2⌋` independent swaps, so rotations inherit the
+//! `O(1)`-depth / `O(N)`-work parallel structure of involutions. The
+//! paper's I/O analysis (§4.2) notes that reversal swaps can be performed
+//! on blocks of `B` contiguous elements, giving `O(N / (P·B))` I/Os; on a
+//! real machine that blocking is what the hardware cache does for us when
+//! we sweep the two halves linearly, which is exactly the access pattern
+//! below.
+
+use ist_perm::{apply_involution_par, SharedSlice};
+use rayon::prelude::*;
+
+/// Sub-ranges shorter than this are rotated sequentially even by the
+/// `_par` entry points.
+const PAR_CUTOFF: usize = 1 << 14;
+
+/// Reverse `data` in place, sequentially.
+///
+/// # Examples
+/// ```
+/// use ist_shuffle::reverse;
+/// let mut v = vec![1, 2, 3, 4, 5];
+/// reverse(&mut v);
+/// assert_eq!(v, vec![5, 4, 3, 2, 1]);
+/// ```
+#[inline]
+pub fn reverse<T>(data: &mut [T]) {
+    data.reverse();
+}
+
+/// Reverse `data` in place using parallel disjoint swaps.
+///
+/// # Examples
+/// ```
+/// use ist_shuffle::reverse_par;
+/// let mut v: Vec<u32> = (0..100_000).collect();
+/// reverse_par(&mut v);
+/// assert!(v.windows(2).all(|w| w[0] > w[1]));
+/// ```
+pub fn reverse_par<T: Send>(data: &mut [T]) {
+    let n = data.len();
+    if n < PAR_CUTOFF {
+        data.reverse();
+        return;
+    }
+    // Reversal is the involution i -> n-1-i.
+    apply_involution_par(data, move |i| n - 1 - i);
+}
+
+/// Circular shift left by `c` positions: element at index `i` moves to
+/// index `(i + n − c) mod n`. Equivalently, the first `c` elements move to
+/// the back.
+///
+/// # Examples
+/// ```
+/// use ist_shuffle::rotate_left;
+/// let mut v = vec![1, 2, 3, 4, 5];
+/// rotate_left(&mut v, 2);
+/// assert_eq!(v, vec![3, 4, 5, 1, 2]);
+/// ```
+#[inline]
+pub fn rotate_left<T>(data: &mut [T], c: usize) {
+    let n = data.len();
+    if n == 0 {
+        return;
+    }
+    data.rotate_left(c % n);
+}
+
+/// Circular shift right by `c` positions: element at index `i` moves to
+/// index `(i + c) mod n`.
+///
+/// # Examples
+/// ```
+/// use ist_shuffle::rotate_right;
+/// let mut v = vec![1, 2, 3, 4, 5];
+/// rotate_right(&mut v, 2);
+/// assert_eq!(v, vec![4, 5, 1, 2, 3]);
+/// ```
+#[inline]
+pub fn rotate_right<T>(data: &mut [T], c: usize) {
+    let n = data.len();
+    if n == 0 {
+        return;
+    }
+    data.rotate_right(c % n);
+}
+
+/// Parallel circular shift left by `c`, via the three-reversal identity.
+///
+/// Matches [`rotate_left`] semantically; uses `O(1)` depth in the PRAM
+/// abstraction (three rounds of disjoint swaps).
+///
+/// # Examples
+/// ```
+/// use ist_shuffle::{rotate_left, rotate_left_par};
+/// let mut a: Vec<u32> = (0..50_000).collect();
+/// let mut b = a.clone();
+/// rotate_left(&mut a, 12345);
+/// rotate_left_par(&mut b, 12345);
+/// assert_eq!(a, b);
+/// ```
+pub fn rotate_left_par<T: Send>(data: &mut [T], c: usize) {
+    let n = data.len();
+    if n == 0 {
+        return;
+    }
+    let c = c % n;
+    if c == 0 {
+        return;
+    }
+    if n < PAR_CUTOFF {
+        data.rotate_left(c);
+        return;
+    }
+    let (head, tail) = data.split_at_mut(c);
+    rayon::join(|| reverse_par(head), || reverse_par(tail));
+    reverse_par(data);
+}
+
+/// Parallel circular shift right by `c`. See [`rotate_left_par`].
+///
+/// # Examples
+/// ```
+/// use ist_shuffle::{rotate_right, rotate_right_par};
+/// let mut a: Vec<u32> = (0..50_000).collect();
+/// let mut b = a.clone();
+/// rotate_right(&mut a, 777);
+/// rotate_right_par(&mut b, 777);
+/// assert_eq!(a, b);
+/// ```
+pub fn rotate_right_par<T: Send>(data: &mut [T], c: usize) {
+    let n = data.len();
+    if n == 0 {
+        return;
+    }
+    let c = c % n;
+    rotate_left_par(data, n - c);
+}
+
+/// Swap two equal-length disjoint regions `[a, a+len)` and `[b, b+len)` of
+/// `data` in parallel. Used by the chunked gather (swapping `C`-element
+/// chunks) and by Figure 6.4's "swap first half with second half" baseline.
+///
+/// # Panics
+/// Panics if the regions overlap or are out of bounds.
+///
+/// # Examples
+/// ```
+/// use ist_shuffle::rotate::swap_regions_par;
+/// let mut v = vec![1, 2, 3, 4, 5, 6];
+/// swap_regions_par(&mut v, 0, 4, 2);
+/// assert_eq!(v, vec![5, 6, 3, 4, 1, 2]);
+/// ```
+pub fn swap_regions_par<T: Send>(data: &mut [T], a: usize, b: usize, len: usize) {
+    let (a, b) = if a <= b { (a, b) } else { (b, a) };
+    assert!(a + len <= b, "regions overlap");
+    assert!(b + len <= data.len(), "region out of bounds");
+    if len < PAR_CUTOFF {
+        for i in 0..len {
+            data.swap(a + i, b + i);
+        }
+        return;
+    }
+    let shared = SharedSlice::new(data);
+    (0..len).into_par_iter().with_min_len(1 << 12).for_each(|i| {
+        // SAFETY: indices a+i and b+i are in bounds (asserted above); the
+        // regions are disjoint and each i is owned by one task, so no two
+        // tasks touch the same element.
+        unsafe { shared.swap(a + i, b + i) };
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotate_inverses() {
+        for n in [1usize, 2, 5, 100, 1 << 15] {
+            for c in [0usize, 1, n / 3, n - 1, n, n + 7] {
+                let orig: Vec<usize> = (0..n).collect();
+                let mut v = orig.clone();
+                rotate_left(&mut v, c);
+                rotate_right(&mut v, c);
+                assert_eq!(v, orig, "n={n} c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn rotate_semantics_index_map() {
+        let n = 11usize;
+        let mut v: Vec<usize> = (0..n).collect();
+        rotate_left(&mut v, 4);
+        for i in 0..n {
+            // element originally at i now at (i + n - 4) % n
+            assert_eq!(v[(i + n - 4) % n], i);
+        }
+        let mut w: Vec<usize> = (0..n).collect();
+        rotate_right(&mut w, 4);
+        for i in 0..n {
+            assert_eq!(w[(i + 4) % n], i);
+        }
+    }
+
+    #[test]
+    fn par_matches_seq_large() {
+        let n = (1 << 16) + 13;
+        for c in [0usize, 1, 12345, n - 1] {
+            let mut a: Vec<u64> = (0..n as u64).collect();
+            let mut b = a.clone();
+            rotate_left(&mut a, c);
+            rotate_left_par(&mut b, c);
+            assert_eq!(a, b, "c={c}");
+        }
+    }
+
+    #[test]
+    fn reverse_par_odd_even() {
+        for n in [0usize, 1, 2, 3, (1 << 15) - 1, 1 << 15] {
+            let mut a: Vec<u64> = (0..n as u64).collect();
+            let mut b = a.clone();
+            a.reverse();
+            reverse_par(&mut b);
+            assert_eq!(a, b, "n={n}");
+        }
+    }
+
+    #[test]
+    fn swap_regions_basic() {
+        let mut v: Vec<u32> = (0..10).collect();
+        swap_regions_par(&mut v, 6, 0, 4); // order-insensitive
+        assert_eq!(v, vec![6, 7, 8, 9, 4, 5, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn swap_regions_rejects_overlap() {
+        let mut v = vec![0u8; 10];
+        swap_regions_par(&mut v, 0, 3, 4);
+    }
+}

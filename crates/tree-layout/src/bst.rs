@@ -1,0 +1,203 @@
+//! BST (level-order / breadth-first) layout position maps.
+//!
+//! A perfect BST on `N = 2^d − 1` keys stores the root at layout index 0
+//! and the children of layout index `v` at `2v + 1` and `2v + 2`.
+//!
+//! The map from sorted order is the classical observation of Fich, Munro
+//! and Poblete: writing a 1-indexed in-order position as `i = (x 1 0^j)₂`
+//! (so `j = trailing_zeros(i)` is the node's height above the leaves and
+//! `x` its rank within its level), the 1-indexed level-order position is
+//! `π(i) = (0^j 1 x)₂ = 2^{d−1−j} + x`. Equivalently
+//! `π(i) = rev₂(d − (j+1), rev₂(d, i))` — the two-involution form the
+//! in-place algorithm applies.
+
+use ist_bits::{ilog2_floor, is_perfect_bst_size};
+
+/// Shape of a perfect BST: `N = 2^levels − 1` keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BstShape {
+    levels: u32,
+}
+
+impl BstShape {
+    /// Shape for an array of length `n`; `n` must be `2^d − 1`.
+    ///
+    /// # Examples
+    /// ```
+    /// use ist_layout::BstShape;
+    /// let s = BstShape::new(15);
+    /// assert_eq!(s.levels(), 4);
+    /// assert_eq!(s.len(), 15);
+    /// assert!(BstShape::try_new(16).is_none());
+    /// ```
+    pub fn new(n: usize) -> Self {
+        Self::try_new(n).expect("BST layout requires n = 2^d - 1")
+    }
+
+    /// Fallible [`BstShape::new`].
+    pub fn try_new(n: usize) -> Option<Self> {
+        if is_perfect_bst_size(n as u64) {
+            Some(Self {
+                levels: ilog2_floor(n as u64 + 1),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Number of levels `d`.
+    #[inline]
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Number of keys `2^d − 1`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        (1usize << self.levels) - 1
+    }
+
+    /// `true` iff the tree is empty (it never is; kept for API symmetry).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Map a sorted position (0-indexed) to its layout position.
+    #[inline]
+    pub fn pos(&self, sorted: usize) -> usize {
+        bst_pos(self.levels, sorted)
+    }
+
+    /// Map a layout position back to the sorted position.
+    #[inline]
+    pub fn pos_inv(&self, layout: usize) -> usize {
+        bst_pos_inv(self.levels, layout)
+    }
+}
+
+/// Sorted position (0-indexed) → level-order layout position (0-indexed)
+/// for a perfect BST with `d` levels.
+///
+/// # Examples
+/// ```
+/// use ist_layout::bst_pos;
+/// // N = 7, sorted [1..7]: layout is [4, 2, 6, 1, 3, 5, 7] (values), i.e.
+/// // sorted index 3 (the median) is the root at layout index 0.
+/// assert_eq!(bst_pos(3, 3), 0);
+/// assert_eq!(bst_pos(3, 1), 1);
+/// assert_eq!(bst_pos(3, 5), 2);
+/// assert_eq!(bst_pos(3, 0), 3);
+/// ```
+#[inline]
+pub fn bst_pos(d: u32, sorted: usize) -> usize {
+    let i = (sorted + 1) as u64; // 1-indexed in-order position
+    debug_assert!(i < (1u64 << d), "index out of tree");
+    let j = i.trailing_zeros(); // height above leaf level
+    let x = i >> (j + 1); // rank within level
+    ((1u64 << (d - 1 - j)) + x - 1) as usize
+}
+
+/// Level-order layout position (0-indexed) → sorted position (0-indexed)
+/// for a perfect BST with `d` levels. Inverse of [`bst_pos`].
+///
+/// # Examples
+/// ```
+/// use ist_layout::{bst_pos, bst_pos_inv};
+/// for i in 0..15 {
+///     assert_eq!(bst_pos_inv(4, bst_pos(4, i)), i);
+/// }
+/// ```
+#[inline]
+pub fn bst_pos_inv(d: u32, layout: usize) -> usize {
+    let p = (layout + 1) as u64; // 1-indexed heap position
+    debug_assert!(p < (1u64 << d), "index out of tree");
+    let level = ilog2_floor(p); // depth of the node (root = 0)
+    let x = p - (1u64 << level); // rank within level
+    let j = (d - 1 - level) as u64; // height above leaf level
+    ((x << (j + 1)) + (1u64 << j) - 1) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ist_bits::{rev2, rev_k};
+
+    /// In-order traversal reference: build the layout by recursion.
+    fn reference_layout(d: u32) -> Vec<usize> {
+        let n = (1usize << d) - 1;
+        let mut layout = vec![usize::MAX; n];
+        // Assign sorted ranks by in-order traversal of the implicit heap.
+        fn go(v: usize, n: usize, next: &mut usize, layout: &mut [usize]) {
+            if v >= n {
+                return;
+            }
+            go(2 * v + 1, n, next, layout);
+            layout[v] = *next; // node v holds sorted rank *next
+            *next += 1;
+            go(2 * v + 2, n, next, layout);
+        }
+        let mut next = 0;
+        go(0, n, &mut next, &mut layout);
+        layout
+    }
+
+    #[test]
+    fn matches_inorder_reference() {
+        for d in 1..=12u32 {
+            let layout = reference_layout(d);
+            let n = layout.len();
+            for v in 0..n {
+                assert_eq!(bst_pos(d, layout[v]), v, "d={d} node={v}");
+                assert_eq!(bst_pos_inv(d, v), layout[v], "d={d} node={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrips() {
+        for d in 1..=16u32 {
+            let n = (1usize << d) - 1;
+            for i in (0..n).step_by(1.max(n / 511)) {
+                assert_eq!(bst_pos_inv(d, bst_pos(d, i)), i);
+                assert_eq!(bst_pos(d, bst_pos_inv(d, i)), i);
+            }
+        }
+    }
+
+    #[test]
+    fn equals_two_involution_form() {
+        // π(i) (1-indexed) = rev₂(d−(j+1), rev₂(d, i)) per Fich et al.
+        for d in 1..=12u32 {
+            let n = (1u64 << d) - 1;
+            for i in 1..=n {
+                let j = i.trailing_zeros();
+                let once = rev2(d, i);
+                let twice = rev_k(2, d - (j + 1), once);
+                assert_eq!(bst_pos(d, (i - 1) as usize), (twice - 1) as usize, "d={d} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn children_are_adjacent_ranges() {
+        // Left child keys all smaller, right child keys all larger.
+        let d = 10u32;
+        let n = (1usize << d) - 1;
+        for v in 0..(n - 1) / 2 {
+            let me = bst_pos_inv(d, v);
+            let lc = bst_pos_inv(d, 2 * v + 1);
+            let rc = bst_pos_inv(d, 2 * v + 2);
+            assert!(lc < me && me < rc, "v={v}");
+        }
+    }
+
+    #[test]
+    fn shape_api() {
+        let s = BstShape::new(31);
+        for i in 0..31 {
+            assert_eq!(s.pos_inv(s.pos(i)), i);
+        }
+        assert_eq!(s.levels(), 5);
+    }
+}

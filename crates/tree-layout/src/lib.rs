@@ -1,0 +1,59 @@
+//! # ist-layout
+//!
+//! Index arithmetic for the three implicit search tree layouts studied in
+//! the paper: **BST** (level order of a complete binary search tree),
+//! **B-tree** (level order of a complete `(B+1)`-ary search tree), and
+//! **van Emde Boas** (recursive cache-oblivious order).
+//!
+//! For each layout this crate provides the *position map*
+//! `sorted index → layout index` and its inverse, for perfect trees. These
+//! maps define the permutations that the construction algorithms in
+//! `ist-core` realize in place; here they double as the **test oracle**
+//! (apply the map out of place and compare) and as the navigation
+//! arithmetic used by `ist-query` during searches.
+//!
+//! All maps use 0-indexed array positions externally; the classical
+//! 1-indexed formulations (heap arithmetic, in-order trailing-zero tricks)
+//! are internal.
+
+pub mod bst;
+pub mod btree;
+pub mod complete;
+pub mod veb;
+
+pub use bst::{bst_pos, bst_pos_inv, BstShape};
+pub use btree::{btree_pos, btree_pos_inv, BtreeShape};
+pub use complete::CompleteShape;
+pub use veb::{veb_pos, veb_pos_inv, veb_split, VebShape};
+
+/// The three implicit layouts, as a runtime tag used across the workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayoutKind {
+    /// Level-order complete binary search tree.
+    Bst,
+    /// Level-order complete (B+1)-ary search tree; the `B` parameter lives
+    /// alongside wherever this tag is used.
+    Btree,
+    /// Recursive van Emde Boas order.
+    Veb,
+}
+
+impl LayoutKind {
+    /// All layout kinds, for exhaustive sweeps in tests and benches.
+    pub const ALL: [LayoutKind; 3] = [LayoutKind::Bst, LayoutKind::Btree, LayoutKind::Veb];
+
+    /// Human-readable lowercase name (stable; used in CSV output).
+    pub fn name(self) -> &'static str {
+        match self {
+            LayoutKind::Bst => "bst",
+            LayoutKind::Btree => "btree",
+            LayoutKind::Veb => "veb",
+        }
+    }
+}
+
+impl std::fmt::Display for LayoutKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}

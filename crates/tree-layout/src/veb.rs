@@ -1,0 +1,273 @@
+//! van Emde Boas (vEB) layout position maps.
+//!
+//! The vEB layout of a perfect tree with `d` levels splits it into a *top*
+//! subtree `T₀` on the upper `t = ⌈d/2⌉` levels (holding `r = 2^t − 1`
+//! keys) and `r + 1` *bottom* subtrees `T₁..T_{r+1}` on the lower
+//! `b = ⌊d/2⌋` levels (`l = 2^b − 1` keys each), laid out as
+//! `vEB(T₀), vEB(T₁), …, vEB(T_{r+1})`, recursively.
+//!
+//! This split convention matches the paper: for `N = 2^{2x} − 1` (even
+//! `d`) `r = l = 2^x − 1`; for `N = 2^{2x−1} − 1` (odd `d`) `r = 2^x − 1`
+//! and `l = 2^{x−1} − 1`, i.e. `r = 2l + 1`.
+//!
+//! In sorted (in-order, 1-indexed) position `p`, the key belongs to `T₀`
+//! iff `p ≡ 0 (mod 2^b)`; otherwise it belongs to bottom tree
+//! `⌊p / 2^b⌋ + 1` at in-order offset `p mod 2^b`. The maps below iterate
+//! this decomposition, costing `O(log d) = O(log log N)` per index — the
+//! `τ_π` the paper cites for the vEB layout.
+
+use ist_bits::{ilog2_floor, is_perfect_bst_size};
+
+/// The vEB split of `d` levels: `(t, b) = (⌈d/2⌉, ⌊d/2⌋)`.
+///
+/// # Examples
+/// ```
+/// use ist_layout::veb_split;
+/// assert_eq!(veb_split(4), (2, 2));
+/// assert_eq!(veb_split(5), (3, 2));
+/// assert_eq!(veb_split(1), (1, 0));
+/// ```
+#[inline]
+pub fn veb_split(d: u32) -> (u32, u32) {
+    ((d + 1) / 2, d / 2)
+}
+
+/// Shape of a perfect tree in vEB order: `N = 2^levels − 1` keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VebShape {
+    levels: u32,
+}
+
+impl VebShape {
+    /// Shape for an array of length `n`; `n` must be `2^d − 1`.
+    ///
+    /// # Examples
+    /// ```
+    /// use ist_layout::VebShape;
+    /// let s = VebShape::new(15);
+    /// assert_eq!(s.levels(), 4);
+    /// assert!(VebShape::try_new(14).is_none());
+    /// ```
+    pub fn new(n: usize) -> Self {
+        Self::try_new(n).expect("vEB layout requires n = 2^d - 1")
+    }
+
+    /// Fallible [`VebShape::new`].
+    pub fn try_new(n: usize) -> Option<Self> {
+        if is_perfect_bst_size(n as u64) {
+            Some(Self {
+                levels: ilog2_floor(n as u64 + 1),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Number of levels `d`.
+    #[inline]
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Number of keys `2^d − 1`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        (1usize << self.levels) - 1
+    }
+
+    /// `true` iff the tree is empty (never, for a valid shape).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Map a sorted position (0-indexed) to its vEB layout position.
+    #[inline]
+    pub fn pos(&self, sorted: usize) -> usize {
+        veb_pos(self.levels, sorted)
+    }
+
+    /// Map a vEB layout position back to the sorted position.
+    #[inline]
+    pub fn pos_inv(&self, layout: usize) -> usize {
+        veb_pos_inv(self.levels, layout)
+    }
+}
+
+/// Sorted position (0-indexed) → vEB layout position (0-indexed) for a
+/// perfect tree with `d` levels. Iterative, `O(log d)` time, no
+/// allocation.
+///
+/// # Examples
+/// ```
+/// use ist_layout::veb_pos;
+/// // Figure 1.3 of the paper: N = 15, layout (values 1..15) is
+/// // [8, 4, 12, 2, 1, 3, 6, 5, 7, 10, 9, 11, 14, 13, 15].
+/// let layout_of = |value: usize| veb_pos(4, value - 1);
+/// assert_eq!(layout_of(8), 0);
+/// assert_eq!(layout_of(4), 1);
+/// assert_eq!(layout_of(12), 2);
+/// assert_eq!(layout_of(2), 3);
+/// assert_eq!(layout_of(1), 4);
+/// assert_eq!(layout_of(15), 14);
+/// ```
+pub fn veb_pos(d: u32, sorted: usize) -> usize {
+    debug_assert!(d >= 1 && (sorted as u64) < (1u64 << d) - 1);
+    let mut p = (sorted + 1) as u64; // 1-indexed in-order within subtree
+    let mut d = d;
+    let mut base = 0usize; // layout offset of the current subtree
+    loop {
+        if d == 1 {
+            debug_assert_eq!(p, 1);
+            return base;
+        }
+        let (t, b) = veb_split(d);
+        let low = p & ((1u64 << b) - 1);
+        if low == 0 {
+            // Key lies in the top subtree.
+            p >>= b;
+            d = t;
+        } else {
+            // Key lies in bottom subtree q (0-indexed among bottoms).
+            let q = p >> b;
+            let r = (1usize << t) - 1;
+            let l = (1usize << b) - 1;
+            base += r + (q as usize) * l;
+            p = low;
+            d = b;
+        }
+    }
+}
+
+/// vEB layout position (0-indexed) → sorted position (0-indexed). Inverse
+/// of [`veb_pos`].
+///
+/// # Examples
+/// ```
+/// use ist_layout::{veb_pos, veb_pos_inv};
+/// for d in 1..=10 {
+///     let n = (1usize << d) - 1;
+///     for i in 0..n {
+///         assert_eq!(veb_pos_inv(d, veb_pos(d, i)), i);
+///     }
+/// }
+/// ```
+pub fn veb_pos_inv(d: u32, layout: usize) -> usize {
+    (inv_rec(d, layout) - 1) as usize
+}
+
+/// Returns the 1-indexed in-order position within a `d`-level subtree.
+fn inv_rec(d: u32, layout: usize) -> u64 {
+    debug_assert!(d >= 1 && (layout as u64) < (1u64 << d) - 1);
+    if d == 1 {
+        debug_assert_eq!(layout, 0);
+        return 1;
+    }
+    let (t, b) = veb_split(d);
+    let r = (1usize << t) - 1;
+    let l = (1usize << b) - 1;
+    if layout < r {
+        inv_rec(t, layout) << b
+    } else {
+        let off = layout - r;
+        let q = (off / l) as u64;
+        (q << b) + inv_rec(b, off % l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference vEB layout built by explicit recursion on index vectors.
+    /// Returns `layout[v] = sorted rank at layout slot v`.
+    fn reference_layout(d: u32) -> Vec<usize> {
+        fn build(d: u32, inorder: Vec<usize>) -> Vec<usize> {
+            let n = inorder.len();
+            assert_eq!(n, (1usize << d) - 1);
+            if d == 1 {
+                return inorder;
+            }
+            let (t, b) = veb_split(d);
+            let bb = 1usize << b;
+            // Top tree: every bb-th element (1-indexed multiples of 2^b).
+            let top: Vec<usize> = (1..=n).filter(|p| p % bb == 0).map(|p| inorder[p - 1]).collect();
+            let mut out = build(t, top);
+            // Bottom trees: consecutive runs between top elements.
+            let r = (1usize << t) - 1;
+            for q in 0..=r {
+                let bottom: Vec<usize> =
+                    (q * bb + 1..(q + 1) * bb).map(|p| inorder[p - 1]).collect();
+                out.extend(build(b, bottom));
+            }
+            out
+        }
+        build(d, (0..(1usize << d) - 1).collect())
+    }
+
+    #[test]
+    fn matches_recursive_reference() {
+        for d in 1..=14u32 {
+            let layout = reference_layout(d);
+            for (v, &rank) in layout.iter().enumerate() {
+                assert_eq!(veb_pos(d, rank), v, "d={d} v={v}");
+                assert_eq!(veb_pos_inv(d, v), rank, "d={d} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn figure_1_3_full() {
+        let expect: Vec<usize> = vec![8, 4, 12, 2, 1, 3, 6, 5, 7, 10, 9, 11, 14, 13, 15];
+        for (v, &val) in expect.iter().enumerate() {
+            assert_eq!(veb_pos(4, val - 1), v);
+            assert_eq!(veb_pos_inv(4, v) + 1, val);
+        }
+    }
+
+    #[test]
+    fn small_trees_match_bst() {
+        // For d <= 2 the vEB and BFS layouts coincide.
+        use crate::bst::bst_pos;
+        for d in 1..=2u32 {
+            let n = (1usize << d) - 1;
+            for i in 0..n {
+                assert_eq!(veb_pos(d, i), bst_pos(d, i));
+            }
+        }
+    }
+
+    #[test]
+    fn root_is_median() {
+        for d in 1..=20u32 {
+            let n = (1u64 << d) - 1;
+            let median = (n / 2) as usize; // 0-indexed in-order root
+            assert_eq!(veb_pos(d, median), 0, "d={d}");
+        }
+    }
+
+    #[test]
+    fn split_sizes() {
+        // r = 2l + 1 for odd d; r = l for even d (paper's two cases).
+        for d in 2..=30u32 {
+            let (t, b) = veb_split(d);
+            assert_eq!(t + b, d);
+            let r = (1u64 << t) - 1;
+            let l = (1u64 << b) - 1;
+            if d % 2 == 0 {
+                assert_eq!(r, l);
+            } else {
+                assert_eq!(r, 2 * l + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn large_roundtrip_sampled() {
+        let d = 26u32;
+        let n = (1usize << d) - 1;
+        for i in (0..n).step_by(104_729) {
+            assert_eq!(veb_pos_inv(d, veb_pos(d, i)), i);
+        }
+    }
+}

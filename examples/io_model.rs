@@ -1,0 +1,54 @@
+//! Inspect the algorithms under the PEM I/O model and the GPU cost
+//! model — the analytic side of the paper (Table 1.1, Figure 6.8)
+//! without wall clocks.
+//!
+//! ```text
+//! cargo run --release --example io_model
+//! ```
+
+use implicit_search_trees::gpu_sim::{kernels as gpu, Gpu, GpuConfig};
+use implicit_search_trees::pem_sim::{kernels as pem, PemConfig, TrackedArray};
+
+fn main() {
+    // --- PEM model: count block transfers per algorithm. -------------
+    let n = (1usize << 16) - 1;
+    let cfg = PemConfig { m: 2048, b: 16, p: 1 };
+    println!("PEM I/O counts (N = {n}, M = {} words, B = {} words):", cfg.m, cfg.b);
+
+    let runs: Vec<(&str, fn(&mut TrackedArray))> = vec![
+        ("involution BST", |a| pem::involution_bst(a)),
+        ("involution vEB", |a| pem::involution_veb(a)),
+        ("cycle-leader BST", |a| pem::cycle_leader_bst(a)),
+        ("cycle-leader vEB", |a| pem::cycle_leader_veb(a)),
+    ];
+    let scan = (n / cfg.b) as u64; // one streaming pass = N/B I/Os
+    for (name, run) in runs {
+        let mut arr = TrackedArray::from_sorted(n, cfg);
+        run(&mut arr);
+        let q = arr.stats().max_per_proc();
+        println!("  {name:<18}: {q:>8} block I/Os  ({:.1}x a full scan)", q as f64 / scan as f64);
+    }
+
+    // --- GPU model: launches / transactions / compute per algorithm. --
+    let n = (1usize << 20) - 1;
+    println!("\nGPU cost model (N = {n}, K40-like parameters):");
+    let algos = [
+        gpu::GpuAlgorithm::InvolutionBst,
+        gpu::GpuAlgorithm::InvolutionBtree { b: 31 },
+        gpu::GpuAlgorithm::CycleLeaderBtree { b: 31 },
+        gpu::GpuAlgorithm::CycleLeaderVeb,
+    ];
+    for algo in algos {
+        let mut dev = Gpu::from_sorted(n, GpuConfig::default());
+        let t = gpu::permute(&mut dev, algo);
+        let c = dev.cost();
+        println!(
+            "  {:<20}: time {:>12.0} units  ({:>6} launches, {:>9} transactions)",
+            algo.name(),
+            t,
+            c.launches,
+            c.transactions
+        );
+    }
+    println!("\nshapes to notice: cycle-leader B-tree cheapest; vEB pays for recursion launches");
+}

@@ -1,0 +1,72 @@
+//! # implicit-search-trees
+//!
+//! Parallel **in-place** construction of implicit search tree layouts
+//! (level-order BST, level-order B-tree, van Emde Boas) from sorted
+//! arrays, plus cache-efficient queries over them — a faithful Rust
+//! implementation of *Beyond Binary Search: Parallel In-Place
+//! Construction of Implicit Search Tree Layouts* (Berney, 2018).
+//!
+//! ## Why
+//!
+//! Binary search over a sorted array is optimal in comparisons but poor
+//! in cache behavior: each probe lands half the remaining range away.
+//! If the data is static and queried often, permuting it into an
+//! implicit tree layout pays for itself quickly — and the permutation
+//! here needs **no second buffer** (crucial when the array fills
+//! memory) and runs in parallel.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use implicit_search_trees::{permute_in_place, Algorithm, Layout, Searcher};
+//!
+//! // A sorted array (any size; non-perfect trees are handled).
+//! let mut data: Vec<u64> = (0..100_000u64).map(|x| 3 * x).collect();
+//!
+//! // Permute it, in place and in parallel, into the vEB layout.
+//! permute_in_place(&mut data, Layout::Veb, Algorithm::CycleLeader).unwrap();
+//!
+//! // Query it.
+//! let index = Searcher::for_layout(&data, Layout::Veb);
+//! assert!(index.contains(&299_997));
+//! assert!(!index.contains(&299_998));
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | `core` (re-exported at the root) | the construction algorithms and public API |
+//! | [`query`] | per-layout searchers and batch drivers |
+//! | [`layout`] | position maps / index arithmetic per layout |
+//! | [`gather`] | equidistant gather operations |
+//! | [`shuffle`] | perfect shuffles and rotations |
+//! | [`perm`] | involution/cycle permutation framework |
+//! | [`bits`] | digit reversal and modular arithmetic |
+//! | [`pem_sim`] | PEM-model I/O cost simulator |
+//! | [`gpu_sim`] | SIMT (GPU) execution cost model |
+
+pub use ist_core::{
+    cycle_leader, fich_baseline, involution, nonperfect, permute_in_place, permute_in_place_seq,
+    reference_permutation, Algorithm, Error, Layout, LayoutKind,
+};
+pub use ist_query::{
+    search_bst, search_bst_prefetch, search_btree, search_sorted, search_veb, QueryKind, Searcher,
+};
+
+/// Digit reversal and modular arithmetic primitives.
+pub use ist_bits as bits;
+/// Equidistant gather operations.
+pub use ist_gather as gather;
+/// SIMT (GPU) execution cost model.
+pub use ist_gpu_sim as gpu_sim;
+/// Layout position maps and tree geometry.
+pub use ist_layout as layout;
+/// PEM-model I/O cost simulator.
+pub use ist_pem_sim as pem_sim;
+/// Permutation framework (involutions, cycles).
+pub use ist_perm as perm;
+/// Per-layout searchers.
+pub use ist_query as query;
+/// Perfect shuffles and rotations.
+pub use ist_shuffle as shuffle;

@@ -1,0 +1,143 @@
+//! End-to-end integration tests spanning construction, layout maps, and
+//! queries across crates.
+
+use implicit_search_trees::{
+    permute_in_place, permute_in_place_seq, reference_permutation, Algorithm, Layout, QueryKind,
+    Searcher,
+};
+
+fn layouts() -> Vec<Layout> {
+    vec![
+        Layout::Bst,
+        Layout::Btree { b: 1 },
+        Layout::Btree { b: 2 },
+        Layout::Btree { b: 8 },
+        Layout::Veb,
+    ]
+}
+
+#[test]
+fn construction_matches_oracle_for_many_sizes() {
+    let sizes = [
+        1usize, 2, 3, 4, 7, 8, 15, 16, 26, 27, 63, 80, 100, 255, 256, 257, 728, 729, 1000, 4095,
+        10_000,
+    ];
+    for &n in &sizes {
+        let sorted: Vec<u64> = (0..n as u64).collect();
+        for layout in layouts() {
+            let expect = reference_permutation(&sorted, layout);
+            for algo in Algorithm::ALL {
+                let mut seq = sorted.clone();
+                permute_in_place_seq(&mut seq, layout, algo).unwrap();
+                assert_eq!(seq, expect, "seq n={n} {layout:?} {algo:?}");
+                let mut par = sorted.clone();
+                permute_in_place(&mut par, layout, algo).unwrap();
+                assert_eq!(par, expect, "par n={n} {layout:?} {algo:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn every_key_findable_after_every_construction() {
+    for n in [1usize, 5, 63, 100, 511, 1000, 4096] {
+        let sorted: Vec<u64> = (0..n as u64).map(|x| 10 * x + 3).collect();
+        for layout in layouts() {
+            for algo in Algorithm::ALL {
+                let mut data = sorted.clone();
+                permute_in_place(&mut data, layout, algo).unwrap();
+                let s = Searcher::for_layout(&data, layout);
+                for &key in &sorted {
+                    let hit = s.search(&key);
+                    assert_eq!(
+                        hit.map(|p| data[p]),
+                        Some(key),
+                        "n={n} {layout:?} {algo:?} key={key}"
+                    );
+                    assert!(!s.contains(&(key + 1)), "phantom hit n={n} {layout:?}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn search_agrees_with_binary_search_on_original() {
+    let n = 4321usize;
+    let sorted: Vec<u64> = (0..n as u64).map(|x| x * x % 65_521).collect();
+    let mut uniq = sorted.clone();
+    uniq.sort_unstable();
+    uniq.dedup();
+    for layout in layouts() {
+        let mut data = uniq.clone();
+        permute_in_place(&mut data, layout, Algorithm::CycleLeader).unwrap();
+        let s = Searcher::for_layout(&data, layout);
+        for probe in 0..70_000u64 {
+            let expect = uniq.binary_search(&probe).is_ok();
+            assert_eq!(s.contains(&probe), expect, "{layout:?} probe={probe}");
+        }
+    }
+}
+
+#[test]
+fn prefetch_variant_agrees_with_plain_bst() {
+    let n = 9999usize;
+    let mut data: Vec<u64> = (0..n as u64).map(|x| 2 * x).collect();
+    permute_in_place(&mut data, Layout::Bst, Algorithm::Involution).unwrap();
+    let plain = Searcher::new(&data, QueryKind::Bst);
+    let pf = Searcher::new(&data, QueryKind::BstPrefetch);
+    for key in 0..2 * n as u64 {
+        assert_eq!(plain.search(&key), pf.search(&key), "key={key}");
+    }
+}
+
+#[test]
+fn works_with_non_copy_ordered_types() {
+    // The construction is generic over T: the involution/cycle moves
+    // never clone. Strings exercise a non-Copy payload.
+    let n = 1000usize;
+    let sorted: Vec<String> = (0..n).map(|i| format!("{i:06}")).collect();
+    let mut data = sorted.clone();
+    permute_in_place(&mut data, Layout::Veb, Algorithm::CycleLeader).unwrap();
+    let expect = reference_permutation(&sorted, Layout::Veb);
+    assert_eq!(data, expect);
+    let s = Searcher::for_layout(&data, Layout::Veb);
+    assert!(s.contains(&"000123".to_string()));
+    assert!(!s.contains(&"999999".to_string()));
+}
+
+#[test]
+fn algorithms_agree_with_each_other_large() {
+    let n = (1usize << 20) - 1;
+    let sorted: Vec<u64> = (0..n as u64).collect();
+    for layout in [Layout::Bst, Layout::Btree { b: 8 }, Layout::Veb] {
+        let mut a = sorted.clone();
+        let mut b = sorted.clone();
+        permute_in_place(&mut a, layout, Algorithm::Involution).unwrap();
+        permute_in_place(&mut b, layout, Algorithm::CycleLeader).unwrap();
+        assert_eq!(a, b, "{layout:?}");
+    }
+}
+
+#[test]
+fn thread_count_does_not_change_result() {
+    let n = 123_456usize;
+    let sorted: Vec<u64> = (0..n as u64).collect();
+    let reference = {
+        let mut v = sorted.clone();
+        permute_in_place_seq(&mut v, Layout::Veb, Algorithm::CycleLeader).unwrap();
+        v
+    };
+    for threads in [1usize, 2, 3, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        let got = pool.install(|| {
+            let mut v = sorted.clone();
+            permute_in_place(&mut v, Layout::Veb, Algorithm::CycleLeader).unwrap();
+            v
+        });
+        assert_eq!(got, reference, "threads={threads}");
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests (proptest) over the core invariants.
+
+use implicit_search_trees::bits::{gcd, mod_inverse, mod_mul, rev_k};
+use implicit_search_trees::gather::{
+    equidistant_gather, extended_equidistant_gather, gather_len, reference_gather,
+};
+use implicit_search_trees::shuffle::{shuffle_mod, unshuffle_mod};
+use implicit_search_trees::{
+    permute_in_place, permute_in_place_seq, reference_permutation, Algorithm, Layout, Searcher,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// rev_k is an involution and preserves high digits.
+    #[test]
+    fn rev_k_involution(k in 2u64..12, b in 0u32..6, i in 0u64..100_000) {
+        let window = k.pow(b);
+        prop_assume!(i < window * 50);
+        let r = rev_k(k, b, i);
+        prop_assert_eq!(rev_k(k, b, r), i);
+        prop_assert_eq!(r / window, i / window);
+    }
+
+    /// Modular inverses invert.
+    #[test]
+    fn modular_inverse(m in 2u64..1_000_000, a in 1u64..1_000_000) {
+        let a = a % m;
+        prop_assume!(a != 0);
+        match mod_inverse(a, m) {
+            Some(inv) => prop_assert_eq!(mod_mul(a, inv, m), 1),
+            None => prop_assert!(gcd(a, m) != 1),
+        }
+    }
+
+    /// shuffle then unshuffle is the identity for arbitrary (k, m).
+    #[test]
+    fn shuffle_roundtrip(k in 1usize..9, m in 1usize..200) {
+        let n = k * m;
+        let orig: Vec<u32> = (0..n as u32).collect();
+        let mut v = orig.clone();
+        shuffle_mod(&mut v, k);
+        unshuffle_mod(&mut v, k);
+        prop_assert_eq!(v, orig);
+    }
+
+    /// The shuffle interleaves decks correctly (direct semantics check).
+    #[test]
+    fn shuffle_semantics(k in 2usize..7, m in 1usize..60) {
+        let n = k * m;
+        let orig: Vec<usize> = (0..n).collect();
+        let mut v = orig.clone();
+        shuffle_mod(&mut v, k);
+        for l in 0..k {
+            for j in 0..m {
+                prop_assert_eq!(v[j * k + l], l * m + j);
+            }
+        }
+    }
+
+    /// Equidistant gather matches its out-of-place reference for
+    /// arbitrary r <= l.
+    #[test]
+    fn gather_matches_reference(l in 1usize..40, r_frac in 0usize..41) {
+        let r = r_frac.min(l);
+        let n = gather_len(r, l);
+        let orig: Vec<u32> = (0..n as u32).rev().collect();
+        let expect = reference_gather(&orig, r, l);
+        let mut got = orig;
+        equidistant_gather(&mut got, r, l);
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Extended gather = stable partition by (i mod (b+1) == b).
+    #[test]
+    fn extended_gather_is_stable_partition(b in 1usize..6, m in 1u32..6) {
+        let n = (b + 1).pow(m) - 1;
+        prop_assume!(n <= 1 << 14);
+        let orig: Vec<usize> = (0..n).collect();
+        let mut got = orig.clone();
+        extended_equidistant_gather(&mut got, b);
+        let k = b + 1;
+        let mut expect: Vec<usize> = (0..n).filter(|i| i % k == b).collect();
+        expect.extend((0..n).filter(|i| i % k != b));
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Every construction output is a permutation of the input that
+    /// matches the closed-form oracle, for arbitrary sizes.
+    #[test]
+    fn construction_is_correct_permutation(
+        n in 1usize..3000,
+        b in 1usize..10,
+        algo_idx in 0usize..2,
+        layout_idx in 0usize..3,
+    ) {
+        let layout = match layout_idx {
+            0 => Layout::Bst,
+            1 => Layout::Btree { b },
+            _ => Layout::Veb,
+        };
+        let algo = Algorithm::ALL[algo_idx];
+        let sorted: Vec<u64> = (0..n as u64).collect();
+        let mut got = sorted.clone();
+        permute_in_place_seq(&mut got, layout, algo).unwrap();
+        let expect = reference_permutation(&sorted, layout);
+        prop_assert_eq!(&got, &expect);
+        // Permutation check: sorting recovers the input.
+        let mut back = got;
+        back.sort_unstable();
+        prop_assert_eq!(back, sorted);
+    }
+
+    /// Searches over any permuted layout agree with binary search over
+    /// the original sorted data, for hits and misses.
+    #[test]
+    fn search_agrees_with_sorted_baseline(
+        n in 1usize..2000,
+        b in 1usize..12,
+        layout_idx in 0usize..3,
+        probes in proptest::collection::vec(0u64..6000, 50),
+    ) {
+        let layout = match layout_idx {
+            0 => Layout::Bst,
+            1 => Layout::Btree { b },
+            _ => Layout::Veb,
+        };
+        let sorted: Vec<u64> = (0..n as u64).map(|x| 3 * x).collect();
+        let mut data = sorted.clone();
+        permute_in_place(&mut data, layout, Algorithm::CycleLeader).unwrap();
+        let s = Searcher::for_layout(&data, layout);
+        for probe in probes {
+            prop_assert_eq!(
+                s.contains(&probe),
+                sorted.binary_search(&probe).is_ok(),
+                "probe {}", probe
+            );
+        }
+    }
+
+    /// The found index always points at the key in the permuted array.
+    #[test]
+    fn found_indices_point_at_keys(n in 1usize..1500, key_idx in 0usize..1500) {
+        prop_assume!(key_idx < n);
+        let sorted: Vec<u64> = (0..n as u64).map(|x| 5 * x + 1).collect();
+        let key = sorted[key_idx];
+        for layout in [Layout::Bst, Layout::Btree { b: 4 }, Layout::Veb] {
+            let mut data = sorted.clone();
+            permute_in_place_seq(&mut data, layout, Algorithm::Involution).unwrap();
+            let s = Searcher::for_layout(&data, layout);
+            let pos = s.search(&key).expect("present key must be found");
+            prop_assert_eq!(data[pos], key);
+        }
+    }
+}
