@@ -82,5 +82,10 @@ fn bench_rotation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gather_variants, bench_bit_reversal, bench_rotation);
+criterion_group!(
+    benches,
+    bench_gather_variants,
+    bench_bit_reversal,
+    bench_rotation
+);
 criterion_main!(benches);

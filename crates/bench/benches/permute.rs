@@ -12,10 +12,18 @@ fn bench_permute(c: &mut Criterion) {
     let n = (1usize << 18) - 1;
     let combos = [
         ("involution_bst", Layout::Bst, Algorithm::Involution),
-        ("involution_btree", Layout::Btree { b: 8 }, Algorithm::Involution),
+        (
+            "involution_btree",
+            Layout::Btree { b: 8 },
+            Algorithm::Involution,
+        ),
         ("involution_veb", Layout::Veb, Algorithm::Involution),
         ("cycle_leader_bst", Layout::Bst, Algorithm::CycleLeader),
-        ("cycle_leader_btree", Layout::Btree { b: 8 }, Algorithm::CycleLeader),
+        (
+            "cycle_leader_btree",
+            Layout::Btree { b: 8 },
+            Algorithm::CycleLeader,
+        ),
         ("cycle_leader_veb", Layout::Veb, Algorithm::CycleLeader),
     ];
     for (name, layout, algo) in combos {

@@ -23,10 +23,18 @@ const CPU_B: usize = 8; // 64-byte lines, 64-bit keys (paper §6.0.1)
 fn algorithms() -> Vec<(&'static str, Layout, Algorithm)> {
     vec![
         ("involution_bst", Layout::Bst, Algorithm::Involution),
-        ("involution_btree", Layout::Btree { b: CPU_B }, Algorithm::Involution),
+        (
+            "involution_btree",
+            Layout::Btree { b: CPU_B },
+            Algorithm::Involution,
+        ),
         ("involution_veb", Layout::Veb, Algorithm::Involution),
         ("cycle_leader_bst", Layout::Bst, Algorithm::CycleLeader),
-        ("cycle_leader_btree", Layout::Btree { b: CPU_B }, Algorithm::CycleLeader),
+        (
+            "cycle_leader_btree",
+            Layout::Btree { b: CPU_B },
+            Algorithm::CycleLeader,
+        ),
         ("cycle_leader_veb", Layout::Veb, Algorithm::CycleLeader),
     ]
 }
@@ -34,7 +42,12 @@ fn algorithms() -> Vec<(&'static str, Layout, Algorithm)> {
 /// Figures 6.1 / 6.2: permutation time vs N for all six algorithms.
 fn fig_permute(parallel: bool, scale: i32) {
     let which = if parallel { "fig6.2" } else { "fig6.1" };
-    row(&[format!("{which}"), "n".into(), "algorithm".into(), "seconds".into()]);
+    row(&[
+        which.to_string(),
+        "n".into(),
+        "algorithm".into(),
+        "seconds".into(),
+    ]);
     for e in 16..=(22 + scale).max(16) as u32 {
         let n = (1usize << e) - 1;
         for (name, layout, algo) in algorithms() {
@@ -50,7 +63,12 @@ fn fig_permute(parallel: bool, scale: i32) {
                     std::hint::black_box(&v);
                 },
             );
-            row(&[which.into(), n.to_string(), name.into(), secs(t).to_string()]);
+            row(&[
+                which.into(),
+                n.to_string(),
+                name.into(),
+                secs(t).to_string(),
+            ]);
         }
     }
 }
@@ -58,7 +76,12 @@ fn fig_permute(parallel: bool, scale: i32) {
 /// Figure 6.3: speedup vs P of the fastest algorithm per layout
 /// (BST: involution; B-tree and vEB: cycle-leader, per Figures 6.1/6.2).
 fn fig6_3(scale: i32) {
-    row(&["fig6.3".into(), "layout".into(), "p".into(), "speedup".into()]);
+    row(&[
+        "fig6.3".into(),
+        "layout".into(),
+        "p".into(),
+        "speedup".into(),
+    ]);
     let n = (1usize << (20 + scale).max(16)) - 1;
     let fastest = [
         ("bst", Layout::Bst, Algorithm::Involution),
@@ -92,7 +115,12 @@ fn fig6_3(scale: i32) {
 /// Figure 6.4: throughput (keys/s) of one chunked equidistant gather vs
 /// swapping the array halves, as a function of P.
 fn fig6_4(scale: i32) {
-    row(&["fig6.4".into(), "operation".into(), "p".into(), "throughput_keys_per_s".into()]);
+    row(&[
+        "fig6.4".into(),
+        "operation".into(),
+        "p".into(),
+        "throughput_keys_per_s".into(),
+    ]);
     let b = CPU_B;
     let chunk = 1usize << (14 + scale).max(10);
     let n_gather = gather_len(b, b) * chunk;
@@ -135,7 +163,12 @@ fn query_kinds() -> Vec<(QueryKind, Option<Layout>)> {
 
 /// Figure 6.5: time to run 10⁶ (scaled: 10⁵) queries vs N per layout.
 fn fig6_5(scale: i32) {
-    row(&["fig6.5".into(), "n".into(), "searcher".into(), "seconds".into()]);
+    row(&[
+        "fig6.5".into(),
+        "n".into(),
+        "searcher".into(),
+        "seconds".into(),
+    ]);
     let q = 100_000usize;
     for e in (16..=(24 + scale).max(16) as u32).step_by(2) {
         let n = (1usize << e) - 1;
@@ -149,7 +182,12 @@ fn fig6_5(scale: i32) {
             let t = time_once(|| {
                 std::hint::black_box(s.batch_count_seq(&queries));
             });
-            row(&["fig6.5".into(), n.to_string(), kind.name().into(), secs(t).to_string()]);
+            row(&[
+                "fig6.5".into(),
+                n.to_string(),
+                kind.name().into(),
+                secs(t).to_string(),
+            ]);
         }
     }
 }
@@ -201,7 +239,12 @@ fn fig_combined(parallel: bool, scale: i32) {
             });
             let combined = permute_t + secs(t);
             series.push(combined);
-            row(&[which.into(), q.to_string(), name.clone(), combined.to_string()]);
+            row(&[
+                which.into(),
+                q.to_string(),
+                name.clone(),
+                combined.to_string(),
+            ]);
         }
         times.push(series);
     }
@@ -225,7 +268,12 @@ fn fig_combined(parallel: bool, scale: i32) {
 
 /// Figure 6.8: GPU (SIMT model) permutation time vs N.
 fn fig6_8(scale: i32) {
-    row(&["fig6.8".into(), "n".into(), "algorithm".into(), "model_time_units".into()]);
+    row(&[
+        "fig6.8".into(),
+        "n".into(),
+        "algorithm".into(),
+        "model_time_units".into(),
+    ]);
     for e in (16..=(24 + scale).max(16) as u32).step_by(2) {
         let n = (1usize << e) - 1;
         // B = 31 keeps (B+1)^m power-of-two-aligned with n = 2^e - 1.
@@ -242,14 +290,20 @@ fn fig6_8(scale: i32) {
             // B-tree sizes require n = 32^m - 1, i.e. e ≡ 0 (mod 5).
             let is_btree = matches!(
                 algo,
-                gk::GpuAlgorithm::InvolutionBtree { .. } | gk::GpuAlgorithm::CycleLeaderBtree { .. }
+                gk::GpuAlgorithm::InvolutionBtree { .. }
+                    | gk::GpuAlgorithm::CycleLeaderBtree { .. }
             );
             if is_btree && e % 5 != 0 {
                 continue;
             }
             let mut gpu = Gpu::from_sorted(n, GpuConfig::default());
             let t = gk::permute(&mut gpu, algo);
-            row(&["fig6.8".into(), n.to_string(), algo.name().into(), t.to_string()]);
+            row(&[
+                "fig6.8".into(),
+                n.to_string(),
+                algo.name().into(),
+                t.to_string(),
+            ]);
         }
     }
 }
@@ -257,7 +311,12 @@ fn fig6_8(scale: i32) {
 /// Figure 6.9: GPU combined permute + Q queries vs Q (N fixed), plus
 /// crossovers vs binary search.
 fn fig6_9(scale: i32) {
-    row(&["fig6.9".into(), "q".into(), "layout".into(), "model_time_units".into()]);
+    row(&[
+        "fig6.9".into(),
+        "q".into(),
+        "layout".into(),
+        "model_time_units".into(),
+    ]);
     // n must be 32^m - 1 for the B-tree construction: e ≡ 0 (mod 5).
     let mut e = (20 + scale).max(15) as u32;
     e -= e % 5;
@@ -275,13 +334,21 @@ fn fig6_9(scale: i32) {
     }
     let b = 31usize;
     let layouts: Vec<(&str, gk::GpuAlgorithm, gq::GpuQueryKind)> = vec![
-        ("bst", gk::GpuAlgorithm::InvolutionBst, gq::GpuQueryKind::Bst),
+        (
+            "bst",
+            gk::GpuAlgorithm::InvolutionBst,
+            gq::GpuQueryKind::Bst,
+        ),
         (
             "btree",
             gk::GpuAlgorithm::CycleLeaderBtree { b },
             gq::GpuQueryKind::Btree(b),
         ),
-        ("veb", gk::GpuAlgorithm::CycleLeaderVeb, gq::GpuQueryKind::Veb),
+        (
+            "veb",
+            gk::GpuAlgorithm::CycleLeaderVeb,
+            gq::GpuQueryKind::Veb,
+        ),
     ];
     for (name, algo, qkind) in layouts {
         let mut gpu = Gpu::from_sorted(n, GpuConfig::default());
@@ -312,16 +379,31 @@ fn fig6_9(scale: i32) {
 /// Table 1.1: empirical PEM I/O counts per algorithm across N, checking
 /// the growth rates of the analytic bounds.
 fn table1_1(scale: i32) {
-    row(&["table1.1".into(), "n".into(), "algorithm".into(), "p".into(), "q_ios".into()]);
+    row(&[
+        "table1.1".into(),
+        "n".into(),
+        "algorithm".into(),
+        "p".into(),
+        "q_ios".into(),
+    ]);
     let cfg = |p: usize| PemConfig { m: 2048, b: 16, p };
     for e in [12u32, 14, (16 + scale).max(14) as u32] {
         let n = (1usize << e) - 1;
         for p in [1usize, 4] {
-            let runs: Vec<(&str, Box<dyn Fn(&mut TrackedArray)>)> = vec![
-                ("involution_bst", Box::new(|a: &mut TrackedArray| pk::involution_bst(a))),
-                ("involution_veb", Box::new(|a: &mut TrackedArray| pk::involution_veb(a))),
-                ("cycle_leader_bst", Box::new(|a: &mut TrackedArray| pk::cycle_leader_bst(a))),
-                ("cycle_leader_veb", Box::new(|a: &mut TrackedArray| pk::cycle_leader_veb(a))),
+            type PemRun = fn(&mut TrackedArray);
+            let runs: Vec<(&str, PemRun)> = vec![
+                ("involution_bst", |a: &mut TrackedArray| {
+                    pk::involution_bst(a)
+                }),
+                ("involution_veb", |a: &mut TrackedArray| {
+                    pk::involution_veb(a)
+                }),
+                ("cycle_leader_bst", |a: &mut TrackedArray| {
+                    pk::cycle_leader_bst(a)
+                }),
+                ("cycle_leader_veb", |a: &mut TrackedArray| {
+                    pk::cycle_leader_veb(a)
+                }),
             ];
             for (name, run) in runs {
                 let mut arr = TrackedArray::from_sorted(n, cfg(p));
@@ -337,15 +419,27 @@ fn table1_1(scale: i32) {
         }
         // B-tree algorithms need (B+1)^m - 1 sizes.
         let b = 3usize;
-        let m = (e / 2) as u32;
+        let m = e / 2;
         let n = 4usize.pow(m) - 1;
         for p in [1usize, 4] {
             let mut arr = TrackedArray::from_sorted(n, cfg(p));
             pk::involution_btree(&mut arr, b);
-            row(&["table1.1".into(), n.to_string(), "involution_btree".into(), p.to_string(), arr.stats().max_per_proc().to_string()]);
+            row(&[
+                "table1.1".into(),
+                n.to_string(),
+                "involution_btree".into(),
+                p.to_string(),
+                arr.stats().max_per_proc().to_string(),
+            ]);
             let mut arr = TrackedArray::from_sorted(n, cfg(p));
             pk::cycle_leader_btree(&mut arr, b);
-            row(&["table1.1".into(), n.to_string(), "cycle_leader_btree".into(), p.to_string(), arr.stats().max_per_proc().to_string()]);
+            row(&[
+                "table1.1".into(),
+                n.to_string(),
+                "cycle_leader_btree".into(),
+                p.to_string(),
+                arr.stats().max_per_proc().to_string(),
+            ]);
         }
     }
 }

@@ -115,7 +115,7 @@ mod tests {
 
     #[test]
     fn pool_runs_closure() {
-        let x = with_pool(2, || rayon::current_num_threads());
+        let x = with_pool(2, rayon::current_num_threads);
         assert_eq!(x, 2);
     }
 }

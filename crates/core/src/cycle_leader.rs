@@ -1,4 +1,4 @@
-//! Cycle-leader construction algorithms (Chapter 3).
+//! Cycle-leader construction algorithms (Chapter 3) on plain slices.
 //!
 //! These algorithms are built from the equidistant gather family in
 //! `ist-gather`:
@@ -13,16 +13,14 @@
 //!   internal keys to the front, then the internal prefix recurses. Work
 //!   `O(N log_{B+1} N)`, depth `O(log²_{B+1} N)` (Propositions 11–12).
 //! * **BST** (§3.3): the B-tree algorithm with `B = 1`.
+//!
+//! These entry points are thin instantiations of the **single** generic
+//! implementation in [`crate::algorithms`] with the
+//! [`Ram`](ist_machine::Ram) backend; the PEM and GPU simulators drive
+//! the very same code with their cost-model backends.
 
-use ist_gather::{
-    equidistant_gather, equidistant_gather_par, extended_equidistant_gather,
-    extended_equidistant_gather_par,
-};
-use ist_layout::veb_split;
-use ist_shuffle::rotate_right_par;
-
-/// Below this length the `_par` drivers run sequentially.
-const SEQ_CUTOFF: usize = 1 << 12;
+use crate::algorithms;
+use ist_machine::Ram;
 
 fn assert_pow2_size(n: usize, d: u32) {
     assert_eq!(n as u64, (1u64 << d) - 1, "need n = 2^d - 1");
@@ -42,37 +40,9 @@ fn assert_btree_size(n: usize, b: usize, m: u32) {
 /// veb_seq(&mut v, 4);
 /// assert_eq!(v, vec![8, 4, 12, 2, 1, 3, 6, 5, 7, 10, 9, 11, 14, 13, 15]);
 /// ```
-pub fn veb_seq<T>(data: &mut [T], d: u32) {
+pub fn veb_seq<T: Send>(data: &mut [T], d: u32) {
     assert_pow2_size(data.len(), d);
-    veb_rec_seq(data, d);
-}
-
-fn veb_rec_seq<T>(data: &mut [T], d: u32) {
-    if d <= 1 {
-        return;
-    }
-    let (t, bb) = veb_split(d);
-    let r = (1usize << t) - 1;
-    let l = (1usize << bb) - 1;
-    if t == bb {
-        // Even number of levels: r = l, gather directly.
-        equidistant_gather(data, r, l);
-    } else {
-        // Odd: r = 2l + 1. Gather each half (a perfect tree of d−1
-        // levels with square shape l × l), then one circular shift joins
-        // the two gathered tops around the median.
-        let half = (data.len() - 1) / 2;
-        equidistant_gather(&mut data[..half], l, l);
-        equidistant_gather(&mut data[half + 1..], l, l);
-        // Region [l, l + half + 1) = [rest_left | median | top_right];
-        // shift the last l + 1 elements (median + right top) to its front.
-        data[l..=l + half].rotate_right(l + 1);
-    }
-    let (top, rest) = data.split_at_mut(r);
-    veb_rec_seq(top, t);
-    for chunk in rest.chunks_exact_mut(l) {
-        veb_rec_seq(chunk, bb);
-    }
+    algorithms::cycle_leader_veb(&mut Ram::seq(data), 0, d);
 }
 
 /// Parallel cycle-leader vEB construction (`O(N/P log log N)` time,
@@ -80,38 +50,7 @@ fn veb_rec_seq<T>(data: &mut [T], d: u32) {
 /// evaluation.
 pub fn veb_par<T: Send>(data: &mut [T], d: u32) {
     assert_pow2_size(data.len(), d);
-    veb_rec_par(data, d);
-}
-
-fn veb_rec_par<T: Send>(data: &mut [T], d: u32) {
-    if data.len() < SEQ_CUTOFF {
-        return veb_rec_seq(data, d);
-    }
-    let (t, bb) = veb_split(d);
-    let r = (1usize << t) - 1;
-    let l = (1usize << bb) - 1;
-    if t == bb {
-        equidistant_gather_par(data, r, l);
-    } else {
-        let half = (data.len() - 1) / 2;
-        {
-            let (left, right) = data.split_at_mut(half);
-            rayon::join(
-                || equidistant_gather_par(left, l, l),
-                || equidistant_gather_par(&mut right[1..], l, l),
-            );
-        }
-        rotate_right_par(&mut data[l..=l + half], l + 1);
-    }
-    let (top, rest) = data.split_at_mut(r);
-    rayon::join(
-        || veb_rec_par(top, t),
-        || {
-            use rayon::prelude::*;
-            rest.par_chunks_exact_mut(l)
-                .for_each(|chunk| veb_rec_par(chunk, bb));
-        },
-    );
+    algorithms::cycle_leader_veb(&mut Ram::par(data), 0, d);
 }
 
 /// Sequential cycle-leader B-tree construction.
@@ -124,34 +63,16 @@ fn veb_rec_par<T: Send>(data: &mut [T], d: u32) {
 /// btree_seq(&mut v, 2, 2);
 /// assert_eq!(v, vec![3, 6, 1, 2, 4, 5, 7, 8]);
 /// ```
-pub fn btree_seq<T>(data: &mut [T], b: usize, m: u32) {
+pub fn btree_seq<T: Send>(data: &mut [T], b: usize, m: u32) {
     assert_btree_size(data.len(), b, m);
-    let k = b + 1;
-    let mut mm = m;
-    while mm >= 2 {
-        let n_cur = k.pow(mm) - 1;
-        // Hoist internal keys of the current prefix to its front; the
-        // leaf nodes below settle into their final positions.
-        extended_equidistant_gather(&mut data[..n_cur], b);
-        mm -= 1;
-    }
+    algorithms::cycle_leader_btree(&mut Ram::seq(data), b, m);
 }
 
 /// Parallel cycle-leader B-tree construction
 /// (`O((N/P + log_{B+1} N) log_{B+1} N)` time, Propositions 11–12).
 pub fn btree_par<T: Send>(data: &mut [T], b: usize, m: u32) {
     assert_btree_size(data.len(), b, m);
-    let k = b + 1;
-    let mut mm = m;
-    while mm >= 2 {
-        let n_cur = k.pow(mm) - 1;
-        if n_cur < SEQ_CUTOFF {
-            extended_equidistant_gather(&mut data[..n_cur], b);
-        } else {
-            extended_equidistant_gather_par(&mut data[..n_cur], b);
-        }
-        mm -= 1;
-    }
+    algorithms::cycle_leader_btree(&mut Ram::par(data), b, m);
 }
 
 /// Sequential cycle-leader BST construction: the B-tree algorithm with
@@ -164,15 +85,15 @@ pub fn btree_par<T: Send>(data: &mut [T], b: usize, m: u32) {
 /// bst_seq(&mut v, 3);
 /// assert_eq!(v, vec![4, 2, 6, 1, 3, 5, 7]);
 /// ```
-pub fn bst_seq<T>(data: &mut [T], d: u32) {
+pub fn bst_seq<T: Send>(data: &mut [T], d: u32) {
     assert_pow2_size(data.len(), d);
-    btree_seq(data, 1, d);
+    algorithms::cycle_leader_btree(&mut Ram::seq(data), 1, d);
 }
 
 /// Parallel cycle-leader BST construction (`B = 1`).
 pub fn bst_par<T: Send>(data: &mut [T], d: u32) {
     assert_pow2_size(data.len(), d);
-    btree_par(data, 1, d);
+    algorithms::cycle_leader_btree(&mut Ram::par(data), 1, d);
 }
 
 #[cfg(test)]

@@ -11,8 +11,9 @@
 //! structure, so agreement is strong evidence both are right.
 
 use crate::Layout;
-use ist_layout::{bst_pos, bst_pos_inv, complete::BtreeCompleteShape, veb_pos, veb_pos_inv,
-    CompleteShape};
+use ist_layout::{
+    bst_pos, bst_pos_inv, complete::BtreeCompleteShape, veb_pos, veb_pos_inv, CompleteShape,
+};
 use ist_perm::permute_sorted_in_place;
 
 /// Permute sorted `data` into `layout` in place, **sequentially**, with

@@ -1,4 +1,4 @@
-//! Involution-based construction algorithms (Chapter 2).
+//! Involution-based construction algorithms (Chapter 2) on plain slices.
 //!
 //! Every permutation applied here is the product of two involutions, so
 //! the whole construction is a short sequence of parallel rounds of
@@ -18,21 +18,13 @@
 //!   recurse. The padded un-shuffle uses `Ξ₁` when the padded size is a
 //!   power of the deck count and `Ξ₂` otherwise.
 //!
-//! The "padded" trick: an un-shuffle of `N = k^m − 1` elements simulates
-//! 1-indexing by acting on `k^m` positions with position `0` as a phantom
-//! fixed point (all involutions used here fix `0`).
+//! These entry points are thin instantiations of the **single** generic
+//! implementation in [`crate::algorithms`] with the
+//! [`Ram`](ist_machine::Ram) backend; the PEM and GPU simulators drive
+//! the very same code with their cost-model backends.
 
-use ist_bits::{ilog2_floor, rev2, rev_k};
-use ist_layout::veb_split;
-use ist_perm::{apply_involution, apply_involution_par};
-use ist_shuffle::{j_involution, shuffle_mod, shuffle_mod_par};
-
-/// Below this length the `_par` drivers run sequentially.
-const SEQ_CUTOFF: usize = 1 << 12;
-
-fn assert_bst_size(n: usize, d: u32) {
-    assert_eq!(n as u64, (1u64 << d) - 1, "need n = 2^d - 1");
-}
+use crate::algorithms;
+use ist_machine::Ram;
 
 /// Sequential involution-based BST construction. `data.len() = 2^d − 1`.
 ///
@@ -43,13 +35,9 @@ fn assert_bst_size(n: usize, d: u32) {
 /// bst_seq(&mut v, 3);
 /// assert_eq!(v, vec![4, 2, 6, 1, 3, 5, 7]);
 /// ```
-pub fn bst_seq<T>(data: &mut [T], d: u32) {
+pub fn bst_seq<T: Send>(data: &mut [T], d: u32) {
     assert_bst_size(data.len(), d);
-    apply_involution(data, |s| (rev2(d, (s + 1) as u64) - 1) as usize);
-    apply_involution(data, |s| {
-        let p = (s + 1) as u64;
-        (rev2(ilog2_floor(p), p) - 1) as usize
-    });
+    algorithms::involution_bst(&mut Ram::seq(data), d);
 }
 
 /// Parallel involution-based BST construction: the same two rounds, each
@@ -57,79 +45,7 @@ pub fn bst_seq<T>(data: &mut [T], d: u32) {
 /// processors).
 pub fn bst_par<T: Send>(data: &mut [T], d: u32) {
     assert_bst_size(data.len(), d);
-    if data.len() < SEQ_CUTOFF {
-        return bst_seq(data, d);
-    }
-    apply_involution_par(data, |s| (rev2(d, (s + 1) as u64) - 1) as usize);
-    apply_involution_par(data, |s| {
-        let p = (s + 1) as u64;
-        (rev2(ilog2_floor(p), p) - 1) as usize
-    });
-}
-
-/// One padded `(k)`-way un-shuffle of `data` (length `k^m − 1`) using the
-/// digit-reversal involutions `Ξ₁`: apply `rev_k(m)` then `rev_k(m−1)` on
-/// 1-indexed (padded) positions. Internal keys land in the prefix.
-fn padded_unshuffle_pow<T>(data: &mut [T], k: usize, m: u32, par: bool)
-where
-    T: Send,
-{
-    let kk = k as u64;
-    if par {
-        apply_involution_par(data, |s| (rev_k(kk, m, (s + 1) as u64) - 1) as usize);
-        apply_involution_par(data, |s| (rev_k(kk, m - 1, (s + 1) as u64) - 1) as usize);
-    } else {
-        apply_involution(data, |s| (rev_k(kk, m, (s + 1) as u64) - 1) as usize);
-        apply_involution(data, |s| (rev_k(kk, m - 1, (s + 1) as u64) - 1) as usize);
-    }
-}
-
-/// One padded `k`-way un-shuffle using the `J` involutions `Ξ₂` (works for
-/// any padded size `K` divisible by `k`): apply `J_k` then `J_1` on padded
-/// positions, modulus `K − 1`.
-fn padded_unshuffle_mod<T>(data: &mut [T], k: usize, par: bool)
-where
-    T: Send,
-{
-    let kk = k as u64;
-    let nm1 = data.len() as u64; // padded size K = len + 1, modulus K - 1 = len
-    if par {
-        apply_involution_par(data, |s| (j_involution(kk, nm1, (s + 1) as u64) - 1) as usize);
-        apply_involution_par(data, |s| (j_involution(1, nm1, (s + 1) as u64) - 1) as usize);
-    } else {
-        apply_involution(data, |s| (j_involution(kk, nm1, (s + 1) as u64) - 1) as usize);
-        apply_involution(data, |s| (j_involution(1, nm1, (s + 1) as u64) - 1) as usize);
-    }
-}
-
-fn assert_btree_size(n: usize, b: usize, m: u32) {
-    assert!(b >= 1);
-    assert_eq!(n as u64, (b as u64 + 1).pow(m) - 1, "need n = (B+1)^m - 1");
-}
-
-fn btree_impl<T: Send>(data: &mut [T], b: usize, m: u32, par: bool) {
-    let k = b + 1;
-    let mut mm = m;
-    while mm >= 2 {
-        let n_cur = k.pow(mm) - 1;
-        let prefix = &mut data[..n_cur];
-        let use_par = par && n_cur >= SEQ_CUTOFF;
-        // (1) (B+1)-way un-shuffle: internal keys to the front, leaf-slot
-        // lists S₀..S_{B−1} laid out after them.
-        padded_unshuffle_pow(prefix, k, mm, use_par);
-        // (2) B-way shuffle of the leaf region: interleave the slot lists
-        // back into per-node groups of B consecutive keys.
-        let r = k.pow(mm - 1) - 1;
-        if b >= 2 {
-            if use_par {
-                shuffle_mod_par(&mut prefix[r..], b);
-            } else {
-                shuffle_mod(&mut prefix[r..], b);
-            }
-        }
-        // (3) recurse on the internal prefix (iteratively).
-        mm -= 1;
-    }
+    algorithms::involution_bst(&mut Ram::par(data), d);
 }
 
 /// Sequential involution-based B-tree construction.
@@ -144,14 +60,14 @@ fn btree_impl<T: Send>(data: &mut [T], b: usize, m: u32, par: bool) {
 /// ```
 pub fn btree_seq<T: Send>(data: &mut [T], b: usize, m: u32) {
     assert_btree_size(data.len(), b, m);
-    btree_impl(data, b, m, false);
+    algorithms::involution_btree(&mut Ram::seq(data), b, m);
 }
 
 /// Parallel involution-based B-tree construction
 /// (`O((N/P + log_{B+1} N) log N)` time, Propositions 2–3).
 pub fn btree_par<T: Send>(data: &mut [T], b: usize, m: u32) {
     assert_btree_size(data.len(), b, m);
-    btree_impl(data, b, m, true);
+    algorithms::involution_btree(&mut Ram::par(data), b, m);
 }
 
 /// Sequential involution-based vEB construction. `data.len() = 2^d − 1`.
@@ -165,59 +81,23 @@ pub fn btree_par<T: Send>(data: &mut [T], b: usize, m: u32) {
 /// ```
 pub fn veb_seq<T: Send>(data: &mut [T], d: u32) {
     assert_bst_size(data.len(), d);
-    veb_impl(data, d, false);
+    algorithms::involution_veb(&mut Ram::seq(data), 0, d);
 }
 
 /// Parallel involution-based vEB construction (`O(N/P log N)` time,
 /// Propositions 4–5).
 pub fn veb_par<T: Send>(data: &mut [T], d: u32) {
     assert_bst_size(data.len(), d);
-    veb_impl(data, d, true);
+    algorithms::involution_veb(&mut Ram::par(data), 0, d);
 }
 
-fn veb_impl<T: Send>(data: &mut [T], d: u32, par: bool) {
-    if d <= 1 {
-        return;
-    }
-    let (t, bb) = veb_split(d);
-    let k = 1usize << bb; // separation stride: one top key every 2^b keys
-    let r = (1usize << t) - 1;
-    let l = k - 1;
-    let use_par = par && data.len() >= SEQ_CUTOFF;
+fn assert_bst_size(n: usize, d: u32) {
+    assert_eq!(n as u64, (1u64 << d) - 1, "need n = 2^d - 1");
+}
 
-    // Separate top keys (every k-th) to the front — one B-tree level step
-    // with B = l. Padded size 2^d is a power of k iff bb | d.
-    if d % bb == 0 {
-        padded_unshuffle_pow(data, k, d / bb, use_par);
-    } else {
-        padded_unshuffle_mod(data, k, use_par);
-    }
-    // Interleave the l leaf-slot lists into bottom subtrees of l
-    // consecutive keys each.
-    if l >= 2 {
-        if use_par {
-            shuffle_mod_par(&mut data[r..], l);
-        } else {
-            shuffle_mod(&mut data[r..], l);
-        }
-    }
-    // Recurse on the top subtree and every bottom subtree.
-    let (top, rest) = data.split_at_mut(r);
-    if use_par {
-        rayon::join(
-            || veb_impl(top, t, true),
-            || {
-                use rayon::prelude::*;
-                rest.par_chunks_exact_mut(l)
-                    .for_each(|chunk| veb_impl(chunk, bb, true));
-            },
-        );
-    } else {
-        veb_impl(top, t, false);
-        for chunk in rest.chunks_exact_mut(l) {
-            veb_impl(chunk, bb, false);
-        }
-    }
+fn assert_btree_size(n: usize, b: usize, m: u32) {
+    assert!(b >= 1);
+    assert_eq!(n as u64, (b as u64 + 1).pow(m) - 1, "need n = (B+1)^m - 1");
 }
 
 #[cfg(test)]
@@ -273,23 +153,6 @@ mod tests {
             let mut b = orig.clone();
             veb_par(&mut b, d);
             assert_eq!(b, expect, "par d={d}");
-        }
-    }
-
-    #[test]
-    fn padded_unshuffle_variants_agree() {
-        // Ξ₁ and Ξ₂ must implement the same permutation on power sizes.
-        let k = 4usize;
-        let m = 5u32;
-        let n = k.pow(m) - 1;
-        let mut a: Vec<u32> = (0..n as u32).collect();
-        let mut b = a.clone();
-        padded_unshuffle_pow(&mut a, k, m, false);
-        padded_unshuffle_mod(&mut b, k, false);
-        assert_eq!(a, b);
-        // And internal keys (every k-th, 1-indexed) land sorted in front.
-        for (idx, &v) in a[..k.pow(m - 1) - 1].iter().enumerate() {
-            assert_eq!(v as usize, (idx + 1) * k - 1);
         }
     }
 }

@@ -29,6 +29,13 @@
 //! `[perfect layout | sorted overflow leaves]` (see
 //! [`ist_layout::complete`]), which `ist-query` searches natively.
 //!
+//! Every algorithm is implemented **once**, in [`algorithms`], generic
+//! over the [`Machine`] execution substrate: [`permute_in_place`] runs it
+//! on the [`Ram`] backend, while `ist-pem-sim` and `ist-gpu-sim` run the
+//! identical control flow on cost-model backends (PEM block I/Os and GPU
+//! launches/transactions respectively). Use [`construct`] directly to
+//! drive a custom backend.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -39,17 +46,18 @@
 //! // `data` is now the vEB layout of the original sorted array.
 //! ```
 
+pub mod algorithms;
 pub mod cycle_leader;
 pub mod fich_baseline;
 pub mod involution;
 pub mod nonperfect;
 pub mod oracle;
 
-pub use ist_layout::LayoutKind;
+pub use algorithms::construct;
 pub use fich_baseline::fich_baseline;
+pub use ist_layout::LayoutKind;
+pub use ist_machine::{GatherMode, IndexArith, Machine, Ram, Region};
 pub use oracle::reference_permutation;
-
-use ist_layout::{complete::BtreeCompleteShape, CompleteShape};
 
 /// Target memory layout for [`permute_in_place`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -137,7 +145,7 @@ pub fn permute_in_place<T: Send>(
     layout: Layout,
     algorithm: Algorithm,
 ) -> Result<(), Error> {
-    dispatch(data, layout, algorithm, true)
+    construct(&mut Ram::par(data), layout, algorithm)
 }
 
 /// Sequential variant of [`permute_in_place`] (used for the `P = 1`
@@ -155,62 +163,7 @@ pub fn permute_in_place_seq<T: Send>(
     layout: Layout,
     algorithm: Algorithm,
 ) -> Result<(), Error> {
-    dispatch(data, layout, algorithm, false)
-}
-
-fn dispatch<T: Send>(
-    data: &mut [T],
-    layout: Layout,
-    algorithm: Algorithm,
-    par: bool,
-) -> Result<(), Error> {
-    let n = data.len();
-    if n <= 1 {
-        if matches!(layout, Layout::Btree { b: 0 }) {
-            return Err(Error::ZeroNodeCapacity);
-        }
-        return Ok(());
-    }
-    match layout {
-        Layout::Bst | Layout::Veb => {
-            let shape = CompleteShape::new(n);
-            if !shape.is_perfect() {
-                nonperfect::strip_overflow_binary(data, shape, par);
-            }
-            let full = &mut data[..shape.full_count()];
-            let d = shape.full_levels();
-            match (layout, algorithm, par) {
-                (Layout::Bst, Algorithm::Involution, false) => involution::bst_seq(full, d),
-                (Layout::Bst, Algorithm::Involution, true) => involution::bst_par(full, d),
-                (Layout::Bst, Algorithm::CycleLeader, false) => cycle_leader::bst_seq(full, d),
-                (Layout::Bst, Algorithm::CycleLeader, true) => cycle_leader::bst_par(full, d),
-                (Layout::Veb, Algorithm::Involution, false) => involution::veb_seq(full, d),
-                (Layout::Veb, Algorithm::Involution, true) => involution::veb_par(full, d),
-                (Layout::Veb, Algorithm::CycleLeader, false) => cycle_leader::veb_seq(full, d),
-                (Layout::Veb, Algorithm::CycleLeader, true) => cycle_leader::veb_par(full, d),
-                _ => unreachable!(),
-            }
-            Ok(())
-        }
-        Layout::Btree { b } => {
-            if b == 0 {
-                return Err(Error::ZeroNodeCapacity);
-            }
-            let shape = BtreeCompleteShape::new(n, b);
-            if !shape.is_perfect() {
-                nonperfect::strip_overflow_btree(data, shape, par);
-            }
-            let full = &mut data[..shape.full_count()];
-            let m = shape.full_node_levels();
-            match (algorithm, par) {
-                (Algorithm::Involution, false) => involution::btree_seq(full, b, m),
-                (Algorithm::Involution, true) => involution::btree_par(full, b, m),
-                (Algorithm::CycleLeader, false) => cycle_leader::btree_seq(full, b, m),
-                (Algorithm::CycleLeader, true) => cycle_leader::btree_par(full, b, m),
-            }
-            Ok(())
-        }
-    }
+    construct(&mut Ram::seq(data), layout, algorithm)
 }
 
 #[cfg(test)]

@@ -14,19 +14,22 @@
 //! `ist-query` searches (on falling off the perfect tree at in-order gap
 //! `g`, the query probes the overflow suffix).
 //!
+//! The stripping passes themselves are implemented once, generically, in
+//! [`crate::algorithms`] (so the PEM and GPU cost backends replay them
+//! too); this module instantiates them on plain slices.
+//!
 //! **Documented deviation from the paper:** for the vEB layout the paper
 //! re-interleaves overflow leaves into the recursive bottom subtrees so
 //! that the final array is a pure vEB layout of the complete tree. We
 //! instead keep the `[perfect | overflow]` format for all three layouts.
 //! This preserves in-placeness, the asymptotic work/depth bounds (the
-//! stripping pass below matches the paper's), and query correctness, at
-//! the cost of one extra cache line touched per query that ends in the
+//! stripping pass matches the paper's), and query correctness, at the
+//! cost of one extra cache line touched per query that ends in the
 //! suffix. DESIGN.md records this substitution.
 
+use crate::algorithms;
 use ist_layout::{complete::BtreeCompleteShape, CompleteShape};
-use ist_shuffle::{
-    rotate_left, rotate_left_par, shuffle_mod, shuffle_mod_par, unshuffle_mod, unshuffle_mod_par,
-};
+use ist_machine::Ram;
 
 /// Move the `L` overflow leaves of a complete **binary** tree to the
 /// array suffix, leaving the `I` full elements sorted in the prefix.
@@ -39,17 +42,7 @@ use ist_shuffle::{
 /// shift).
 pub fn strip_overflow_binary<T: Send>(data: &mut [T], shape: CompleteShape, par: bool) {
     debug_assert_eq!(data.len(), shape.len());
-    let l = shape.overflow();
-    if l == 0 {
-        return;
-    }
-    if par {
-        unshuffle_mod_par(&mut data[..2 * l], 2);
-        rotate_left_par(data, l);
-    } else {
-        unshuffle_mod(&mut data[..2 * l], 2);
-        rotate_left(data, l);
-    }
+    algorithms::strip_overflow_binary(&mut Ram::with_mode(data, par), shape);
 }
 
 /// Move the `L` overflow leaves of a complete **B-tree** to the array
@@ -62,47 +55,7 @@ pub fn strip_overflow_binary<T: Send>(data: &mut [T], shape: CompleteShape, par:
 /// order, and two circular shifts move `[leaves | partial]` to the back.
 pub fn strip_overflow_btree<T: Send>(data: &mut [T], shape: BtreeCompleteShape, par: bool) {
     debug_assert_eq!(data.len(), shape.len());
-    let b = shape.b();
-    let k = b + 1;
-    let l = shape.overflow();
-    if l == 0 {
-        return;
-    }
-    let q = shape.full_overflow_nodes();
-    let s = shape.partial_node_len();
-    debug_assert_eq!(l, q * b + s);
-    if q > 0 {
-        // [leaf slots S₀..S_{B−1} (q each) | parents (q)]
-        if par {
-            unshuffle_mod_par(&mut data[..q * k], k);
-        } else {
-            unshuffle_mod(&mut data[..q * k], k);
-        }
-        // Regroup leaf-slot lists into per-node runs of B keys.
-        if b >= 2 {
-            if par {
-                shuffle_mod_par(&mut data[..q * b], b);
-            } else {
-                shuffle_mod(&mut data[..q * b], b);
-            }
-        }
-        // [leaves (qB) | parents (q) | partial (s) | rest]
-        // -> [leaves (qB) | partial (s) | parents (q) | rest]
-        if s > 0 {
-            let region = &mut data[q * b..q * b + q + s];
-            if par {
-                rotate_left_par(region, q);
-            } else {
-                rotate_left(region, q);
-            }
-        }
-    }
-    // [overflow leaves (L) | full elements (I)] -> [full | overflow].
-    if par {
-        rotate_left_par(data, l);
-    } else {
-        rotate_left(data, l);
-    }
+    algorithms::strip_overflow_btree(&mut Ram::with_mode(data, par), shape);
 }
 
 #[cfg(test)]

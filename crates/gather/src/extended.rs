@@ -81,10 +81,11 @@ fn gather_rec_seq<T>(data: &mut [T], b: usize, m: u32) {
         0 | 1 => (), // a single (leaf) node: no internal elements
         2 => equidistant_gather(data, b, b),
         _ => {
-            let c = k.pow(m - 2); // chunk size C = (B+1)^{m-2}
-            // Partition 0 has C·k − 1 elements (C−1 internal, standard
-            // pattern); partitions 1..=b have C·k elements each and start
-            // with an internal element followed by a standard pattern.
+            // Chunk size C = (B+1)^{m-2}. Partition 0 has C·k − 1
+            // elements (C−1 internal, standard pattern); partitions
+            // 1..=b have C·k elements each and start with an internal
+            // element followed by a standard pattern.
+            let c = k.pow(m - 2);
             let part_len = c * k;
             gather_rec_seq(&mut data[..part_len - 1], b, m - 1);
             for p in 1..k {

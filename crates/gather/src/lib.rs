@@ -192,7 +192,10 @@ pub fn equidistant_gather_par<T: Send>(data: &mut [T], r: usize, l: usize) {
 
 pub(crate) fn check_params(n: usize, r: usize, l: usize) {
     assert!(l >= 1, "block size l must be positive");
-    assert!(r <= l, "equidistant gather requires r <= l (got r={r}, l={l})");
+    assert!(
+        r <= l,
+        "equidistant gather requires r <= l (got r={r}, l={l})"
+    );
     assert_eq!(
         n,
         gather_len(r, l),

@@ -1,12 +1,17 @@
-//! GPU permutation kernels (Figure 6.8).
+//! GPU permutation runs (Figure 6.8).
 //!
-//! Each algorithm is expressed in launch/transaction/compute terms:
+//! [`permute`] drives the **single** generic implementation of each
+//! construction algorithm (`ist_core::algorithms`) on the [`Gpu`] cost
+//! backend — there is no separate GPU-side replica to keep in sync. How
+//! each primitive is priced (launches, coalesced-vs-scattered
+//! transactions, per-lane compute) lives in the [`Gpu`] `Machine`
+//! implementation; the shapes the model reproduces:
 //!
-//! * Involution algorithms → a few full-array **scattered** swap kernels
-//!   (`swap_kernel`), each uncoalesced (≈1 transaction per access) but
-//!   with trivial launch counts. Digit-reversal compute is free when the
-//!   device has hardware bit reversal (`T_REV₂ = O(1)`); the `J`
-//!   involutions pay extended-Euclid arithmetic per lane.
+//! * Involution algorithms → a few full-array **scattered** swap kernels,
+//!   each uncoalesced (≈1 transaction per access) but with trivial launch
+//!   counts. Digit-reversal compute is free when the device has hardware
+//!   bit reversal (`T_REV₂ = O(1)`); the `J` involutions pay
+//!   extended-Euclid arithmetic per lane.
 //! * Cycle-leader B-tree/BST → per-recursion-depth **batched** rounds of
 //!   chunk moves and rotations, perfectly coalesced streams.
 //! * vEB algorithms → per-subtree kernels (the paper's recursive
@@ -16,13 +21,11 @@
 //!
 //! Subtrees of at most [`BLOCK_LOCAL`] keys are processed by one launch
 //! in "shared memory": one coalesced streaming pass plus local compute,
-//! with the permutation delegated to the production `ist-core` code so
-//! the memory image stays faithful.
+//! with the permutation delegated to the same generic algorithm so the
+//! memory image stays faithful.
 
 use crate::Gpu;
-use ist_bits::{ilog, ilog2_floor, rev_k};
-use ist_layout::veb_split;
-use ist_shuffle::j_involution;
+use ist_core::{construct, Algorithm, Layout};
 
 /// Keys a single thread block handles in shared memory (one launch).
 pub const BLOCK_LOCAL: usize = 1 << 12;
@@ -62,317 +65,28 @@ impl GpuAlgorithm {
             GpuAlgorithm::CycleLeaderVeb => "cycle_leader_veb",
         }
     }
+
+    /// The (layout, algorithm) pair this selector drives.
+    pub fn as_construction(self) -> (Layout, Algorithm) {
+        match self {
+            GpuAlgorithm::InvolutionBst => (Layout::Bst, Algorithm::Involution),
+            GpuAlgorithm::InvolutionBtree { b } => (Layout::Btree { b }, Algorithm::Involution),
+            GpuAlgorithm::InvolutionVeb => (Layout::Veb, Algorithm::Involution),
+            GpuAlgorithm::CycleLeaderBst => (Layout::Bst, Algorithm::CycleLeader),
+            GpuAlgorithm::CycleLeaderBtree { b } => (Layout::Btree { b }, Algorithm::CycleLeader),
+            GpuAlgorithm::CycleLeaderVeb => (Layout::Veb, Algorithm::CycleLeader),
+        }
+    }
 }
 
-/// Run `algorithm` on the device array (must be a perfect size for the
-/// target layout) and return the model time in cost units.
+/// Run `algorithm` on the device array and return the model time in cost
+/// units. Arbitrary (non-perfect) sizes are supported via the same
+/// Chapter-5 stripping pass the production path runs.
 pub fn permute(gpu: &mut Gpu, algorithm: GpuAlgorithm) -> f64 {
     let before = gpu.time();
-    match algorithm {
-        GpuAlgorithm::InvolutionBst => involution_bst(gpu),
-        GpuAlgorithm::InvolutionBtree { b } => involution_btree(gpu, b),
-        GpuAlgorithm::InvolutionVeb => involution_veb(gpu),
-        GpuAlgorithm::CycleLeaderBst => cycle_leader_btree(gpu, 1),
-        GpuAlgorithm::CycleLeaderBtree { b } => cycle_leader_btree(gpu, b),
-        GpuAlgorithm::CycleLeaderVeb => cycle_leader_veb(gpu),
-    }
+    let (layout, algo) = algorithm.as_construction();
+    construct(gpu, layout, algo).expect("valid construction parameters");
     gpu.time() - before
-}
-
-fn rev2_compute(gpu: &Gpu, d: u32) -> f64 {
-    if gpu.config().hardware_bit_reversal {
-        2.0
-    } else {
-        2.0 * d as f64
-    }
-}
-
-fn involution_bst(gpu: &mut Gpu) {
-    let n = gpu.data.len();
-    if n <= 1 {
-        return;
-    }
-    let d = ilog2_floor(n as u64 + 1);
-    assert_eq!((1usize << d) - 1, n, "need n = 2^d - 1");
-    let comp = rev2_compute(gpu, d);
-    gpu.swap_kernel(n, comp, move |s| {
-        let j = (rev_k(2, d, (s + 1) as u64) - 1) as usize;
-        (s < j).then_some((s, j))
-    });
-    gpu.swap_kernel(n, comp, move |s| {
-        let p = (s + 1) as u64;
-        let j = (rev_k(2, ilog2_floor(p), p) - 1) as usize;
-        (s < j).then_some((s, j))
-    });
-}
-
-/// Compute charge for one `J` evaluation: an extended Euclid of word-size
-/// operands, ≈ 1.5 ops per bit.
-fn j_compute(n: usize) -> f64 {
-    1.5 * (64 - (n as u64).leading_zeros()) as f64
-}
-
-fn involution_btree(gpu: &mut Gpu, b: usize) {
-    let k = b + 1;
-    let n = gpu.data.len();
-    let m = ilog(k as u64, n as u64 + 1);
-    assert_eq!(k.pow(m), n + 1, "need n = (B+1)^m - 1");
-    let mut mm = m;
-    while mm >= 2 {
-        let n_cur = k.pow(mm) - 1;
-        let kk = k as u64;
-        let rev_comp = if k == 2 {
-            rev2_compute(gpu, mm)
-        } else {
-            3.0 * mm as f64 // software digit loop
-        };
-        gpu.swap_kernel(n_cur, rev_comp, move |s| {
-            let j = (rev_k(kk, mm, (s + 1) as u64) - 1) as usize;
-            (s < j).then_some((s, j))
-        });
-        gpu.swap_kernel(n_cur, rev_comp, move |s| {
-            let j = (rev_k(kk, mm - 1, (s + 1) as u64) - 1) as usize;
-            (s < j).then_some((s, j))
-        });
-        let r = k.pow(mm - 1) - 1;
-        let leaf = n_cur - r;
-        if b >= 2 {
-            let nm1 = (leaf - 1) as u64;
-            let bb = b as u64;
-            let jc = j_compute(leaf);
-            gpu.swap_kernel(leaf, jc, move |s| {
-                let j = j_involution(1, nm1, s as u64) as usize;
-                (s < j).then_some((r + s, r + j))
-            });
-            gpu.swap_kernel(leaf, jc, move |s| {
-                let j = j_involution(bb, nm1, s as u64) as usize;
-                (s < j).then_some((r + s, r + j))
-            });
-        }
-        mm -= 1;
-    }
-}
-
-/// Process a whole small subtree in one block-local launch: a coalesced
-/// streaming pass plus local compute; the permutation itself is done by
-/// the production sequential code.
-fn block_local(gpu: &mut Gpu, lo: usize, len: usize, apply: impl FnOnce(&mut [u64])) {
-    gpu.charge_launch();
-    let lw = gpu.config().line_words as u64;
-    let cost_words = (len as u64).div_ceil(lw);
-    // Read + write the region once; local work charged as compute.
-    let n = len as f64;
-    gpu.charge_compute(n * (n.log2().max(1.0)));
-    // transactions: 2 streaming passes
-    for _ in 0..2 {
-        gpu.charge_warp_stream(cost_words);
-    }
-    apply(&mut gpu.data[lo..lo + len]);
-}
-
-fn involution_veb(gpu: &mut Gpu) {
-    let n = gpu.data.len();
-    if n == 0 {
-        return;
-    }
-    let d = ilog2_floor(n as u64 + 1);
-    assert_eq!((1usize << d) - 1, n, "need n = 2^d - 1");
-    inv_veb_rec(gpu, 0, d);
-}
-
-fn inv_veb_rec(gpu: &mut Gpu, lo: usize, d: u32) {
-    if d <= 1 {
-        return;
-    }
-    let n_cur = (1usize << d) - 1;
-    if n_cur <= BLOCK_LOCAL {
-        return block_local(gpu, lo, n_cur, |region| {
-            ist_core::involution::veb_seq(region, d)
-        });
-    }
-    let (t, bb) = veb_split(d);
-    let k = 1usize << bb;
-    let r = (1usize << t) - 1;
-    let l = k - 1;
-    let kk = k as u64;
-    // Separation rounds (scattered swaps over the region).
-    if d % bb == 0 {
-        let m = d / bb;
-        let comp = 3.0 * m as f64;
-        gpu.swap_kernel_offset(lo, n_cur, comp, move |s| {
-            let j = (rev_k(kk, m, (s + 1) as u64) - 1) as usize;
-            (s < j).then_some((s, j))
-        });
-        gpu.swap_kernel_offset(lo, n_cur, comp, move |s| {
-            let j = (rev_k(kk, m - 1, (s + 1) as u64) - 1) as usize;
-            (s < j).then_some((s, j))
-        });
-    } else {
-        let nm1 = n_cur as u64;
-        let jc = j_compute(n_cur);
-        gpu.swap_kernel_offset(lo, n_cur, jc, move |s| {
-            let j = (j_involution(kk, nm1, (s + 1) as u64) - 1) as usize;
-            (s < j).then_some((s, j))
-        });
-        gpu.swap_kernel_offset(lo, n_cur, jc, move |s| {
-            let j = (j_involution(1, nm1, (s + 1) as u64) - 1) as usize;
-            (s < j).then_some((s, j))
-        });
-    }
-    if l >= 2 {
-        let leaf = n_cur - r;
-        let nm1 = (leaf - 1) as u64;
-        let ll = l as u64;
-        let jc = j_compute(leaf);
-        gpu.swap_kernel_offset(lo + r, leaf, jc, move |s| {
-            let j = j_involution(1, nm1, s as u64) as usize;
-            (s < j).then_some((s, j))
-        });
-        gpu.swap_kernel_offset(lo + r, leaf, jc, move |s| {
-            let j = j_involution(ll, nm1, s as u64) as usize;
-            (s < j).then_some((s, j))
-        });
-    }
-    inv_veb_rec(gpu, lo, t);
-    for q in 0..=r {
-        inv_veb_rec(gpu, lo + r + q * l, bb);
-    }
-}
-
-fn cycle_leader_veb(gpu: &mut Gpu) {
-    let n = gpu.data.len();
-    if n == 0 {
-        return;
-    }
-    let d = ilog2_floor(n as u64 + 1);
-    assert_eq!((1usize << d) - 1, n, "need n = 2^d - 1");
-    cl_veb_rec(gpu, 0, d);
-}
-
-fn cl_veb_rec(gpu: &mut Gpu, lo: usize, d: u32) {
-    if d <= 1 {
-        return;
-    }
-    let n_cur = (1usize << d) - 1;
-    if n_cur <= BLOCK_LOCAL {
-        return block_local(gpu, lo, n_cur, |region| {
-            ist_core::cycle_leader::veb_seq(region, d)
-        });
-    }
-    let (t, bb) = veb_split(d);
-    let r = (1usize << t) - 1;
-    let l = (1usize << bb) - 1;
-    if t == bb {
-        gather_kernel(gpu, lo, r, l);
-    } else {
-        let half = (n_cur - 1) / 2;
-        gather_kernel(gpu, lo, l, l);
-        gather_kernel(gpu, lo + half + 1, l, l);
-        gpu.rotate_kernel(lo + l, lo + l + half + 1, l + 1);
-    }
-    cl_veb_rec(gpu, lo, t);
-    for q in 0..=r {
-        cl_veb_rec(gpu, lo + r + q * l, bb);
-    }
-}
-
-/// One equidistant gather as a GPU kernel pair: a cycle-walk kernel (one
-/// thread per cycle, scattered accesses) and a block-rotation kernel
-/// (coalesced streams).
-fn gather_kernel(gpu: &mut Gpu, lo: usize, r: usize, l: usize) {
-    if r == 0 {
-        return;
-    }
-    // Stage 1: one launch; each thread walks its cycle sequentially.
-    // Cycle c makes c swaps at stride ~(l+1): scattered -> ~2 transactions
-    // per swap. Total swaps = r(r+1)/2.
-    gpu.charge_launch();
-    gpu.charge_compute((r * (r + 1) / 2) as f64 * 4.0);
-    gpu.charge_transactions((r * (r + 1)) as u64);
-    // Stage 2: one launch; every block rotated via three coalesced
-    // reversal passes over the (r+1)·l tail.
-    gpu.charge_launch();
-    let words = ((r + 1) * l) as u64;
-    gpu.charge_transactions(6 * words.div_ceil(gpu.config().line_words as u64));
-    // Perform both stages with the production code path (no extra
-    // charge; accounted above).
-    let region = &mut gpu.data[lo..lo + ist_gather::gather_len(r, l)];
-    for c in 1..=r {
-        for m in (1..=c).rev() {
-            region.swap(
-                ist_gather::cycle_slot(m, c, l),
-                ist_gather::cycle_slot(m - 1, c, l),
-            );
-        }
-    }
-    for (j0, block) in region[r..].chunks_exact_mut(l).enumerate() {
-        let amount = (r - j0) % l;
-        if amount != 0 {
-            block.rotate_right(amount);
-        }
-    }
-}
-
-fn cycle_leader_btree(gpu: &mut Gpu, b: usize) {
-    let k = b + 1;
-    let n = gpu.data.len();
-    let m = ilog(k as u64, n as u64 + 1);
-    assert_eq!(k.pow(m), n + 1, "need n = (B+1)^m - 1");
-    let mut mm = m;
-    while mm >= 2 {
-        extended_gather_kernel(gpu, 0, b, mm, true);
-        mm -= 1;
-    }
-}
-
-/// Extended gather with per-recursion-depth batched launches: all
-/// partition tasks at one depth execute in the same kernel rounds
-/// (`charge` is true only for the representative task), while data
-/// movement and transactions are charged for all tasks.
-fn extended_gather_kernel(gpu: &mut Gpu, lo: usize, b: usize, m: u32, charge: bool) {
-    let k = b + 1;
-    match m {
-        0 | 1 => (),
-        2 => {
-            let n_cur = k * k - 1;
-            if charge {
-                // Batched across all partitions at this depth: one launch
-                // per stage (threads walk cycles / rotate blocks).
-                gpu.charge_launch();
-                gpu.charge_launch();
-            }
-            gpu.charge_transactions((2 * n_cur as u64).div_ceil(gpu.config().line_words as u64) * 4);
-            let region = &mut gpu.data[lo..lo + n_cur];
-            ist_gather::equidistant_gather(region, b, b);
-        }
-        _ => {
-            let c = k.pow(m - 2);
-            let part_len = c * k;
-            extended_gather_kernel(gpu, lo, b, m - 1, charge);
-            for p in 1..k {
-                let start = lo + part_len - 1 + (p - 1) * part_len;
-                extended_gather_kernel(gpu, start + 1, b, m - 1, false);
-            }
-            // Chunked hoist: the stage-1 cycle rotation has a closed-form
-            // destination per element, so it is a single coalesced
-            // kernel; stage 2 (block rotations) is another. The region
-            // starts at offset C−1 and spans C·(k²−1) keys.
-            let region_len = c * (k * k - 1);
-            if charge {
-                gpu.charge_launch();
-                gpu.charge_launch();
-            }
-            // Stage 1 moves ~b(b+1)/2 chunks of c words (each moved word
-            // read once + written once, closed-form destination); stage 2
-            // rewrites the (b+1)·b·c block words the same way. Coalesced.
-            let lw = gpu.config().line_words as u64;
-            let moved = (b * (b + 1) / 2 * c) as u64;
-            gpu.charge_transactions(2 * moved.div_ceil(lw));
-            gpu.charge_transactions(2 * (((b + 1) * b * c) as u64).div_ceil(lw));
-            let region = &mut gpu.data[lo + c - 1..lo + c - 1 + region_len];
-            ist_gather::equidistant_gather_chunks(region, b, b, c);
-        }
-    }
 }
 
 #[cfg(test)]
@@ -405,14 +119,25 @@ mod tests {
     }
 
     #[test]
+    fn nonperfect_sizes_work_on_the_gpu_model_too() {
+        for n in [10usize, 1000, 12_345] {
+            let sorted: Vec<u64> = (0..n as u64).collect();
+            let veb = reference_permutation(&sorted, Layout::Veb);
+            let (data, t) = run(n, GpuAlgorithm::CycleLeaderVeb);
+            assert_eq!(data, veb, "n={n}");
+            assert!(t > 0.0);
+        }
+    }
+
+    #[test]
     fn figure_6_8_shape_orderings() {
         // At large N: B-tree cycle-leader fastest; BST involution
         // competitive; B-tree involution poor; vEB cycle-leader worst
         // (recursion launches).
         let n = (1 << 20) - 1;
         let t_cl_btree = {
-            // Use B = 32 minus... need (B+1)^m - 1 = n: use b such that
-            // (b+1)^m = 2^20: b = 31, m = 4.
+            // Need (B+1)^m - 1 = n: use b such that (b+1)^m = 2^20:
+            // b = 31, m = 4.
             let mut gpu = Gpu::from_sorted((1usize << 20) - 1, GpuConfig::default());
             permute(&mut gpu, GpuAlgorithm::CycleLeaderBtree { b: 31 })
         };
@@ -441,8 +166,10 @@ mod tests {
         let n = (1 << 16) - 1;
         let mut hw = Gpu::from_sorted(n, GpuConfig::default());
         let t_hw = permute(&mut hw, GpuAlgorithm::InvolutionBst);
-        let mut sw_cfg = GpuConfig::default();
-        sw_cfg.hardware_bit_reversal = false;
+        let sw_cfg = GpuConfig {
+            hardware_bit_reversal: false,
+            ..Default::default()
+        };
         let mut sw = Gpu::from_sorted(n, sw_cfg);
         let t_sw = permute(&mut sw, GpuAlgorithm::InvolutionBst);
         assert!(t_sw > t_hw, "software rev must cost more: {t_sw} vs {t_hw}");

@@ -23,11 +23,16 @@
 //!    involutions pay `O(log N)` extended-Euclid arithmetic per element,
 //!    which is why they "perform poorly".
 //!
-//! The kernels really permute the simulated global memory, and tests
-//! verify the result against `ist-core`'s oracle — the cost accounting
-//! rides on genuine executions of the same algorithms.
+//! The [`Gpu`] device implements the `ist-machine` `Machine` trait, so
+//! [`kernels::permute`] drives the **same** generic construction
+//! algorithms as the production path (`ist_core::algorithms`) — not a
+//! hand-maintained replica. The kernels really permute the simulated
+//! global memory, and tests verify the result against `ist-core`'s
+//! oracle — the cost accounting rides on genuine executions of the same
+//! algorithms.
 
 pub mod kernels;
+mod machine;
 pub mod query;
 
 pub use kernels::GpuAlgorithm;
@@ -189,15 +194,6 @@ impl Gpu {
             }
             base = hi;
         }
-    }
-
-    /// Like `swap_kernel` but with lane-local indices relative to `lo`
-    /// over a region of `len` lanes (used by recursive region kernels).
-    pub(crate) fn swap_kernel_offset<F>(&mut self, lo: usize, len: usize, compute: f64, pair_of: F)
-    where
-        F: Fn(usize) -> Option<(usize, usize)>,
-    {
-        self.swap_kernel(len, compute, |t| pair_of(t).map(|(i, j)| (lo + i, lo + j)));
     }
 
     /// Execute one kernel that moves `len` keys from `[src, src+len)` to

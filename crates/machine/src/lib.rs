@@ -1,0 +1,473 @@
+//! # ist-machine
+//!
+//! The **machine abstraction** behind the construction algorithms: each of
+//! the paper's six constructions (involution × cycle-leader for BST /
+//! B-tree / vEB) is written **once** in `ist-core`, generic over the
+//! [`Machine`] trait defined here, and instantiated per execution
+//! substrate:
+//!
+//! * [`Ram`] (this crate) — plain `&mut [T]` plus threads: the production
+//!   path. Monomorphization folds the abstraction away, so the generated
+//!   code is the direct implementation.
+//! * `TrackedArray` in `ist-pem-sim` — charges Parallel External Memory
+//!   block I/Os per primitive through per-processor LRU caches.
+//! * `Gpu` in `ist-gpu-sim` — charges kernel launches, memory
+//!   transactions, and per-lane compute per primitive (the paper's
+//!   Figure 6.8 cost model).
+//!
+//! The trait's altitude is deliberate: the primitives are the units the
+//! paper *analyzes* — involution swap rounds, equidistant gathers
+//! (plain and chunked), circular shifts, and recursive subtree tasks — so
+//! a cost-model backend can price each one the way the corresponding
+//! analysis chapter does, while the Ram backend lowers each to the obvious
+//! loops. Every backend executes the *same* index arithmetic, so permuted
+//! output is bit-identical across backends (asserted by the workspace's
+//! equivalence tests).
+
+use ist_gather::{
+    equidistant_gather, equidistant_gather_chunks, equidistant_gather_chunks_par,
+    equidistant_gather_par, gather_len,
+};
+use ist_perm::{apply_involution_range, SharedSlice};
+use ist_shuffle::{rotate_right, rotate_right_par};
+use rayon::prelude::*;
+use std::marker::PhantomData;
+
+/// The index arithmetic evaluated per element of an involution round.
+///
+/// Pure metadata: `Ram` and the PEM backend ignore it, while the GPU
+/// backend prices the per-lane compute with it (hardware bit reversal vs
+/// software digit loops vs extended-Euclid `J` maps — the paper's
+/// `T_REV` parameters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexArith {
+    /// Binary digit reversal over `d` bits (`T_REV₂`).
+    Rev2 {
+        /// Number of reversed bits.
+        d: u32,
+    },
+    /// Base-`k` digit reversal over `m` digits.
+    RevK {
+        /// Digit base.
+        k: u64,
+        /// Number of reversed digits.
+        m: u32,
+    },
+    /// Modular-inverse `J` involution over a domain of `len` positions
+    /// (extended-Euclid arithmetic per evaluation).
+    Jmap {
+        /// Domain size of the involution.
+        len: usize,
+    },
+}
+
+/// How a gather participates in kernel-launch accounting.
+///
+/// The paper's GPU implementation batches all equidistant gathers at one
+/// recursion depth of the extended gather into a single kernel round
+/// (§6.0.3); per-launch backends charge fixed costs only for the
+/// representative of such a batch. Backends without launch overhead
+/// ignore this entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GatherMode {
+    /// A stand-alone gather: fixed costs are charged unconditionally.
+    Standalone,
+    /// One gather of a depth-level batch; `representative` marks the
+    /// single member that carries the batch's fixed costs.
+    Batched {
+        /// Whether this member carries the batch's fixed costs.
+        representative: bool,
+    },
+}
+
+/// A recursive subtree task: a region of the array plus an
+/// algorithm-specific tag (typically the subtree height).
+///
+/// Tasks passed to [`Machine::run_tasks`] in one call MUST cover pairwise
+/// disjoint regions — that is what lets the Ram backend run them
+/// concurrently (debug builds verify it).
+#[derive(Debug, Clone)]
+pub struct Region<K> {
+    /// First index of the region.
+    pub lo: usize,
+    /// Region length in elements.
+    pub len: usize,
+    /// Algorithm-specific payload.
+    pub tag: K,
+}
+
+impl<K> Region<K> {
+    /// Convenience constructor.
+    pub fn new(lo: usize, len: usize, tag: K) -> Self {
+        Self { lo, len, tag }
+    }
+}
+
+/// An execution substrate for the construction algorithms.
+///
+/// All indices are **global** (relative to the machine's full array);
+/// recursive algorithms carry their region offsets explicitly, which is
+/// what lets cost backends observe true addresses (cache blocks, memory
+/// transaction segments) rather than region-relative ones.
+pub trait Machine {
+    /// Element type held by the machine's array.
+    type Elem: Send;
+
+    /// Total number of elements.
+    fn len(&self) -> usize;
+
+    /// `true` iff the array is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Apply the involution `f` on `[lo, hi)` as one round of disjoint
+    /// swaps: each unordered pair `{i, f(i)}` with `i < f(i)` is swapped
+    /// exactly once. `f` must map `[lo, hi)` into itself and satisfy
+    /// `f(f(i)) = i`; `arith` describes its per-evaluation cost.
+    fn involution_round<F>(&mut self, lo: usize, hi: usize, arith: IndexArith, f: F)
+    where
+        F: Fn(usize) -> usize + Sync;
+
+    /// Equidistant gather (two-stage cycle-leader, `r ≤ l`) of the region
+    /// `[lo, lo + r + (r+1)·l)`.
+    fn gather(&mut self, lo: usize, r: usize, l: usize, mode: GatherMode);
+
+    /// Chunked equidistant gather of `[lo, lo + (r + (r+1)·l)·chunk)`,
+    /// treating each `chunk` consecutive elements as one unit.
+    fn gather_chunks(&mut self, lo: usize, r: usize, l: usize, chunk: usize, mode: GatherMode);
+
+    /// Circular shift of `[lo, hi)` right by `amount` positions.
+    fn rotate_right(&mut self, lo: usize, hi: usize, amount: usize);
+
+    /// Execute `f` once per task. Tasks cover pairwise disjoint regions
+    /// and may therefore run concurrently; sequential backends run them
+    /// in order, which recursion-sensitive cost models (GPU launches)
+    /// rely on.
+    fn run_tasks<K, F>(&mut self, tasks: Vec<Region<K>>, f: F)
+    where
+        K: Send + Sync,
+        F: Fn(&mut Self, &Region<K>) + Sync;
+
+    /// Regions of at most this many elements should be handed to
+    /// [`Machine::local_task`] as one unit instead of being decomposed
+    /// further. `0` (the default) disables local handling.
+    fn local_threshold(&self) -> usize {
+        0
+    }
+
+    /// Process a whole small region as a single local task (e.g. one GPU
+    /// thread block permuting a subtree in shared memory). `f` receives
+    /// the region's elements and must leave a permutation of them.
+    fn local_task<F>(&mut self, lo: usize, len: usize, f: F)
+    where
+        F: FnOnce(&mut [Self::Elem]);
+}
+
+/// Below this many elements the parallel Ram backend keeps an involution
+/// round on the calling thread (same grain as `ist_perm`'s).
+const RAM_PAR_GRAIN: usize = 1 << 13;
+
+/// Minimum region size worth a spawned task in [`Ram::run_tasks`].
+const RAM_TASK_GRAIN: usize = 1 << 12;
+
+/// Rotations below this length run sequentially even on a parallel Ram.
+const RAM_ROTATE_GRAIN: usize = 1 << 14;
+
+/// The production backend: the caller's array in RAM, lowered to direct
+/// loops (sequential mode) or rayon-style fork-join execution (parallel
+/// mode).
+///
+/// Internally a `Ram` is a raw view (pointer + length) over the borrowed
+/// slice so that disjoint recursive tasks can hold simultaneous views —
+/// the same discipline as [`ist_perm::SharedSlice`], with the disjointness
+/// obligations discharged by the `Machine` contract ([`Region`]s of one
+/// `run_tasks` call never overlap; debug builds assert it).
+pub struct Ram<'a, T> {
+    base: *mut T,
+    len: usize,
+    par: bool,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: a `Ram` view is handed across threads only by `run_tasks`,
+// whose tasks touch disjoint regions; elements themselves move between
+// threads, hence `T: Send`.
+unsafe impl<'a, T: Send> Send for Ram<'a, T> {}
+
+impl<'a, T: Send> Ram<'a, T> {
+    /// Sequential machine over `data`.
+    pub fn seq(data: &'a mut [T]) -> Self {
+        Self::with_mode(data, false)
+    }
+
+    /// Parallel machine over `data`.
+    pub fn par(data: &'a mut [T]) -> Self {
+        Self::with_mode(data, true)
+    }
+
+    /// Machine over `data`; parallel iff `par`.
+    pub fn with_mode(data: &'a mut [T], par: bool) -> Self {
+        Self {
+            base: data.as_mut_ptr(),
+            len: data.len(),
+            par,
+            _marker: PhantomData,
+        }
+    }
+
+    /// An aliasing view used to hand disjoint tasks to worker threads.
+    fn view(&self) -> Self {
+        Self {
+            base: self.base,
+            len: self.len,
+            par: self.par,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Reborrow `[lo, lo+len)` as a mutable slice.
+    ///
+    /// The bounds check is unconditional (it runs once per primitive, not
+    /// per element): the algorithm entry points derive region sizes from
+    /// caller-supplied tree heights, and a mismatch against the actual
+    /// array length must panic — never hand out an oversized raw slice —
+    /// in release builds too.
+    ///
+    /// # Safety
+    /// No concurrent task may access any of the region's elements for
+    /// the returned borrow's lifetime.
+    unsafe fn region(&self, lo: usize, len: usize) -> &'a mut [T] {
+        assert!(
+            lo.checked_add(len).is_some_and(|hi| hi <= self.len),
+            "region [{lo}, {lo}+{len}) out of bounds for length {}",
+            self.len
+        );
+        std::slice::from_raw_parts_mut(self.base.add(lo), len)
+    }
+}
+
+impl<'a, T: Send> Machine for Ram<'a, T> {
+    type Elem = T;
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn involution_round<F>(&mut self, lo: usize, hi: usize, _arith: IndexArith, f: F)
+    where
+        F: Fn(usize) -> usize + Sync,
+    {
+        debug_assert!(lo <= hi && hi <= self.len);
+        let n = hi - lo;
+        // SAFETY: this machine holds the unique borrow of `[lo, hi)` here
+        // (run_tasks hands out disjoint regions), so reborrowing it as a
+        // slice is sound.
+        let region = unsafe { self.region(lo, n) };
+        if self.par && n >= 2 * RAM_PAR_GRAIN {
+            let shared = SharedSlice::new(region);
+            (0..n)
+                .into_par_iter()
+                .with_min_len(RAM_PAR_GRAIN)
+                .for_each(|off| {
+                    let i = lo + off;
+                    let j = f(i);
+                    debug_assert!(
+                        (lo..hi).contains(&j),
+                        "involution escapes range: f({i}) = {j}"
+                    );
+                    debug_assert_eq!(f(j), i, "not an involution at {i}");
+                    if i < j {
+                        // SAFETY: pair {i, j} with i < j is processed only
+                        // by the iteration owning index i; pairs of an
+                        // involution are disjoint, so no two tasks touch
+                        // the same element.
+                        unsafe { shared.swap(i - lo, j - lo) };
+                    }
+                });
+        } else if lo == 0 {
+            // Global indices coincide with region-local ones: skip the
+            // per-element offset translation.
+            apply_involution_range(region, 0, n, f);
+        } else {
+            apply_involution_range(region, 0, n, |off| f(lo + off) - lo);
+        }
+    }
+
+    fn gather(&mut self, lo: usize, r: usize, l: usize, _mode: GatherMode) {
+        // SAFETY: unique access to the region per the Machine contract.
+        let region = unsafe { self.region(lo, gather_len(r, l)) };
+        if self.par {
+            equidistant_gather_par(region, r, l);
+        } else {
+            equidistant_gather(region, r, l);
+        }
+    }
+
+    fn gather_chunks(&mut self, lo: usize, r: usize, l: usize, chunk: usize, _mode: GatherMode) {
+        // SAFETY: unique access to the region per the Machine contract.
+        let region = unsafe { self.region(lo, gather_len(r, l) * chunk) };
+        if self.par {
+            equidistant_gather_chunks_par(region, r, l, chunk);
+        } else {
+            equidistant_gather_chunks(region, r, l, chunk);
+        }
+    }
+
+    fn rotate_right(&mut self, lo: usize, hi: usize, amount: usize) {
+        debug_assert!(lo <= hi && hi <= self.len);
+        // SAFETY: unique access to the region per the Machine contract.
+        let region = unsafe { self.region(lo, hi - lo) };
+        if self.par && region.len() >= RAM_ROTATE_GRAIN {
+            rotate_right_par(region, amount);
+        } else {
+            rotate_right(region, amount);
+        }
+    }
+
+    fn run_tasks<K, F>(&mut self, tasks: Vec<Region<K>>, f: F)
+    where
+        K: Send + Sync,
+        F: Fn(&mut Self, &Region<K>) + Sync,
+    {
+        debug_assert!(regions_disjoint(&tasks), "run_tasks regions overlap");
+        let total: usize = tasks.iter().map(|t| t.len).sum();
+        if !self.par || total < RAM_TASK_GRAIN {
+            for task in &tasks {
+                f(self, task);
+            }
+            return;
+        }
+        // Deal the tasks into contiguous groups of at least
+        // RAM_TASK_GRAIN total elements and spawn one worker per group:
+        // a level of many tiny subtrees (the vEB recursions produce
+        // hundreds of l-element bottoms) still spreads across threads
+        // without paying a spawn per region.
+        let mut groups: Vec<Vec<(Self, &Region<K>)>> = Vec::new();
+        let mut group: Vec<(Self, &Region<K>)> = Vec::new();
+        let mut grouped = 0usize;
+        for task in &tasks {
+            group.push((self.view(), task));
+            grouped += task.len;
+            if grouped >= RAM_TASK_GRAIN {
+                grouped = 0;
+                groups.push(std::mem::take(&mut group));
+            }
+        }
+        rayon::scope(|s| {
+            let f = &f;
+            for batch in groups {
+                s.spawn(move |_| {
+                    for (mut view, task) in batch {
+                        f(&mut view, task);
+                    }
+                });
+            }
+            // Remainder group runs on the calling thread.
+            for (mut view, task) in group {
+                f(&mut view, task);
+            }
+        });
+    }
+
+    fn local_task<F>(&mut self, lo: usize, len: usize, f: F)
+    where
+        F: FnOnce(&mut [T]),
+    {
+        // SAFETY: unique access to the region per the Machine contract.
+        f(unsafe { self.region(lo, len) });
+    }
+}
+
+/// `true` iff no two regions overlap (used by debug assertions).
+pub fn regions_disjoint<K>(tasks: &[Region<K>]) -> bool {
+    let mut spans: Vec<(usize, usize)> = tasks.iter().map(|t| (t.lo, t.lo + t.len)).collect();
+    spans.sort_unstable();
+    spans.windows(2).all(|w| w[0].1 <= w[1].0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(n: usize) -> Vec<u64> {
+        (0..n as u64).collect()
+    }
+
+    #[test]
+    fn involution_round_seq_and_par_agree() {
+        for n in [0usize, 5, 100, 1 << 15] {
+            let mut a = mk(n);
+            let mut b = mk(n);
+            let f = move |i: usize| n - 1 - i; // reversal
+            Ram::seq(&mut a).involution_round(0, n, IndexArith::Rev2 { d: 1 }, f);
+            Ram::par(&mut b).involution_round(0, n, IndexArith::Rev2 { d: 1 }, f);
+            let mut expect = mk(n);
+            expect.reverse();
+            assert_eq!(a, expect, "seq n={n}");
+            assert_eq!(b, expect, "par n={n}");
+        }
+    }
+
+    #[test]
+    fn involution_round_respects_offsets() {
+        let n = 10usize;
+        let mut v = mk(n);
+        // Reverse only [2, 8) using global indices.
+        Ram::seq(&mut v).involution_round(2, 8, IndexArith::Rev2 { d: 1 }, |i| 2 + 7 - i);
+        assert_eq!(v, vec![0, 1, 7, 6, 5, 4, 3, 2, 8, 9]);
+    }
+
+    #[test]
+    fn gather_matches_reference() {
+        let (r, l) = (3usize, 5usize);
+        let pad = 4usize;
+        let n = pad + gather_len(r, l);
+        let mut v = mk(n);
+        Ram::par(&mut v).gather(pad, r, l, GatherMode::Standalone);
+        let expect = ist_gather::reference_gather(&mk(n)[pad..], r, l);
+        assert_eq!(&v[pad..], &expect[..]);
+        assert!(v[..pad].iter().copied().eq(0..pad as u64), "pad disturbed");
+    }
+
+    #[test]
+    fn rotate_right_matches_std() {
+        let n = 1000usize;
+        let mut v = mk(n);
+        Ram::par(&mut v).rotate_right(100, 900, 37);
+        let mut expect = mk(n);
+        expect[100..900].rotate_right(37);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn run_tasks_executes_disjoint_regions() {
+        let n = 1 << 14;
+        let mut v = vec![0u64; n];
+        let tasks: Vec<Region<u64>> = (0..4)
+            .map(|q| Region::new(q * n / 4, n / 4, q as u64 + 1))
+            .collect();
+        Ram::par(&mut v).run_tasks(tasks, |m, reg| {
+            m.local_task(reg.lo, reg.len, |slice| {
+                for x in slice.iter_mut() {
+                    *x = reg.tag;
+                }
+            });
+        });
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, (i / (n / 4)) as u64 + 1, "i={i}");
+        }
+    }
+
+    #[test]
+    fn disjointness_checker() {
+        let a = vec![
+            Region::new(0, 3, ()),
+            Region::new(3, 4, ()),
+            Region::new(10, 2, ()),
+        ];
+        assert!(regions_disjoint(&a));
+        let b = vec![Region::new(0, 4, ()), Region::new(3, 4, ())];
+        assert!(!regions_disjoint(&b));
+    }
+}

@@ -1,0 +1,319 @@
+//! Minimal parallel-iterator facade over index ranges and slices.
+//!
+//! Only the combinators the workspace actually uses are provided; each
+//! executes by splitting its index space into at most
+//! [`crate::effective_threads`] contiguous chunks of at least the
+//! `with_min_len` grain and running the chunks on budget-limited scoped
+//! threads (sequentially when no budget is available). Closures must be
+//! `Sync` exactly as with rayon, and slice-chunk tasks receive disjoint
+//! sub-slices, so the soundness contracts match upstream.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::{current_pool_ctx, effective_threads, try_acquire_thread, with_pool_ctx};
+
+/// Split `[0, n)` into chunks of at least `min_len` and run `body` on each,
+/// in parallel when helper threads are available.
+fn par_ranges<F>(n: usize, min_len: usize, body: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    if n == 0 {
+        return;
+    }
+    let grain = min_len.max(1);
+    let workers = effective_threads().min(n.div_ceil(grain)).max(1);
+    if workers == 1 {
+        body(0..n);
+        return;
+    }
+    std::thread::scope(|s| {
+        let body = &body;
+        let mut start = 0usize;
+        for w in 0..workers {
+            let end = n * (w + 1) / workers;
+            if end <= start {
+                continue;
+            }
+            let range = start..end;
+            start = end;
+            // The final chunk (and any chunk the budget refuses) runs on
+            // the calling thread. Helpers inherit the pool context.
+            if w + 1 < workers {
+                if let Some(token) = try_acquire_thread() {
+                    let ctx = current_pool_ctx();
+                    s.spawn(move || {
+                        let _token = token;
+                        with_pool_ctx(ctx, move || body(range));
+                    });
+                    continue;
+                }
+            }
+            body(range);
+        }
+    });
+}
+
+/// Conversion into a parallel iterator (rayon's entry-point trait).
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter;
+    /// Convert `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = RangeParIter;
+    fn into_par_iter(self) -> RangeParIter {
+        RangeParIter {
+            range: self,
+            min_len: 1,
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::RangeInclusive<usize> {
+    type Iter = RangeParIter;
+    fn into_par_iter(self) -> RangeParIter {
+        let (start, end) = (*self.start(), *self.end());
+        RangeParIter {
+            // Saturating: an exhausted inclusive range maps to an empty one.
+            range: start..end.saturating_add(1).max(start),
+            min_len: 1,
+        }
+    }
+}
+
+/// Parallel iterator over `Range<usize>`.
+pub struct RangeParIter {
+    range: Range<usize>,
+    min_len: usize,
+}
+
+impl RangeParIter {
+    /// Set the minimum number of indices handled per task.
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len;
+        self
+    }
+
+    /// Run `f` for every index.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let lo = self.range.start;
+        let n = self.range.end.saturating_sub(lo);
+        par_ranges(n, self.min_len, |r| {
+            for i in r {
+                f(lo + i);
+            }
+        });
+    }
+}
+
+/// Borrowing conversion into a parallel iterator (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The parallel iterator type.
+    type Iter;
+    /// Parallel iterator over `&self`'s items.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = SliceParIter<'a, T>;
+    fn par_iter(&'a self) -> SliceParIter<'a, T> {
+        SliceParIter {
+            slice: self,
+            min_len: 1,
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = SliceParIter<'a, T>;
+    fn par_iter(&'a self) -> SliceParIter<'a, T> {
+        self.as_slice().par_iter()
+    }
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct SliceParIter<'a, T> {
+    slice: &'a [T],
+    min_len: usize,
+}
+
+impl<'a, T: Sync> SliceParIter<'a, T> {
+    /// Set the minimum number of items handled per task.
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len;
+        self
+    }
+
+    /// Run `f` for every item.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&T) + Sync,
+    {
+        let slice = self.slice;
+        par_ranges(slice.len(), self.min_len, |r| {
+            for item in &slice[r] {
+                f(item);
+            }
+        });
+    }
+
+    /// Keep only items satisfying `pred` (terminal ops below).
+    pub fn filter<P>(self, pred: P) -> FilterSliceParIter<'a, T, P>
+    where
+        P: Fn(&&T) -> bool + Sync,
+    {
+        FilterSliceParIter { iter: self, pred }
+    }
+}
+
+/// A filtered [`SliceParIter`].
+pub struct FilterSliceParIter<'a, T, P> {
+    iter: SliceParIter<'a, T>,
+    pred: P,
+}
+
+impl<'a, T: Sync, P> FilterSliceParIter<'a, T, P>
+where
+    P: Fn(&&T) -> bool + Sync,
+{
+    /// Count the surviving items.
+    pub fn count(self) -> usize {
+        let slice = self.iter.slice;
+        let pred = &self.pred;
+        let total = AtomicUsize::new(0);
+        par_ranges(slice.len(), self.iter.min_len, |r| {
+            let local = slice[r].iter().filter(|item| pred(item)).count();
+            total.fetch_add(local, Ordering::Relaxed);
+        });
+        total.into_inner()
+    }
+}
+
+/// Parallel mutable chunk iteration over slices (`par_chunks_exact_mut`).
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over mutable chunks of exactly `chunk_size`
+    /// elements (the remainder is not visited, as with
+    /// `chunks_exact_mut`).
+    fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> ChunksExactMutParIter<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> ChunksExactMutParIter<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ChunksExactMutParIter {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+/// Parallel iterator over disjoint `&mut [T]` chunks.
+pub struct ChunksExactMutParIter<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+/// Raw pointer wrapper for sending a chunk base address across threads;
+/// chunk tasks receive provably disjoint sub-slices.
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<'a, T: Send> ChunksExactMutParIter<'a, T> {
+    fn run<F>(self, f: F)
+    where
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        let chunk = self.chunk_size;
+        let chunks = self.slice.len() / chunk;
+        let base = SendPtr(self.slice.as_mut_ptr());
+        let base = &base;
+        par_ranges(chunks, 1, move |r| {
+            for c in r {
+                // SAFETY: chunk `c` covers `[c*chunk, (c+1)*chunk)`, in
+                // bounds by construction; distinct `c` are disjoint and
+                // each is visited by exactly one task.
+                let sub = unsafe { std::slice::from_raw_parts_mut(base.0.add(c * chunk), chunk) };
+                f(c, sub);
+            }
+        });
+    }
+
+    /// Run `f` on every chunk.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.run(|_, sub| f(sub));
+    }
+
+    /// Pair every chunk with its index.
+    pub fn enumerate(self) -> EnumChunksExactMutParIter<'a, T> {
+        EnumChunksExactMutParIter { inner: self }
+    }
+}
+
+/// Enumerated variant of [`ChunksExactMutParIter`].
+pub struct EnumChunksExactMutParIter<'a, T> {
+    inner: ChunksExactMutParIter<'a, T>,
+}
+
+impl<'a, T: Send> EnumChunksExactMutParIter<'a, T> {
+    /// Run `f` on every `(index, chunk)` pair.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        self.inner.run(|c, sub| f((c, sub)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_for_each_visits_every_index() {
+        let n = 10_000usize;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        (0..n).into_par_iter().with_min_len(64).for_each(|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn filter_count_matches_sequential() {
+        let v: Vec<u64> = (0..100_000).collect();
+        let par = v
+            .par_iter()
+            .with_min_len(1024)
+            .filter(|x| **x % 3 == 0)
+            .count();
+        let seq = v.iter().filter(|x| **x % 3 == 0).count();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn chunks_exact_mut_disjoint_and_exact() {
+        let mut v = vec![0u32; 1003]; // remainder 3 untouched
+        v.par_chunks_exact_mut(100)
+            .enumerate()
+            .for_each(|(i, chunk)| {
+                for c in chunk.iter_mut() {
+                    *c = i as u32 + 1;
+                }
+            });
+        for (i, &x) in v.iter().enumerate() {
+            let expect = if i < 1000 { (i / 100) as u32 + 1 } else { 0 };
+            assert_eq!(x, expect, "i={i}");
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! A rayon-compatible parallelism shim on scoped OS threads.
+//!
+//! This workspace builds in a fully offline environment, so the real
+//! `rayon` crate cannot be fetched. The algorithms only need a narrow
+//! slice of its API, reimplemented here with identical semantics:
+//!
+//! * [`join`] — run two closures, potentially concurrently;
+//! * [`scope`] — structured task spawning ([`Scope::spawn`]);
+//! * [`prelude`] — `into_par_iter()` over index ranges,
+//!   `par_iter()` / `par_chunks_exact_mut()` over slices, with
+//!   `with_min_len`, `for_each`, `enumerate`, `filter(..).count()`;
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] and
+//!   [`current_num_threads`].
+//!
+//! Concurrency is provided by `std::thread::scope` behind two limits:
+//!
+//! 1. a **global spawn budget** of `available_parallelism() − 1` live
+//!    helper threads, which keeps deeply nested `join`/`scope`
+//!    recursion — the shape of every construction algorithm here — from
+//!    exploding the thread count; and
+//! 2. the **installed pool allowance**: inside
+//!    [`ThreadPool::install`]`(p)` at most `p − 1` helpers are live at
+//!    once, the pool context is inherited by helper threads, and `p = 1`
+//!    runs strictly sequentially — so "speedup vs P" measurements mean
+//!    what they say on multi-core hosts.
+//!
+//! When no helper is available everything runs sequentially on the
+//! caller (always, on a single-core host). Results are bit-identical
+//! either way; the algorithms only rely on *disjointness* of their
+//! parallel tasks, never on scheduling order.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicIsize, Ordering};
+use std::sync::Arc;
+
+mod iter;
+mod pool;
+
+pub use iter::*;
+pub use pool::{current_num_threads, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder};
+
+/// Everything needed for `use rayon::prelude::*` call sites.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelSliceMut};
+}
+
+/// Global budget of helper threads that may be live at once.
+static SPAWN_BUDGET: AtomicIsize = AtomicIsize::new(-1);
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The ambient thread-pool context: a logical thread count plus a shared
+/// allowance of helper threads for everything running under one
+/// [`ThreadPool::install`]. Inherited by helper threads.
+#[derive(Clone)]
+pub(crate) struct PoolCtx {
+    pub(crate) threads: usize,
+    allowance: Arc<AtomicIsize>,
+}
+
+impl PoolCtx {
+    pub(crate) fn new(threads: usize) -> Self {
+        Self {
+            threads,
+            allowance: Arc::new(AtomicIsize::new(threads as isize - 1)),
+        }
+    }
+}
+
+thread_local! {
+    /// Pool context installed by [`ThreadPool::install`] (None outside).
+    pub(crate) static POOL_CTX: RefCell<Option<PoolCtx>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn current_pool_ctx() -> Option<PoolCtx> {
+    POOL_CTX.with(|c| c.borrow().clone())
+}
+
+/// Run `f` with `ctx` installed as this thread's pool context (used by
+/// helper threads to inherit their spawner's pool).
+pub(crate) fn with_pool_ctx<R>(ctx: Option<PoolCtx>, f: impl FnOnce() -> R) -> R {
+    let prev = POOL_CTX.with(|c| c.replace(ctx));
+    struct Restore(Option<PoolCtx>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0.take();
+            POOL_CTX.with(|c| c.replace(prev));
+        }
+    }
+    let _restore = Restore(prev);
+    f()
+}
+
+/// RAII token for one reserved helper thread; returns the reservation to
+/// the global budget (and the pool allowance, if any) on drop.
+pub(crate) struct ThreadToken {
+    pool: Option<Arc<AtomicIsize>>,
+}
+
+impl Drop for ThreadToken {
+    fn drop(&mut self) {
+        SPAWN_BUDGET.fetch_add(1, Ordering::Relaxed);
+        if let Some(pool) = &self.pool {
+            pool.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn try_decrement(counter: &AtomicIsize) -> bool {
+    loop {
+        let cur = counter.load(Ordering::Relaxed);
+        if cur <= 0 {
+            return false;
+        }
+        if counter
+            .compare_exchange(cur, cur - 1, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            return true;
+        }
+    }
+}
+
+/// Try to reserve one helper thread, honoring both the global budget and
+/// the installed pool's allowance.
+pub(crate) fn try_acquire_thread() -> Option<ThreadToken> {
+    // Initialize the global budget lazily on first use (racing writers
+    // store the same value).
+    if SPAWN_BUDGET.load(Ordering::Relaxed) == -1 {
+        let budget = hardware_threads().saturating_sub(1) as isize;
+        let _ = SPAWN_BUDGET.compare_exchange(-1, budget, Ordering::Relaxed, Ordering::Relaxed);
+    }
+    let pool = match current_pool_ctx() {
+        Some(ctx) => {
+            if !try_decrement(&ctx.allowance) {
+                return None;
+            }
+            Some(ctx.allowance)
+        }
+        None => None,
+    };
+    if try_decrement(&SPAWN_BUDGET) {
+        Some(ThreadToken { pool })
+    } else {
+        // Give the pool allowance back; no global budget available.
+        if let Some(pool) = pool {
+            pool.fetch_add(1, Ordering::Relaxed);
+        }
+        None
+    }
+}
+
+/// Run `oper_a` and `oper_b`, potentially in parallel, and return both
+/// results. Semantically identical to `rayon::join`.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if let Some(token) = try_acquire_thread() {
+        let ctx = current_pool_ctx();
+        std::thread::scope(|s| {
+            let handle = s.spawn(move || {
+                let _token = token;
+                with_pool_ctx(ctx, oper_b)
+            });
+            let ra = oper_a();
+            let rb = match handle.join() {
+                Ok(rb) => rb,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
+            (ra, rb)
+        })
+    } else {
+        (oper_a(), oper_b())
+    }
+}
+
+/// A structured-concurrency scope; tasks spawned on it are joined before
+/// [`scope`] returns. Mirrors `rayon::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn `body` into the scope. Runs on a helper thread when the
+    /// global budget and pool allowance permit, inline otherwise (rayon
+    /// makes the same no-guarantee about which thread runs a spawned
+    /// task).
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        if let Some(token) = try_acquire_thread() {
+            let inner = self.inner;
+            let ctx = current_pool_ctx();
+            inner.spawn(move || {
+                let _token = token;
+                let scope = Scope { inner };
+                with_pool_ctx(ctx, move || body(&scope));
+            });
+        } else {
+            body(self);
+        }
+    }
+}
+
+/// Create a scope for structured task spawning. Mirrors `rayon::scope`;
+/// panics from spawned tasks propagate when the scope closes.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R + Send,
+    R: Send,
+{
+    std::thread::scope(|s| {
+        let wrapper = Scope { inner: s };
+        f(&wrapper)
+    })
+}
+
+/// Effective parallelism for splitting decisions on this thread.
+pub(crate) fn effective_threads() -> usize {
+    current_pool_ctx()
+        .map(|ctx| ctx.threads)
+        .unwrap_or_else(hardware_threads)
+        .max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn nested_joins_do_not_deadlock() {
+        fn sum(lo: u64, hi: u64) -> u64 {
+            if hi - lo < 64 {
+                (lo..hi).sum()
+            } else {
+                let mid = lo + (hi - lo) / 2;
+                let (a, b) = join(|| sum(lo, mid), || sum(mid, hi));
+                a + b
+            }
+        }
+        assert_eq!(sum(0, 10_000), 10_000 * 9_999 / 2);
+    }
+
+    #[test]
+    fn scope_joins_all_tasks() {
+        let mut data = vec![0u32; 8];
+        let chunks: Vec<&mut [u32]> = data.chunks_mut(2).collect();
+        scope(|s| {
+            for (i, chunk) in chunks.into_iter().enumerate() {
+                s.spawn(move |_| {
+                    for c in chunk.iter_mut() {
+                        *c = i as u32 + 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(data, vec![1, 1, 2, 2, 3, 3, 4, 4]);
+    }
+
+    #[test]
+    fn installed_single_thread_pool_is_strictly_sequential() {
+        // Inside install(1) no helper thread may ever run a task: both
+        // join arms and every scope spawn stay on the calling thread.
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        pool.install(|| {
+            let main_id = std::thread::current().id();
+            let (a, b) = join(
+                || std::thread::current().id(),
+                || std::thread::current().id(),
+            );
+            assert_eq!(a, main_id);
+            assert_eq!(b, main_id);
+            scope(|s| {
+                for _ in 0..16 {
+                    s.spawn(move |_| {
+                        assert_eq!(std::thread::current().id(), main_id);
+                    });
+                }
+            });
+            // Nested joins inherit the pool context through helpers too.
+            let (inner, _) = join(
+                || {
+                    let (x, y) = join(
+                        || std::thread::current().id(),
+                        || std::thread::current().id(),
+                    );
+                    (x, y)
+                },
+                || (),
+            );
+            assert_eq!(inner.0, main_id);
+            assert_eq!(inner.1, main_id);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn join_propagates_panics() {
+        join(|| (), || panic!("boom"));
+    }
+}

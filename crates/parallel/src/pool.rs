@@ -1,0 +1,131 @@
+//! Thread-pool facade matching the `rayon::ThreadPoolBuilder` API.
+//!
+//! The shim has no persistent worker pool; `install` publishes a pool
+//! context (logical thread count + shared helper allowance) that
+//! [`current_num_threads`], the iterator splitting, and every
+//! `join`/`scope` spawn decision honor — helper threads inherit it, so
+//! work running under `install(p)` uses at most `p − 1` helpers and
+//! `install(1)` is strictly sequential. That is what the workspace uses
+//! pools for (pinning `P` in benchmarks).
+
+use crate::{PoolCtx, POOL_CTX};
+
+/// Builder for a [`ThreadPool`]. Mirrors `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+/// Error type for [`ThreadPoolBuilder::build`] (infallible here, but the
+/// signature matches rayon's).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool construction failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Fresh builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request a pool of exactly `n` threads.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = self
+            .num_threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        Ok(ThreadPool {
+            num_threads: n.max(1),
+        })
+    }
+}
+
+/// A logical thread pool: a thread-count context for closures run under
+/// [`ThreadPool::install`].
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's thread count as the ambient
+    /// parallelism: splitting targets `num_threads` pieces and at most
+    /// `num_threads − 1` helper threads are live at once (helpers
+    /// inherit the context).
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        // A fresh context (and allowance) per install call.
+        let ctx = PoolCtx::new(self.num_threads);
+        let prev = POOL_CTX.with(|c| c.replace(Some(ctx)));
+        // Restore on scope exit even if `op` panics.
+        struct Restore(Option<PoolCtx>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                let prev = self.0.take();
+                POOL_CTX.with(|c| c.replace(prev));
+            }
+        }
+        let _restore = Restore(prev);
+        op()
+    }
+
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// The ambient thread count: the installed pool's size inside
+/// [`ThreadPool::install`], the hardware parallelism otherwise.
+pub fn current_num_threads() -> usize {
+    crate::effective_threads()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(7).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 7);
+        // Restored afterwards.
+        assert_ne!(current_num_threads(), 0);
+    }
+
+    #[test]
+    fn nested_installs_restore() {
+        let a = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let b = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+        a.install(|| {
+            assert_eq!(current_num_threads(), 2);
+            b.install(|| assert_eq!(current_num_threads(), 5));
+            assert_eq!(current_num_threads(), 2);
+        });
+    }
+
+    #[test]
+    fn helpers_inherit_the_installed_pool() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.install(|| {
+            let (a, b) = crate::join(current_num_threads, current_num_threads);
+            assert_eq!(a, 3);
+            assert_eq!(b, 3);
+        });
+    }
+}

@@ -1,290 +1,53 @@
-//! Instrumented replays of the six construction algorithms.
+//! PEM-instrumented construction runs.
 //!
-//! Each kernel re-runs a construction algorithm against a
-//! [`TrackedArray`], sharing every piece of index arithmetic with the
-//! production crates (`ist_bits::rev_k`, `ist_shuffle::j_involution`,
-//! `ist_gather::cycle_slot`, …). The permuted data is tested to be
-//! identical to `ist-core`'s output, so the recorded I/Os measure the
-//! real algorithms under the PEM cost model.
+//! These entry points drive the **single** generic implementation of each
+//! construction algorithm (`ist_core::algorithms`) on the
+//! [`TrackedArray`] cost backend — there is no separate instrumented
+//! replica to keep in sync. The recorded I/Os therefore measure the real
+//! algorithms under the PEM cost model by construction; the permuted
+//! array is bit-identical to the production output (asserted below and by
+//! the workspace equivalence tests).
 //!
 //! Work is partitioned over the `P` virtual processors exactly as the
-//! PRAM analyses assume: involution rounds split the index range into `P`
-//! contiguous chunks; gather cycles and block fix-ups are dealt out in
-//! contiguous groups; recursive subtree tasks rotate round-robin over
-//! processors.
+//! PRAM analyses assume — see the [`crate::TrackedArray`] `Machine`
+//! implementation. Arbitrary (non-perfect) input sizes are supported via
+//! the same Chapter-5 stripping pass the production path runs.
 
 use crate::TrackedArray;
-use ist_bits::{ilog2_floor, rev_k};
-use ist_gather::cycle_slot;
-use ist_layout::veb_split;
-use ist_shuffle::j_involution;
+use ist_core::{construct, Algorithm, Layout};
 
-/// Apply involution `f` (over global indices) on `[lo, hi)`, the index
-/// range split into `P` contiguous per-processor chunks.
-fn involution_round<F>(arr: &mut TrackedArray, lo: usize, hi: usize, f: F)
-where
-    F: Fn(usize) -> usize,
-{
-    let p = arr.procs();
-    let len = hi - lo;
-    for proc in 0..p {
-        let a = lo + len * proc / p;
-        let b = lo + len * (proc + 1) / p;
-        arr.set_proc(proc);
-        for i in a..b {
-            let j = f(i);
-            debug_assert!((lo..hi).contains(&j));
-            if i < j {
-                arr.swap(i, j);
-            }
-        }
-    }
+fn run(arr: &mut TrackedArray, layout: Layout, algorithm: Algorithm) {
+    construct(arr, layout, algorithm).expect("valid construction parameters");
 }
 
-/// Involution-based BST construction (§2.1). `arr.len() = 2^d − 1`.
+/// Involution-based BST construction (§2.1).
 pub fn involution_bst(arr: &mut TrackedArray) {
-    let n = arr.len();
-    if n <= 1 {
-        return;
-    }
-    let d = ilog2_floor(n as u64 + 1);
-    assert_eq!((1usize << d) - 1, n, "need n = 2^d - 1");
-    involution_round(arr, 0, n, |s| (rev_k(2, d, (s + 1) as u64) - 1) as usize);
-    involution_round(arr, 0, n, |s| {
-        let p = (s + 1) as u64;
-        (rev_k(2, ilog2_floor(p), p) - 1) as usize
-    });
+    run(arr, Layout::Bst, Algorithm::Involution);
 }
 
-/// One padded k-way un-shuffle on `[0, n_cur)` via digit reversals (Ξ₁).
-fn traced_unshuffle_pow(arr: &mut TrackedArray, n_cur: usize, k: usize, m: u32) {
-    let kk = k as u64;
-    involution_round(arr, 0, n_cur, |s| (rev_k(kk, m, (s + 1) as u64) - 1) as usize);
-    involution_round(arr, 0, n_cur, |s| {
-        (rev_k(kk, m - 1, (s + 1) as u64) - 1) as usize
-    });
-}
-
-/// k-way perfect shuffle of `[lo, hi)` via `J` involutions (Ξ₂).
-fn traced_shuffle_mod(arr: &mut TrackedArray, lo: usize, hi: usize, k: usize) {
-    let len = hi - lo;
-    if len <= 1 || k <= 1 {
-        return;
-    }
-    debug_assert_eq!(len % k, 0);
-    let nm1 = (len - 1) as u64;
-    let kk = k as u64;
-    involution_round(arr, lo, hi, |s| {
-        lo + j_involution(1, nm1, (s - lo) as u64) as usize
-    });
-    involution_round(arr, lo, hi, |s| {
-        lo + j_involution(kk, nm1, (s - lo) as u64) as usize
-    });
-}
-
-/// Involution-based B-tree construction (§2.2). `arr.len() = (b+1)^m − 1`.
+/// Involution-based B-tree construction (§2.2) with `b` keys per node.
 pub fn involution_btree(arr: &mut TrackedArray, b: usize) {
-    let k = b + 1;
-    let n = arr.len();
-    let m = ist_bits::ilog(k as u64, n as u64 + 1);
-    assert_eq!(k.pow(m), n + 1, "need n = (B+1)^m - 1");
-    let mut mm = m;
-    while mm >= 2 {
-        let n_cur = k.pow(mm) - 1;
-        traced_unshuffle_pow(arr, n_cur, k, mm);
-        let r = k.pow(mm - 1) - 1;
-        if b >= 2 {
-            traced_shuffle_mod(arr, r, n_cur, b);
-        }
-        mm -= 1;
-    }
+    run(arr, Layout::Btree { b }, Algorithm::Involution);
 }
 
-/// Involution-based vEB construction (§2.3). `arr.len() = 2^d − 1`.
+/// Involution-based vEB construction (§2.3).
 pub fn involution_veb(arr: &mut TrackedArray) {
-    let n = arr.len();
-    if n == 0 {
-        return;
-    }
-    let d = ilog2_floor(n as u64 + 1);
-    assert_eq!((1usize << d) - 1, n, "need n = 2^d - 1");
-    inv_veb_rec(arr, 0, d, 0);
-}
-
-fn inv_veb_rec(arr: &mut TrackedArray, lo: usize, d: u32, task: usize) {
-    if d <= 1 {
-        return;
-    }
-    let (t, bb) = veb_split(d);
-    let k = 1usize << bb;
-    let r = (1usize << t) - 1;
-    let l = k - 1;
-    let n_cur = (1usize << d) - 1;
-    // Separate top keys to the front of the region. (The involution
-    // helpers work on [0, n); shift by regenerating with offsets.)
-    let off = lo;
-    if d % bb == 0 {
-        let kk = k as u64;
-        let m = d / bb;
-        involution_round(arr, off, off + n_cur, |s| {
-            off + (rev_k(kk, m, (s - off + 1) as u64) - 1) as usize
-        });
-        involution_round(arr, off, off + n_cur, |s| {
-            off + (rev_k(kk, m - 1, (s - off + 1) as u64) - 1) as usize
-        });
-    } else {
-        let nm1 = n_cur as u64;
-        let kk = k as u64;
-        involution_round(arr, off, off + n_cur, |s| {
-            off + (j_involution(kk, nm1, (s - off + 1) as u64) - 1) as usize
-        });
-        involution_round(arr, off, off + n_cur, |s| {
-            off + (j_involution(1, nm1, (s - off + 1) as u64) - 1) as usize
-        });
-    }
-    if l >= 2 {
-        traced_shuffle_mod(arr, off + r, off + n_cur, l);
-    }
-    // Recurse: top, then each bottom subtree (round-robin processor hint
-    // is implicit in involution_round's internal partitioning; recursion
-    // tasks below a single processor's share run on one processor).
-    inv_veb_rec(arr, lo, t, task);
-    for q in 0..=r {
-        inv_veb_rec(arr, lo + r + q * l, bb, task + 1 + q);
-    }
-}
-
-/// Cycle-leader equidistant gather on a region, with cycles and block
-/// fix-ups dealt across processors in contiguous groups (the practical
-/// `O(B)-cycles-per-processor` scheme of §4.2).
-fn traced_gather(arr: &mut TrackedArray, lo: usize, r: usize, l: usize) {
-    let p = arr.procs();
-    for proc in 0..p {
-        let a = 1 + r * proc / p;
-        let b = 1 + r * (proc + 1) / p;
-        arr.set_proc(proc);
-        for c in a..b {
-            for m in (1..=c).rev() {
-                arr.swap(lo + cycle_slot(m, c, l), lo + cycle_slot(m - 1, c, l));
-            }
-        }
-    }
-    for proc in 0..p {
-        let a = (r + 1) * proc / p;
-        let b = (r + 1) * (proc + 1) / p;
-        arr.set_proc(proc);
-        for j0 in a..b {
-            let amount = (r - j0) % l; // (r + 1 - j) % l with j = j0 + 1
-            let start = lo + r + j0 * l;
-            arr.rotate_right(start, start + l, amount);
-        }
-    }
-}
-
-/// Chunked gather (chunks of `chunk` elements as units) on a region.
-fn traced_gather_chunks(arr: &mut TrackedArray, lo: usize, r: usize, l: usize, chunk: usize) {
-    let p = arr.procs();
-    for proc in 0..p {
-        let a = 1 + r * proc / p;
-        let b = 1 + r * (proc + 1) / p;
-        arr.set_proc(proc);
-        for c in a..b {
-            for m in (1..=c).rev() {
-                let x = lo + cycle_slot(m, c, l) * chunk;
-                let y = lo + cycle_slot(m - 1, c, l) * chunk;
-                arr.swap_range(x, y, chunk);
-            }
-        }
-    }
-    for proc in 0..p {
-        let a = (r + 1) * proc / p;
-        let b = (r + 1) * (proc + 1) / p;
-        arr.set_proc(proc);
-        for j0 in a..b {
-            let amount = ((r - j0) % l) * chunk;
-            let start = lo + (r + j0 * l) * chunk;
-            arr.rotate_right(start, start + l * chunk, amount);
-        }
-    }
-}
-
-/// Cycle-leader vEB construction (§3.1). `arr.len() = 2^d − 1`.
-pub fn cycle_leader_veb(arr: &mut TrackedArray) {
-    let n = arr.len();
-    if n == 0 {
-        return;
-    }
-    let d = ilog2_floor(n as u64 + 1);
-    assert_eq!((1usize << d) - 1, n, "need n = 2^d - 1");
-    cl_veb_rec(arr, 0, d);
-}
-
-fn cl_veb_rec(arr: &mut TrackedArray, lo: usize, d: u32) {
-    if d <= 1 {
-        return;
-    }
-    let (t, bb) = veb_split(d);
-    let r = (1usize << t) - 1;
-    let l = (1usize << bb) - 1;
-    let n_cur = (1usize << d) - 1;
-    if t == bb {
-        traced_gather(arr, lo, r, l);
-    } else {
-        let half = (n_cur - 1) / 2;
-        traced_gather(arr, lo, l, l);
-        traced_gather(arr, lo + half + 1, l, l);
-        arr.rotate_right(lo + l, lo + l + half + 1, l + 1);
-    }
-    cl_veb_rec(arr, lo, t);
-    for q in 0..=r {
-        cl_veb_rec(arr, lo + r + q * l, bb);
-    }
-}
-
-/// Cycle-leader B-tree construction (§3.2). `arr.len() = (b+1)^m − 1`.
-pub fn cycle_leader_btree(arr: &mut TrackedArray, b: usize) {
-    let k = b + 1;
-    let n = arr.len();
-    let m = ist_bits::ilog(k as u64, n as u64 + 1);
-    assert_eq!(k.pow(m), n + 1, "need n = (B+1)^m - 1");
-    let mut mm = m;
-    while mm >= 2 {
-        traced_extended_gather(arr, 0, b, mm);
-        mm -= 1;
-    }
+    run(arr, Layout::Veb, Algorithm::Involution);
 }
 
 /// Cycle-leader BST construction: B-tree with `B = 1` (§3.3).
 pub fn cycle_leader_bst(arr: &mut TrackedArray) {
-    let n = arr.len();
-    if n <= 1 {
-        return;
-    }
-    let d = ilog2_floor(n as u64 + 1);
-    assert_eq!((1usize << d) - 1, n, "need n = 2^d - 1");
-    cycle_leader_btree(arr, 1);
+    run(arr, Layout::Bst, Algorithm::CycleLeader);
 }
 
-fn traced_extended_gather(arr: &mut TrackedArray, lo: usize, b: usize, m: u32) {
-    let k = b + 1;
-    match m {
-        0 | 1 => (),
-        2 => traced_gather(arr, lo, b, b),
-        _ => {
-            let c = k.pow(m - 2);
-            let part_len = c * k;
-            traced_extended_gather_region(arr, lo, part_len - 1, b, m - 1);
-            for p in 1..k {
-                let start = lo + part_len - 1 + (p - 1) * part_len;
-                traced_extended_gather_region(arr, start + 1, part_len - 1, b, m - 1);
-            }
-            traced_gather_chunks(arr, lo + c - 1, b, b, c);
-        }
-    }
+/// Cycle-leader B-tree construction (§3.2) with `b` keys per node.
+pub fn cycle_leader_btree(arr: &mut TrackedArray, b: usize) {
+    run(arr, Layout::Btree { b }, Algorithm::CycleLeader);
 }
 
-fn traced_extended_gather_region(arr: &mut TrackedArray, lo: usize, _len: usize, b: usize, m: u32) {
-    traced_extended_gather(arr, lo, b, m);
+/// Cycle-leader vEB construction (§3.1).
+pub fn cycle_leader_veb(arr: &mut TrackedArray) {
+    run(arr, Layout::Veb, Algorithm::CycleLeader);
 }
 
 #[cfg(test)]
@@ -332,6 +95,30 @@ mod tests {
             let mut a = TrackedArray::from_sorted(n, c);
             cycle_leader_btree(&mut a, b);
             assert_eq!(a.data(), &expect[..], "cl btree p={p}");
+        }
+    }
+
+    #[test]
+    fn nonperfect_sizes_are_traced_too() {
+        // The Chapter-5 stripping pass now runs under the cost model as
+        // well, so arbitrary sizes work on every backend.
+        for n in [10usize, 100, 1000, 5000] {
+            let c = cfg(256, 8, 2);
+            for layout in [Layout::Bst, Layout::Veb, Layout::Btree { b: 3 }] {
+                let expect = reference_permutation(&sorted(n), layout);
+                for (name, algo) in [
+                    ("involution", Algorithm::Involution),
+                    ("cycle_leader", Algorithm::CycleLeader),
+                ] {
+                    let mut a = TrackedArray::from_sorted(n, c);
+                    super::run(&mut a, layout, algo);
+                    assert_eq!(a.data(), &expect[..], "{name} {layout:?} n={n}");
+                    assert!(
+                        a.stats().total() > 0,
+                        "{name} {layout:?} n={n}: no I/O charged"
+                    );
+                }
+            }
         }
     }
 

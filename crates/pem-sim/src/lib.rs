@@ -11,12 +11,12 @@
 //! The paper *analyzes* its algorithms in this model; the authors'
 //! machines obviously cannot report PEM I/Os, and neither can ours — so
 //! this crate is the substrate substitution: a fully-associative LRU
-//! cache per (virtual) processor, fed by **instrumented kernels** that
-//! re-run the construction algorithms with every array access recorded.
-//! The kernels share all index arithmetic (digit reversals, `J`
-//! involutions, gather cycle slots) with the production crates and are
-//! tested to produce byte-identical permutations, so the traces measure
-//! the real algorithms.
+//! cache per (virtual) processor behind a [`TrackedArray`] that
+//! implements the `ist-machine` `Machine` trait. The kernels in
+//! [`kernels`] drive the **same** generic construction algorithms as the
+//! production path (`ist_core::algorithms`) on this backend — not a
+//! hand-maintained replica — so the traces measure the real algorithms
+//! by construction, and the permuted output is bit-identical.
 //!
 //! ```
 //! use ist_pem_sim::{kernels, PemConfig, TrackedArray};
@@ -35,6 +35,7 @@
 
 pub mod kernels;
 mod lru;
+mod machine;
 
 pub use lru::LruCache;
 
@@ -206,6 +207,12 @@ impl TrackedArray {
         &self.data
     }
 
+    /// Mutable region view for local tasks (no I/O charged; callers
+    /// account for the transfer separately).
+    pub(crate) fn region_mut(&mut self, lo: usize, len: usize) -> &mut [u64] {
+        &mut self.data[lo..lo + len]
+    }
+
     /// The I/O counters accumulated so far.
     pub fn stats(&self) -> IoStats {
         IoStats {
@@ -263,7 +270,7 @@ mod tests {
         let mut arr = TrackedArray::from_sorted(1024, cfg(64, 16, 4));
         for p in 0..4 {
             arr.set_proc(p);
-            for i in 0..(256) {
+            for i in 0..256 {
                 arr.read(p * 256 + i);
             }
         }

@@ -179,7 +179,9 @@ mod tests {
         };
         let mut x = 12345u64;
         for _ in 0..20_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let b = (x >> 33) as usize % 24;
             assert_eq!(fast.access(b), slow.access(b));
         }

@@ -28,7 +28,9 @@ where
         assert!(out[j].is_none(), "pi not injective at target {j}");
         out[j] = Some(v.clone());
     }
-    out.into_iter().map(|o| o.expect("pi not surjective")).collect()
+    out.into_iter()
+        .map(|o| o.expect("pi not surjective"))
+        .collect()
 }
 
 /// Check whether `f` restricted to `[0, n)` is a permutation.

@@ -513,9 +513,10 @@ impl<'a, T: Ord + Sync> Searcher<'a, T> {
                     lo += c * (child_span + 1);
                     span = child_span;
                 }
-                let g = lo; // full elements < key
-                // Overflow keys in gaps before g, plus the within-gap-g
-                // prefix that is still < key.
+                // g = full elements < key. The rank adds the overflow
+                // keys in gaps before g, plus the within-gap-g prefix
+                // that is still < key.
+                let g = lo;
                 let mut rank = g + (g.min(q)) * b + if g > q { s } else { 0 };
                 let (start, len) = if g < q {
                     (i + g * b, b)
@@ -598,11 +599,7 @@ mod tests {
         for x in 0..n as u64 {
             let key = 2 * x + 10;
             let hit = s.search(&key);
-            assert_eq!(
-                hit.map(|p| data[p]),
-                Some(key),
-                "n={n} kind={kind:?} x={x}"
-            );
+            assert_eq!(hit.map(|p| data[p]), Some(key), "n={n} kind={kind:?} x={x}");
             assert!(!s.contains(&(key + 1)), "n={n} kind={kind:?} miss x={x}");
         }
         assert!(!s.contains(&0));

@@ -166,12 +166,15 @@ pub fn swap_regions_par<T: Send>(data: &mut [T], a: usize, b: usize, len: usize)
         return;
     }
     let shared = SharedSlice::new(data);
-    (0..len).into_par_iter().with_min_len(1 << 12).for_each(|i| {
-        // SAFETY: indices a+i and b+i are in bounds (asserted above); the
-        // regions are disjoint and each i is owned by one task, so no two
-        // tasks touch the same element.
-        unsafe { shared.swap(a + i, b + i) };
-    });
+    (0..len)
+        .into_par_iter()
+        .with_min_len(1 << 12)
+        .for_each(|i| {
+            // SAFETY: indices a+i and b+i are in bounds (asserted above); the
+            // regions are disjoint and each i is owned by one task, so no two
+            // tasks touch the same element.
+            unsafe { shared.swap(a + i, b + i) };
+        });
 }
 
 #[cfg(test)]

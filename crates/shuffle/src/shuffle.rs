@@ -137,7 +137,11 @@ pub fn unshuffle_pow_par<T: Send>(data: &mut [T], k: usize) {
 
 fn check_mod(n: usize, k: usize) {
     assert!(k >= 1, "k must be positive");
-    assert_eq!(n % k, 0, "shuffle_mod requires k | len (len = {n}, k = {k})");
+    assert_eq!(
+        n % k,
+        0,
+        "shuffle_mod requires k | len (len = {n}, k = {k})"
+    );
 }
 
 /// k-way perfect shuffle for any `N` divisible by `k`, via the `J`

@@ -147,9 +147,9 @@ mod tests {
         for d in 1..=12u32 {
             let layout = reference_layout(d);
             let n = layout.len();
-            for v in 0..n {
-                assert_eq!(bst_pos(d, layout[v]), v, "d={d} node={v}");
-                assert_eq!(bst_pos_inv(d, v), layout[v], "d={d} node={v}");
+            for (v, &in_order) in layout.iter().enumerate().take(n) {
+                assert_eq!(bst_pos(d, in_order), v, "d={d} node={v}");
+                assert_eq!(bst_pos_inv(d, v), in_order, "d={d} node={v}");
             }
         }
     }
@@ -174,7 +174,11 @@ mod tests {
                 let j = i.trailing_zeros();
                 let once = rev2(d, i);
                 let twice = rev_k(2, d - (j + 1), once);
-                assert_eq!(bst_pos(d, (i - 1) as usize), (twice - 1) as usize, "d={d} i={i}");
+                assert_eq!(
+                    bst_pos(d, (i - 1) as usize),
+                    (twice - 1) as usize,
+                    "d={d} i={i}"
+                );
             }
         }
     }

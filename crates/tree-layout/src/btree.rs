@@ -125,7 +125,7 @@ pub fn btree_pos(b: usize, m: u32, sorted: usize) -> usize {
     let mut m = m;
     loop {
         debug_assert!(m >= 1);
-        if (i + 1) % k != 0 {
+        if !(i + 1).is_multiple_of(k) {
             // Leaf element of the current (sub)tree: internal prefix has
             // k^{m-1} - 1 slots, then leaf node j = i / k, slot i % k.
             let internal = k.pow(m - 1) - 1;
@@ -276,8 +276,16 @@ mod tests {
             for c in 0..=b {
                 let child = v * k + c + 1;
                 assert!(child < num_nodes);
-                let lo = if c == 0 { 0 } else { btree_pos_inv(b, m, v * b + c - 1) + 1 };
-                let hi = if c == b { n } else { btree_pos_inv(b, m, v * b + c) };
+                let lo = if c == 0 {
+                    0
+                } else {
+                    btree_pos_inv(b, m, v * b + c - 1) + 1
+                };
+                let hi = if c == b {
+                    n
+                } else {
+                    btree_pos_inv(b, m, v * b + c)
+                };
                 for s in 0..b {
                     let key = btree_pos_inv(b, m, child * b + s);
                     assert!(key >= lo && key < hi, "v={v} c={c} s={s}");

@@ -89,7 +89,7 @@ impl CompleteShape {
     /// in-order traversal).
     #[inline]
     pub fn is_overflow(&self, sorted: usize) -> bool {
-        sorted < 2 * self.overflow() && sorted % 2 == 0
+        sorted < 2 * self.overflow() && sorted.is_multiple_of(2)
     }
 
     /// Rank of a *full* element within the full tree's sorted order.

@@ -29,7 +29,7 @@ use ist_bits::{ilog2_floor, is_perfect_bst_size};
 /// ```
 #[inline]
 pub fn veb_split(d: u32) -> (u32, u32) {
-    ((d + 1) / 2, d / 2)
+    (d.div_ceil(2), d / 2)
 }
 
 /// Shape of a perfect tree in vEB order: `N = 2^levels − 1` keys.
@@ -191,7 +191,10 @@ mod tests {
             let (t, b) = veb_split(d);
             let bb = 1usize << b;
             // Top tree: every bb-th element (1-indexed multiples of 2^b).
-            let top: Vec<usize> = (1..=n).filter(|p| p % bb == 0).map(|p| inorder[p - 1]).collect();
+            let top: Vec<usize> = (1..=n)
+                .filter(|p| p % bb == 0)
+                .map(|p| inorder[p - 1])
+                .collect();
             let mut out = build(t, top);
             // Bottom trees: consecutive runs between top elements.
             let r = (1usize << t) - 1;

@@ -20,10 +20,13 @@ fn main() {
     let b = 8; // 64-byte cache lines / 8-byte keys
     println!("bid floor table: {n} price points, B-tree layout with B = {b}\n");
 
-    // Price points in tenths of a cent, sorted (synthetic but realistic:
-    // clustered around common floor prices).
+    // Price points in tenths of a cent (synthetic but realistic:
+    // clustered around common floor prices). The jitter term makes the
+    // raw sequence non-monotonic, so sort before deduplicating — every
+    // index here requires sorted input.
     let table: Vec<u64> = (0..n as u64).map(|i| 100 + i * 3 + (i % 7)).collect();
     let mut sorted_table = table.clone();
+    sorted_table.sort_unstable();
     sorted_table.dedup();
     let table = sorted_table;
     let n = table.len();
@@ -60,9 +63,15 @@ fn main() {
     let t_btree = t0.elapsed();
 
     assert_eq!(hits_sorted, hits_btree);
-    println!("binary search  : {t_binary:>10.3?} for {} requests", requests.len());
+    println!(
+        "binary search  : {t_binary:>10.3?} for {} requests",
+        requests.len()
+    );
     println!("permute (once) : {t_permute:>10.3?}");
-    println!("B-tree queries : {t_btree:>10.3?} for {} requests", requests.len());
+    println!(
+        "B-tree queries : {t_btree:>10.3?} for {} requests",
+        requests.len()
+    );
 
     let per_binary = t_binary.as_secs_f64() / requests.len() as f64;
     let per_btree = t_btree.as_secs_f64() / requests.len() as f64;

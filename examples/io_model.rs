@@ -12,10 +12,18 @@ use implicit_search_trees::pem_sim::{kernels as pem, PemConfig, TrackedArray};
 fn main() {
     // --- PEM model: count block transfers per algorithm. -------------
     let n = (1usize << 16) - 1;
-    let cfg = PemConfig { m: 2048, b: 16, p: 1 };
-    println!("PEM I/O counts (N = {n}, M = {} words, B = {} words):", cfg.m, cfg.b);
+    let cfg = PemConfig {
+        m: 2048,
+        b: 16,
+        p: 1,
+    };
+    println!(
+        "PEM I/O counts (N = {n}, M = {} words, B = {} words):",
+        cfg.m, cfg.b
+    );
 
-    let runs: Vec<(&str, fn(&mut TrackedArray))> = vec![
+    type PemRun = fn(&mut TrackedArray);
+    let runs: Vec<(&str, PemRun)> = vec![
         ("involution BST", |a| pem::involution_bst(a)),
         ("involution vEB", |a| pem::involution_veb(a)),
         ("cycle-leader BST", |a| pem::cycle_leader_bst(a)),
@@ -26,7 +34,10 @@ fn main() {
         let mut arr = TrackedArray::from_sorted(n, cfg);
         run(&mut arr);
         let q = arr.stats().max_per_proc();
-        println!("  {name:<18}: {q:>8} block I/Os  ({:.1}x a full scan)", q as f64 / scan as f64);
+        println!(
+            "  {name:<18}: {q:>8} block I/Os  ({:.1}x a full scan)",
+            q as f64 / scan as f64
+        );
     }
 
     // --- GPU model: launches / transactions / compute per algorithm. --

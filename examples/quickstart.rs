@@ -11,7 +11,11 @@ fn main() {
     let n = 1_000_000u64;
     println!("building a sorted array of {n} keys (values 0, 2, 4, …)");
 
-    for layout in [Layout::Bst, Layout::Btree { b: 8 }, Layout::Veb] {
+    for (name, layout) in [
+        ("bst", Layout::Bst),
+        ("btree (B = 8)", Layout::Btree { b: 8 }),
+        ("veb", Layout::Veb),
+    ] {
         // Start from sorted data every time — the permutation is in place.
         let mut data: Vec<u64> = (0..n).map(|x| 2 * x).collect();
 
@@ -30,8 +34,7 @@ fn main() {
         let queried = start.elapsed();
 
         println!(
-            "{:>18?}: permuted in {built:>10.3?}, 100k queries in {queried:>10.3?} ({found} hits)",
-            layout
+            "{name:>14}: permuted in {built:>10.3?}, 100k queries in {queried:>10.3?} ({found} hits)"
         );
     }
 

@@ -32,23 +32,36 @@
 //! assert!(!index.contains(&299_998));
 //! ```
 //!
+//! ## One algorithm, N machines
+//!
+//! Each of the six construction algorithms is implemented **once**, in
+//! [`ist_core::algorithms`], generic over the [`machine::Machine`] trait.
+//! Three backends instantiate it: [`machine::Ram`] (the production path
+//! used by [`permute_in_place`]; zero-overhead via monomorphization), the
+//! PEM I/O counter in [`pem_sim`], and the SIMT cost model in
+//! [`gpu_sim`]. The simulators therefore measure the *real* algorithms
+//! by construction — `tests/machine_equivalence.rs` asserts bit-identical
+//! output across every (layout, algorithm, backend) combination.
+//!
 //! ## Crate map
 //!
 //! | Module | Contents |
 //! |---|---|
-//! | `core` (re-exported at the root) | the construction algorithms and public API |
-//! | [`query`] | per-layout searchers and batch drivers |
+//! | `core` (re-exported at the root) | the construction algorithms (written once, `Machine`-generic) and public API |
+//! | [`machine`] | the `Machine` execution-substrate trait and the `Ram` backend |
+//! | [`query`] | per-layout searchers, `rank`/`lower_bound`, and batch drivers |
 //! | [`layout`] | position maps / index arithmetic per layout |
 //! | [`gather`] | equidistant gather operations |
 //! | [`shuffle`] | perfect shuffles and rotations |
 //! | [`perm`] | involution/cycle permutation framework |
 //! | [`bits`] | digit reversal and modular arithmetic |
-//! | [`pem_sim`] | PEM-model I/O cost simulator |
-//! | [`gpu_sim`] | SIMT (GPU) execution cost model |
+//! | [`pem_sim`] | PEM-model I/O cost backend |
+//! | [`gpu_sim`] | SIMT (GPU) execution cost backend |
 
 pub use ist_core::{
-    cycle_leader, fich_baseline, involution, nonperfect, permute_in_place, permute_in_place_seq,
-    reference_permutation, Algorithm, Error, Layout, LayoutKind,
+    construct, cycle_leader, fich_baseline, involution, nonperfect, permute_in_place,
+    permute_in_place_seq, reference_permutation, Algorithm, Error, GatherMode, IndexArith, Layout,
+    LayoutKind, Machine, Ram, Region,
 };
 pub use ist_query::{
     search_bst, search_bst_prefetch, search_btree, search_sorted, search_veb, QueryKind, Searcher,
@@ -62,6 +75,8 @@ pub use ist_gather as gather;
 pub use ist_gpu_sim as gpu_sim;
 /// Layout position maps and tree geometry.
 pub use ist_layout as layout;
+/// Machine abstraction (execution substrates) and the Ram backend.
+pub use ist_machine as machine;
 /// PEM-model I/O cost simulator.
 pub use ist_pem_sim as pem_sim;
 /// Permutation framework (involutions, cycles).

@@ -1,4 +1,10 @@
-//! Property-based tests (proptest) over the core invariants.
+//! Property-based tests over the core invariants.
+//!
+//! Each property is checked over a deterministic stream of randomized
+//! inputs (sizes, branching factors, probes) drawn from the workspace's
+//! seeded PRNG — the offline stand-in for a proptest harness. On failure
+//! the assert message carries the generating parameters, which together
+//! with the fixed seeds makes every counterexample reproducible.
 
 use implicit_search_trees::bits::{gcd, mod_inverse, mod_mul, rev_k};
 use implicit_search_trees::gather::{
@@ -6,151 +12,285 @@ use implicit_search_trees::gather::{
 };
 use implicit_search_trees::shuffle::{shuffle_mod, unshuffle_mod};
 use implicit_search_trees::{
-    permute_in_place, permute_in_place_seq, reference_permutation, Algorithm, Layout, Searcher,
+    permute_in_place, permute_in_place_seq, reference_permutation, Algorithm, Layout, QueryKind,
+    Searcher,
 };
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: usize = 64;
 
-    /// rev_k is an involution and preserves high digits.
-    #[test]
-    fn rev_k_involution(k in 2u64..12, b in 0u32..6, i in 0u64..100_000) {
+/// rev_k is an involution and preserves high digits.
+#[test]
+fn rev_k_involution() {
+    let mut rng = StdRng::seed_from_u64(0xbeef);
+    for case in 0..CASES {
+        let k = rng.gen_range(2u64..12);
+        let b = rng.gen_range(0u64..6) as u32;
         let window = k.pow(b);
-        prop_assume!(i < window * 50);
+        let i = rng.gen_range(0..window * 50);
         let r = rev_k(k, b, i);
-        prop_assert_eq!(rev_k(k, b, r), i);
-        prop_assert_eq!(r / window, i / window);
+        assert_eq!(rev_k(k, b, r), i, "case {case}: k={k} b={b} i={i}");
+        assert_eq!(r / window, i / window, "case {case}: k={k} b={b} i={i}");
     }
+}
 
-    /// Modular inverses invert.
-    #[test]
-    fn modular_inverse(m in 2u64..1_000_000, a in 1u64..1_000_000) {
-        let a = a % m;
-        prop_assume!(a != 0);
+/// Modular inverses invert.
+#[test]
+fn modular_inverse() {
+    let mut rng = StdRng::seed_from_u64(0xcafe);
+    for case in 0..CASES {
+        let m = rng.gen_range(2u64..1_000_000);
+        let a = rng.gen_range(1u64..1_000_000) % m;
+        if a == 0 {
+            continue;
+        }
         match mod_inverse(a, m) {
-            Some(inv) => prop_assert_eq!(mod_mul(a, inv, m), 1),
-            None => prop_assert!(gcd(a, m) != 1),
+            Some(inv) => assert_eq!(mod_mul(a, inv, m), 1, "case {case}: a={a} m={m}"),
+            None => assert_ne!(gcd(a, m), 1, "case {case}: a={a} m={m}"),
         }
     }
+}
 
-    /// shuffle then unshuffle is the identity for arbitrary (k, m).
-    #[test]
-    fn shuffle_roundtrip(k in 1usize..9, m in 1usize..200) {
+/// shuffle then unshuffle is the identity for arbitrary (k, m), and the
+/// shuffle interleaves decks correctly (direct semantics check).
+#[test]
+fn shuffle_roundtrip_and_semantics() {
+    let mut rng = StdRng::seed_from_u64(0xfeed);
+    for case in 0..CASES {
+        let k = rng.gen_range(1usize..9);
+        let m = rng.gen_range(1usize..200);
         let n = k * m;
         let orig: Vec<u32> = (0..n as u32).collect();
         let mut v = orig.clone();
         shuffle_mod(&mut v, k);
-        unshuffle_mod(&mut v, k);
-        prop_assert_eq!(v, orig);
-    }
-
-    /// The shuffle interleaves decks correctly (direct semantics check).
-    #[test]
-    fn shuffle_semantics(k in 2usize..7, m in 1usize..60) {
-        let n = k * m;
-        let orig: Vec<usize> = (0..n).collect();
-        let mut v = orig.clone();
-        shuffle_mod(&mut v, k);
-        for l in 0..k {
-            for j in 0..m {
-                prop_assert_eq!(v[j * k + l], l * m + j);
+        if k >= 2 {
+            for l in 0..k {
+                for j in 0..m {
+                    assert_eq!(
+                        v[j * k + l] as usize,
+                        l * m + j,
+                        "case {case}: k={k} m={m} deck={l} offset={j}"
+                    );
+                }
             }
         }
+        unshuffle_mod(&mut v, k);
+        assert_eq!(v, orig, "case {case}: k={k} m={m} roundtrip");
     }
+}
 
-    /// Equidistant gather matches its out-of-place reference for
-    /// arbitrary r <= l.
-    #[test]
-    fn gather_matches_reference(l in 1usize..40, r_frac in 0usize..41) {
-        let r = r_frac.min(l);
+/// Equidistant gather matches its out-of-place reference for arbitrary
+/// r <= l.
+#[test]
+fn gather_matches_reference() {
+    let mut rng = StdRng::seed_from_u64(0xd00d);
+    for case in 0..CASES {
+        let l = rng.gen_range(1usize..40);
+        let r = rng.gen_range(0usize..41).min(l);
         let n = gather_len(r, l);
         let orig: Vec<u32> = (0..n as u32).rev().collect();
         let expect = reference_gather(&orig, r, l);
         let mut got = orig;
         equidistant_gather(&mut got, r, l);
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect, "case {case}: r={r} l={l}");
     }
+}
 
-    /// Extended gather = stable partition by (i mod (b+1) == b).
-    #[test]
-    fn extended_gather_is_stable_partition(b in 1usize..6, m in 1u32..6) {
+/// Extended gather = stable partition by (i mod (b+1) == b).
+#[test]
+fn extended_gather_is_stable_partition() {
+    let mut rng = StdRng::seed_from_u64(0xace);
+    for case in 0..CASES {
+        let b = rng.gen_range(1usize..6);
+        let m = rng.gen_range(1usize..6) as u32;
         let n = (b + 1).pow(m) - 1;
-        prop_assume!(n <= 1 << 14);
+        if n > 1 << 14 {
+            continue;
+        }
         let orig: Vec<usize> = (0..n).collect();
         let mut got = orig.clone();
         extended_equidistant_gather(&mut got, b);
         let k = b + 1;
         let mut expect: Vec<usize> = (0..n).filter(|i| i % k == b).collect();
         expect.extend((0..n).filter(|i| i % k != b));
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect, "case {case}: b={b} m={m}");
     }
+}
 
-    /// Every construction output is a permutation of the input that
-    /// matches the closed-form oracle, for arbitrary sizes.
-    #[test]
-    fn construction_is_correct_permutation(
-        n in 1usize..3000,
-        b in 1usize..10,
-        algo_idx in 0usize..2,
-        layout_idx in 0usize..3,
-    ) {
-        let layout = match layout_idx {
-            0 => Layout::Bst,
-            1 => Layout::Btree { b },
-            _ => Layout::Veb,
-        };
-        let algo = Algorithm::ALL[algo_idx];
+fn random_layout(rng: &mut StdRng, b: usize) -> Layout {
+    match rng.gen_range(0usize..3) {
+        0 => Layout::Bst,
+        1 => Layout::Btree { b },
+        _ => Layout::Veb,
+    }
+}
+
+/// Every construction output is a permutation of the input that matches
+/// the closed-form oracle, for arbitrary sizes.
+#[test]
+fn construction_is_correct_permutation() {
+    let mut rng = StdRng::seed_from_u64(0x5eed);
+    for case in 0..CASES {
+        let n = rng.gen_range(1usize..3000);
+        let b = rng.gen_range(1usize..10);
+        let layout = random_layout(&mut rng, b);
+        let algo = Algorithm::ALL[rng.gen_range(0usize..2)];
         let sorted: Vec<u64> = (0..n as u64).collect();
         let mut got = sorted.clone();
         permute_in_place_seq(&mut got, layout, algo).unwrap();
         let expect = reference_permutation(&sorted, layout);
-        prop_assert_eq!(&got, &expect);
+        assert_eq!(got, expect, "case {case}: n={n} {layout:?} {algo:?}");
         // Permutation check: sorting recovers the input.
         let mut back = got;
         back.sort_unstable();
-        prop_assert_eq!(back, sorted);
+        assert_eq!(back, sorted, "case {case}: n={n} {layout:?} {algo:?}");
     }
+}
 
-    /// Searches over any permuted layout agree with binary search over
-    /// the original sorted data, for hits and misses.
-    #[test]
-    fn search_agrees_with_sorted_baseline(
-        n in 1usize..2000,
-        b in 1usize..12,
-        layout_idx in 0usize..3,
-        probes in proptest::collection::vec(0u64..6000, 50),
-    ) {
-        let layout = match layout_idx {
-            0 => Layout::Bst,
-            1 => Layout::Btree { b },
-            _ => Layout::Veb,
-        };
+/// Searches over any permuted layout agree with binary search over the
+/// original sorted data, for hits and misses.
+#[test]
+fn search_agrees_with_sorted_baseline() {
+    let mut rng = StdRng::seed_from_u64(0xbead);
+    for case in 0..CASES {
+        let n = rng.gen_range(1usize..2000);
+        let b = rng.gen_range(1usize..12);
+        let layout = random_layout(&mut rng, b);
         let sorted: Vec<u64> = (0..n as u64).map(|x| 3 * x).collect();
         let mut data = sorted.clone();
         permute_in_place(&mut data, layout, Algorithm::CycleLeader).unwrap();
         let s = Searcher::for_layout(&data, layout);
-        for probe in probes {
-            prop_assert_eq!(
+        for _ in 0..50 {
+            let probe = rng.gen_range(0u64..6000);
+            assert_eq!(
                 s.contains(&probe),
                 sorted.binary_search(&probe).is_ok(),
-                "probe {}", probe
+                "case {case}: n={n} {layout:?} probe={probe}"
             );
         }
     }
+}
 
-    /// The found index always points at the key in the permuted array.
-    #[test]
-    fn found_indices_point_at_keys(n in 1usize..1500, key_idx in 0usize..1500) {
-        prop_assume!(key_idx < n);
+/// The found index always points at the key in the permuted array.
+#[test]
+fn found_indices_point_at_keys() {
+    let mut rng = StdRng::seed_from_u64(0xf00d);
+    for case in 0..CASES {
+        let n = rng.gen_range(1usize..1500);
+        let key_idx = rng.gen_range(0usize..n.max(1));
         let sorted: Vec<u64> = (0..n as u64).map(|x| 5 * x + 1).collect();
         let key = sorted[key_idx];
         for layout in [Layout::Bst, Layout::Btree { b: 4 }, Layout::Veb] {
             let mut data = sorted.clone();
             permute_in_place_seq(&mut data, layout, Algorithm::Involution).unwrap();
             let s = Searcher::for_layout(&data, layout);
-            let pos = s.search(&key).expect("present key must be found");
-            prop_assert_eq!(data[pos], key);
+            let pos = s
+                .search(&key)
+                .unwrap_or_else(|| panic!("case {case}: present key lost, n={n} {layout:?}"));
+            assert_eq!(data[pos], key, "case {case}: n={n} {layout:?}");
         }
+    }
+}
+
+fn query_kinds(b: usize) -> Vec<(QueryKind, Option<Layout>)> {
+    vec![
+        (QueryKind::Sorted, None),
+        (QueryKind::Bst, Some(Layout::Bst)),
+        (QueryKind::BstPrefetch, Some(Layout::Bst)),
+        (QueryKind::Btree(b), Some(Layout::Btree { b })),
+        (QueryKind::Veb, Some(Layout::Veb)),
+    ]
+}
+
+/// `Searcher::rank` equals the sorted array's partition point for every
+/// layout, over randomized (including decidedly non-perfect) sizes and
+/// probes on, between, below, and above the stored keys.
+#[test]
+fn rank_matches_sorted_oracle() {
+    let mut rng = StdRng::seed_from_u64(0x0a11);
+    for case in 0..CASES {
+        let n = rng.gen_range(1usize..4000);
+        let b = rng.gen_range(1usize..12);
+        let stride = rng.gen_range(1u64..6);
+        let offset = rng.gen_range(0u64..10);
+        let sorted: Vec<u64> = (0..n as u64).map(|x| offset + stride * x).collect();
+        for (kind, layout) in query_kinds(b) {
+            let mut data = sorted.clone();
+            if let Some(l) = layout {
+                permute_in_place(&mut data, l, Algorithm::CycleLeader).unwrap();
+            }
+            let s = Searcher::new(&data, kind);
+            for _ in 0..40 {
+                let probe = rng.gen_range(0..offset + stride * (n as u64 + 2));
+                let expect = sorted.partition_point(|x| *x < probe);
+                assert_eq!(
+                    s.rank(&probe),
+                    expect,
+                    "case {case}: n={n} {kind:?} probe={probe}"
+                );
+            }
+        }
+    }
+}
+
+/// `Searcher::lower_bound` returns the layout position of the successor
+/// key (sorted-array oracle), or `None` past the maximum.
+#[test]
+fn lower_bound_matches_sorted_oracle() {
+    let mut rng = StdRng::seed_from_u64(0x10b0);
+    for case in 0..CASES {
+        let n = rng.gen_range(1usize..4000);
+        let b = rng.gen_range(1usize..12);
+        let sorted: Vec<u64> = (0..n as u64).map(|x| 4 * x + 2).collect();
+        for (kind, layout) in query_kinds(b) {
+            let mut data = sorted.clone();
+            if let Some(l) = layout {
+                permute_in_place(&mut data, l, Algorithm::CycleLeader).unwrap();
+            }
+            let s = Searcher::new(&data, kind);
+            for _ in 0..40 {
+                let probe = rng.gen_range(0..4 * (n as u64 + 2));
+                let expect = sorted.get(sorted.partition_point(|x| *x < probe)).copied();
+                assert_eq!(
+                    s.lower_bound(&probe).map(|p| data[p]),
+                    expect,
+                    "case {case}: n={n} {kind:?} probe={probe}"
+                );
+            }
+        }
+    }
+}
+
+/// `batch_count` (parallel) and `batch_count_seq` agree with a scalar
+/// count over the sorted baseline, over randomized non-perfect sizes.
+#[test]
+fn batch_count_matches_sorted_oracle() {
+    let mut rng = StdRng::seed_from_u64(0xba7c);
+    for case in 0..24 {
+        let n = rng.gen_range(1usize..20_000);
+        let b = rng.gen_range(1usize..12);
+        let layout = random_layout(&mut rng, b);
+        let sorted: Vec<u64> = (0..n as u64).map(|x| 2 * x).collect();
+        let queries: Vec<u64> = (0..rng.gen_range(1usize..3000))
+            .map(|_| rng.gen_range(0..2 * n as u64 + 4))
+            .collect();
+        let expect = queries
+            .iter()
+            .filter(|q| sorted.binary_search(q).is_ok())
+            .count();
+        let mut data = sorted.clone();
+        permute_in_place(&mut data, layout, Algorithm::CycleLeader).unwrap();
+        let s = Searcher::for_layout(&data, layout);
+        assert_eq!(
+            s.batch_count_seq(&queries),
+            expect,
+            "case {case}: n={n} {layout:?} seq"
+        );
+        assert_eq!(
+            s.batch_count(&queries),
+            expect,
+            "case {case}: n={n} {layout:?} par"
+        );
     }
 }
