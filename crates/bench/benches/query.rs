@@ -1,34 +1,35 @@
 //! Criterion micro-benchmarks for point queries per layout
 //! (the statistical companion to Figure 6.5).
+//!
+//! Set `IST_BENCH_SMOKE=1` to shrink the tree and batch (CI bit-rot
+//! guard: the numbers are meaningless, but the code paths all run).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use implicit_search_trees::{Algorithm, QueryKind, StaticIndex};
 use ist_bench::{sorted_keys, uniform_queries};
-use ist_core::{permute_in_place, Algorithm, Layout};
-use ist_query::{QueryKind, Searcher};
 
 fn bench_query(c: &mut Criterion) {
+    let smoke = std::env::var_os("IST_BENCH_SMOKE").is_some();
     let mut group = c.benchmark_group("query");
-    group.sample_size(20);
-    let n = (1usize << 20) - 1;
-    let queries = uniform_queries(n, 10_000, 42);
-    let kinds: [(QueryKind, Option<Layout>); 5] = [
-        (QueryKind::Sorted, None),
-        (QueryKind::Bst, Some(Layout::Bst)),
-        (QueryKind::BstPrefetch, Some(Layout::Bst)),
-        (QueryKind::Btree(8), Some(Layout::Btree { b: 8 })),
-        (QueryKind::Veb, Some(Layout::Veb)),
+    group.sample_size(if smoke { 3 } else { 20 });
+    let n = if smoke { (1 << 14) - 1 } else { (1 << 20) - 1 };
+    let queries = uniform_queries(n, if smoke { 1000 } else { 10_000 }, 42);
+    let kinds = [
+        QueryKind::Sorted,
+        QueryKind::Bst,
+        QueryKind::BstPrefetch,
+        QueryKind::Btree(8),
+        QueryKind::Veb,
     ];
-    for (kind, layout) in kinds {
-        let mut data = sorted_keys(n);
-        if let Some(l) = layout {
-            permute_in_place(&mut data, l, Algorithm::CycleLeader).unwrap();
-        }
+    for kind in kinds {
+        let index =
+            StaticIndex::build_for_kind(sorted_keys(n), kind, Algorithm::CycleLeader).unwrap();
         let name = match kind {
             QueryKind::BstPrefetch => "bst_prefetch",
             k => k.name(),
         };
         group.bench_function(BenchmarkId::new("10k_queries", name), |bch| {
-            let s = Searcher::new(&data, kind);
+            let s = index.searcher();
             bch.iter(|| std::hint::black_box(s.batch_count_seq(&queries)))
         });
     }

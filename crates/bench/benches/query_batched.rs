@@ -1,0 +1,60 @@
+//! Batched query engine throughput: scalar loop vs. software-pipelined
+//! multi-descent vs. rayon-parallel (pipelined within each chunk), per
+//! layout.
+//!
+//! Records the perf trajectory for the batched engine; the committed
+//! `BENCH_query_batched.json` in the repository root is this bench run
+//! with `IST_BENCH_JSON` at full size. The acceptance bar it
+//! documents: pipelined `batch_search` ≥ 1.3× over the scalar loop on
+//! the BST layout at `n = 2^20 − 1` with a 10k-key batch.
+//!
+//! Set `IST_BENCH_SMOKE=1` to shrink the tree and batch (CI bit-rot
+//! guard).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use implicit_search_trees::{Algorithm, QueryKind, StaticIndex};
+use ist_bench::{sorted_keys, uniform_queries};
+
+fn bench_query_batched(c: &mut Criterion) {
+    let smoke = std::env::var_os("IST_BENCH_SMOKE").is_some();
+    let mut group = c.benchmark_group("query_batched");
+    group.sample_size(if smoke { 3 } else { 30 });
+    let n = if smoke { (1 << 14) - 1 } else { (1 << 20) - 1 };
+    let queries = uniform_queries(n, if smoke { 1000 } else { 10_000 }, 42);
+    let kinds = [
+        QueryKind::Sorted,
+        QueryKind::Bst,
+        QueryKind::BstPrefetch,
+        QueryKind::Btree(8),
+        QueryKind::Veb,
+    ];
+    for kind in kinds {
+        let index =
+            StaticIndex::build_for_kind(sorted_keys(n), kind, Algorithm::CycleLeader).unwrap();
+        let name = match kind {
+            QueryKind::BstPrefetch => "bst_prefetch",
+            k => k.name(),
+        };
+        let s = index.searcher();
+        group.bench_function(BenchmarkId::new("scalar", name), |bch| {
+            bch.iter(|| std::hint::black_box(s.batch_search_seq(&queries)))
+        });
+        group.bench_function(BenchmarkId::new("pipelined", name), |bch| {
+            bch.iter(|| std::hint::black_box(s.batch_search_pipelined(&queries)))
+        });
+        group.bench_function(BenchmarkId::new("parallel", name), |bch| {
+            bch.iter(|| std::hint::black_box(s.batch_search(&queries)))
+        });
+        group.bench_function(BenchmarkId::new("range_pipelined", name), |bch| {
+            let ranges: Vec<(u64, u64)> = queries
+                .chunks_exact(2)
+                .map(|w| (w[0].min(w[1]), w[0].max(w[1])))
+                .collect();
+            bch.iter(|| std::hint::black_box(s.batch_range_count(&ranges)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_batched);
+criterion_main!(benches);

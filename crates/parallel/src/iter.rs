@@ -196,18 +196,32 @@ where
     }
 }
 
-/// Parallel mutable chunk iteration over slices (`par_chunks_exact_mut`).
+/// Parallel mutable chunk iteration over slices (`par_chunks_exact_mut`,
+/// `par_chunks_mut`).
 pub trait ParallelSliceMut<T: Send> {
     /// Parallel iterator over mutable chunks of exactly `chunk_size`
     /// elements (the remainder is not visited, as with
     /// `chunks_exact_mut`).
     fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> ChunksExactMutParIter<'_, T>;
+
+    /// Parallel iterator over mutable chunks of at most `chunk_size`
+    /// elements; the final chunk is shorter when the length is not a
+    /// multiple (as with `chunks_mut`).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMutParIter<'_, T>;
 }
 
 impl<T: Send> ParallelSliceMut<T> for [T] {
     fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> ChunksExactMutParIter<'_, T> {
         assert!(chunk_size > 0, "chunk size must be positive");
         ChunksExactMutParIter {
+            slice: self,
+            chunk_size,
+        }
+    }
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMutParIter<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ChunksMutParIter {
             slice: self,
             chunk_size,
         }
@@ -275,6 +289,65 @@ impl<'a, T: Send> EnumChunksExactMutParIter<'a, T> {
     }
 }
 
+/// Parallel iterator over disjoint `&mut [T]` chunks with a shorter
+/// final chunk (the `chunks_mut` analogue).
+pub struct ChunksMutParIter<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ChunksMutParIter<'a, T> {
+    fn run<F>(self, f: F)
+    where
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        let chunk = self.chunk_size;
+        let n = self.slice.len();
+        let chunks = n.div_ceil(chunk);
+        let base = SendPtr(self.slice.as_mut_ptr());
+        let base = &base;
+        par_ranges(chunks, 1, move |r| {
+            for c in r {
+                let start = c * chunk;
+                let len = chunk.min(n - start);
+                // SAFETY: chunk `c` covers `[start, start+len)`, in
+                // bounds by construction; distinct `c` are disjoint and
+                // each is visited by exactly one task.
+                let sub = unsafe { std::slice::from_raw_parts_mut(base.0.add(start), len) };
+                f(c, sub);
+            }
+        });
+    }
+
+    /// Run `f` on every chunk.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.run(|_, sub| f(sub));
+    }
+
+    /// Pair every chunk with its index.
+    pub fn enumerate(self) -> EnumChunksMutParIter<'a, T> {
+        EnumChunksMutParIter { inner: self }
+    }
+}
+
+/// Enumerated variant of [`ChunksMutParIter`].
+pub struct EnumChunksMutParIter<'a, T> {
+    inner: ChunksMutParIter<'a, T>,
+}
+
+impl<'a, T: Send> EnumChunksMutParIter<'a, T> {
+    /// Run `f` on every `(index, chunk)` pair.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        self.inner.run(|c, sub| f((c, sub)));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,6 +372,21 @@ mod tests {
             .count();
         let seq = v.iter().filter(|x| **x % 3 == 0).count();
         assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn chunks_mut_covers_remainder() {
+        let mut v = vec![0u32; 1003]; // remainder chunk of 3
+        v.par_chunks_mut(100).enumerate().for_each(|(i, chunk)| {
+            let expect = if i < 10 { 100 } else { 3 };
+            assert_eq!(chunk.len(), expect);
+            for c in chunk.iter_mut() {
+                *c = i as u32 + 1;
+            }
+        });
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, (i / 100) as u32 + 1, "i={i}");
+        }
     }
 
     #[test]

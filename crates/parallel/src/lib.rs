@@ -7,7 +7,7 @@
 //! * [`join`] — run two closures, potentially concurrently;
 //! * [`scope`] — structured task spawning ([`Scope::spawn`]);
 //! * [`prelude`] — `into_par_iter()` over index ranges,
-//!   `par_iter()` / `par_chunks_exact_mut()` over slices, with
+//!   `par_iter()` / `par_chunks_mut()` / `par_chunks_exact_mut()` over slices, with
 //!   `with_min_len`, `for_each`, `enumerate`, `filter(..).count()`;
 //! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] and
 //!   [`current_num_threads`].

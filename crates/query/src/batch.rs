@@ -1,0 +1,662 @@
+//! The batched query execution engine: software-pipelined
+//! multi-descent.
+//!
+//! A lone descent spends most of its time waiting: each level's node
+//! address depends on the previous level's comparison, so its loads
+//! serialize, and the two-way branch per level mispredicts half the
+//! time on random probes. Independent queries share neither problem —
+//! the engine exploits that by keeping a window of [`WINDOW`] descents
+//! in flight and advancing them **level-synchronously**: each round
+//! advances every in-flight descent one level (branchlessly, via
+//! conditional moves) and issues a prefetch for its next node before
+//! any of them is touched again. The in-flight loads are mutually
+//! independent, so the core's memory-level parallelism — not its
+//! latency — sets the throughput: the batch-parallel analogue of the
+//! paper's GPU query model, where a warp keeps 32 descents in flight.
+//!
+//! Because all in-flight descents of a binary layout sit on the same
+//! level, the per-level subtree size is a round constant, and the whole
+//! window retires in exactly `d` rounds plus one overflow-probe pass.
+//!
+//! Three execution tiers, composed rather than alternative:
+//!
+//! * `*_seq` — the scalar loop (one query at a time, run to
+//!   completion); the baseline the paper's Figures 6.5–6.7 measure.
+//! * `*_pipelined` — one thread, [`WINDOW`] in-flight descents.
+//! * the un-suffixed entry points — rayon-parallel over chunks whose
+//!   size adapts to the batch length, **pipelining within each chunk**.
+//!
+//! All three produce bit-identical results for every operation: each
+//! batched kernel replays its scalar twin's comparison sequence (the
+//! only liberty taken is that an early-exit equality is recorded in a
+//! result register instead of breaking the round structure —
+//! first-match-wins, like the scalar loop). The differential suite
+//! (`tests/query_differential.rs`) enforces this.
+
+use crate::descent::{
+    binary_rank_from_gap, btree_probe, btree_rank_from_gap, prefetch, probe_overflow, BinaryShape,
+    BtreeSearchShape,
+};
+use crate::{Searcher, ShapeData};
+use ist_layout::veb_pos;
+use rayon::prelude::*;
+
+/// In-flight descents per pipelined lane.
+///
+/// Sized to the memory-level parallelism a core can actually sustain
+/// (line-fill buffers plus prefetch queue); measured flat between 24
+/// and 64 on the reference host, steeply worse below 8.
+pub(crate) const WINDOW: usize = 32;
+
+/// Sentinel for "no hit recorded yet" in the search kernels' result
+/// registers (never a valid layout index: indices are `< data.len()`).
+const MISS: usize = usize::MAX;
+
+/// Split a batch of `n` queries into parallel chunks: enough chunks to
+/// balance the pool (~4 per thread), but never so small that spawn
+/// overhead or a truncated pipeline window dominates the descents
+/// themselves.
+///
+/// Returns `n` (one chunk, no parallelism) when the pool is a single
+/// thread or the batch is too small to amortize a spawn.
+fn adaptive_chunk_len(n: usize) -> usize {
+    const MIN_CHUNK: usize = 128;
+    let threads = rayon::current_num_threads().max(1);
+    if threads == 1 || n <= MIN_CHUNK {
+        return n.max(1);
+    }
+    n.div_ceil(threads * 4).max(MIN_CHUNK)
+}
+
+/// Run `work(item_chunk, out_chunk)` over lockstep chunks of
+/// `items`/`out` sized by [`adaptive_chunk_len`] — rayon-parallel when
+/// the batch is large enough, inline on the caller otherwise. The one
+/// place the batch-to-chunk policy lives; every parallel batch entry
+/// point (search, rank, count, range count) dispatches through here.
+pub(crate) fn par_chunked<I: Sync, O: Send>(
+    items: &[I],
+    out: &mut [O],
+    work: impl Fn(&[I], &mut [O]) + Sync,
+) {
+    debug_assert_eq!(items.len(), out.len());
+    let chunk = adaptive_chunk_len(items.len());
+    if chunk >= items.len() {
+        work(items, out);
+    } else {
+        out.par_chunks_mut(chunk).enumerate().for_each(|(c, oc)| {
+            work(&items[c * chunk..c * chunk + oc.len()], oc);
+        });
+    }
+}
+
+/// One window of cached key references (`bw ≤ WINDOW` live entries).
+#[inline(always)]
+fn fill_keys<'k, T: 'k>(q: usize, bw: usize, key_of: &impl Fn(usize) -> &'k T) -> [&'k T; WINDOW] {
+    let mut keys = [key_of(q); WINDOW];
+    for (s, slot) in keys.iter_mut().enumerate().take(bw).skip(1) {
+        *slot = key_of(q + s);
+    }
+    keys
+}
+
+/// Pipelined BST search (twin of [`crate::descent::bst_descent`]).
+fn bst_search_batch<'k, T: Ord + 'k>(
+    data: &[T],
+    shape: BinaryShape,
+    n: usize,
+    key_of: impl Fn(usize) -> &'k T,
+    mut sink: impl FnMut(usize, Option<usize>),
+) {
+    let BinaryShape { d, i, l } = shape;
+    let mut q = 0usize;
+    while q < n {
+        let bw = WINDOW.min(n - q);
+        let keys = fill_keys(q, bw, &key_of);
+        let mut vs = [0usize; WINDOW];
+        let mut los = [0usize; WINDOW];
+        let mut res = [MISS; WINDOW];
+        let mut sz = i;
+        for _ in 0..d {
+            let half = sz >> 1;
+            for s in 0..bw {
+                let v = vs[s];
+                debug_assert!(v < i);
+                // SAFETY: on each of the `d` full levels a node index is
+                // at most 2^{level+1} − 2 ≤ 2^d − 2 < i ≤ data.len().
+                let node = unsafe { data.get_unchecked(v) };
+                let key = keys[s];
+                let hit = (res[s] == MISS) & (*key == *node);
+                res[s] = if hit { v } else { res[s] };
+                let gt = usize::from(*key > *node);
+                vs[s] = 2 * v + 1 + gt;
+                los[s] += (half + 1) * gt;
+                prefetch(data, vs[s]);
+            }
+            sz = half;
+        }
+        for s in 0..bw {
+            if res[s] == MISS {
+                prefetch(data, i + los[s]);
+            }
+        }
+        for s in 0..bw {
+            let out = if res[s] != MISS {
+                Some(res[s])
+            } else {
+                probe_overflow(data, i, l, los[s], keys[s])
+            };
+            sink(q + s, out);
+        }
+        q += bw;
+    }
+}
+
+/// Pipelined BST rank (twin of [`crate::descent::bst_rank_descent`]).
+fn bst_rank_batch<'k, T: Ord + 'k>(
+    data: &[T],
+    shape: BinaryShape,
+    n: usize,
+    key_of: impl Fn(usize) -> &'k T,
+    mut sink: impl FnMut(usize, usize),
+) {
+    let BinaryShape { d, i, l } = shape;
+    let mut q = 0usize;
+    while q < n {
+        let bw = WINDOW.min(n - q);
+        let keys = fill_keys(q, bw, &key_of);
+        let mut vs = [0usize; WINDOW];
+        let mut los = [0usize; WINDOW];
+        let mut sz = i;
+        for _ in 0..d {
+            let half = sz >> 1;
+            for s in 0..bw {
+                let v = vs[s];
+                debug_assert!(v < i);
+                // SAFETY: as in `bst_search_batch`.
+                let node = unsafe { data.get_unchecked(v) };
+                let gt = usize::from(*keys[s] > *node);
+                vs[s] = 2 * v + 1 + gt;
+                los[s] += (half + 1) * gt;
+                prefetch(data, vs[s]);
+            }
+            sz = half;
+        }
+        for g in los.iter().take(bw) {
+            prefetch(data, i + g);
+        }
+        for s in 0..bw {
+            sink(q + s, binary_rank_from_gap(data, i, l, los[s], keys[s]));
+        }
+        q += bw;
+    }
+}
+
+/// Pipelined vEB search (twin of [`crate::descent::veb_descent`]).
+fn veb_search_batch<'k, T: Ord + 'k>(
+    data: &[T],
+    shape: BinaryShape,
+    n: usize,
+    key_of: impl Fn(usize) -> &'k T,
+    mut sink: impl FnMut(usize, Option<usize>),
+) {
+    let BinaryShape { d, i, l } = shape;
+    let root_p = 1u64 << (d - 1);
+    let root_pos = veb_pos(d, (root_p - 1) as usize);
+    let mut q = 0usize;
+    while q < n {
+        let bw = WINDOW.min(n - q);
+        let keys = fill_keys(q, bw, &key_of);
+        let mut ps = [root_p; WINDOW];
+        let mut poss = [root_pos; WINDOW];
+        let mut gs = [0u64; WINDOW];
+        let mut res = [MISS; WINDOW];
+        prefetch(data, root_pos);
+        // The d−1 in-tree levels: after touching a node, its child's
+        // in-order position is p ± step, and the child's layout index
+        // is recomputed (and prefetched) immediately.
+        for lvl in 0..d.saturating_sub(1) {
+            let st = 1u64 << (d - 2 - lvl);
+            for s in 0..bw {
+                let pos = poss[s];
+                debug_assert!(pos < i);
+                // SAFETY: veb_pos maps in-order ranks 0..i to layout
+                // positions 0..i, and p stays in [1, i] by construction.
+                let node = unsafe { data.get_unchecked(pos) };
+                let key = keys[s];
+                let hit = (res[s] == MISS) & (*key == *node);
+                res[s] = if hit { pos } else { res[s] };
+                let lt = u64::from(*key < *node);
+                let p = ps[s] + st - 2 * st * lt;
+                ps[s] = p;
+                let next = veb_pos(d, (p - 1) as usize);
+                poss[s] = next;
+                prefetch(data, next);
+            }
+        }
+        // Leaf level: compute the fall-off gap instead of a child.
+        for s in 0..bw {
+            let pos = poss[s];
+            debug_assert!(pos < i);
+            // SAFETY: as above.
+            let node = unsafe { data.get_unchecked(pos) };
+            let key = keys[s];
+            let hit = (res[s] == MISS) & (*key == *node);
+            res[s] = if hit { pos } else { res[s] };
+            gs[s] = ps[s] - u64::from(*key < *node);
+            prefetch(data, i + gs[s] as usize);
+        }
+        for s in 0..bw {
+            let out = if res[s] != MISS {
+                Some(res[s])
+            } else {
+                probe_overflow(data, i, l, gs[s] as usize, keys[s])
+            };
+            sink(q + s, out);
+        }
+        q += bw;
+    }
+}
+
+/// Pipelined vEB rank (twin of [`crate::descent::veb_rank_descent`]).
+fn veb_rank_batch<'k, T: Ord + 'k>(
+    data: &[T],
+    shape: BinaryShape,
+    n: usize,
+    key_of: impl Fn(usize) -> &'k T,
+    mut sink: impl FnMut(usize, usize),
+) {
+    let BinaryShape { d, i, l } = shape;
+    let root_p = 1u64 << (d - 1);
+    let root_pos = veb_pos(d, (root_p - 1) as usize);
+    let mut q = 0usize;
+    while q < n {
+        let bw = WINDOW.min(n - q);
+        let keys = fill_keys(q, bw, &key_of);
+        let mut ps = [root_p; WINDOW];
+        let mut poss = [root_pos; WINDOW];
+        let mut gs = [0u64; WINDOW];
+        prefetch(data, root_pos);
+        for lvl in 0..d.saturating_sub(1) {
+            let st = 1u64 << (d - 2 - lvl);
+            for s in 0..bw {
+                let pos = poss[s];
+                debug_assert!(pos < i);
+                // SAFETY: as in `veb_search_batch`.
+                let node = unsafe { data.get_unchecked(pos) };
+                let le = u64::from(*keys[s] <= *node);
+                let p = ps[s] + st - 2 * st * le;
+                ps[s] = p;
+                let next = veb_pos(d, (p - 1) as usize);
+                poss[s] = next;
+                prefetch(data, next);
+            }
+        }
+        for s in 0..bw {
+            let pos = poss[s];
+            debug_assert!(pos < i);
+            // SAFETY: as above.
+            let node = unsafe { data.get_unchecked(pos) };
+            gs[s] = ps[s] - u64::from(*keys[s] <= *node);
+            prefetch(data, i + gs[s] as usize);
+        }
+        for s in 0..bw {
+            sink(
+                q + s,
+                binary_rank_from_gap(data, i, l, gs[s] as usize, keys[s]),
+            );
+        }
+        q += bw;
+    }
+}
+
+/// Pipelined B-tree search (twin of [`crate::descent::btree_descent`]).
+fn btree_search_batch<'k, T: Ord + 'k>(
+    data: &[T],
+    shape: BtreeSearchShape,
+    n: usize,
+    key_of: impl Fn(usize) -> &'k T,
+    mut sink: impl FnMut(usize, Option<usize>),
+) {
+    let BtreeSearchShape {
+        b,
+        i,
+        num_nodes,
+        levels,
+        q: full_over,
+        ..
+    } = shape;
+    let k = b + 1;
+    let mut q = 0usize;
+    while q < n {
+        let bw = WINDOW.min(n - q);
+        let keys = fill_keys(q, bw, &key_of);
+        let mut vs = [0usize; WINDOW];
+        let mut los = [0usize; WINDOW];
+        let mut res = [MISS; WINDOW];
+        let mut span = i;
+        for _ in 0..levels {
+            let child = (span - b) / k;
+            for s in 0..bw {
+                let v = vs[s];
+                debug_assert!(v < num_nodes);
+                let base = v * b;
+                // SAFETY: on each of the `levels` node levels, v <
+                // num_nodes, so the node's b keys end at v*b + b ≤ i.
+                let node_keys = unsafe { data.get_unchecked(base..base + b) };
+                let key = keys[s];
+                // c = number of node keys < key (whole-node branchless
+                // scan; the scalar loop's early break lands on the same
+                // c because node keys are sorted).
+                let mut c = 0usize;
+                for kk in node_keys {
+                    c += usize::from(*key > *kk);
+                }
+                let hit = res[s] == MISS && c < b && node_keys[c] == *key;
+                res[s] = if hit { base + c } else { res[s] };
+                vs[s] = v * k + c + 1;
+                los[s] += c * (child + 1);
+                prefetch(data, vs[s] * b);
+            }
+            span = child;
+        }
+        for s in 0..bw {
+            if res[s] == MISS && los[s] <= full_over {
+                prefetch(data, i + los[s] * b);
+            }
+        }
+        for s in 0..bw {
+            let out = if res[s] != MISS {
+                Some(res[s])
+            } else {
+                btree_probe(data, shape, los[s], keys[s])
+            };
+            sink(q + s, out);
+        }
+        q += bw;
+    }
+}
+
+/// Pipelined B-tree rank (twin of [`crate::descent::btree_rank_descent`]).
+fn btree_rank_batch<'k, T: Ord + 'k>(
+    data: &[T],
+    shape: BtreeSearchShape,
+    n: usize,
+    key_of: impl Fn(usize) -> &'k T,
+    mut sink: impl FnMut(usize, usize),
+) {
+    let BtreeSearchShape {
+        b,
+        i,
+        num_nodes,
+        levels,
+        q: full_over,
+        ..
+    } = shape;
+    let k = b + 1;
+    let mut q = 0usize;
+    while q < n {
+        let bw = WINDOW.min(n - q);
+        let keys = fill_keys(q, bw, &key_of);
+        let mut vs = [0usize; WINDOW];
+        let mut los = [0usize; WINDOW];
+        let mut span = i;
+        for _ in 0..levels {
+            let child = (span - b) / k;
+            for s in 0..bw {
+                let v = vs[s];
+                debug_assert!(v < num_nodes);
+                let base = v * b;
+                // SAFETY: as in `btree_search_batch`.
+                let node_keys = unsafe { data.get_unchecked(base..base + b) };
+                let key = keys[s];
+                let mut c = 0usize;
+                for kk in node_keys {
+                    c += usize::from(*key > *kk);
+                }
+                vs[s] = v * k + c + 1;
+                los[s] += c * (child + 1);
+                prefetch(data, vs[s] * b);
+            }
+            span = child;
+        }
+        for g in los.iter().take(bw) {
+            if *g <= full_over {
+                prefetch(data, i + g * b);
+            }
+        }
+        for s in 0..bw {
+            sink(q + s, btree_rank_from_gap(data, shape, los[s], keys[s]));
+        }
+        q += bw;
+    }
+}
+
+/// Pipelined partition-point rank on the sorted array (twin of
+/// [`crate::descent::sorted_rank_descent`]).
+fn sorted_rank_batch<'k, T: Ord + 'k>(
+    data: &[T],
+    n: usize,
+    key_of: impl Fn(usize) -> &'k T,
+    mut sink: impl FnMut(usize, usize),
+) {
+    if data.is_empty() {
+        for qi in 0..n {
+            sink(qi, 0);
+        }
+        return;
+    }
+    // len at least halves per round, so ⌊log2 n⌋ + 1 rounds drain every
+    // lane; drained lanes (len == 0) are skipped.
+    let rounds = usize::BITS - data.len().leading_zeros();
+    let mut q = 0usize;
+    while q < n {
+        let bw = WINDOW.min(n - q);
+        let keys = fill_keys(q, bw, &key_of);
+        let mut lows = [0usize; WINDOW];
+        let mut lens = [data.len(); WINDOW];
+        prefetch(data, data.len() / 2);
+        for _ in 0..rounds {
+            for s in 0..bw {
+                let len = lens[s];
+                if len == 0 {
+                    continue;
+                }
+                let half = len / 2;
+                let idx = lows[s] + half;
+                debug_assert!(idx < data.len());
+                // SAFETY: the partition-point loop keeps lo + len ≤
+                // data.len() and probes lo + len/2 < lo + len.
+                let node = unsafe { data.get_unchecked(idx) };
+                let lt = *node < *keys[s];
+                lows[s] = if lt { idx + 1 } else { lows[s] };
+                lens[s] = if lt { len - half - 1 } else { half };
+                let nl = lens[s];
+                if nl > 0 {
+                    prefetch(data, lows[s] + nl / 2);
+                }
+            }
+        }
+        for (s, low) in lows.iter().enumerate().take(bw) {
+            sink(q + s, *low);
+        }
+        q += bw;
+    }
+}
+
+/// Pipelined sorted-array search: the rank kernel plus a verify pass
+/// (twin of [`crate::descent::sorted_descent`]).
+fn sorted_search_batch<'k, T: Ord + 'k>(
+    data: &[T],
+    n: usize,
+    key_of: impl Fn(usize) -> &'k T,
+    mut sink: impl FnMut(usize, Option<usize>),
+) {
+    let mut q = 0usize;
+    // Reuse the rank kernel per window by buffering one window of ranks.
+    let mut ranks = [0usize; WINDOW];
+    while q < n {
+        let bw = WINDOW.min(n - q);
+        sorted_rank_batch(data, bw, |s| key_of(q + s), |s, r| ranks[s] = r);
+        for r in ranks.iter().take(bw) {
+            prefetch(data, *r);
+        }
+        for (s, r) in ranks.iter().enumerate().take(bw) {
+            let out = if *r < data.len() && data[*r] == *key_of(q + s) {
+                Some(*r)
+            } else {
+                None
+            };
+            sink(q + s, out);
+        }
+        q += bw;
+    }
+}
+
+impl<'a, T: Ord + Sync> Searcher<'a, T> {
+    /// Run the pipelined **search** engine over `n` queries, delivering
+    /// `(query index, layout position)` pairs to `sink` in query order.
+    pub(crate) fn pipelined_search_into<'k>(
+        &self,
+        n: usize,
+        key_of: impl Fn(usize) -> &'k T,
+        sink: impl FnMut(usize, Option<usize>),
+    ) where
+        T: 'k,
+    {
+        match self.shape {
+            ShapeData::Sorted => sorted_search_batch(self.data, n, key_of, sink),
+            ShapeData::Bst { shape, .. } => bst_search_batch(self.data, shape, n, key_of, sink),
+            ShapeData::Btree(shape) => btree_search_batch(self.data, shape, n, key_of, sink),
+            ShapeData::Veb(shape) => veb_search_batch(self.data, shape, n, key_of, sink),
+        }
+    }
+
+    /// Run the pipelined **rank** engine over `n` queries, delivering
+    /// `(query index, rank)` pairs to `sink` in query order.
+    pub(crate) fn pipelined_rank_into<'k>(
+        &self,
+        n: usize,
+        key_of: impl Fn(usize) -> &'k T,
+        sink: impl FnMut(usize, usize),
+    ) where
+        T: 'k,
+    {
+        match self.shape {
+            ShapeData::Sorted => sorted_rank_batch(self.data, n, key_of, sink),
+            ShapeData::Bst { shape, .. } => bst_rank_batch(self.data, shape, n, key_of, sink),
+            ShapeData::Btree(shape) => btree_rank_batch(self.data, shape, n, key_of, sink),
+            ShapeData::Veb(shape) => veb_rank_batch(self.data, shape, n, key_of, sink),
+        }
+    }
+
+    /// Scalar batch search: one descent at a time, run to completion.
+    ///
+    /// The baseline the pipelined and parallel tiers are measured
+    /// against (`query_batched` bench); also the differential oracle's
+    /// definition of batch semantics.
+    pub fn batch_search_seq(&self, keys: &[T]) -> Vec<Option<usize>> {
+        keys.iter().map(|k| self.search(k)).collect()
+    }
+
+    /// Software-pipelined batch search on the calling thread: a window
+    /// of descents in flight, each round advancing every descent one
+    /// level and prefetching its next node.
+    ///
+    /// Returns exactly what [`Searcher::search`] returns per key, in
+    /// key order.
+    pub fn batch_search_pipelined(&self, keys: &[T]) -> Vec<Option<usize>> {
+        let mut out = vec![None; keys.len()];
+        self.pipelined_search_into(keys.len(), |i| &keys[i], |i, r| out[i] = r);
+        out
+    }
+
+    /// Batch search: pipelined within rayon-parallel chunks sized
+    /// adaptively to the batch length (small batches stay on the
+    /// calling thread).
+    ///
+    /// # Examples
+    /// ```
+    /// use ist_core::{permute_in_place, Algorithm, Layout};
+    /// use ist_query::Searcher;
+    /// let mut v: Vec<u64> = (0..1000).map(|x| 2 * x).collect();
+    /// permute_in_place(&mut v, Layout::Bst, Algorithm::CycleLeader).unwrap();
+    /// let s = Searcher::for_layout(&v, Layout::Bst);
+    /// let found = s.batch_search(&[0, 2, 3, 1998]);
+    /// assert_eq!(found.len(), 4);
+    /// assert_eq!(found[0].map(|p| v[p]), Some(0));
+    /// assert_eq!(found[2], None); // 3 is not stored
+    /// assert_eq!(found, s.batch_search_seq(&[0, 2, 3, 1998]));
+    /// ```
+    pub fn batch_search(&self, keys: &[T]) -> Vec<Option<usize>> {
+        let mut out = vec![None; keys.len()];
+        par_chunked(keys, &mut out, |kc, oc| {
+            self.pipelined_search_into(kc.len(), |i| &kc[i], |i, r| oc[i] = r)
+        });
+        out
+    }
+
+    /// Scalar batch rank (one [`Searcher::rank`] per key).
+    pub fn batch_rank_seq(&self, keys: &[T]) -> Vec<usize> {
+        keys.iter().map(|k| self.rank(k)).collect()
+    }
+
+    /// Software-pipelined batch rank on the calling thread.
+    pub fn batch_rank_pipelined(&self, keys: &[T]) -> Vec<usize> {
+        let mut out = vec![0usize; keys.len()];
+        self.pipelined_rank_into(keys.len(), |i| &keys[i], |i, r| out[i] = r);
+        out
+    }
+
+    /// Batch rank: pipelined within adaptively-sized parallel chunks.
+    ///
+    /// `out[i]` is the number of stored keys strictly smaller than
+    /// `keys[i]` (identical to per-key [`Searcher::rank`]).
+    ///
+    /// # Examples
+    /// ```
+    /// use ist_core::{permute_in_place, Algorithm, Layout};
+    /// use ist_query::Searcher;
+    /// let mut v: Vec<u64> = (0..100).map(|x| 2 * x).collect();
+    /// permute_in_place(&mut v, Layout::Veb, Algorithm::CycleLeader).unwrap();
+    /// let s = Searcher::for_layout(&v, Layout::Veb);
+    /// assert_eq!(s.batch_rank(&[0, 1, 10, 999]), vec![0, 1, 5, 100]);
+    /// ```
+    pub fn batch_rank(&self, keys: &[T]) -> Vec<usize> {
+        let mut out = vec![0usize; keys.len()];
+        par_chunked(keys, &mut out, |kc, oc| {
+            self.pipelined_rank_into(kc.len(), |i| &kc[i], |i, r| oc[i] = r)
+        });
+        out
+    }
+
+    /// Batch lower bound: `out[i]` is the layout position of the first
+    /// (in sorted order) stored key `≥ keys[i]`, identical to per-key
+    /// [`Searcher::lower_bound`]. Runs on the rank engine plus the
+    /// closed-form position maps.
+    pub fn batch_lower_bound(&self, keys: &[T]) -> Vec<Option<usize>> {
+        self.batch_rank(keys)
+            .into_iter()
+            .map(|r| self.position_of_rank(r))
+            .collect()
+    }
+
+    /// Run a batch of queries sequentially, returning the number found
+    /// (the paper's query benchmarks measure exactly this loop).
+    pub fn batch_count_seq(&self, keys: &[T]) -> usize {
+        keys.iter().filter(|k| self.contains(k)).count()
+    }
+
+    /// Count how many of `keys` are present: pipelined within
+    /// adaptively-sized parallel chunks.
+    ///
+    /// Always equal to [`Searcher::batch_count_seq`] — including for
+    /// batches smaller than any parallel grain, which run pipelined on
+    /// the calling thread instead of silently falling back to scalar.
+    pub fn batch_count(&self, keys: &[T]) -> usize {
+        let mut found = vec![false; keys.len()];
+        par_chunked(keys, &mut found, |kc, oc| {
+            self.pipelined_search_into(kc.len(), |i| &kc[i], |i, r| oc[i] = r.is_some())
+        });
+        found.into_iter().filter(|f| *f).count()
+    }
+}

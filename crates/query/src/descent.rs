@@ -1,0 +1,363 @@
+//! Scalar per-layout descent kernels and the shape data they run on.
+//!
+//! Each search layout gets two loops: a **search** descent (early exit
+//! on equality) and a **rank** descent (no early exit; lands in the
+//! in-order gap left of the first key `≥` the probe). The batched
+//! engine in [`crate::batch`] re-implements the same comparison
+//! sequences level-synchronously over a window of in-flight queries;
+//! any change here must be mirrored there (the differential suite
+//! pins the two together bit-for-bit).
+
+use ist_layout::{veb_pos, CompleteShape};
+
+/// Shape data for BST/vEB searches over a complete binary tree.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BinaryShape {
+    /// Depth of the full (perfect) part in levels.
+    pub(crate) d: u32,
+    /// Keys in the full part: `2^d − 1`.
+    pub(crate) i: usize,
+    /// Overflow leaves stored sorted in the array suffix.
+    pub(crate) l: usize,
+}
+
+impl BinaryShape {
+    pub(crate) fn new(n: usize) -> Self {
+        let s = CompleteShape::new(n);
+        Self {
+            d: s.full_levels(),
+            i: s.full_count(),
+            l: s.overflow(),
+        }
+    }
+}
+
+/// Shape data for B-tree searches.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BtreeSearchShape {
+    /// Keys per node.
+    pub(crate) b: usize,
+    /// Keys in the full part.
+    pub(crate) i: usize,
+    /// Nodes in the full part.
+    pub(crate) num_nodes: usize,
+    /// Node levels in the full part (`num_nodes = ((b+1)^levels − 1)/b`).
+    pub(crate) levels: u32,
+    /// Full overflow leaf nodes.
+    pub(crate) q: usize,
+    /// Keys in the final partial overflow node.
+    pub(crate) s: usize,
+}
+
+impl BtreeSearchShape {
+    pub(crate) fn new(n: usize, b: usize) -> Self {
+        let s = ist_layout::complete::BtreeCompleteShape::new(n, b);
+        Self {
+            b,
+            i: s.full_count(),
+            num_nodes: s.full_count() / b,
+            levels: s.full_node_levels(),
+            q: s.full_overflow_nodes(),
+            s: s.partial_node_len(),
+        }
+    }
+}
+
+#[inline]
+pub(crate) fn probe_overflow<T: Ord>(
+    data: &[T],
+    i: usize,
+    l: usize,
+    g: usize,
+    key: &T,
+) -> Option<usize> {
+    if g < l && data[i + g] == *key {
+        Some(i + g)
+    } else {
+        None
+    }
+}
+
+#[inline(always)]
+pub(crate) fn prefetch<T>(data: &[T], index: usize) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if index < data.len() {
+            // SAFETY: the pointer is in bounds (checked) and prefetching
+            // any address is side-effect free.
+            unsafe {
+                core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(
+                    data.as_ptr().add(index) as *const i8,
+                );
+            }
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (data, index);
+    }
+}
+
+/// Complete-binary-tree rank: `g` full elements are `< key`; add the
+/// overflow leaves below gap `g` and the gap-`g` leaf if it too is
+/// smaller.
+#[inline]
+pub(crate) fn binary_rank_from_gap<T: Ord>(
+    data: &[T],
+    i: usize,
+    l: usize,
+    g: usize,
+    key: &T,
+) -> usize {
+    let mut rank = g + g.min(l);
+    if g < l && data[i + g] < *key {
+        rank += 1;
+    }
+    rank
+}
+
+#[inline(always)]
+pub(crate) fn bst_descent<T: Ord, const PREFETCH: bool>(
+    data: &[T],
+    shape: BinaryShape,
+    key: &T,
+) -> Option<usize> {
+    let BinaryShape { i, l, .. } = shape;
+    let mut v = 0usize;
+    let mut lo = 0usize; // full-rank of the subtree's leftmost gap
+    let mut sz = i; // keys in the current subtree (2^λ − 1)
+    while v < i {
+        if PREFETCH {
+            // Prefetch the grandchildren region: by the time the two
+            // comparisons below resolve, the line is (ideally) resident.
+            prefetch(data, 4 * v + 3);
+        }
+        let node = &data[v];
+        if *key == *node {
+            return Some(v);
+        }
+        let half = sz >> 1;
+        if *key < *node {
+            v = 2 * v + 1;
+        } else {
+            v = 2 * v + 2;
+            lo += half + 1;
+        }
+        sz = half;
+    }
+    probe_overflow(data, i, l, lo, key)
+}
+
+#[inline(always)]
+pub(crate) fn bst_rank_descent<T: Ord>(data: &[T], shape: BinaryShape, key: &T) -> usize {
+    // Count full elements < key via the descent's gap index, then add
+    // the overflow leaves that precede that gap.
+    let BinaryShape { i, l, .. } = shape;
+    let mut v = 0usize;
+    let mut lo = 0usize;
+    let mut sz = i;
+    while v < i {
+        let node = &data[v];
+        let half = sz >> 1;
+        if *key <= *node {
+            v = 2 * v + 1;
+        } else {
+            v = 2 * v + 2;
+            lo += half + 1;
+        }
+        sz = half;
+    }
+    binary_rank_from_gap(data, i, l, lo, key)
+}
+
+#[inline(always)]
+pub(crate) fn btree_descent<T: Ord>(data: &[T], shape: BtreeSearchShape, key: &T) -> Option<usize> {
+    let BtreeSearchShape {
+        b, i, num_nodes, ..
+    } = shape;
+    let k = b + 1;
+    let mut v = 0usize; // node index
+    let mut lo = 0usize; // full-rank of the subtree's leftmost gap
+    let mut span = i; // keys spanned by the subtree: k^λ − 1
+    while v < num_nodes {
+        let keys = &data[v * b..v * b + b];
+        let child_span = (span - b) / k;
+        // Number of node keys smaller than `key` (b is small: linear scan
+        // stays in one cache line when B matches the line size).
+        let mut c = 0usize;
+        for kk in keys {
+            match key.cmp(kk) {
+                std::cmp::Ordering::Equal => return Some(v * b + c),
+                std::cmp::Ordering::Greater => c += 1,
+                std::cmp::Ordering::Less => break,
+            }
+        }
+        v = v * k + c + 1;
+        lo += c * (child_span + 1);
+        span = child_span;
+    }
+    // Fell off at gap `lo`: overflow node j < q lives in gap j; the
+    // partial node (s keys) in gap q.
+    btree_probe(data, shape, lo, key)
+}
+
+/// Scan the overflow node hanging in gap `g` for `key`.
+#[inline]
+pub(crate) fn btree_probe<T: Ord>(
+    data: &[T],
+    shape: BtreeSearchShape,
+    g: usize,
+    key: &T,
+) -> Option<usize> {
+    let BtreeSearchShape { b, i, q, s, .. } = shape;
+    let (start, len) = if g < q {
+        (i + g * b, b)
+    } else if g == q {
+        (i + q * b, s)
+    } else {
+        return None;
+    };
+    data[start..start + len]
+        .iter()
+        .position(|x| *x == *key)
+        .map(|off| start + off)
+}
+
+#[inline(always)]
+pub(crate) fn btree_rank_descent<T: Ord>(data: &[T], shape: BtreeSearchShape, key: &T) -> usize {
+    let BtreeSearchShape {
+        b, i, num_nodes, ..
+    } = shape;
+    let k = b + 1;
+    let mut v = 0usize;
+    let mut lo = 0usize;
+    let mut span = i;
+    while v < num_nodes {
+        let keys = &data[v * b..v * b + b];
+        let child_span = (span - b) / k;
+        let c = keys.iter().take_while(|kk| *kk < key).count();
+        v = v * k + c + 1;
+        lo += c * (child_span + 1);
+        span = child_span;
+    }
+    btree_rank_from_gap(data, shape, lo, key)
+}
+
+/// B-tree rank once the descent fell off at gap `g`: `g` full elements
+/// are `< key`, plus the overflow keys in gaps before `g`, plus the
+/// within-gap-`g` prefix that is still `< key`.
+#[inline]
+pub(crate) fn btree_rank_from_gap<T: Ord>(
+    data: &[T],
+    shape: BtreeSearchShape,
+    g: usize,
+    key: &T,
+) -> usize {
+    let BtreeSearchShape { b, i, q, s, .. } = shape;
+    let mut rank = g + (g.min(q)) * b + if g > q { s } else { 0 };
+    let (start, len) = if g < q {
+        (i + g * b, b)
+    } else if g == q {
+        (i + q * b, s)
+    } else {
+        (0, 0)
+    };
+    rank += data[start..start + len]
+        .iter()
+        .take_while(|x| *x < key)
+        .count();
+    rank
+}
+
+#[inline(always)]
+pub(crate) fn veb_descent<T: Ord>(data: &[T], shape: BinaryShape, key: &T) -> Option<usize> {
+    let BinaryShape { d, i, l } = shape;
+    if i == 0 {
+        return probe_overflow(data, i, l, 0, key);
+    }
+    // Descend by in-order position: root at p = 2^{d-1}; a node of height
+    // h has children at p ± 2^{h-1}. The layout index of each visited
+    // node is recomputed with veb_pos (O(log d) arithmetic per step).
+    let mut p = 1u64 << (d - 1);
+    let mut step = 1u64 << (d - 1);
+    loop {
+        let pos = veb_pos(d, (p - 1) as usize);
+        let node = &data[pos];
+        if *key == *node {
+            return Some(pos);
+        }
+        step >>= 1;
+        if step == 0 {
+            // Fell off a leaf (full-rank p−1): gap p−1 left, p right.
+            let g = if *key < *node { p - 1 } else { p } as usize;
+            return probe_overflow(data, i, l, g, key);
+        }
+        if *key < *node {
+            p -= step;
+        } else {
+            p += step;
+        }
+    }
+}
+
+#[inline(always)]
+pub(crate) fn veb_rank_descent<T: Ord>(data: &[T], shape: BinaryShape, key: &T) -> usize {
+    // Same gap computation as the BST rank, but descending by in-order
+    // arithmetic with vEB position recomputation.
+    let BinaryShape { d, i, l } = shape;
+    let mut p = 1u64 << (d - 1);
+    let mut step = 1u64 << (d - 1);
+    let g = loop {
+        let pos = veb_pos(d, (p - 1) as usize);
+        let node = &data[pos];
+        step >>= 1;
+        if *key <= *node {
+            if step == 0 {
+                break (p - 1) as usize;
+            }
+            p -= step;
+        } else {
+            if step == 0 {
+                break p as usize;
+            }
+            p += step;
+        }
+    };
+    binary_rank_from_gap(data, i, l, g, key)
+}
+
+/// Deterministic partition-point loop on the un-permuted sorted array:
+/// returns `lo` = number of elements `< key`, probing
+/// `data[lo + len/2]` each round. The batched sorted kernels replay
+/// this exact probe sequence.
+#[inline(always)]
+pub(crate) fn sorted_rank_descent<T: Ord>(data: &[T], key: &T) -> usize {
+    let mut lo = 0usize;
+    let mut len = data.len();
+    while len > 0 {
+        let half = len / 2;
+        if data[lo + half] < *key {
+            lo += half + 1;
+            len -= half + 1;
+        } else {
+            len = half;
+        }
+    }
+    lo
+}
+
+/// Search on the un-permuted sorted array as rank-then-verify: returns
+/// the **leftmost** matching index, if any.
+///
+/// Same contract as [`slice::binary_search`] (some matching index), but
+/// with a pinned probe sequence so the batched twin is bit-identical by
+/// construction.
+#[inline(always)]
+pub(crate) fn sorted_descent<T: Ord>(data: &[T], key: &T) -> Option<usize> {
+    let r = sorted_rank_descent(data, key);
+    if r < data.len() && data[r] == *key {
+        Some(r)
+    } else {
+        None
+    }
+}

@@ -23,13 +23,61 @@
 //!   the vEB layout's constant-factor query overhead.
 //!
 //! [`Searcher`] bundles a layout tag with its precomputed shape for
-//! repeated queries, and [`Searcher::batch_count`] runs query batches in
-//! parallel (one thread per query slice — queries are independent, as on
-//! the paper's GPU).
+//! repeated queries.
+//!
+//! ## Batched queries
+//!
+//! A lone descent serializes its cache misses — every level's address
+//! depends on the previous comparison. Independent queries don't. The
+//! batch engine ([`batch`] module) keeps a window of descents in flight
+//! per thread, advancing each one level per round and prefetching its
+//! next node, so queries hide each other's memory latency; the
+//! un-suffixed batch entry points additionally parallelize over chunks
+//! sized adaptively to the batch (pipelining *within* each chunk). The
+//! tiers per operation:
+//!
+//! | scalar loop | pipelined (1 thread) | parallel + pipelined |
+//! |---|---|---|
+//! | [`Searcher::batch_search_seq`] | [`Searcher::batch_search_pipelined`] | [`Searcher::batch_search`] |
+//! | [`Searcher::batch_rank_seq`] | [`Searcher::batch_rank_pipelined`] | [`Searcher::batch_rank`] |
+//! | [`Searcher::batch_count_seq`] | — | [`Searcher::batch_count`] |
+//! | [`Searcher::batch_range_count_seq`] | — | [`Searcher::batch_range_count`] |
+//!
+//! Every tier returns bit-identical results for the same operation.
+//!
+//! ## Duplicate keys
+//!
+//! Stored keys need not be distinct. The contract, for every layout and
+//! every execution tier:
+//!
+//! * [`Searcher::rank`]`(k)` — the number of stored keys **strictly
+//!   smaller** than `k` (so for `m` copies of `k`, ranks of the copies
+//!   do not include each other).
+//! * [`Searcher::lower_bound`]`(k)` — the layout position holding the
+//!   **first key `≥ k` in sorted order**, or `None` if every key is
+//!   smaller. With duplicates this is the leftmost copy's slot.
+//! * [`Searcher::search`]`(k)` / [`Searcher::contains`] — **any** slot
+//!   holding a key equal to `k` (which copy is found depends on the
+//!   layout's probe order, but is deterministic per layout, and the
+//!   batched tiers return exactly the per-key scalar answer).
+//! * [`Searcher::range_count`]`(lo, hi)` — keys in `[lo, hi)` counted
+//!   **with multiplicity**.
+//!
+//! `tests/query_differential.rs` (repository root) checks all of the
+//! above differentially against a sorted-array oracle, duplicates
+//! included.
 
 use ist_core::Layout;
-use ist_layout::{complete::BtreeCompleteShape, veb_pos, CompleteShape};
-use rayon::prelude::*;
+use ist_layout::{veb_pos, CompleteShape};
+
+mod batch;
+mod descent;
+mod range;
+
+use descent::{
+    bst_descent, bst_rank_descent, btree_descent, btree_rank_descent, sorted_descent, veb_descent,
+    veb_rank_descent, BinaryShape, BtreeSearchShape,
+};
 
 /// Binary search baseline on the sorted (un-permuted) array.
 ///
@@ -44,86 +92,6 @@ use rayon::prelude::*;
 /// ```
 pub fn search_sorted<T: Ord>(data: &[T], key: &T) -> Option<usize> {
     data.binary_search(key).ok()
-}
-
-/// Shape data for BST/vEB searches over a complete binary tree.
-#[derive(Debug, Clone, Copy)]
-struct BinaryShape {
-    d: u32,
-    i: usize,
-    l: usize,
-}
-
-impl BinaryShape {
-    fn new(n: usize) -> Self {
-        let s = CompleteShape::new(n);
-        Self {
-            d: s.full_levels(),
-            i: s.full_count(),
-            l: s.overflow(),
-        }
-    }
-}
-
-#[inline]
-fn probe_overflow<T: Ord>(data: &[T], i: usize, l: usize, g: usize, key: &T) -> Option<usize> {
-    if g < l && data[i + g] == *key {
-        Some(i + g)
-    } else {
-        None
-    }
-}
-
-#[inline(always)]
-fn prefetch<T>(data: &[T], index: usize) {
-    #[cfg(target_arch = "x86_64")]
-    {
-        if index < data.len() {
-            // SAFETY: the pointer is in bounds (checked) and prefetching
-            // any address is side-effect free.
-            unsafe {
-                core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(
-                    data.as_ptr().add(index) as *const i8,
-                );
-            }
-        }
-    }
-    #[cfg(not(target_arch = "x86_64"))]
-    {
-        let _ = (data, index);
-    }
-}
-
-#[inline(always)]
-fn bst_descent<T: Ord, const PREFETCH: bool>(
-    data: &[T],
-    shape: BinaryShape,
-    key: &T,
-) -> Option<usize> {
-    let BinaryShape { i, l, .. } = shape;
-    let mut v = 0usize;
-    let mut lo = 0usize; // full-rank of the subtree's leftmost gap
-    let mut sz = i; // keys in the current subtree (2^λ − 1)
-    while v < i {
-        if PREFETCH {
-            // Prefetch the grandchildren region: by the time the two
-            // comparisons below resolve, the line is (ideally) resident.
-            prefetch(data, 4 * v + 3);
-        }
-        let node = &data[v];
-        if *key == *node {
-            return Some(v);
-        }
-        let half = sz >> 1;
-        if *key < *node {
-            v = 2 * v + 1;
-        } else {
-            v = 2 * v + 2;
-            lo += half + 1;
-        }
-        sz = half;
-    }
-    probe_overflow(data, i, l, lo, key)
 }
 
 /// Search the level-order BST layout.
@@ -157,74 +125,6 @@ pub fn search_bst_prefetch<T: Ord>(data: &[T], key: &T) -> Option<usize> {
     bst_descent::<T, true>(data, BinaryShape::new(data.len()), key)
 }
 
-/// Shape data for B-tree searches.
-#[derive(Debug, Clone, Copy)]
-struct BtreeSearchShape {
-    b: usize,
-    i: usize,
-    num_nodes: usize,
-    q: usize,
-    s: usize,
-}
-
-impl BtreeSearchShape {
-    fn new(n: usize, b: usize) -> Self {
-        let s = BtreeCompleteShape::new(n, b);
-        Self {
-            b,
-            i: s.full_count(),
-            num_nodes: s.full_count() / b,
-            q: s.full_overflow_nodes(),
-            s: s.partial_node_len(),
-        }
-    }
-}
-
-#[inline(always)]
-fn btree_descent<T: Ord>(data: &[T], shape: BtreeSearchShape, key: &T) -> Option<usize> {
-    let BtreeSearchShape {
-        b,
-        i,
-        num_nodes,
-        q,
-        s,
-    } = shape;
-    let k = b + 1;
-    let mut v = 0usize; // node index
-    let mut lo = 0usize; // full-rank of the subtree's leftmost gap
-    let mut span = i; // keys spanned by the subtree: k^λ − 1
-    while v < num_nodes {
-        let keys = &data[v * b..v * b + b];
-        let child_span = (span - b) / k;
-        // Number of node keys smaller than `key` (b is small: linear scan
-        // stays in one cache line when B matches the line size).
-        let mut c = 0usize;
-        for kk in keys {
-            match key.cmp(kk) {
-                std::cmp::Ordering::Equal => return Some(v * b + c),
-                std::cmp::Ordering::Greater => c += 1,
-                std::cmp::Ordering::Less => break,
-            }
-        }
-        v = v * k + c + 1;
-        lo += c * (child_span + 1);
-        span = child_span;
-    }
-    // Fell off at gap `lo`: overflow node j < q lives in gap j; the
-    // partial node (s keys) in gap q.
-    let (start, len) = if lo < q {
-        (i + lo * b, b)
-    } else if lo == q {
-        (i + q * b, s)
-    } else {
-        return None;
-    };
-    data[start..start + len]
-        .iter()
-        .position(|x| *x == *key)
-        .map(|off| start + off)
-}
-
 /// Search the level-order B-tree layout with `b` keys per node.
 ///
 /// # Examples
@@ -245,37 +145,6 @@ pub fn search_btree<T: Ord>(data: &[T], b: usize, key: &T) -> Option<usize> {
     btree_descent(data, BtreeSearchShape::new(data.len(), b), key)
 }
 
-#[inline(always)]
-fn veb_descent<T: Ord>(data: &[T], shape: BinaryShape, key: &T) -> Option<usize> {
-    let BinaryShape { d, i, l } = shape;
-    if i == 0 {
-        return probe_overflow(data, i, l, 0, key);
-    }
-    // Descend by in-order position: root at p = 2^{d-1}; a node of height
-    // h has children at p ± 2^{h-1}. The layout index of each visited
-    // node is recomputed with veb_pos (O(log d) arithmetic per step).
-    let mut p = 1u64 << (d - 1);
-    let mut step = 1u64 << (d - 1);
-    loop {
-        let pos = veb_pos(d, (p - 1) as usize);
-        let node = &data[pos];
-        if *key == *node {
-            return Some(pos);
-        }
-        step >>= 1;
-        if step == 0 {
-            // Fell off a leaf (full-rank p−1): gap p−1 left, p right.
-            let g = if *key < *node { p - 1 } else { p } as usize;
-            return probe_overflow(data, i, l, g, key);
-        }
-        if *key < *node {
-            p -= step;
-        } else {
-            p += step;
-        }
-    }
-}
-
 /// Search the van Emde Boas layout.
 ///
 /// # Examples
@@ -294,18 +163,6 @@ pub fn search_veb<T: Ord>(data: &[T], key: &T) -> Option<usize> {
         return None;
     }
     veb_descent(data, BinaryShape::new(data.len()), key)
-}
-
-/// Complete-binary-tree rank: `g` full elements are `< key`; add the
-/// overflow leaves below gap `g` and the gap-`g` leaf if it too is
-/// smaller.
-#[inline]
-fn binary_rank_from_gap<T: Ord>(data: &[T], i: usize, l: usize, g: usize, key: &T) -> usize {
-    let mut rank = g + g.min(l);
-    if g < l && data[i + g] < *key {
-        rank += 1;
-    }
-    rank
 }
 
 /// Which searcher a [`Searcher`] runs.
@@ -337,7 +194,7 @@ impl QueryKind {
 }
 
 /// A reusable searcher: precomputes the layout shape once and answers
-/// point queries.
+/// point, batch, and range queries.
 ///
 /// # Examples
 /// ```
@@ -349,14 +206,15 @@ impl QueryKind {
 /// assert!(s.contains(&123));
 /// assert!(!s.contains(&5000));
 /// assert_eq!(s.batch_count(&[1, 2, 3, 9999]), 3);
+/// assert_eq!(s.range_count(&10, &20), 10);
 /// ```
 pub struct Searcher<'a, T> {
-    data: &'a [T],
-    shape: ShapeData,
+    pub(crate) data: &'a [T],
+    pub(crate) shape: ShapeData,
 }
 
 #[derive(Debug, Clone, Copy)]
-enum ShapeData {
+pub(crate) enum ShapeData {
     Sorted,
     Bst { shape: BinaryShape, prefetch: bool },
     Btree(BtreeSearchShape),
@@ -398,14 +256,15 @@ impl<'a, T: Ord + Sync> Searcher<'a, T> {
         Self { data, shape }
     }
 
-    /// Find the layout index holding `key`, if present.
+    /// Find a layout index holding `key`, if present (any matching slot
+    /// when keys are duplicated; see the [crate docs](crate#duplicate-keys)).
     #[inline]
     pub fn search(&self, key: &T) -> Option<usize> {
         if self.data.is_empty() {
             return None;
         }
         match self.shape {
-            ShapeData::Sorted => search_sorted(self.data, key),
+            ShapeData::Sorted => sorted_descent(self.data, key),
             ShapeData::Bst {
                 shape,
                 prefetch: false,
@@ -449,93 +308,35 @@ impl<'a, T: Ord + Sync> Searcher<'a, T> {
         }
         match self.shape {
             ShapeData::Sorted => self.data.partition_point(|x| x < key),
-            ShapeData::Bst { shape, .. } => {
-                // Count full elements < key via the descent's gap index,
-                // then add the overflow leaves that precede that gap.
-                let BinaryShape { i, l, .. } = shape;
-                let mut v = 0usize;
-                let mut lo = 0usize;
-                let mut sz = i;
-                while v < i {
-                    let node = &self.data[v];
-                    let half = sz >> 1;
-                    if *key <= *node {
-                        v = 2 * v + 1;
-                    } else {
-                        v = 2 * v + 2;
-                        lo += half + 1;
-                    }
-                    sz = half;
-                }
-                binary_rank_from_gap(self.data, i, l, lo, key)
-            }
-            ShapeData::Veb(shape) => {
-                // Same gap computation, but descending by in-order
-                // arithmetic with vEB position recomputation.
-                let BinaryShape { d, i, l } = shape;
-                let mut p = 1u64 << (d - 1);
-                let mut step = 1u64 << (d - 1);
-                let g = loop {
-                    let pos = veb_pos(d, (p - 1) as usize);
-                    let node = &self.data[pos];
-                    step >>= 1;
-                    if *key <= *node {
-                        if step == 0 {
-                            break (p - 1) as usize;
-                        }
-                        p -= step;
-                    } else {
-                        if step == 0 {
-                            break p as usize;
-                        }
-                        p += step;
-                    }
-                };
-                binary_rank_from_gap(self.data, i, l, g, key)
-            }
-            ShapeData::Btree(shape) => {
-                let BtreeSearchShape {
-                    b,
-                    i,
-                    num_nodes,
-                    q,
-                    s,
-                } = shape;
-                let k = b + 1;
-                let mut v = 0usize;
-                let mut lo = 0usize;
-                let mut span = i;
-                while v < num_nodes {
-                    let keys = &self.data[v * b..v * b + b];
-                    let child_span = (span - b) / k;
-                    let c = keys.iter().take_while(|kk| *kk < key).count();
-                    v = v * k + c + 1;
-                    lo += c * (child_span + 1);
-                    span = child_span;
-                }
-                // g = full elements < key. The rank adds the overflow
-                // keys in gaps before g, plus the within-gap-g prefix
-                // that is still < key.
-                let g = lo;
-                let mut rank = g + (g.min(q)) * b + if g > q { s } else { 0 };
-                let (start, len) = if g < q {
-                    (i + g * b, b)
-                } else if g == q {
-                    (i + q * b, s)
-                } else {
-                    (0, 0)
-                };
-                rank += self.data[start..start + len]
-                    .iter()
-                    .take_while(|x| *x < key)
-                    .count();
-                rank
-            }
+            ShapeData::Bst { shape, .. } => bst_rank_descent(self.data, shape, key),
+            ShapeData::Veb(shape) => veb_rank_descent(self.data, shape, key),
+            ShapeData::Btree(shape) => btree_rank_descent(self.data, shape, key),
         }
     }
 
+    /// Layout position of the element with sorted rank `r`, via the
+    /// closed-form position maps (`None` past the end). Shared by
+    /// `lower_bound` and its batched tier so both resolve ranks to
+    /// identical slots.
+    pub(crate) fn position_of_rank(&self, r: usize) -> Option<usize> {
+        let n = self.data.len();
+        if r >= n {
+            return None;
+        }
+        Some(match self.shape {
+            ShapeData::Sorted => r,
+            ShapeData::Bst { .. } => CompleteShape::new(n).pos(r, ist_layout::bst_pos),
+            ShapeData::Veb(_) => CompleteShape::new(n).pos(r, veb_pos),
+            ShapeData::Btree(shape) => {
+                ist_layout::complete::BtreeCompleteShape::new(n, shape.b).pos(r)
+            }
+        })
+    }
+
     /// Layout index of the smallest stored key `≥ key` (the successor /
-    /// `lower_bound`), or `None` if every key is smaller.
+    /// `lower_bound`), or `None` if every key is smaller. With
+    /// duplicates, the leftmost copy in sorted order (see the
+    /// [crate docs](crate#duplicate-keys)).
     ///
     /// # Examples
     /// ```
@@ -549,35 +350,7 @@ impl<'a, T: Ord + Sync> Searcher<'a, T> {
     /// assert_eq!(s.lower_bound(&199), None);
     /// ```
     pub fn lower_bound(&self, key: &T) -> Option<usize> {
-        let r = self.rank(key);
-        if r >= self.data.len() {
-            return None;
-        }
-        // Map the sorted rank to a layout position via the closed-form
-        // position maps.
-        let n = self.data.len();
-        let pos = match self.shape {
-            ShapeData::Sorted => r,
-            ShapeData::Bst { .. } => CompleteShape::new(n).pos(r, ist_layout::bst_pos),
-            ShapeData::Veb(_) => CompleteShape::new(n).pos(r, veb_pos),
-            ShapeData::Btree(shape) => BtreeCompleteShape::new(n, shape.b).pos(r),
-        };
-        Some(pos)
-    }
-
-    /// Run a batch of queries sequentially, returning the number found
-    /// (the paper's query benchmarks measure exactly this loop).
-    pub fn batch_count_seq(&self, keys: &[T]) -> usize {
-        keys.iter().filter(|k| self.contains(k)).count()
-    }
-
-    /// Run a batch of queries in parallel (queries are independent),
-    /// returning the number found.
-    pub fn batch_count(&self, keys: &[T]) -> usize {
-        keys.par_iter()
-            .with_min_len(1 << 10)
-            .filter(|k| self.contains(k))
-            .count()
+        self.position_of_rank(self.rank(key))
     }
 }
 
@@ -603,6 +376,11 @@ mod tests {
             assert!(!s.contains(&(key + 1)), "n={n} kind={kind:?} miss x={x}");
         }
         assert!(!s.contains(&0));
+        // Batched tiers must agree bit-for-bit with the scalar loop.
+        let keys: Vec<u64> = (0..2 * n as u64 + 21).collect();
+        let scalar = s.batch_search_seq(&keys);
+        assert_eq!(s.batch_search_pipelined(&keys), scalar, "n={n} {kind:?}");
+        assert_eq!(s.batch_search(&keys), scalar, "n={n} {kind:?}");
     }
 
     #[test]
@@ -646,6 +424,25 @@ mod tests {
         assert_eq!(s.batch_count(&keys), expect);
     }
 
+    /// Small batches (below any parallel grain) must produce counts
+    /// identical to the scalar loop — the regression the old hardcoded
+    /// `with_min_len(1 << 10)` dodged by never parallelizing them.
+    #[test]
+    fn batch_count_small_batches_match_seq() {
+        let n = 3000usize;
+        let mut data = sorted_data(n);
+        permute_in_place(&mut data, Layout::Veb, Algorithm::CycleLeader).unwrap();
+        let s = Searcher::new(&data, QueryKind::Veb);
+        for batch in [0usize, 1, 2, 7, 15, 16, 17, 100, 511, 1023] {
+            let keys: Vec<u64> = (0..batch as u64).map(|x| 3 * x + 9).collect();
+            assert_eq!(
+                s.batch_count(&keys),
+                s.batch_count_seq(&keys),
+                "batch={batch}"
+            );
+        }
+    }
+
     #[test]
     fn empty_input() {
         let data: Vec<u64> = vec![];
@@ -654,6 +451,10 @@ mod tests {
         assert_eq!(search_bst(&data, &5), None);
         assert_eq!(search_veb(&data, &5), None);
         assert_eq!(search_btree(&data, 4, &5), None);
+        assert_eq!(s.batch_search(&[1, 2, 3]), vec![None, None, None]);
+        assert_eq!(s.batch_rank(&[1, 2, 3]), vec![0, 0, 0]);
+        assert_eq!(s.range_count(&1, &9), 0);
+        assert_eq!(s.batch_search(&[]), vec![]);
     }
 
     #[test]
@@ -683,6 +484,12 @@ mod tests {
                         "n={n} {kind:?} probe={probe}"
                     );
                 }
+                let probes: Vec<u64> = (0..(3 * n as u64 + 5)).collect();
+                assert_eq!(s.batch_rank(&probes), s.batch_rank_seq(&probes));
+                assert_eq!(
+                    s.batch_lower_bound(&probes),
+                    probes.iter().map(|p| s.lower_bound(p)).collect::<Vec<_>>()
+                );
             }
         }
     }
@@ -700,5 +507,31 @@ mod tests {
             let p = s.search(&key).unwrap();
             assert_eq!(data[p], key);
         }
+    }
+
+    #[test]
+    fn range_count_matches_oracle() {
+        let n = 777usize;
+        let sorted: Vec<u64> = (0..n as u64).map(|x| 2 * x).collect();
+        let mut data = sorted.clone();
+        permute_in_place(&mut data, Layout::Bst, Algorithm::CycleLeader).unwrap();
+        let s = Searcher::new(&data, QueryKind::Bst);
+        let mut ranges = Vec::new();
+        for lo in (0..2 * n as u64).step_by(97) {
+            for width in [0u64, 1, 2, 13, 400] {
+                ranges.push((lo, lo + width));
+                ranges.push((lo + width, lo)); // inverted
+            }
+        }
+        for &(lo, hi) in &ranges {
+            let expect = sorted
+                .partition_point(|x| *x < hi)
+                .saturating_sub(sorted.partition_point(|x| *x < lo));
+            assert_eq!(s.range_count(&lo, &hi), expect, "[{lo}, {hi})");
+        }
+        assert_eq!(
+            s.batch_range_count(&ranges),
+            s.batch_range_count_seq(&ranges)
+        );
     }
 }

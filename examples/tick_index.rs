@@ -1,19 +1,19 @@
 //! A financial tick-store index (the paper cites finance as a domain
 //! with search-heavy static data): one immutable array of timestamps per
 //! trading day, probed by analytics jobs with large *batches* of
-//! point-in-time lookups.
+//! point-in-time lookups and time-window counts.
 //!
-//! This example exercises the parallel batch-query path and the
-//! non-perfect-tree handling (a trading day rarely produces 2^k − 1
-//! ticks), and demonstrates the memory argument for in-place
-//! construction: the layouts are built inside the same allocation the
-//! ticks were loaded into.
+//! This example drives the [`StaticIndex`] facade end to end: it owns
+//! the tick buffer, sorts + permutes it **in place** (no 2x memory
+//! spike on the ingest node), and serves batched lookups on the
+//! software-pipelined multi-descent engine plus range counts via rank
+//! descents. The tick count is deliberately not a perfect-tree size.
 //!
 //! ```text
 //! cargo run --release --example tick_index
 //! ```
 
-use implicit_search_trees::{permute_in_place, Algorithm, Layout, Searcher};
+use implicit_search_trees::{Layout, StaticIndex};
 use std::time::Instant;
 
 /// Synthetic trading day: strictly increasing nanosecond timestamps with
@@ -46,26 +46,41 @@ fn main() {
         .chain(day.iter().step_by(11).map(|t| t + 1))
         .collect();
 
+    // One-minute windows across the session, counted via two rank
+    // descents each — no scan of the window contents.
+    let minute = 60_000_000_000u64;
+    let windows: Vec<(u64, u64)> = (0..390) // 6.5 trading hours
+        .map(|m| {
+            let start = 34_200_000_000_000u64 + m * minute;
+            (start, start + minute)
+        })
+        .collect();
+
     for (label, layout) in [
         ("vEB (cache-oblivious)", Layout::Veb),
         ("B-tree (B = 8)", Layout::Btree { b: 8 }),
     ] {
-        let mut index = day.clone();
         let t0 = Instant::now();
         // In place: the index lives in the same buffer the ticks loaded
-        // into; no 2x memory spike on the ingest node.
-        permute_in_place(&mut index, layout, Algorithm::CycleLeader).unwrap();
+        // into; no second allocation on the ingest node.
+        let index = StaticIndex::build(day.clone(), layout).unwrap();
         let built = t0.elapsed();
 
-        let searcher = Searcher::for_layout(&index, layout);
         let t0 = Instant::now();
-        let hits = searcher.batch_count(&queries); // parallel batch
+        let hits = index.batch_count(&queries); // pipelined + parallel
         let batch = t0.elapsed();
+
+        let t0 = Instant::now();
+        let per_minute = index.batch_range_count(&windows);
+        let ranged = t0.elapsed();
 
         let expected_hits = day.iter().step_by(7).count();
         assert!(hits >= expected_hits); // +1 queries may also collide with real ticks
+        assert_eq!(per_minute.iter().sum::<usize>(), ticks); // windows tile the session
+        let busiest = per_minute.iter().max().unwrap();
         println!(
-            "{label:<22}: built in {built:>9.3?}, {} lookups in {batch:>9.3?} ({hits} hits)",
+            "{label:<22}: built in {built:>9.3?}, {} lookups in {batch:>9.3?} ({hits} hits), \
+             390 window counts in {ranged:>9.3?} (busiest minute: {busiest} ticks)",
             queries.len()
         );
     }

@@ -1,0 +1,207 @@
+//! [`StaticIndex`]: the one-stop facade for "I have keys, serve
+//! queries fast".
+//!
+//! Owns its key array: construction sorts the keys and permutes them
+//! **in place** (no second buffer — the index lives in the allocation
+//! the keys arrived in) into the chosen layout, then every point,
+//! batch, and range query from `ist-query` is available as a method.
+//! Batch queries run on the software-pipelined multi-descent engine and
+//! parallelize over adaptively-sized chunks.
+
+use ist_core::{permute_in_place, Algorithm, Error, Layout};
+use ist_query::{QueryKind, Searcher};
+
+/// An immutable sorted-key index stored as an implicit search tree
+/// layout.
+///
+/// # Examples
+/// ```
+/// use implicit_search_trees::{Layout, StaticIndex};
+///
+/// // Unsorted, duplicated keys: build() sorts then permutes in place.
+/// let index = StaticIndex::build(vec![30u64, 10, 20, 20, 50], Layout::Veb).unwrap();
+/// assert_eq!(index.len(), 5);
+/// assert!(index.contains(&20));
+/// assert_eq!(index.rank(&20), 1);              // one key (10) strictly below
+/// assert_eq!(index.lower_bound(&25), Some(&30));
+/// assert_eq!(index.range_count(&10, &30), 3);  // 10, 20, 20
+/// assert_eq!(index.batch_count(&[10, 11, 50]), 2);
+/// ```
+pub struct StaticIndex<K> {
+    data: Vec<K>,
+    kind: QueryKind,
+}
+
+impl<K: Ord + Send + Sync> StaticIndex<K> {
+    /// Sort `keys` and permute them in place into `layout`, using the
+    /// best default query descent for that layout (grandchild
+    /// prefetching for the BST).
+    ///
+    /// Duplicates are kept (see [`ist_query`'s duplicate-key
+    /// contract](ist_query#duplicate-keys)).
+    pub fn build(keys: Vec<K>, layout: Layout) -> Result<Self, Error> {
+        let kind = match layout {
+            Layout::Bst => QueryKind::BstPrefetch,
+            Layout::Btree { b } => QueryKind::Btree(b),
+            Layout::Veb => QueryKind::Veb,
+        };
+        Self::build_for_kind(keys, kind, Algorithm::CycleLeader)
+    }
+
+    /// Full-control constructor: explicit [`QueryKind`] (which implies
+    /// the layout — [`QueryKind::Sorted`] skips permutation entirely,
+    /// giving the plain binary-search baseline) and construction
+    /// [`Algorithm`].
+    pub fn build_for_kind(
+        mut keys: Vec<K>,
+        kind: QueryKind,
+        algorithm: Algorithm,
+    ) -> Result<Self, Error> {
+        keys.sort_unstable();
+        if !keys.is_empty() {
+            if let Some(layout) = layout_of_kind(kind) {
+                permute_in_place(&mut keys, layout, algorithm)?;
+            }
+        }
+        Ok(Self { data: keys, kind })
+    }
+
+    /// Number of stored keys (duplicates counted).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` iff no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The layout the keys are stored in (`None` for the un-permuted
+    /// [`QueryKind::Sorted`] baseline).
+    pub fn layout(&self) -> Option<Layout> {
+        layout_of_kind(self.kind)
+    }
+
+    /// The descent this index answers queries with.
+    pub fn kind(&self) -> QueryKind {
+        self.kind
+    }
+
+    /// The stored keys in **layout order** (not sorted order, unless
+    /// the kind is [`QueryKind::Sorted`]).
+    pub fn as_slice(&self) -> &[K] {
+        &self.data
+    }
+
+    /// The key at layout position `pos` (as returned by
+    /// [`StaticIndex::search`] / [`StaticIndex::batch_search`]).
+    pub fn get(&self, pos: usize) -> Option<&K> {
+        self.data.get(pos)
+    }
+
+    /// Consume the index, returning the keys in layout order.
+    pub fn into_inner(self) -> Vec<K> {
+        self.data
+    }
+
+    /// A borrowing [`Searcher`] over the stored keys, for the full
+    /// query API (and for amortizing shape setup across many calls).
+    pub fn searcher(&self) -> Searcher<'_, K> {
+        Searcher::new(&self.data, self.kind)
+    }
+
+    /// `true` iff `key` is stored.
+    pub fn contains(&self, key: &K) -> bool {
+        self.searcher().contains(key)
+    }
+
+    /// Layout position of a stored key equal to `key`, if any.
+    pub fn search(&self, key: &K) -> Option<usize> {
+        self.searcher().search(key)
+    }
+
+    /// Number of stored keys strictly smaller than `key`.
+    pub fn rank(&self, key: &K) -> usize {
+        self.searcher().rank(key)
+    }
+
+    /// The smallest stored key `≥ key` (successor), if any.
+    pub fn lower_bound(&self, key: &K) -> Option<&K> {
+        let pos = self.searcher().lower_bound(key)?;
+        Some(&self.data[pos])
+    }
+
+    /// Number of stored keys in the half-open interval `[lo, hi)`, via
+    /// two rank descents.
+    pub fn range_count(&self, lo: &K, hi: &K) -> usize {
+        self.searcher().range_count(lo, hi)
+    }
+
+    /// Count how many of `keys` are stored — pipelined multi-descent,
+    /// parallel over adaptive chunks.
+    pub fn batch_count(&self, keys: &[K]) -> usize {
+        self.searcher().batch_count(keys)
+    }
+
+    /// Layout positions for a batch of lookups (pipelined + parallel);
+    /// `out[i]` is exactly what [`StaticIndex::search`]`(&keys[i])`
+    /// returns.
+    pub fn batch_search(&self, keys: &[K]) -> Vec<Option<usize>> {
+        self.searcher().batch_search(keys)
+    }
+
+    /// Ranks for a batch of keys (pipelined + parallel).
+    pub fn batch_rank(&self, keys: &[K]) -> Vec<usize> {
+        self.searcher().batch_rank(keys)
+    }
+
+    /// Per-pair [`StaticIndex::range_count`] for a batch of `(lo, hi)`
+    /// ranges; both descents of every pair go through one pipeline.
+    pub fn batch_range_count(&self, ranges: &[(K, K)]) -> Vec<usize> {
+        self.searcher().batch_range_count(ranges)
+    }
+}
+
+fn layout_of_kind(kind: QueryKind) -> Option<Layout> {
+    match kind {
+        QueryKind::Sorted => None,
+        QueryKind::Bst | QueryKind::BstPrefetch => Some(Layout::Bst),
+        QueryKind::Btree(b) => Some(Layout::Btree { b }),
+        QueryKind::Veb => Some(Layout::Veb),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_from_unsorted_with_duplicates() {
+        let keys = vec![5u64, 3, 9, 3, 3, 7, 1];
+        for kind in [
+            QueryKind::Sorted,
+            QueryKind::Bst,
+            QueryKind::BstPrefetch,
+            QueryKind::Btree(2),
+            QueryKind::Veb,
+        ] {
+            let idx =
+                StaticIndex::build_for_kind(keys.clone(), kind, Algorithm::Involution).unwrap();
+            assert_eq!(idx.len(), 7);
+            assert_eq!(idx.rank(&3), 1, "{kind:?}");
+            assert_eq!(idx.rank(&4), 4, "{kind:?}");
+            assert_eq!(idx.lower_bound(&4), Some(&5), "{kind:?}");
+            assert_eq!(idx.range_count(&3, &8), 5, "{kind:?}");
+            assert!(idx.contains(&9) && !idx.contains(&2), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = StaticIndex::<u64>::build(vec![], Layout::Bst).unwrap();
+        assert!(idx.is_empty());
+        assert!(!idx.contains(&1));
+        assert_eq!(idx.batch_count(&[1, 2]), 0);
+        assert_eq!(idx.lower_bound(&0), None);
+    }
+}

@@ -17,19 +17,37 @@
 //!
 //! ## Quick start
 //!
+//! [`StaticIndex`] owns its keys: it sorts them, permutes them in place
+//! into the chosen layout, and serves the whole query API — point
+//! lookups, ranks, successors, range counts, and batched variants that
+//! run on a software-pipelined multi-descent engine.
+//!
+//! ```
+//! use implicit_search_trees::{Layout, StaticIndex};
+//!
+//! // Any size (non-perfect trees are handled), any order, duplicates ok.
+//! let keys: Vec<u64> = (0..100_000u64).map(|x| 3 * x).collect();
+//! let index = StaticIndex::build(keys, Layout::Veb).unwrap();
+//!
+//! assert!(index.contains(&299_997));
+//! assert!(!index.contains(&299_998));
+//! assert_eq!(index.rank(&150_000), 50_000);
+//! assert_eq!(index.range_count(&0, &30), 10);
+//! assert_eq!(index.batch_count(&[3, 4, 5, 6]), 2); // pipelined batch
+//! ```
+//!
+//! For borrowed data (or full control over the descent variant and
+//! construction algorithm), use [`permute_in_place`] + [`Searcher`]
+//! directly:
+//!
 //! ```
 //! use implicit_search_trees::{permute_in_place, Algorithm, Layout, Searcher};
 //!
-//! // A sorted array (any size; non-perfect trees are handled).
-//! let mut data: Vec<u64> = (0..100_000u64).map(|x| 3 * x).collect();
-//!
-//! // Permute it, in place and in parallel, into the vEB layout.
+//! let mut data: Vec<u64> = (0..100_000u64).map(|x| 3 * x).collect(); // sorted
 //! permute_in_place(&mut data, Layout::Veb, Algorithm::CycleLeader).unwrap();
 //!
-//! // Query it.
-//! let index = Searcher::for_layout(&data, Layout::Veb);
-//! assert!(index.contains(&299_997));
-//! assert!(!index.contains(&299_998));
+//! let searcher = Searcher::for_layout(&data, Layout::Veb);
+//! assert!(searcher.contains(&299_997));
 //! ```
 //!
 //! ## One algorithm, N machines
@@ -48,8 +66,9 @@
 //! | Module | Contents |
 //! |---|---|
 //! | `core` (re-exported at the root) | the construction algorithms (written once, `Machine`-generic) and public API |
+//! | [`StaticIndex`] (this crate, `src/index.rs`) | owning sort + permute + full-query-API facade |
 //! | [`machine`] | the `Machine` execution-substrate trait and the `Ram` backend |
-//! | [`query`] | per-layout searchers, `rank`/`lower_bound`, and batch drivers |
+//! | [`query`] | per-layout searchers and the batched query engine: `descent` (scalar + resumable one-level-per-step descents), `batch` (software-pipelined multi-descent core, rayon composition), `range` (range counts over rank descents) |
 //! | [`layout`] | position maps / index arithmetic per layout |
 //! | [`gather`] | equidistant gather operations |
 //! | [`shuffle`] | perfect shuffles and rotations |
@@ -57,6 +76,10 @@
 //! | [`bits`] | digit reversal and modular arithmetic |
 //! | [`pem_sim`] | PEM-model I/O cost backend |
 //! | [`gpu_sim`] | SIMT (GPU) execution cost backend |
+
+mod index;
+
+pub use index::StaticIndex;
 
 pub use ist_core::{
     construct, cycle_leader, fich_baseline, involution, nonperfect, permute_in_place,

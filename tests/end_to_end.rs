@@ -3,7 +3,7 @@
 
 use implicit_search_trees::{
     permute_in_place, permute_in_place_seq, reference_permutation, Algorithm, Layout, QueryKind,
-    Searcher,
+    Searcher, StaticIndex,
 };
 
 fn layouts() -> Vec<Layout> {
@@ -116,6 +116,81 @@ fn algorithms_agree_with_each_other_large() {
         permute_in_place(&mut a, layout, Algorithm::Involution).unwrap();
         permute_in_place(&mut b, layout, Algorithm::CycleLeader).unwrap();
         assert_eq!(a, b, "{layout:?}");
+    }
+}
+
+/// The StaticIndex facade: unsorted duplicated input in, the whole
+/// query API out, for every layout — including the batched engine and
+/// range queries, cross-checked against both the scalar tier and a
+/// sorted-vector oracle.
+#[test]
+fn static_index_end_to_end() {
+    let n = 4321usize;
+    let raw: Vec<u64> = (0..n as u64).map(|x| x * x % 9973).collect(); // unsorted, duplicates
+    let mut sorted = raw.clone();
+    sorted.sort_unstable();
+    let queries: Vec<u64> = (0..10_000u64).collect();
+    let expect_count = queries
+        .iter()
+        .filter(|q| sorted.binary_search(q).is_ok())
+        .count();
+    for layout in layouts() {
+        let index = StaticIndex::build(raw.clone(), layout).unwrap();
+        assert_eq!(index.len(), n, "{layout:?}");
+        assert_eq!(index.layout(), Some(layout), "{layout:?}");
+
+        // The stored data is a permutation of the sorted input.
+        let mut back = index.as_slice().to_vec();
+        back.sort_unstable();
+        assert_eq!(back, sorted, "{layout:?}");
+
+        // Batched engine vs scalar vs oracle.
+        assert_eq!(index.batch_count(&queries), expect_count, "{layout:?}");
+        let found = index.batch_search(&queries);
+        assert_eq!(
+            found,
+            index.searcher().batch_search_seq(&queries),
+            "{layout:?}"
+        );
+        for (q, hit) in queries.iter().zip(&found) {
+            if let Some(pos) = hit {
+                assert_eq!(index.get(*pos), Some(q), "{layout:?} q={q}");
+            }
+        }
+
+        // Ranks and range counts vs oracle.
+        for probe in (0..10_000u64).step_by(619) {
+            assert_eq!(
+                index.rank(&probe),
+                sorted.partition_point(|x| *x < probe),
+                "{layout:?} probe={probe}"
+            );
+            assert_eq!(
+                index.range_count(&probe, &(probe + 1000)),
+                sorted.partition_point(|x| *x < probe + 1000)
+                    - sorted.partition_point(|x| *x < probe),
+                "{layout:?} probe={probe}"
+            );
+        }
+    }
+}
+
+/// Round-trip through the facade: an index built via the explicit
+/// (sorted, Searcher) path answers identically to StaticIndex.
+#[test]
+fn static_index_agrees_with_manual_pipeline() {
+    let n = 2000usize;
+    let sorted: Vec<u64> = (0..n as u64).map(|x| 7 * x).collect();
+    for layout in layouts() {
+        let index = StaticIndex::build(sorted.clone(), layout).unwrap();
+        let mut manual = sorted.clone();
+        permute_in_place(&mut manual, layout, Algorithm::CycleLeader).unwrap();
+        assert_eq!(index.as_slice(), &manual[..], "{layout:?}");
+        let s = Searcher::for_layout(&manual, layout);
+        for probe in (0..14_000u64).step_by(391) {
+            assert_eq!(index.contains(&probe), s.contains(&probe), "{layout:?}");
+            assert_eq!(index.rank(&probe), s.rank(&probe), "{layout:?}");
+        }
     }
 }
 

@@ -10,7 +10,7 @@
 
 use implicit_search_trees::gpu_sim::{Gpu, GpuConfig};
 use implicit_search_trees::pem_sim::{PemConfig, TrackedArray};
-use implicit_search_trees::{construct, reference_permutation, Algorithm, Layout, Ram};
+use implicit_search_trees::{construct, reference_permutation, Algorithm, Layout, Ram, Searcher};
 
 /// Perfect sizes for binary layouts (2^d − 1), B-tree-perfect sizes for a
 /// couple of B values, and decidedly non-perfect sizes.
@@ -91,6 +91,55 @@ fn gpu_block_local_threshold_is_seamless() {
             construct(&mut gpu, Layout::Veb, algorithm).unwrap();
             assert_eq!(gpu.data, expect, "n={n} {algorithm:?}");
         }
+    }
+}
+
+/// Layouts built by the cost backends are served by the same query
+/// engine as production layouts: batched queries over a simulator-built
+/// array are bit-identical to the scalar loop over the Ram-built one.
+#[test]
+fn backend_built_layouts_serve_identical_batched_queries() {
+    let n = 2000usize;
+    let sorted: Vec<u64> = (0..n as u64).map(|x| 2 * x).collect();
+    let queries: Vec<u64> = (0..4 * n as u64).step_by(3).collect();
+    for layout in layouts() {
+        let mut ram = sorted.clone();
+        construct(&mut Ram::par(&mut ram), layout, Algorithm::Involution).unwrap();
+        let ram_s = Searcher::for_layout(&ram, layout);
+        let expect = ram_s.batch_search_seq(&queries);
+
+        let mut pem = TrackedArray::from_sorted(
+            n,
+            PemConfig {
+                m: 256,
+                b: 16,
+                p: 2,
+            },
+        );
+        construct(&mut pem, layout, Algorithm::Involution).unwrap();
+        // PEM stores 0..n; remap the queries onto its key space.
+        let pem_data: Vec<u64> = pem.data().to_vec();
+        let pem_s = Searcher::for_layout(&pem_data, layout);
+        let pem_queries: Vec<u64> = queries.iter().map(|q| q / 2).collect();
+        assert_eq!(
+            pem_s.batch_search(&pem_queries),
+            pem_s.batch_search_seq(&pem_queries),
+            "{layout:?} pem"
+        );
+
+        let gpu = {
+            let mut g = Gpu::from_sorted(n, GpuConfig::default());
+            construct(&mut g, layout, Algorithm::Involution).unwrap();
+            g.data
+        };
+        let gpu_scaled: Vec<u64> = gpu.iter().map(|x| 2 * x).collect();
+        let gpu_s = Searcher::for_layout(&gpu_scaled, layout);
+        assert_eq!(gpu_s.batch_search(&queries), expect, "{layout:?} gpu");
+        assert_eq!(
+            gpu_s.batch_search_pipelined(&queries),
+            expect,
+            "{layout:?} gpu pipelined"
+        );
     }
 }
 

@@ -13,7 +13,7 @@ use implicit_search_trees::gather::{
 use implicit_search_trees::shuffle::{shuffle_mod, unshuffle_mod};
 use implicit_search_trees::{
     permute_in_place, permute_in_place_seq, reference_permutation, Algorithm, Layout, QueryKind,
-    Searcher,
+    Searcher, StaticIndex,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -292,5 +292,125 @@ fn batch_count_matches_sorted_oracle() {
             expect,
             "case {case}: n={n} {layout:?} par"
         );
+    }
+}
+
+/// Every batched tier (pipelined, parallel) is bit-identical to the
+/// scalar per-key loop, for randomized sizes, batch lengths, and key
+/// multisets (duplicates included).
+#[test]
+fn batched_tiers_match_scalar_bitwise() {
+    let mut rng = StdRng::seed_from_u64(0x9199);
+    for case in 0..24 {
+        let n = rng.gen_range(1usize..5000);
+        let b = rng.gen_range(1usize..12);
+        let dup = rng.gen_range(1u64..4); // 1 = distinct, >1 = duplicated
+        let sorted: Vec<u64> = (0..n as u64).map(|x| x / dup).collect();
+        let queries: Vec<u64> = (0..rng.gen_range(0usize..2000))
+            .map(|_| rng.gen_range(0..n as u64 / dup + 3))
+            .collect();
+        for (kind, layout) in query_kinds(b) {
+            let mut data = sorted.clone();
+            if let Some(l) = layout {
+                permute_in_place(&mut data, l, Algorithm::CycleLeader).unwrap();
+            }
+            let s = Searcher::new(&data, kind);
+            let tag = format!("case {case}: n={n} {kind:?} q={}", queries.len());
+            assert_eq!(
+                s.batch_search_pipelined(&queries),
+                s.batch_search_seq(&queries),
+                "{tag} search pipelined"
+            );
+            assert_eq!(
+                s.batch_search(&queries),
+                s.batch_search_seq(&queries),
+                "{tag} search parallel"
+            );
+            assert_eq!(
+                s.batch_rank_pipelined(&queries),
+                s.batch_rank_seq(&queries),
+                "{tag} rank pipelined"
+            );
+            assert_eq!(
+                s.batch_rank(&queries),
+                s.batch_rank_seq(&queries),
+                "{tag} rank parallel"
+            );
+        }
+    }
+}
+
+/// `range_count` and `batch_range_count` equal the sorted oracle's rank
+/// difference for arbitrary (including inverted) endpoints.
+#[test]
+fn range_count_matches_sorted_oracle() {
+    let mut rng = StdRng::seed_from_u64(0x4a4e);
+    for case in 0..24 {
+        let n = rng.gen_range(1usize..4000);
+        let b = rng.gen_range(1usize..12);
+        let layout = random_layout(&mut rng, b);
+        let sorted: Vec<u64> = (0..n as u64).map(|x| 2 * x + 1).collect();
+        let mut data = sorted.clone();
+        permute_in_place(&mut data, layout, Algorithm::CycleLeader).unwrap();
+        let s = Searcher::for_layout(&data, layout);
+        let ranges: Vec<(u64, u64)> = (0..rng.gen_range(1usize..500))
+            .map(|_| {
+                (
+                    rng.gen_range(0..2 * n as u64 + 4),
+                    rng.gen_range(0..2 * n as u64 + 4),
+                )
+            })
+            .collect();
+        for &(lo, hi) in &ranges {
+            let expect = sorted
+                .partition_point(|x| *x < hi)
+                .saturating_sub(sorted.partition_point(|x| *x < lo));
+            assert_eq!(
+                s.range_count(&lo, &hi),
+                expect,
+                "case {case}: n={n} {layout:?} [{lo},{hi})"
+            );
+        }
+        assert_eq!(
+            s.batch_range_count(&ranges),
+            s.batch_range_count_seq(&ranges),
+            "case {case}: n={n} {layout:?}"
+        );
+    }
+}
+
+/// `StaticIndex` answers every query like a sorted-vector oracle, for
+/// random unsorted duplicated inputs and every layout.
+#[test]
+fn static_index_matches_sorted_oracle() {
+    let mut rng = StdRng::seed_from_u64(0xfacade);
+    for case in 0..16 {
+        let n = rng.gen_range(0usize..3000);
+        let b = rng.gen_range(1usize..12);
+        let layout = random_layout(&mut rng, b);
+        let keys: Vec<u64> = (0..n).map(|_| rng.gen_range(0..(n as u64 + 2))).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        let index = StaticIndex::build(keys, layout).unwrap();
+        assert_eq!(index.len(), n, "case {case}");
+        for _ in 0..60 {
+            let p = rng.gen_range(0..n as u64 + 4);
+            let expect_rank = sorted.partition_point(|x| *x < p);
+            assert_eq!(
+                index.rank(&p),
+                expect_rank,
+                "case {case}: n={n} {layout:?} probe={p}"
+            );
+            assert_eq!(
+                index.contains(&p),
+                sorted.binary_search(&p).is_ok(),
+                "case {case}: n={n} {layout:?} probe={p}"
+            );
+            assert_eq!(
+                index.lower_bound(&p).copied(),
+                sorted.get(expect_rank).copied(),
+                "case {case}: n={n} {layout:?} probe={p}"
+            );
+        }
     }
 }

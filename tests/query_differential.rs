@@ -1,0 +1,325 @@
+//! Differential query sweep: every `Searcher` operation — point, batch,
+//! and range — checked against the sorted-array oracle, for all five
+//! `QueryKind`s, over adversarial tree shapes and key multisets
+//! (duplicates included).
+//!
+//! Two layers of checking:
+//!
+//! 1. **Oracle**: results must match what a plain sorted `Vec` answers
+//!    (`partition_point` for ranks, membership for search, rank
+//!    differences for range counts).
+//! 2. **Tier identity**: the batched tiers (`*_pipelined` and the
+//!    parallel un-suffixed entry points) must be **bit-identical** to
+//!    the per-key scalar loop — same `Option<usize>` positions, not
+//!    just the same keys found.
+//!
+//! Sizes cover the adversarial shapes: 0, 1, perfect binary trees
+//! `2^d − 1` and their neighbors, and B-tree node boundaries
+//! `((b+1)^m − 1) ± {0, 1, b}` for every exercised `b`.
+
+use implicit_search_trees::{permute_in_place, Algorithm, Layout, QueryKind, Searcher};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const BTREE_BS: [usize; 4] = [1, 2, 3, 8];
+
+fn kinds() -> Vec<(QueryKind, Option<Layout>)> {
+    let mut v = vec![
+        (QueryKind::Sorted, None),
+        (QueryKind::Bst, Some(Layout::Bst)),
+        (QueryKind::BstPrefetch, Some(Layout::Bst)),
+        (QueryKind::Veb, Some(Layout::Veb)),
+    ];
+    for b in BTREE_BS {
+        v.push((QueryKind::Btree(b), Some(Layout::Btree { b })));
+    }
+    v
+}
+
+/// 0, 1, perfect binary sizes ± 1, and B-tree node boundaries ± {1, b}
+/// for the exercised branching factors.
+fn adversarial_sizes() -> Vec<usize> {
+    let mut sizes = vec![0usize, 1, 2, 3];
+    for d in [2u32, 3, 6, 7, 10] {
+        let perfect = (1usize << d) - 1;
+        sizes.extend([perfect - 1, perfect, perfect + 1]);
+    }
+    for b in BTREE_BS {
+        let k = b + 1;
+        for m in 1..=3u32 {
+            let perfect = k.pow(m) - 1;
+            if perfect > 2500 {
+                break;
+            }
+            sizes.extend([
+                perfect.saturating_sub(1),
+                perfect,
+                perfect + 1,
+                perfect + b,
+                perfect + b + 1,
+            ]);
+        }
+    }
+    sizes.sort_unstable();
+    sizes.dedup();
+    sizes.retain(|&n| n <= 3000);
+    sizes
+}
+
+/// Key multisets for a given size: distinct strided keys, heavy
+/// duplication, all-equal, and seeded-PRNG draws from a small universe
+/// (guaranteeing collisions).
+fn key_sets(n: usize, rng: &mut StdRng) -> Vec<Vec<u64>> {
+    let mut sets = Vec::new();
+    sets.push((0..n as u64).map(|x| 3 * x + 5).collect());
+    sets.push((0..n as u64).map(|x| x / 3).collect()); // runs of 3
+    sets.push(vec![42u64; n]); // all equal
+    if n > 0 {
+        let universe = (n as u64 / 2).max(1);
+        let mut random: Vec<u64> = (0..n).map(|_| rng.gen_range(0..universe * 3)).collect();
+        random.sort_unstable();
+        sets.push(random);
+    }
+    sets
+}
+
+/// Probes covering every stored key, its neighbors, the extremes, and
+/// seeded random values.
+fn probes(sorted: &[u64], rng: &mut StdRng) -> Vec<u64> {
+    let mut probes = vec![0u64, 1, u64::MAX / 2];
+    for &k in sorted.iter().take(200) {
+        probes.extend([k.saturating_sub(1), k, k + 1]);
+    }
+    if let (Some(&lo), Some(&hi)) = (sorted.first(), sorted.last()) {
+        probes.extend([lo.saturating_sub(2), hi + 2]);
+        for _ in 0..100 {
+            probes.push(rng.gen_range(lo.saturating_sub(3)..hi + 4));
+        }
+    }
+    probes
+}
+
+/// Check every operation of one (kind, key multiset) combination
+/// against the oracle and across tiers.
+fn check_all_ops(sorted: &[u64], kind: QueryKind, layout: Option<Layout>, rng: &mut StdRng) {
+    let mut data = sorted.to_vec();
+    if let Some(l) = layout {
+        if !data.is_empty() {
+            permute_in_place(&mut data, l, Algorithm::CycleLeader).unwrap();
+        }
+    }
+    let s = Searcher::new(&data, kind);
+    let n = sorted.len();
+    let probes = probes(sorted, rng);
+    let tag = |p: u64| format!("n={n} {kind:?} probe={p}");
+
+    // --- point ops vs oracle ---
+    for &p in &probes {
+        let oracle_rank = sorted.partition_point(|x| *x < p);
+        let oracle_has = sorted.binary_search(&p).is_ok();
+
+        let hit = s.search(&p);
+        assert_eq!(hit.is_some(), oracle_has, "search {}", tag(p));
+        if let Some(pos) = hit {
+            assert_eq!(data[pos], p, "search position {}", tag(p));
+        }
+        assert_eq!(s.contains(&p), oracle_has, "contains {}", tag(p));
+
+        // rank = count strictly smaller (duplicates not self-counting).
+        assert_eq!(s.rank(&p), oracle_rank, "rank {}", tag(p));
+
+        // lower_bound = slot of the sorted-order-first key >= probe.
+        let lb = s.lower_bound(&p);
+        assert_eq!(
+            lb.map(|pos| data[pos]),
+            sorted.get(oracle_rank).copied(),
+            "lower_bound value {}",
+            tag(p)
+        );
+    }
+
+    // --- batch tiers: oracle + bit-identity with the scalar loop ---
+    let scalar_search = s.batch_search_seq(&probes);
+    assert_eq!(
+        s.batch_search_pipelined(&probes),
+        scalar_search,
+        "batch_search_pipelined n={n} {kind:?}"
+    );
+    assert_eq!(
+        s.batch_search(&probes),
+        scalar_search,
+        "batch_search n={n} {kind:?}"
+    );
+
+    let scalar_rank = s.batch_rank_seq(&probes);
+    assert_eq!(
+        s.batch_rank_pipelined(&probes),
+        scalar_rank,
+        "batch_rank_pipelined n={n} {kind:?}"
+    );
+    assert_eq!(
+        s.batch_rank(&probes),
+        scalar_rank,
+        "batch_rank n={n} {kind:?}"
+    );
+
+    let scalar_lb: Vec<Option<usize>> = probes.iter().map(|p| s.lower_bound(p)).collect();
+    assert_eq!(
+        s.batch_lower_bound(&probes),
+        scalar_lb,
+        "batch_lower_bound n={n} {kind:?}"
+    );
+
+    assert_eq!(
+        s.batch_count(&probes),
+        s.batch_count_seq(&probes),
+        "batch_count n={n} {kind:?}"
+    );
+
+    // --- range ops: oracle + tier identity (inverted ranges included) ---
+    let mut ranges: Vec<(u64, u64)> = Vec::new();
+    for w in probes.windows(2) {
+        ranges.push((w[0], w[1]));
+    }
+    for &p in probes.iter().take(40) {
+        ranges.push((p, p)); // empty
+        ranges.push((p + 3, p)); // inverted
+    }
+    for &(lo, hi) in &ranges {
+        let expect = sorted
+            .partition_point(|x| *x < hi)
+            .saturating_sub(sorted.partition_point(|x| *x < lo));
+        assert_eq!(
+            s.range_count(&lo, &hi),
+            expect,
+            "range_count [{lo},{hi}) n={n} {kind:?}"
+        );
+    }
+    assert_eq!(
+        s.batch_range_count(&ranges),
+        s.batch_range_count_seq(&ranges),
+        "batch_range_count n={n} {kind:?}"
+    );
+}
+
+#[test]
+fn differential_sweep_small_sizes() {
+    let mut rng = StdRng::seed_from_u64(0xd1ff);
+    for n in adversarial_sizes() {
+        if n > 130 {
+            continue;
+        }
+        for keys in key_sets(n, &mut rng) {
+            for (kind, layout) in kinds() {
+                check_all_ops(&keys, kind, layout, &mut rng);
+            }
+        }
+    }
+}
+
+#[test]
+fn differential_sweep_large_sizes() {
+    let mut rng = StdRng::seed_from_u64(0xd1ff + 1);
+    for n in adversarial_sizes() {
+        if n <= 130 {
+            continue;
+        }
+        for keys in key_sets(n, &mut rng) {
+            for (kind, layout) in kinds() {
+                check_all_ops(&keys, kind, layout, &mut rng);
+            }
+        }
+    }
+}
+
+/// Randomized sizes (not just the adversarial grid), PRNG key multisets
+/// with heavy duplication, all kinds.
+#[test]
+fn differential_random_sizes() {
+    let mut rng = StdRng::seed_from_u64(0x5eed5);
+    for _case in 0..12 {
+        let n = rng.gen_range(1usize..2000);
+        for keys in key_sets(n, &mut rng) {
+            for (kind, layout) in kinds() {
+                check_all_ops(&keys, kind, layout, &mut rng);
+            }
+        }
+    }
+}
+
+/// Batches that straddle the pipeline window and the parallel chunking
+/// grain must stay bit-identical to scalar (off-by-one window drain
+/// bugs live here).
+#[test]
+fn differential_batch_length_boundaries() {
+    let mut rng = StdRng::seed_from_u64(0xba7c4);
+    let n = 1023usize; // perfect
+    let sorted: Vec<u64> = (0..n as u64).map(|x| 2 * x).collect();
+    for (kind, layout) in kinds() {
+        let mut data = sorted.clone();
+        if let Some(l) = layout {
+            permute_in_place(&mut data, l, Algorithm::CycleLeader).unwrap();
+        }
+        let s = Searcher::new(&data, kind);
+        for batch_len in [0usize, 1, 2, 15, 16, 17, 31, 32, 33, 63, 65, 127, 129, 1000] {
+            let keys: Vec<u64> = (0..batch_len)
+                .map(|_| rng.gen_range(0..2 * n as u64 + 2))
+                .collect();
+            assert_eq!(
+                s.batch_search_pipelined(&keys),
+                s.batch_search_seq(&keys),
+                "{kind:?} batch_len={batch_len}"
+            );
+            assert_eq!(
+                s.batch_search(&keys),
+                s.batch_search_seq(&keys),
+                "{kind:?} batch_len={batch_len}"
+            );
+            assert_eq!(
+                s.batch_rank_pipelined(&keys),
+                s.batch_rank_seq(&keys),
+                "{kind:?} batch_len={batch_len}"
+            );
+            assert_eq!(
+                s.batch_count(&keys),
+                s.batch_count_seq(&keys),
+                "{kind:?} batch_len={batch_len}"
+            );
+        }
+    }
+}
+
+/// Duplicate-key contract, spelled out on a hand-checkable multiset.
+#[test]
+fn duplicate_key_contract() {
+    // sorted: [3, 3, 3, 7, 7, 9]
+    let sorted = vec![3u64, 3, 3, 7, 7, 9];
+    for (kind, layout) in kinds() {
+        let mut data = sorted.clone();
+        if let Some(l) = layout {
+            permute_in_place(&mut data, l, Algorithm::CycleLeader).unwrap();
+        }
+        let s = Searcher::new(&data, kind);
+        // rank = strictly smaller.
+        assert_eq!(s.rank(&3), 0, "{kind:?}");
+        assert_eq!(s.rank(&4), 3, "{kind:?}");
+        assert_eq!(s.rank(&7), 3, "{kind:?}");
+        assert_eq!(s.rank(&8), 5, "{kind:?}");
+        assert_eq!(s.rank(&10), 6, "{kind:?}");
+        // search returns *some* matching slot.
+        for k in [3u64, 7, 9] {
+            let pos = s.search(&k).unwrap();
+            assert_eq!(data[pos], k, "{kind:?}");
+        }
+        assert!(!s.contains(&5), "{kind:?}");
+        // lower_bound lands on a slot holding the first key >= probe.
+        assert_eq!(s.lower_bound(&0).map(|p| data[p]), Some(3), "{kind:?}");
+        assert_eq!(s.lower_bound(&7).map(|p| data[p]), Some(7), "{kind:?}");
+        assert_eq!(s.lower_bound(&8).map(|p| data[p]), Some(9), "{kind:?}");
+        assert_eq!(s.lower_bound(&10), None, "{kind:?}");
+        // range_count counts with multiplicity.
+        assert_eq!(s.range_count(&3, &8), 5, "{kind:?}");
+        assert_eq!(s.range_count(&3, &4), 3, "{kind:?}");
+        assert_eq!(s.range_count(&4, &7), 0, "{kind:?}");
+    }
+}
