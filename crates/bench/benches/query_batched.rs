@@ -1,10 +1,11 @@
 //! Batched query engine throughput: scalar loop vs. software-pipelined
 //! multi-descent vs. rayon-parallel (pipelined within each chunk), per
-//! layout.
+//! layout — plus a sweep of the pipeline's window width.
 //!
 //! Records the perf trajectory for the batched engine; the committed
 //! `BENCH_query_batched.json` in the repository root is this bench run
-//! with `IST_BENCH_JSON` at full size. The acceptance bar it
+//! with `IST_BENCH_JSON` at full size (the `window_sweep` group is
+//! split out into `BENCH_window_sweep.json`). The acceptance bar it
 //! documents: pipelined `batch_search` ≥ 1.3× over the scalar loop on
 //! the BST layout at `n = 2^20 − 1` with a 10k-key batch.
 //!
@@ -56,5 +57,36 @@ fn bench_query_batched(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_query_batched);
+/// Window-width sweep for the pipelined engine: the width is a
+/// const-generic engine parameter; results are identical for every
+/// width (the differential suite checks that), so this group measures
+/// pure memory-level-parallelism headroom. 32 sits on the flat top of
+/// the curve on the reference host; 8 is visibly starved.
+fn bench_window_sweep(c: &mut Criterion) {
+    let smoke = std::env::var_os("IST_BENCH_SMOKE").is_some();
+    let mut group = c.benchmark_group("window_sweep");
+    group.sample_size(if smoke { 3 } else { 30 });
+    let n = if smoke { (1 << 14) - 1 } else { (1 << 20) - 1 };
+    let queries = uniform_queries(n, if smoke { 1000 } else { 10_000 }, 42);
+    for kind in [QueryKind::Bst, QueryKind::Btree(8), QueryKind::Veb] {
+        let index =
+            StaticIndex::build_for_kind(sorted_keys(n), kind, Algorithm::CycleLeader).unwrap();
+        let s = index.searcher();
+        group.bench_function(BenchmarkId::new(format!("{}/w8", kind.name()), n), |bch| {
+            bch.iter(|| std::hint::black_box(s.batch_search_pipelined_with_window::<8>(&queries)))
+        });
+        group.bench_function(BenchmarkId::new(format!("{}/w16", kind.name()), n), |bch| {
+            bch.iter(|| std::hint::black_box(s.batch_search_pipelined_with_window::<16>(&queries)))
+        });
+        group.bench_function(BenchmarkId::new(format!("{}/w32", kind.name()), n), |bch| {
+            bch.iter(|| std::hint::black_box(s.batch_search_pipelined_with_window::<32>(&queries)))
+        });
+        group.bench_function(BenchmarkId::new(format!("{}/w64", kind.name()), n), |bch| {
+            bch.iter(|| std::hint::black_box(s.batch_search_pipelined_with_window::<64>(&queries)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_batched, bench_window_sweep);
 criterion_main!(benches);

@@ -6,7 +6,7 @@
 //! (Chapter 3), circular shifts, and recursive subtree tasks — so the
 //! same control flow drives:
 //!
-//! * the production [`Ram`](ist_machine::Ram) backend (what
+//! * the production [`Ram`] backend (what
 //!   [`crate::permute_in_place`] uses),
 //! * the PEM I/O counter (`ist-pem-sim`'s `TrackedArray`), and
 //! * the SIMT cost model (`ist-gpu-sim`'s `Gpu`).

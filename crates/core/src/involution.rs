@@ -20,7 +20,7 @@
 //!
 //! These entry points are thin instantiations of the **single** generic
 //! implementation in [`crate::algorithms`] with the
-//! [`Ram`](ist_machine::Ram) backend; the PEM and GPU simulators drive
+//! [`Ram`] backend; the PEM and GPU simulators drive
 //! the very same code with their cost-model backends.
 
 use crate::algorithms;

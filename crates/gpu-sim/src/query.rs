@@ -6,10 +6,22 @@
 //! descent step the active lanes' addresses are coalesced into 128-byte
 //! segments and charged as transactions. A sample of queries is
 //! simulated and the per-query cost extrapolated.
+//!
+//! The descent arithmetic itself is **not** re-implemented here: each
+//! lane steps an `ist_query::nav::Navigator` — the same single source
+//! of truth the CPU's scalar and pipelined engines run — and this
+//! module only generates addresses from the navigator's node window and
+//! prices them (mirroring how the construction-side `Gpu` machine
+//! backend shares `ist_core::algorithms`). A lane retires on an
+//! equality hit, on falling off the perfect part (the overflow probe is
+//! omitted: one extra access at most), or on draining (sorted
+//! baseline). The sorted baseline replays the CPU engine's
+//! partition-point probe sequence, which never exits early on equality;
+//! `tests/navigator_equivalence.rs` pins lane traces against the scalar
+//! and pipelined CPU engines via [`lane_node_trace`].
 
 use crate::{Gpu, GpuCost};
-use ist_bits::ilog2_floor;
-use ist_layout::{complete::BtreeCompleteShape, veb_pos, CompleteShape};
+use ist_query::nav::{BstNav, BtreeNav, Navigator, SortedNav, VebNav, MISS};
 
 /// Which search algorithm the query kernel runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,173 +52,90 @@ impl GpuQueryKind {
 trait LaneSearch {
     /// Addresses this lane reads this step (empty = lane retired).
     fn addrs(&self, out: &mut Vec<usize>);
-    /// Advance one step after reading; `data` is global memory.
-    fn step(&mut self, data: &[u64]);
+    /// Advance one descent step after reading.
+    fn step(&mut self);
     fn done(&self) -> bool;
 }
 
-struct BinaryLane {
+/// One warp lane driving a navigator descent: search semantics with
+/// early exit on equality, overflow probe omitted.
+struct Lane<N: Navigator<u64>> {
+    nav: N,
     key: u64,
-    lo: usize,
-    hi: usize,
+    cur: N::Cursor,
+    acc: N::Acc,
+    ctx: N::Round,
+    res: usize,
+    round: u32,
     done: bool,
 }
 
-impl LaneSearch for BinaryLane {
-    fn addrs(&self, out: &mut Vec<usize>) {
-        if !self.done {
-            out.push(self.lo + (self.hi - self.lo) / 2);
+impl<N: Navigator<u64>> Lane<N> {
+    fn new(nav: N, key: u64) -> Self {
+        let (cur, acc) = nav.start();
+        let done = nav.rounds() == 0 || !nav.is_live(&cur, &acc);
+        Self {
+            ctx: nav.first_round(),
+            cur,
+            acc,
+            nav,
+            key,
+            res: MISS,
+            round: 0,
+            done,
         }
-    }
-    fn step(&mut self, data: &[u64]) {
-        if self.done {
-            return;
-        }
-        if self.lo >= self.hi {
-            self.done = true;
-            return;
-        }
-        let mid = self.lo + (self.hi - self.lo) / 2;
-        match data[mid].cmp(&self.key) {
-            std::cmp::Ordering::Equal => self.done = true,
-            std::cmp::Ordering::Less => self.lo = mid + 1,
-            std::cmp::Ordering::Greater => self.hi = mid,
-        }
-        if self.lo >= self.hi {
-            self.done = true;
-        }
-    }
-    fn done(&self) -> bool {
-        self.done
     }
 }
 
-struct BstLane {
-    key: u64,
-    v: usize,
-    i: usize,
-    done: bool,
-}
-
-impl LaneSearch for BstLane {
+impl<N: Navigator<u64>> LaneSearch for Lane<N> {
     fn addrs(&self, out: &mut Vec<usize>) {
-        if !self.done {
-            out.push(self.v);
-        }
-    }
-    fn step(&mut self, data: &[u64]) {
         if self.done {
             return;
         }
-        if self.v >= self.i {
-            self.done = true; // overflow probe omitted: one extra access at most
+        // The node's key window: contribute every 16th word (distinct
+        // 128-byte segments within a multi-key node; single-key nodes
+        // contribute their one address).
+        let base = self.nav.node_base(&self.cur, &self.acc);
+        let mut a = base;
+        while a < base + self.nav.node_width() {
+            out.push(a);
+            a += 16;
+        }
+    }
+
+    fn step(&mut self) {
+        if self.done {
             return;
         }
-        let node = data[self.v];
-        if node == self.key {
-            self.done = true;
-        } else if self.key < node {
-            self.v = 2 * self.v + 1;
+        let last = self.round + 1 >= self.nav.rounds();
+        if last {
+            self.nav
+                .step_search_last(&mut self.cur, &mut self.acc, &mut self.res, &self.key);
         } else {
-            self.v = 2 * self.v + 2;
+            self.nav.step_search(
+                &mut self.cur,
+                &mut self.acc,
+                &mut self.res,
+                &self.key,
+                self.ctx,
+            );
+            self.ctx = self.nav.next_round(self.ctx);
         }
-        if self.v >= self.i {
-            self.done = true;
-        }
+        self.round += 1;
+        self.done = self.res != MISS || last || !self.nav.is_live(&self.cur, &self.acc);
     }
+
     fn done(&self) -> bool {
         self.done
     }
 }
 
-struct BtreeLane {
-    key: u64,
-    v: usize,
-    b: usize,
-    num_nodes: usize,
-    done: bool,
-}
-
-impl LaneSearch for BtreeLane {
-    fn addrs(&self, out: &mut Vec<usize>) {
-        if !self.done {
-            // The node's B keys: contribute every 16th word (distinct
-            // segments within the node).
-            let start = self.v * self.b;
-            let mut a = start;
-            while a < start + self.b {
-                out.push(a);
-                a += 16;
-            }
-        }
-    }
-    fn step(&mut self, data: &[u64]) {
-        if self.done {
-            return;
-        }
-        if self.v >= self.num_nodes {
-            self.done = true;
-            return;
-        }
-        let keys = &data[self.v * self.b..self.v * self.b + self.b];
-        let mut c = 0usize;
-        for k in keys {
-            match self.key.cmp(k) {
-                std::cmp::Ordering::Equal => {
-                    self.done = true;
-                    return;
-                }
-                std::cmp::Ordering::Greater => c += 1,
-                std::cmp::Ordering::Less => break,
-            }
-        }
-        self.v = self.v * (self.b + 1) + c + 1;
-        if self.v >= self.num_nodes {
-            self.done = true;
-        }
-    }
-    fn done(&self) -> bool {
-        self.done
-    }
-}
-
-struct VebLane {
-    key: u64,
-    p: u64,
-    step_size: u64,
-    d: u32,
-    done: bool,
-}
-
-impl LaneSearch for VebLane {
-    fn addrs(&self, out: &mut Vec<usize>) {
-        if !self.done {
-            out.push(veb_pos(self.d, (self.p - 1) as usize));
-        }
-    }
-    fn step(&mut self, data: &[u64]) {
-        if self.done {
-            return;
-        }
-        let pos = veb_pos(self.d, (self.p - 1) as usize);
-        let node = data[pos];
-        if node == self.key {
-            self.done = true;
-            return;
-        }
-        self.step_size >>= 1;
-        if self.step_size == 0 {
-            self.done = true;
-            return;
-        }
-        if self.key < node {
-            self.p -= self.step_size;
-        } else {
-            self.p += self.step_size;
-        }
-    }
-    fn done(&self) -> bool {
-        self.done
+fn make_lane<'a>(kind: GpuQueryKind, key: u64, data: &'a [u64]) -> Box<dyn LaneSearch + 'a> {
+    match kind {
+        GpuQueryKind::BinarySearch => Box::new(Lane::new(SortedNav::new(data), key)),
+        GpuQueryKind::Bst => Box::new(Lane::new(BstNav::new(data), key)),
+        GpuQueryKind::Btree(b) => Box::new(Lane::new(BtreeNav::new(data, b), key)),
+        GpuQueryKind::Veb => Box::new(Lane::new(VebNav::new(data), key)),
     }
 }
 
@@ -217,15 +146,14 @@ impl LaneSearch for VebLane {
 pub fn per_query_cost(gpu: &Gpu, kind: GpuQueryKind, sample_keys: &[u64]) -> f64 {
     assert!(!sample_keys.is_empty());
     let data = &gpu.data;
-    let n = data.len();
     let cfg = *gpu.config();
     let mut cost = GpuCost::default();
     let mut addrs: Vec<usize> = Vec::with_capacity(cfg.warp * 4);
     let mut seen: Vec<usize> = Vec::with_capacity(cfg.warp * 4);
     for warp_keys in sample_keys.chunks(cfg.warp) {
-        let mut lanes: Vec<Box<dyn LaneSearch>> = warp_keys
+        let mut lanes: Vec<Box<dyn LaneSearch + '_>> = warp_keys
             .iter()
-            .map(|&key| make_lane(kind, key, n))
+            .map(|&key| make_lane(kind, key, data))
             .collect();
         loop {
             addrs.clear();
@@ -245,56 +173,30 @@ pub fn per_query_cost(gpu: &Gpu, kind: GpuQueryKind, sample_keys: &[u64]) -> f64
             cost.transactions += seen.len() as u64;
             cost.compute += lanes.iter().filter(|l| !l.done()).count() as f64 * 4.0;
             for lane in &mut lanes {
-                lane.step(data);
+                lane.step();
             }
         }
     }
     cost.time(&cfg) / sample_keys.len() as f64
 }
 
-fn make_lane(kind: GpuQueryKind, key: u64, n: usize) -> Box<dyn LaneSearch> {
-    match kind {
-        GpuQueryKind::BinarySearch => Box::new(BinaryLane {
-            key,
-            lo: 0,
-            hi: n,
-            done: n == 0,
-        }),
-        GpuQueryKind::Bst => {
-            let shape = CompleteShape::new(n);
-            Box::new(BstLane {
-                key,
-                v: 0,
-                i: shape.full_count(),
-                done: n == 0,
-            })
+/// The node-address sequence one query's lane touches (base address per
+/// descent step), produced by the exact lane machinery
+/// [`per_query_cost`] prices — the gpu-sim leg of the
+/// navigator-equivalence suite.
+pub fn lane_node_trace(data: &[u64], kind: GpuQueryKind, key: u64) -> Vec<usize> {
+    let mut lane = make_lane(kind, key, data);
+    let mut trace = Vec::new();
+    let mut addrs = Vec::new();
+    while !lane.done() {
+        addrs.clear();
+        lane.addrs(&mut addrs);
+        if let Some(&base) = addrs.first() {
+            trace.push(base);
         }
-        GpuQueryKind::Btree(b) => {
-            let shape = BtreeCompleteShape::new(n, b);
-            Box::new(BtreeLane {
-                key,
-                v: 0,
-                b,
-                num_nodes: shape.full_count() / b,
-                done: n == 0,
-            })
-        }
-        GpuQueryKind::Veb => {
-            let shape = CompleteShape::new(n);
-            let d = if shape.full_count() > 0 {
-                ilog2_floor(shape.full_count() as u64 + 1)
-            } else {
-                0
-            };
-            Box::new(VebLane {
-                key,
-                p: 1u64 << d.saturating_sub(1),
-                step_size: 1u64 << d.saturating_sub(1),
-                d: d.max(1),
-                done: n == 0 || d == 0,
-            })
-        }
+        lane.step();
     }
+    trace
 }
 
 #[cfg(test)]
@@ -371,5 +273,18 @@ mod tests {
             let c = per_query_cost(&gpu, kind, &q);
             assert!(c > 0.0, "{kind:?}");
         }
+    }
+
+    /// Hits must retire a lane at the level where the scalar engine
+    /// would return, so traces end exactly at the hit node.
+    #[test]
+    fn lane_traces_end_at_hits() {
+        let n = 255usize;
+        let mut data: Vec<u64> = (0..n as u64).collect();
+        permute_in_place_seq(&mut data, Layout::Bst, Algorithm::CycleLeader).unwrap();
+        // The root of the BST layout sits at index 0 and holds the median.
+        let root_key = data[0];
+        let trace = lane_node_trace(&data, GpuQueryKind::Bst, root_key);
+        assert_eq!(trace, vec![0]);
     }
 }

@@ -18,15 +18,25 @@
 //! Fich–Munro–Poblete for permuting *sorted* data given `π` and `π⁻¹`
 //! ([`fich`]), used as a baseline, and out-of-place reference application
 //! plus permutation validation ([`apply`]) used by the test oracles.
+//!
+//! Because the layout permutations are **data-oblivious** (position
+//! depends only on `n` and the layout, never on element values), any
+//! payload array co-indexed with a key array can ride the same
+//! permutation without ever being compared — the [`oblivious`] module
+//! spells out the argument and provides the in-place co-permutation
+//! entry points ([`permute_by_gather`], [`co_permute_by_gather`]) that
+//! `StaticMap<K, V>` is built on.
 
 pub mod apply;
 pub mod cycles;
 pub mod fich;
 pub mod involution;
+pub mod oblivious;
 pub mod shared;
 
 pub use apply::{apply_out_of_place, invert_permutation, is_permutation};
 pub use cycles::{cycle_decomposition, rotate_cycle};
 pub use fich::permute_sorted_in_place;
 pub use involution::{apply_involution, apply_involution_par, apply_involution_range};
+pub use oblivious::{co_permute_by_gather, permute_by_gather};
 pub use shared::SharedSlice;

@@ -1,0 +1,167 @@
+//! Oblivious co-permutation: apply one index permutation to parallel
+//! payload arrays, in place, without ever comparing the payloads.
+//!
+//! # Why co-permuting values needs no key comparisons
+//!
+//! The implicit search tree layouts are **data-oblivious**: the layout
+//! position of the element with sorted rank `j` is a pure function of
+//! `(n, layout)` — `bst_pos`, `btree_pos`, `veb_pos` and their
+//! complete-tree extensions in `ist-layout` — and never of the key
+//! *values*. The construction algorithms in `ist-core` realize exactly
+//! that permutation through index arithmetic alone (involution swap
+//! rounds, equidistant gathers, rotations); nothing in them calls
+//! `Ord` — which is why [`ist_core::permute_in_place`] is bounded by
+//! `T: Send`, not `T: Ord`.
+//!
+//! Consequently a key array and any payload array co-indexed with it
+//! can be carried through the *same* permutation independently: permute
+//! the keys, permute the values with the identical index map, and slot
+//! `v` still holds the payload of the key in slot `v`. The values are
+//! never compared, never inspected, and need no `Ord` (or even
+//! `PartialEq`) — `StaticMap<K, V>` in the facade crate is built on
+//! precisely this: sort keys + co-permute values by the sort's index
+//! permutation (this module), then run the oblivious layout permutation
+//! over each array separately.
+//!
+//! The entry points here cover the step the analytic machinery does
+//! not: applying an **explicitly tabulated** permutation (e.g. a sort's
+//! argsort) in place, following cycles with `n` visited bytes of scratch —
+//! the in-place counterpart of [`crate::apply_out_of_place`].
+//!
+//! [`ist_core::permute_in_place`]: https://docs.rs/ist-core
+
+/// Apply a gather-form permutation to `data` in place:
+/// afterwards `data[j]` holds the element previously at `idx[j]`.
+///
+/// Follows the permutation's cycles with one visited byte of scratch
+/// per element (`O(n)` time and space); `idx` is left untouched, so it can be
+/// re-applied to further parallel arrays — though
+/// [`co_permute_by_gather`] moves two arrays in a single cycle walk.
+///
+/// # Panics
+/// Panics if `idx` is not a permutation of `0..data.len()`.
+///
+/// # Examples
+/// ```
+/// use ist_perm::permute_by_gather;
+/// let mut v = vec!['a', 'b', 'c', 'd'];
+/// // Sorted-by-some-argsort order: take 2, 0, 3, 1.
+/// permute_by_gather(&mut v, &[2, 0, 3, 1]);
+/// assert_eq!(v, vec!['c', 'a', 'd', 'b']);
+/// ```
+pub fn permute_by_gather<T>(data: &mut [T], idx: &[usize]) {
+    walk_cycles(idx, data.len(), |prev, cur| data.swap(prev, cur));
+}
+
+/// Apply one gather-form permutation to **two** parallel arrays in a
+/// single cycle walk: afterwards `a[j]`/`b[j]` hold the elements
+/// previously at `a[idx[j]]`/`b[idx[j]]`.
+///
+/// This is the workhorse of `StaticMap::build`: `idx` is the keys'
+/// argsort, `a` the keys, `b` the payloads — the payloads follow the
+/// keys positionally and are never compared (see the
+/// [module docs](self)).
+///
+/// # Panics
+/// Panics if the lengths differ or `idx` is not a permutation of
+/// `0..a.len()`.
+///
+/// # Examples
+/// ```
+/// use ist_perm::co_permute_by_gather;
+/// let mut keys = vec![30u64, 10, 20];
+/// let mut vals = vec!["thirty", "ten", "twenty"];
+/// co_permute_by_gather(&mut keys, &mut vals, &[1, 2, 0]); // argsort of keys
+/// assert_eq!(keys, vec![10, 20, 30]);
+/// assert_eq!(vals, vec!["ten", "twenty", "thirty"]);
+/// ```
+pub fn co_permute_by_gather<A, B>(a: &mut [A], b: &mut [B], idx: &[usize]) {
+    assert_eq!(a.len(), b.len(), "parallel arrays must have equal lengths");
+    walk_cycles(idx, a.len(), |prev, cur| {
+        a.swap(prev, cur);
+        b.swap(prev, cur);
+    });
+}
+
+/// Walk the disjoint cycles of gather-map `idx` over `0..n`, invoking
+/// `swap(prev, cur)` along each cycle so that the caller's arrays end
+/// up gathered (`out[j] = in[idx[j]]`). Validates `idx` as it goes.
+fn walk_cycles(idx: &[usize], n: usize, mut swap: impl FnMut(usize, usize)) {
+    assert_eq!(idx.len(), n, "index map must cover the whole array");
+    let mut visited = vec![false; n];
+    for start in 0..n {
+        if visited[start] {
+            continue;
+        }
+        visited[start] = true;
+        let mut prev = start;
+        let mut cur = idx[start];
+        while cur != start {
+            assert!(
+                cur < n && !visited[cur],
+                "idx is not a permutation (at {cur})"
+            );
+            visited[cur] = true;
+            swap(prev, cur);
+            prev = cur;
+            cur = idx[cur];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apply_out_of_place;
+    use crate::invert_permutation;
+
+    #[test]
+    fn gather_matches_out_of_place_reference() {
+        // gather by idx == out-of-place apply of idx's inverse
+        // (out[j] = in[idx[j]]  <=>  out[inv(i)] = in[i]).
+        let n = 97usize;
+        let idx: Vec<usize> = (0..n).map(|i| (i * 31 + 5) % n).collect();
+        let data: Vec<usize> = (0..n).map(|i| i * 10).collect();
+        let inv = invert_permutation(n, |i| idx[i]);
+        let expect = apply_out_of_place(&data, |i| inv[i]);
+        let mut got = data.clone();
+        permute_by_gather(&mut got, &idx);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn co_permute_keeps_pairs_aligned() {
+        let n = 64usize;
+        let idx: Vec<usize> = (0..n).map(|i| (i * 27 + 3) % n).collect();
+        let mut keys: Vec<usize> = (0..n).collect();
+        let mut vals: Vec<String> = (0..n).map(|i| format!("v{i}")).collect();
+        co_permute_by_gather(&mut keys, &mut vals, &idx);
+        for (k, v) in keys.iter().zip(&vals) {
+            assert_eq!(*v, format!("v{k}"));
+        }
+        assert_eq!(keys, idx); // gathering the identity array yields idx
+    }
+
+    #[test]
+    fn identity_and_empty() {
+        let mut v: Vec<u8> = vec![9, 8, 7];
+        permute_by_gather(&mut v, &[0, 1, 2]);
+        assert_eq!(v, vec![9, 8, 7]);
+        let mut e: Vec<u8> = vec![];
+        permute_by_gather(&mut e, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn rejects_duplicates() {
+        let mut v = vec![1, 2, 3];
+        permute_by_gather(&mut v, &[0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole array")]
+    fn rejects_short_maps() {
+        let mut v = vec![1, 2, 3];
+        permute_by_gather(&mut v, &[0, 1]);
+    }
+}

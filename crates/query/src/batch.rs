@@ -1,56 +1,59 @@
 //! The batched query execution engine: software-pipelined
-//! multi-descent.
+//! multi-descent, generic over the layout [`Navigator`].
 //!
 //! A lone descent spends most of its time waiting: each level's node
 //! address depends on the previous level's comparison, so its loads
 //! serialize, and the two-way branch per level mispredicts half the
 //! time on random probes. Independent queries share neither problem —
-//! the engine exploits that by keeping a window of [`WINDOW`] descents
-//! in flight and advancing them **level-synchronously**: each round
-//! advances every in-flight descent one level (branchlessly, via
-//! conditional moves) and issues a prefetch for its next node before
-//! any of them is touched again. The in-flight loads are mutually
-//! independent, so the core's memory-level parallelism — not its
-//! latency — sets the throughput: the batch-parallel analogue of the
-//! paper's GPU query model, where a warp keeps 32 descents in flight.
+//! the engine exploits that by keeping a window of `W` descents in
+//! flight and advancing them **level-synchronously**: each round
+//! advances every in-flight descent one level (branchlessly, via the
+//! navigator's compare-and-advance step) and issues the navigator's
+//! prefetch for its next node before any of them is touched again. The
+//! in-flight loads are mutually independent, so the core's memory-level
+//! parallelism — not its latency — sets the throughput: the
+//! batch-parallel analogue of the paper's GPU query model, where a warp
+//! keeps 32 descents in flight.
 //!
-//! Because all in-flight descents of a binary layout sit on the same
-//! level, the per-level subtree size is a round constant, and the whole
-//! window retires in exactly `d` rounds plus one overflow-probe pass.
+//! There is exactly **one** search window loop and **one** rank window
+//! loop ([`window_search_into`] / [`window_rank_into`]); which layout
+//! they descend is entirely the navigator's business. Because all
+//! in-flight descents sit on the same level, the per-level round
+//! constant ([`Navigator::Round`]) is computed once per round for the
+//! whole window.
+//!
+//! The window width is a const-generic engine parameter (default
+//! [`DEFAULT_WINDOW`]); `Searcher::batch_search_pipelined_with_window`
+//! exposes it, and the `query_batched` bench sweeps 8/16/32/64
+//! (committed as `BENCH_window_sweep.json`).
 //!
 //! Three execution tiers, composed rather than alternative:
 //!
 //! * `*_seq` — the scalar loop (one query at a time, run to
 //!   completion); the baseline the paper's Figures 6.5–6.7 measure.
-//! * `*_pipelined` — one thread, [`WINDOW`] in-flight descents.
+//! * `*_pipelined` — one thread, [`DEFAULT_WINDOW`] in-flight descents.
 //! * the un-suffixed entry points — rayon-parallel over chunks whose
 //!   size adapts to the batch length, **pipelining within each chunk**.
 //!
-//! All three produce bit-identical results for every operation: each
-//! batched kernel replays its scalar twin's comparison sequence (the
+//! All three produce bit-identical results for every operation: the
+//! windowed kernels replay the scalar engine's comparison sequence (the
 //! only liberty taken is that an early-exit equality is recorded in a
 //! result register instead of breaking the round structure —
 //! first-match-wins, like the scalar loop). The differential suite
-//! (`tests/query_differential.rs`) enforces this.
+//! (`tests/query_differential.rs`) enforces this, and
+//! `tests/navigator_equivalence.rs` pins the visited node sequences.
 
-use crate::descent::{
-    binary_rank_from_gap, btree_probe, btree_rank_from_gap, prefetch, probe_overflow, BinaryShape,
-    BtreeSearchShape,
-};
-use crate::{Searcher, ShapeData};
-use ist_layout::veb_pos;
+use crate::nav::{Navigator, MISS};
+use crate::Searcher;
 use rayon::prelude::*;
 
-/// In-flight descents per pipelined lane.
+/// Default in-flight descents per pipelined lane.
 ///
 /// Sized to the memory-level parallelism a core can actually sustain
 /// (line-fill buffers plus prefetch queue); measured flat between 24
-/// and 64 on the reference host, steeply worse below 8.
-pub(crate) const WINDOW: usize = 32;
-
-/// Sentinel for "no hit recorded yet" in the search kernels' result
-/// registers (never a valid layout index: indices are `< data.len()`).
-const MISS: usize = usize::MAX;
+/// and 64 on the reference host, steeply worse below 8 (see
+/// `BENCH_window_sweep.json`).
+pub const DEFAULT_WINDOW: usize = 32;
 
 /// Split a batch of `n` queries into parallel chunks: enough chunks to
 /// balance the pool (~4 per thread), but never so small that spawn
@@ -72,7 +75,8 @@ fn adaptive_chunk_len(n: usize) -> usize {
 /// `items`/`out` sized by [`adaptive_chunk_len`] — rayon-parallel when
 /// the batch is large enough, inline on the caller otherwise. The one
 /// place the batch-to-chunk policy lives; every parallel batch entry
-/// point (search, rank, count, range count) dispatches through here.
+/// point (search, rank, count, range count, successor) dispatches
+/// through here.
 pub(crate) fn par_chunked<I: Sync, O: Send>(
     items: &[I],
     out: &mut [O],
@@ -89,61 +93,83 @@ pub(crate) fn par_chunked<I: Sync, O: Send>(
     }
 }
 
-/// One window of cached key references (`bw ≤ WINDOW` live entries).
+/// One window of cached key references (`bw ≤ W` live entries).
 #[inline(always)]
-fn fill_keys<'k, T: 'k>(q: usize, bw: usize, key_of: &impl Fn(usize) -> &'k T) -> [&'k T; WINDOW] {
-    let mut keys = [key_of(q); WINDOW];
+fn fill_keys<'k, T: 'k, const W: usize>(
+    q: usize,
+    bw: usize,
+    key_of: &impl Fn(usize) -> &'k T,
+) -> [&'k T; W] {
+    let mut keys = [key_of(q); W];
     for (s, slot) in keys.iter_mut().enumerate().take(bw).skip(1) {
         *slot = key_of(q + s);
     }
     keys
 }
 
-/// Pipelined BST search (twin of [`crate::descent::bst_descent`]).
-fn bst_search_batch<'k, T: Ord + 'k>(
-    data: &[T],
-    shape: BinaryShape,
+/// The pipelined **search** window loop: `n` queries in windows of `W`
+/// in-flight descents, delivering `(query index, layout position)`
+/// pairs to `sink` in query order. Exactly what the scalar
+/// [`crate::nav::search_with`] returns per key, for any navigator.
+///
+/// `tap(query, node_base)` observes every node read of every live
+/// descent (no-op closures compile away; the equivalence suite listens
+/// here).
+pub(crate) fn window_search_into<'k, T, N, const W: usize>(
+    nav: &N,
     n: usize,
     key_of: impl Fn(usize) -> &'k T,
     mut sink: impl FnMut(usize, Option<usize>),
-) {
-    let BinaryShape { d, i, l } = shape;
+    mut tap: impl FnMut(usize, usize),
+) where
+    T: Ord + 'k,
+    N: Navigator<T>,
+{
+    let rounds = nav.rounds();
+    let (cur0, acc0) = nav.start();
     let mut q = 0usize;
     while q < n {
-        let bw = WINDOW.min(n - q);
-        let keys = fill_keys(q, bw, &key_of);
-        let mut vs = [0usize; WINDOW];
-        let mut los = [0usize; WINDOW];
-        let mut res = [MISS; WINDOW];
-        let mut sz = i;
-        for _ in 0..d {
-            let half = sz >> 1;
+        let bw = W.min(n - q);
+        let keys = fill_keys::<T, W>(q, bw, &key_of);
+        // Structure-of-arrays descent registers: cursor / accumulator /
+        // result latch per lane.
+        let mut curs = [cur0; W];
+        let mut accs = [acc0; W];
+        let mut res = [MISS; W];
+        let mut ctx = nav.first_round();
+        // All descents share the root; one prefetch warms it (for the
+        // sorted baseline this is the shared first midpoint).
+        nav.prefetch_node(&curs[0], &accs[0]);
+        for _ in 1..rounds {
             for s in 0..bw {
-                let v = vs[s];
-                debug_assert!(v < i);
-                // SAFETY: on each of the `d` full levels a node index is
-                // at most 2^{level+1} − 2 ≤ 2^d − 2 < i ≤ data.len().
-                let node = unsafe { data.get_unchecked(v) };
-                let key = keys[s];
-                let hit = (res[s] == MISS) & (*key == *node);
-                res[s] = if hit { v } else { res[s] };
-                let gt = usize::from(*key > *node);
-                vs[s] = 2 * v + 1 + gt;
-                los[s] += (half + 1) * gt;
-                prefetch(data, vs[s]);
+                if !nav.is_live(&curs[s], &accs[s]) {
+                    continue;
+                }
+                tap(q + s, nav.node_base(&curs[s], &accs[s]));
+                nav.step_search(&mut curs[s], &mut accs[s], &mut res[s], keys[s], ctx);
+                nav.prefetch_node(&curs[s], &accs[s]);
             }
-            sz = half;
+            ctx = nav.next_round(ctx);
         }
-        for s in 0..bw {
-            if res[s] == MISS {
-                prefetch(data, i + los[s]);
+        if rounds > 0 {
+            // Final round: descents fall off into their gaps; prefetch
+            // each gap's overflow probe target instead of a child.
+            for s in 0..bw {
+                if !nav.is_live(&curs[s], &accs[s]) {
+                    continue;
+                }
+                tap(q + s, nav.node_base(&curs[s], &accs[s]));
+                nav.step_search_last(&mut curs[s], &mut accs[s], &mut res[s], keys[s]);
+                if res[s] == MISS {
+                    nav.prefetch_gap(nav.gap(&curs[s], &accs[s]));
+                }
             }
         }
         for s in 0..bw {
             let out = if res[s] != MISS {
                 Some(res[s])
             } else {
-                probe_overflow(data, i, l, los[s], keys[s])
+                nav.resolve_miss(nav.gap(&curs[s], &accs[s]), keys[s])
             };
             sink(q + s, out);
         }
@@ -151,362 +177,55 @@ fn bst_search_batch<'k, T: Ord + 'k>(
     }
 }
 
-/// Pipelined BST rank (twin of [`crate::descent::bst_rank_descent`]).
-fn bst_rank_batch<'k, T: Ord + 'k>(
-    data: &[T],
-    shape: BinaryShape,
+/// The pipelined **rank** window loop (strictly-smaller counts, or `≤`
+/// with `UPPER`): the twin of [`window_search_into`] without result
+/// registers or overflow probes.
+pub(crate) fn window_rank_into<'k, T, N, const W: usize, const UPPER: bool>(
+    nav: &N,
     n: usize,
     key_of: impl Fn(usize) -> &'k T,
     mut sink: impl FnMut(usize, usize),
-) {
-    let BinaryShape { d, i, l } = shape;
+    mut tap: impl FnMut(usize, usize),
+) where
+    T: Ord + 'k,
+    N: Navigator<T>,
+{
+    let rounds = nav.rounds();
+    let (cur0, acc0) = nav.start();
     let mut q = 0usize;
     while q < n {
-        let bw = WINDOW.min(n - q);
-        let keys = fill_keys(q, bw, &key_of);
-        let mut vs = [0usize; WINDOW];
-        let mut los = [0usize; WINDOW];
-        let mut sz = i;
-        for _ in 0..d {
-            let half = sz >> 1;
+        let bw = W.min(n - q);
+        let keys = fill_keys::<T, W>(q, bw, &key_of);
+        let mut curs = [cur0; W];
+        let mut accs = [acc0; W];
+        let mut ctx = nav.first_round();
+        nav.prefetch_node(&curs[0], &accs[0]);
+        for _ in 1..rounds {
             for s in 0..bw {
-                let v = vs[s];
-                debug_assert!(v < i);
-                // SAFETY: as in `bst_search_batch`.
-                let node = unsafe { data.get_unchecked(v) };
-                let gt = usize::from(*keys[s] > *node);
-                vs[s] = 2 * v + 1 + gt;
-                los[s] += (half + 1) * gt;
-                prefetch(data, vs[s]);
+                if !nav.is_live(&curs[s], &accs[s]) {
+                    continue;
+                }
+                tap(q + s, nav.node_base(&curs[s], &accs[s]));
+                nav.step_rank::<UPPER>(&mut curs[s], &mut accs[s], keys[s], ctx);
+                nav.prefetch_node(&curs[s], &accs[s]);
             }
-            sz = half;
+            ctx = nav.next_round(ctx);
         }
-        for g in los.iter().take(bw) {
-            prefetch(data, i + g);
-        }
-        for s in 0..bw {
-            sink(q + s, binary_rank_from_gap(data, i, l, los[s], keys[s]));
-        }
-        q += bw;
-    }
-}
-
-/// Pipelined vEB search (twin of [`crate::descent::veb_descent`]).
-fn veb_search_batch<'k, T: Ord + 'k>(
-    data: &[T],
-    shape: BinaryShape,
-    n: usize,
-    key_of: impl Fn(usize) -> &'k T,
-    mut sink: impl FnMut(usize, Option<usize>),
-) {
-    let BinaryShape { d, i, l } = shape;
-    let root_p = 1u64 << (d - 1);
-    let root_pos = veb_pos(d, (root_p - 1) as usize);
-    let mut q = 0usize;
-    while q < n {
-        let bw = WINDOW.min(n - q);
-        let keys = fill_keys(q, bw, &key_of);
-        let mut ps = [root_p; WINDOW];
-        let mut poss = [root_pos; WINDOW];
-        let mut gs = [0u64; WINDOW];
-        let mut res = [MISS; WINDOW];
-        prefetch(data, root_pos);
-        // The d−1 in-tree levels: after touching a node, its child's
-        // in-order position is p ± step, and the child's layout index
-        // is recomputed (and prefetched) immediately.
-        for lvl in 0..d.saturating_sub(1) {
-            let st = 1u64 << (d - 2 - lvl);
+        if rounds > 0 {
             for s in 0..bw {
-                let pos = poss[s];
-                debug_assert!(pos < i);
-                // SAFETY: veb_pos maps in-order ranks 0..i to layout
-                // positions 0..i, and p stays in [1, i] by construction.
-                let node = unsafe { data.get_unchecked(pos) };
-                let key = keys[s];
-                let hit = (res[s] == MISS) & (*key == *node);
-                res[s] = if hit { pos } else { res[s] };
-                let lt = u64::from(*key < *node);
-                let p = ps[s] + st - 2 * st * lt;
-                ps[s] = p;
-                let next = veb_pos(d, (p - 1) as usize);
-                poss[s] = next;
-                prefetch(data, next);
+                if !nav.is_live(&curs[s], &accs[s]) {
+                    continue;
+                }
+                tap(q + s, nav.node_base(&curs[s], &accs[s]));
+                nav.step_rank_last::<UPPER>(&mut curs[s], &mut accs[s], keys[s]);
+                nav.prefetch_gap(nav.gap(&curs[s], &accs[s]));
             }
-        }
-        // Leaf level: compute the fall-off gap instead of a child.
-        for s in 0..bw {
-            let pos = poss[s];
-            debug_assert!(pos < i);
-            // SAFETY: as above.
-            let node = unsafe { data.get_unchecked(pos) };
-            let key = keys[s];
-            let hit = (res[s] == MISS) & (*key == *node);
-            res[s] = if hit { pos } else { res[s] };
-            gs[s] = ps[s] - u64::from(*key < *node);
-            prefetch(data, i + gs[s] as usize);
-        }
-        for s in 0..bw {
-            let out = if res[s] != MISS {
-                Some(res[s])
-            } else {
-                probe_overflow(data, i, l, gs[s] as usize, keys[s])
-            };
-            sink(q + s, out);
-        }
-        q += bw;
-    }
-}
-
-/// Pipelined vEB rank (twin of [`crate::descent::veb_rank_descent`]).
-fn veb_rank_batch<'k, T: Ord + 'k>(
-    data: &[T],
-    shape: BinaryShape,
-    n: usize,
-    key_of: impl Fn(usize) -> &'k T,
-    mut sink: impl FnMut(usize, usize),
-) {
-    let BinaryShape { d, i, l } = shape;
-    let root_p = 1u64 << (d - 1);
-    let root_pos = veb_pos(d, (root_p - 1) as usize);
-    let mut q = 0usize;
-    while q < n {
-        let bw = WINDOW.min(n - q);
-        let keys = fill_keys(q, bw, &key_of);
-        let mut ps = [root_p; WINDOW];
-        let mut poss = [root_pos; WINDOW];
-        let mut gs = [0u64; WINDOW];
-        prefetch(data, root_pos);
-        for lvl in 0..d.saturating_sub(1) {
-            let st = 1u64 << (d - 2 - lvl);
-            for s in 0..bw {
-                let pos = poss[s];
-                debug_assert!(pos < i);
-                // SAFETY: as in `veb_search_batch`.
-                let node = unsafe { data.get_unchecked(pos) };
-                let le = u64::from(*keys[s] <= *node);
-                let p = ps[s] + st - 2 * st * le;
-                ps[s] = p;
-                let next = veb_pos(d, (p - 1) as usize);
-                poss[s] = next;
-                prefetch(data, next);
-            }
-        }
-        for s in 0..bw {
-            let pos = poss[s];
-            debug_assert!(pos < i);
-            // SAFETY: as above.
-            let node = unsafe { data.get_unchecked(pos) };
-            gs[s] = ps[s] - u64::from(*keys[s] <= *node);
-            prefetch(data, i + gs[s] as usize);
         }
         for s in 0..bw {
             sink(
                 q + s,
-                binary_rank_from_gap(data, i, l, gs[s] as usize, keys[s]),
+                nav.rank_of_gap::<UPPER>(nav.gap(&curs[s], &accs[s]), keys[s]),
             );
-        }
-        q += bw;
-    }
-}
-
-/// Pipelined B-tree search (twin of [`crate::descent::btree_descent`]).
-fn btree_search_batch<'k, T: Ord + 'k>(
-    data: &[T],
-    shape: BtreeSearchShape,
-    n: usize,
-    key_of: impl Fn(usize) -> &'k T,
-    mut sink: impl FnMut(usize, Option<usize>),
-) {
-    let BtreeSearchShape {
-        b,
-        i,
-        num_nodes,
-        levels,
-        q: full_over,
-        ..
-    } = shape;
-    let k = b + 1;
-    let mut q = 0usize;
-    while q < n {
-        let bw = WINDOW.min(n - q);
-        let keys = fill_keys(q, bw, &key_of);
-        let mut vs = [0usize; WINDOW];
-        let mut los = [0usize; WINDOW];
-        let mut res = [MISS; WINDOW];
-        let mut span = i;
-        for _ in 0..levels {
-            let child = (span - b) / k;
-            for s in 0..bw {
-                let v = vs[s];
-                debug_assert!(v < num_nodes);
-                let base = v * b;
-                // SAFETY: on each of the `levels` node levels, v <
-                // num_nodes, so the node's b keys end at v*b + b ≤ i.
-                let node_keys = unsafe { data.get_unchecked(base..base + b) };
-                let key = keys[s];
-                // c = number of node keys < key (whole-node branchless
-                // scan; the scalar loop's early break lands on the same
-                // c because node keys are sorted).
-                let mut c = 0usize;
-                for kk in node_keys {
-                    c += usize::from(*key > *kk);
-                }
-                let hit = res[s] == MISS && c < b && node_keys[c] == *key;
-                res[s] = if hit { base + c } else { res[s] };
-                vs[s] = v * k + c + 1;
-                los[s] += c * (child + 1);
-                prefetch(data, vs[s] * b);
-            }
-            span = child;
-        }
-        for s in 0..bw {
-            if res[s] == MISS && los[s] <= full_over {
-                prefetch(data, i + los[s] * b);
-            }
-        }
-        for s in 0..bw {
-            let out = if res[s] != MISS {
-                Some(res[s])
-            } else {
-                btree_probe(data, shape, los[s], keys[s])
-            };
-            sink(q + s, out);
-        }
-        q += bw;
-    }
-}
-
-/// Pipelined B-tree rank (twin of [`crate::descent::btree_rank_descent`]).
-fn btree_rank_batch<'k, T: Ord + 'k>(
-    data: &[T],
-    shape: BtreeSearchShape,
-    n: usize,
-    key_of: impl Fn(usize) -> &'k T,
-    mut sink: impl FnMut(usize, usize),
-) {
-    let BtreeSearchShape {
-        b,
-        i,
-        num_nodes,
-        levels,
-        q: full_over,
-        ..
-    } = shape;
-    let k = b + 1;
-    let mut q = 0usize;
-    while q < n {
-        let bw = WINDOW.min(n - q);
-        let keys = fill_keys(q, bw, &key_of);
-        let mut vs = [0usize; WINDOW];
-        let mut los = [0usize; WINDOW];
-        let mut span = i;
-        for _ in 0..levels {
-            let child = (span - b) / k;
-            for s in 0..bw {
-                let v = vs[s];
-                debug_assert!(v < num_nodes);
-                let base = v * b;
-                // SAFETY: as in `btree_search_batch`.
-                let node_keys = unsafe { data.get_unchecked(base..base + b) };
-                let key = keys[s];
-                let mut c = 0usize;
-                for kk in node_keys {
-                    c += usize::from(*key > *kk);
-                }
-                vs[s] = v * k + c + 1;
-                los[s] += c * (child + 1);
-                prefetch(data, vs[s] * b);
-            }
-            span = child;
-        }
-        for g in los.iter().take(bw) {
-            if *g <= full_over {
-                prefetch(data, i + g * b);
-            }
-        }
-        for s in 0..bw {
-            sink(q + s, btree_rank_from_gap(data, shape, los[s], keys[s]));
-        }
-        q += bw;
-    }
-}
-
-/// Pipelined partition-point rank on the sorted array (twin of
-/// [`crate::descent::sorted_rank_descent`]).
-fn sorted_rank_batch<'k, T: Ord + 'k>(
-    data: &[T],
-    n: usize,
-    key_of: impl Fn(usize) -> &'k T,
-    mut sink: impl FnMut(usize, usize),
-) {
-    if data.is_empty() {
-        for qi in 0..n {
-            sink(qi, 0);
-        }
-        return;
-    }
-    // len at least halves per round, so ⌊log2 n⌋ + 1 rounds drain every
-    // lane; drained lanes (len == 0) are skipped.
-    let rounds = usize::BITS - data.len().leading_zeros();
-    let mut q = 0usize;
-    while q < n {
-        let bw = WINDOW.min(n - q);
-        let keys = fill_keys(q, bw, &key_of);
-        let mut lows = [0usize; WINDOW];
-        let mut lens = [data.len(); WINDOW];
-        prefetch(data, data.len() / 2);
-        for _ in 0..rounds {
-            for s in 0..bw {
-                let len = lens[s];
-                if len == 0 {
-                    continue;
-                }
-                let half = len / 2;
-                let idx = lows[s] + half;
-                debug_assert!(idx < data.len());
-                // SAFETY: the partition-point loop keeps lo + len ≤
-                // data.len() and probes lo + len/2 < lo + len.
-                let node = unsafe { data.get_unchecked(idx) };
-                let lt = *node < *keys[s];
-                lows[s] = if lt { idx + 1 } else { lows[s] };
-                lens[s] = if lt { len - half - 1 } else { half };
-                let nl = lens[s];
-                if nl > 0 {
-                    prefetch(data, lows[s] + nl / 2);
-                }
-            }
-        }
-        for (s, low) in lows.iter().enumerate().take(bw) {
-            sink(q + s, *low);
-        }
-        q += bw;
-    }
-}
-
-/// Pipelined sorted-array search: the rank kernel plus a verify pass
-/// (twin of [`crate::descent::sorted_descent`]).
-fn sorted_search_batch<'k, T: Ord + 'k>(
-    data: &[T],
-    n: usize,
-    key_of: impl Fn(usize) -> &'k T,
-    mut sink: impl FnMut(usize, Option<usize>),
-) {
-    let mut q = 0usize;
-    // Reuse the rank kernel per window by buffering one window of ranks.
-    let mut ranks = [0usize; WINDOW];
-    while q < n {
-        let bw = WINDOW.min(n - q);
-        sorted_rank_batch(data, bw, |s| key_of(q + s), |s, r| ranks[s] = r);
-        for r in ranks.iter().take(bw) {
-            prefetch(data, *r);
-        }
-        for (s, r) in ranks.iter().enumerate().take(bw) {
-            let out = if *r < data.len() && data[*r] == *key_of(q + s) {
-                Some(*r)
-            } else {
-                None
-            };
-            sink(q + s, out);
         }
         q += bw;
     }
@@ -515,7 +234,7 @@ fn sorted_search_batch<'k, T: Ord + 'k>(
 impl<'a, T: Ord + Sync> Searcher<'a, T> {
     /// Run the pipelined **search** engine over `n` queries, delivering
     /// `(query index, layout position)` pairs to `sink` in query order.
-    pub(crate) fn pipelined_search_into<'k>(
+    pub(crate) fn pipelined_search_into<'k, const W: usize>(
         &self,
         n: usize,
         key_of: impl Fn(usize) -> &'k T,
@@ -523,17 +242,14 @@ impl<'a, T: Ord + Sync> Searcher<'a, T> {
     ) where
         T: 'k,
     {
-        match self.shape {
-            ShapeData::Sorted => sorted_search_batch(self.data, n, key_of, sink),
-            ShapeData::Bst { shape, .. } => bst_search_batch(self.data, shape, n, key_of, sink),
-            ShapeData::Btree(shape) => btree_search_batch(self.data, shape, n, key_of, sink),
-            ShapeData::Veb(shape) => veb_search_batch(self.data, shape, n, key_of, sink),
-        }
+        crate::dispatch_nav!(self, nav => {
+            window_search_into::<T, _, W>(&nav, n, key_of, sink, |_, _| {})
+        });
     }
 
     /// Run the pipelined **rank** engine over `n` queries, delivering
     /// `(query index, rank)` pairs to `sink` in query order.
-    pub(crate) fn pipelined_rank_into<'k>(
+    pub(crate) fn pipelined_rank_into<'k, const W: usize, const UPPER: bool>(
         &self,
         n: usize,
         key_of: impl Fn(usize) -> &'k T,
@@ -541,12 +257,9 @@ impl<'a, T: Ord + Sync> Searcher<'a, T> {
     ) where
         T: 'k,
     {
-        match self.shape {
-            ShapeData::Sorted => sorted_rank_batch(self.data, n, key_of, sink),
-            ShapeData::Bst { shape, .. } => bst_rank_batch(self.data, shape, n, key_of, sink),
-            ShapeData::Btree(shape) => btree_rank_batch(self.data, shape, n, key_of, sink),
-            ShapeData::Veb(shape) => veb_rank_batch(self.data, shape, n, key_of, sink),
-        }
+        crate::dispatch_nav!(self, nav => {
+            window_rank_into::<T, _, W, UPPER>(&nav, n, key_of, sink, |_, _| {})
+        });
     }
 
     /// Scalar batch search: one descent at a time, run to completion.
@@ -565,8 +278,20 @@ impl<'a, T: Ord + Sync> Searcher<'a, T> {
     /// Returns exactly what [`Searcher::search`] returns per key, in
     /// key order.
     pub fn batch_search_pipelined(&self, keys: &[T]) -> Vec<Option<usize>> {
+        self.batch_search_pipelined_with_window::<DEFAULT_WINDOW>(keys)
+    }
+
+    /// [`Searcher::batch_search_pipelined`] with an explicit window
+    /// width `W` (in-flight descents per lane). Results are identical
+    /// for every `W ≥ 1`; only throughput changes. `W = 0` is rejected
+    /// at compile time.
+    pub fn batch_search_pipelined_with_window<const W: usize>(
+        &self,
+        keys: &[T],
+    ) -> Vec<Option<usize>> {
+        const { assert!(W > 0, "pipeline window must hold at least one descent") }
         let mut out = vec![None; keys.len()];
-        self.pipelined_search_into(keys.len(), |i| &keys[i], |i, r| out[i] = r);
+        self.pipelined_search_into::<W>(keys.len(), |i| &keys[i], |i, r| out[i] = r);
         out
     }
 
@@ -590,7 +315,7 @@ impl<'a, T: Ord + Sync> Searcher<'a, T> {
     pub fn batch_search(&self, keys: &[T]) -> Vec<Option<usize>> {
         let mut out = vec![None; keys.len()];
         par_chunked(keys, &mut out, |kc, oc| {
-            self.pipelined_search_into(kc.len(), |i| &kc[i], |i, r| oc[i] = r)
+            self.pipelined_search_into::<DEFAULT_WINDOW>(kc.len(), |i| &kc[i], |i, r| oc[i] = r)
         });
         out
     }
@@ -602,8 +327,15 @@ impl<'a, T: Ord + Sync> Searcher<'a, T> {
 
     /// Software-pipelined batch rank on the calling thread.
     pub fn batch_rank_pipelined(&self, keys: &[T]) -> Vec<usize> {
+        self.batch_rank_pipelined_with_window::<DEFAULT_WINDOW>(keys)
+    }
+
+    /// [`Searcher::batch_rank_pipelined`] with an explicit window width
+    /// (`W = 0` is rejected at compile time).
+    pub fn batch_rank_pipelined_with_window<const W: usize>(&self, keys: &[T]) -> Vec<usize> {
+        const { assert!(W > 0, "pipeline window must hold at least one descent") }
         let mut out = vec![0usize; keys.len()];
-        self.pipelined_rank_into(keys.len(), |i| &keys[i], |i, r| out[i] = r);
+        self.pipelined_rank_into::<W, false>(keys.len(), |i| &keys[i], |i, r| out[i] = r);
         out
     }
 
@@ -624,7 +356,11 @@ impl<'a, T: Ord + Sync> Searcher<'a, T> {
     pub fn batch_rank(&self, keys: &[T]) -> Vec<usize> {
         let mut out = vec![0usize; keys.len()];
         par_chunked(keys, &mut out, |kc, oc| {
-            self.pipelined_rank_into(kc.len(), |i| &kc[i], |i, r| oc[i] = r)
+            self.pipelined_rank_into::<DEFAULT_WINDOW, false>(
+                kc.len(),
+                |i| &kc[i],
+                |i, r| oc[i] = r,
+            )
         });
         out
     }
@@ -655,7 +391,11 @@ impl<'a, T: Ord + Sync> Searcher<'a, T> {
     pub fn batch_count(&self, keys: &[T]) -> usize {
         let mut found = vec![false; keys.len()];
         par_chunked(keys, &mut found, |kc, oc| {
-            self.pipelined_search_into(kc.len(), |i| &kc[i], |i, r| oc[i] = r.is_some())
+            self.pipelined_search_into::<DEFAULT_WINDOW>(
+                kc.len(),
+                |i| &kc[i],
+                |i, r| oc[i] = r.is_some(),
+            )
         });
         found.into_iter().filter(|f| *f).count()
     }

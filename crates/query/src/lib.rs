@@ -9,27 +9,31 @@
 //! tree with pure index arithmetic and, on falling off at in-order gap
 //! `g`, probe the overflow suffix.
 //!
-//! * [`search_sorted`] — classical binary search on the *un-permuted*
-//!   array (the baseline; worst locality).
-//! * [`search_bst`] / [`search_bst_prefetch`] — level-order descent
-//!   (`v → 2v+1 / 2v+2`); the prefetch variant issues an explicit
-//!   prefetch of the grandchildren region, the optimization of
-//!   Khuong & Morin that the paper reproduces (~2× at large `N`).
-//! * [`search_btree`] — `(B+1)`-ary descent, one node (≤ one cache line
-//!   for `B` chosen to match it) per level: `Θ(log_B N)` I/Os.
-//! * [`search_veb`] — descent by in-order arithmetic with vEB position
-//!   re-computation per visited node (`O(log log N)` arithmetic per
-//!   step) — the "more costly index computations" the paper cites for
-//!   the vEB layout's constant-factor query overhead.
+//! ## One navigator per layout, one engine per strategy
 //!
-//! [`Searcher`] bundles a layout tag with its precomputed shape for
-//! repeated queries.
+//! Every layout's descent arithmetic lives in exactly one place: its
+//! [`nav::Navigator`] implementation ([`nav::BstNav`], [`nav::BtreeNav`],
+//! [`nav::VebNav`], [`nav::SortedNav`]). Execution strategies are
+//! layout-agnostic drivers over the trait:
+//!
+//! * the **scalar** engine (`nav` module) — one descent at a time, early
+//!   exit on equality — behind [`search_bst`], [`search_btree`],
+//!   [`search_veb`], and the point methods of [`Searcher`];
+//! * the **software-pipelined** windowed engine (the `batch` module) — a
+//!   window of descents advanced level-synchronously with navigator
+//!   prefetches — behind the batch methods;
+//! * the **GPU cost model** (`ist-gpu-sim`) steps the same navigators
+//!   lane by lane and charges coalesced transactions.
+//!
+//! `tests/navigator_equivalence.rs` (repository root) asserts all three
+//! visit bit-identical node sequences, via [`Searcher::trace_search`] /
+//! [`Searcher::trace_search_pipelined`] and friends.
 //!
 //! ## Batched queries
 //!
 //! A lone descent serializes its cache misses — every level's address
 //! depends on the previous comparison. Independent queries don't. The
-//! batch engine ([`batch`] module) keeps a window of descents in flight
+//! batch engine (the `batch` module) keeps a window of descents in flight
 //! per thread, advancing each one level per round and prefetching its
 //! next node, so queries hide each other's memory latency; the
 //! un-suffixed batch entry points additionally parallelize over chunks
@@ -40,10 +44,14 @@
 //! |---|---|---|
 //! | [`Searcher::batch_search_seq`] | [`Searcher::batch_search_pipelined`] | [`Searcher::batch_search`] |
 //! | [`Searcher::batch_rank_seq`] | [`Searcher::batch_rank_pipelined`] | [`Searcher::batch_rank`] |
+//! | [`Searcher::batch_successor_seq`] | — | [`Searcher::batch_successor`] |
+//! | [`Searcher::batch_predecessor_seq`] | — | [`Searcher::batch_predecessor`] |
 //! | [`Searcher::batch_count_seq`] | — | [`Searcher::batch_count`] |
 //! | [`Searcher::batch_range_count_seq`] | — | [`Searcher::batch_range_count`] |
 //!
-//! Every tier returns bit-identical results for the same operation.
+//! Every tier returns bit-identical results for the same operation, and
+//! the pipelined tier's window width is a const-generic engine
+//! parameter ([`Searcher::batch_search_pipelined_with_window`]).
 //!
 //! ## Duplicate keys
 //!
@@ -52,10 +60,14 @@
 //!
 //! * [`Searcher::rank`]`(k)` — the number of stored keys **strictly
 //!   smaller** than `k` (so for `m` copies of `k`, ranks of the copies
-//!   do not include each other).
+//!   do not include each other); [`Searcher::rank_upper`]`(k)` counts
+//!   keys `≤ k`.
 //! * [`Searcher::lower_bound`]`(k)` — the layout position holding the
 //!   **first key `≥ k` in sorted order**, or `None` if every key is
 //!   smaller. With duplicates this is the leftmost copy's slot.
+//! * [`Searcher::successor`]`(k)` / [`Searcher::predecessor`]`(k)` —
+//!   the first key strictly greater / last key strictly smaller, so
+//!   duplicates of `k` itself are skipped entirely.
 //! * [`Searcher::search`]`(k)` / [`Searcher::contains`] — **any** slot
 //!   holding a key equal to `k` (which copy is found depends on the
 //!   layout's probe order, but is deterministic per layout, and the
@@ -71,13 +83,41 @@ use ist_core::Layout;
 use ist_layout::{veb_pos, CompleteShape};
 
 mod batch;
-mod descent;
+pub mod nav;
+mod order;
 mod range;
 
-use descent::{
-    bst_descent, bst_rank_descent, btree_descent, btree_rank_descent, sorted_descent, veb_descent,
-    veb_rank_descent, BinaryShape, BtreeSearchShape,
-};
+pub use batch::DEFAULT_WINDOW;
+
+use nav::{BinaryShape, BstNav, BtreeNav, BtreeSearchShape, VebNav};
+
+/// Instantiate the navigator matching a [`Searcher`]'s shape and run
+/// `$body` with it — the single point where shape tags become concrete
+/// navigator types (everything downstream is `Navigator`-generic).
+macro_rules! dispatch_nav {
+    ($searcher:expr, $nav:ident => $body:expr) => {{
+        let s = $searcher;
+        match s.shape {
+            $crate::ShapeData::Sorted => {
+                let $nav = $crate::nav::SortedNav::new(s.data);
+                $body
+            }
+            $crate::ShapeData::Bst { shape, prefetch } => {
+                let $nav = $crate::nav::BstNav::from_shape(s.data, shape, prefetch);
+                $body
+            }
+            $crate::ShapeData::Btree(shape) => {
+                let $nav = $crate::nav::BtreeNav::from_shape(s.data, shape);
+                $body
+            }
+            $crate::ShapeData::Veb(shape) => {
+                let $nav = $crate::nav::VebNav::from_shape(s.data, shape);
+                $body
+            }
+        }
+    }};
+}
+pub(crate) use dispatch_nav;
 
 /// Binary search baseline on the sorted (un-permuted) array.
 ///
@@ -109,20 +149,14 @@ pub fn search_sorted<T: Ord>(data: &[T], key: &T) -> Option<usize> {
 /// }
 /// ```
 pub fn search_bst<T: Ord>(data: &[T], key: &T) -> Option<usize> {
-    if data.is_empty() {
-        return None;
-    }
-    bst_descent::<T, false>(data, BinaryShape::new(data.len()), key)
+    nav::search_with(&BstNav::new(data), key, |_| {})
 }
 
 /// Search the BST layout with explicit grandchild prefetching.
 ///
 /// Semantically identical to [`search_bst`].
 pub fn search_bst_prefetch<T: Ord>(data: &[T], key: &T) -> Option<usize> {
-    if data.is_empty() {
-        return None;
-    }
-    bst_descent::<T, true>(data, BinaryShape::new(data.len()), key)
+    nav::search_with(&BstNav::with_prefetch(data, true), key, |_| {})
 }
 
 /// Search the level-order B-tree layout with `b` keys per node.
@@ -139,10 +173,7 @@ pub fn search_bst_prefetch<T: Ord>(data: &[T], key: &T) -> Option<usize> {
 /// }
 /// ```
 pub fn search_btree<T: Ord>(data: &[T], b: usize, key: &T) -> Option<usize> {
-    if data.is_empty() {
-        return None;
-    }
-    btree_descent(data, BtreeSearchShape::new(data.len(), b), key)
+    nav::search_with(&BtreeNav::new(data, b), key, |_| {})
 }
 
 /// Search the van Emde Boas layout.
@@ -159,10 +190,7 @@ pub fn search_btree<T: Ord>(data: &[T], b: usize, key: &T) -> Option<usize> {
 /// }
 /// ```
 pub fn search_veb<T: Ord>(data: &[T], key: &T) -> Option<usize> {
-    if data.is_empty() {
-        return None;
-    }
-    veb_descent(data, BinaryShape::new(data.len()), key)
+    nav::search_with(&VebNav::new(data), key, |_| {})
 }
 
 /// Which searcher a [`Searcher`] runs.
@@ -258,24 +286,22 @@ impl<'a, T: Ord + Sync> Searcher<'a, T> {
 
     /// Find a layout index holding `key`, if present (any matching slot
     /// when keys are duplicated; see the [crate docs](crate#duplicate-keys)).
+    ///
+    /// The sorted baseline short-circuits to `partition_point` + one
+    /// verify probe — the same answer the navigator's pinned probe
+    /// sequence produces (the partition point is unique), in a tighter
+    /// loop.
     #[inline]
     pub fn search(&self, key: &T) -> Option<usize> {
-        if self.data.is_empty() {
-            return None;
+        if let ShapeData::Sorted = self.shape {
+            let r = self.data.partition_point(|x| x < key);
+            return if r < self.data.len() && self.data[r] == *key {
+                Some(r)
+            } else {
+                None
+            };
         }
-        match self.shape {
-            ShapeData::Sorted => sorted_descent(self.data, key),
-            ShapeData::Bst {
-                shape,
-                prefetch: false,
-            } => bst_descent::<T, false>(self.data, shape, key),
-            ShapeData::Bst {
-                shape,
-                prefetch: true,
-            } => bst_descent::<T, true>(self.data, shape, key),
-            ShapeData::Btree(shape) => btree_descent(self.data, shape, key),
-            ShapeData::Veb(shape) => veb_descent(self.data, shape, key),
-        }
+        dispatch_nav!(self, nav => nav::search_with(&nav, key, |_| {}))
     }
 
     /// `true` iff `key` is present.
@@ -287,8 +313,8 @@ impl<'a, T: Ord + Sync> Searcher<'a, T> {
     /// The **rank** of `key`: how many stored keys are strictly smaller.
     ///
     /// Computed by the same cache-friendly descent as [`Searcher::search`]
-    /// (binary search on the un-permuted baseline), so ranks cost the
-    /// same I/Os as lookups.
+    /// (partition-point probes on the un-permuted baseline), so ranks
+    /// cost the same I/Os as lookups.
     ///
     /// # Examples
     /// ```
@@ -303,21 +329,35 @@ impl<'a, T: Ord + Sync> Searcher<'a, T> {
     /// assert_eq!(s.rank(&999), 100);
     /// ```
     pub fn rank(&self, key: &T) -> usize {
-        if self.data.is_empty() {
-            return 0;
+        if let ShapeData::Sorted = self.shape {
+            return self.data.partition_point(|x| x < key);
         }
-        match self.shape {
-            ShapeData::Sorted => self.data.partition_point(|x| x < key),
-            ShapeData::Bst { shape, .. } => bst_rank_descent(self.data, shape, key),
-            ShapeData::Veb(shape) => veb_rank_descent(self.data, shape, key),
-            ShapeData::Btree(shape) => btree_rank_descent(self.data, shape, key),
+        dispatch_nav!(self, nav => nav::rank_with::<T, _, false>(&nav, key, |_| {}))
+    }
+
+    /// The **upper rank** of `key`: how many stored keys are `≤ key`
+    /// (so `rank_upper − rank` is the key's multiplicity). Same descent
+    /// cost as [`Searcher::rank`], with ties resolved rightward.
+    ///
+    /// # Examples
+    /// ```
+    /// use ist_query::{QueryKind, Searcher};
+    /// let v = vec![10u64, 20, 20, 30];
+    /// let s = Searcher::new(&v, QueryKind::Sorted);
+    /// assert_eq!(s.rank(&20), 1);
+    /// assert_eq!(s.rank_upper(&20), 3);
+    /// ```
+    pub fn rank_upper(&self, key: &T) -> usize {
+        if let ShapeData::Sorted = self.shape {
+            return self.data.partition_point(|x| x <= key);
         }
+        dispatch_nav!(self, nav => nav::rank_with::<T, _, true>(&nav, key, |_| {}))
     }
 
     /// Layout position of the element with sorted rank `r`, via the
     /// closed-form position maps (`None` past the end). Shared by
-    /// `lower_bound` and its batched tier so both resolve ranks to
-    /// identical slots.
+    /// `lower_bound`/`successor`/`predecessor` and their batched tiers
+    /// so all resolve ranks to identical slots.
     pub(crate) fn position_of_rank(&self, r: usize) -> Option<usize> {
         let n = self.data.len();
         if r >= n {
@@ -333,7 +373,7 @@ impl<'a, T: Ord + Sync> Searcher<'a, T> {
         })
     }
 
-    /// Layout index of the smallest stored key `≥ key` (the successor /
+    /// Layout index of the smallest stored key `≥ key` (the
     /// `lower_bound`), or `None` if every key is smaller. With
     /// duplicates, the leftmost copy in sorted order (see the
     /// [crate docs](crate#duplicate-keys)).
@@ -351,6 +391,64 @@ impl<'a, T: Ord + Sync> Searcher<'a, T> {
     /// ```
     pub fn lower_bound(&self, key: &T) -> Option<usize> {
         self.position_of_rank(self.rank(key))
+    }
+
+    /// The scalar node-address sequence of one **search** descent: the
+    /// base array index of every node read, in order (diagnostics; the
+    /// navigator-equivalence suite compares this against the pipelined
+    /// engine and the GPU cost model lane by lane).
+    pub fn trace_search(&self, key: &T) -> Vec<usize> {
+        let mut t = Vec::new();
+        dispatch_nav!(self, nav => {
+            let _ = nav::search_with(&nav, key, |p| t.push(p));
+        });
+        t
+    }
+
+    /// The scalar node-address sequence of one **rank** descent
+    /// (diagnostics; see [`Searcher::trace_search`]).
+    pub fn trace_rank(&self, key: &T) -> Vec<usize> {
+        let mut t = Vec::new();
+        dispatch_nav!(self, nav => {
+            let _ = nav::rank_with::<T, _, false>(&nav, key, |p| t.push(p));
+        });
+        t
+    }
+
+    /// Per-query node-address sequences of the pipelined **search**
+    /// engine (diagnostics; see [`Searcher::trace_search`]). A scalar
+    /// trace is always a prefix of its pipelined twin: the window keeps
+    /// descending after an equality hit instead of breaking the round
+    /// structure.
+    pub fn trace_search_pipelined(&self, keys: &[T]) -> Vec<Vec<usize>> {
+        let mut t = vec![Vec::new(); keys.len()];
+        dispatch_nav!(self, nav => {
+            batch::window_search_into::<T, _, DEFAULT_WINDOW>(
+                &nav,
+                keys.len(),
+                |i| &keys[i],
+                |_, _| {},
+                |q, p| t[q].push(p),
+            )
+        });
+        t
+    }
+
+    /// Per-query node-address sequences of the pipelined **rank**
+    /// engine (diagnostics; rank descents never exit early, so these
+    /// are bit-identical to the scalar [`Searcher::trace_rank`]).
+    pub fn trace_rank_pipelined(&self, keys: &[T]) -> Vec<Vec<usize>> {
+        let mut t = vec![Vec::new(); keys.len()];
+        dispatch_nav!(self, nav => {
+            batch::window_rank_into::<T, _, DEFAULT_WINDOW, false>(
+                &nav,
+                keys.len(),
+                |i| &keys[i],
+                |_, _| {},
+                |q, p| t[q].push(p),
+            )
+        });
+        t
     }
 }
 
@@ -381,6 +479,12 @@ mod tests {
         let scalar = s.batch_search_seq(&keys);
         assert_eq!(s.batch_search_pipelined(&keys), scalar, "n={n} {kind:?}");
         assert_eq!(s.batch_search(&keys), scalar, "n={n} {kind:?}");
+        // Window width is a throughput knob, never a semantics knob.
+        assert_eq!(
+            s.batch_search_pipelined_with_window::<5>(&keys),
+            scalar,
+            "n={n} {kind:?} W=5"
+        );
     }
 
     #[test]
@@ -455,6 +559,10 @@ mod tests {
         assert_eq!(s.batch_rank(&[1, 2, 3]), vec![0, 0, 0]);
         assert_eq!(s.range_count(&1, &9), 0);
         assert_eq!(s.batch_search(&[]), vec![]);
+        assert_eq!(s.rank_upper(&5), 0);
+        assert_eq!(s.successor(&5), None);
+        assert_eq!(s.predecessor(&5), None);
+        assert!(s.trace_search(&5).is_empty());
     }
 
     #[test]
@@ -477,6 +585,12 @@ mod tests {
                 for probe in 0..(3 * n as u64 + 5) {
                     let expect_rank = sorted.partition_point(|x| *x < probe);
                     assert_eq!(s.rank(&probe), expect_rank, "n={n} {kind:?} probe={probe}");
+                    let expect_upper = sorted.partition_point(|x| *x <= probe);
+                    assert_eq!(
+                        s.rank_upper(&probe),
+                        expect_upper,
+                        "n={n} {kind:?} probe={probe}"
+                    );
                     let expect_succ = sorted.get(expect_rank).copied();
                     assert_eq!(
                         s.lower_bound(&probe).map(|p| data[p]),
@@ -533,5 +647,32 @@ mod tests {
             s.batch_range_count(&ranges),
             s.batch_range_count_seq(&ranges)
         );
+    }
+
+    /// Scalar traces are prefixes of pipelined traces (equal for rank).
+    #[test]
+    fn traces_are_consistent() {
+        let n = 500usize;
+        for (kind, layout) in [
+            (QueryKind::Sorted, None),
+            (QueryKind::Bst, Some(Layout::Bst)),
+            (QueryKind::Btree(3), Some(Layout::Btree { b: 3 })),
+            (QueryKind::Veb, Some(Layout::Veb)),
+        ] {
+            let mut data = sorted_data(n);
+            if let Some(l) = layout {
+                permute_in_place(&mut data, l, Algorithm::CycleLeader).unwrap();
+            }
+            let s = Searcher::new(&data, kind);
+            let keys: Vec<u64> = (0..200u64).map(|x| 13 * x + 7).collect();
+            let piped = s.trace_search_pipelined(&keys);
+            let piped_rank = s.trace_rank_pipelined(&keys);
+            for (i, key) in keys.iter().enumerate() {
+                let scalar = s.trace_search(key);
+                assert!(!scalar.is_empty(), "{kind:?}");
+                assert_eq!(scalar[..], piped[i][..scalar.len()], "{kind:?} key={key}");
+                assert_eq!(s.trace_rank(key), piped_rank[i], "{kind:?} key={key}");
+            }
+        }
     }
 }

@@ -1,0 +1,109 @@
+//! Order-statistic neighbors: successor and predecessor queries,
+//! scalar and batched, built entirely on the rank engine.
+//!
+//! Both are rank queries in disguise, so they inherit every execution
+//! tier (scalar descent, software-pipelined window, parallel chunks)
+//! without any new per-layout code:
+//!
+//! * `successor(k)` — the first stored key **strictly greater** than
+//!   `k` — is the element of sorted rank [`Searcher::rank_upper`]`(k)`
+//!   (the count of keys `≤ k`), resolved to its layout slot by the
+//!   closed-form position maps.
+//! * `predecessor(k)` — the last stored key **strictly smaller** than
+//!   `k` — is the element of sorted rank [`Searcher::rank`]`(k) − 1`.
+//!
+//! Either neighbor therefore costs exactly one descent plus `O(1)`
+//! position arithmetic, and duplicates of `k` itself are skipped as a
+//! unit (see the duplicate-key contract in the [crate docs]
+//! (crate#duplicate-keys)). For the "first key `≥ k`" variant use
+//! [`Searcher::lower_bound`].
+
+use crate::batch::{par_chunked, DEFAULT_WINDOW};
+use crate::Searcher;
+
+impl<'a, T: Ord + Sync> Searcher<'a, T> {
+    /// Layout position of the smallest stored key **strictly greater**
+    /// than `key`, or `None` if no stored key exceeds it.
+    ///
+    /// # Examples
+    /// ```
+    /// use ist_core::{permute_in_place, Algorithm, Layout};
+    /// use ist_query::Searcher;
+    /// let mut v: Vec<u64> = vec![10, 20, 20, 30];
+    /// permute_in_place(&mut v, Layout::Bst, Algorithm::CycleLeader).unwrap();
+    /// let s = Searcher::for_layout(&v, Layout::Bst);
+    /// assert_eq!(s.successor(&20).map(|p| v[p]), Some(30)); // skips both 20s
+    /// assert_eq!(s.successor(&5).map(|p| v[p]), Some(10));
+    /// assert_eq!(s.successor(&30), None);
+    /// ```
+    pub fn successor(&self, key: &T) -> Option<usize> {
+        self.position_of_rank(self.rank_upper(key))
+    }
+
+    /// Layout position of the largest stored key **strictly smaller**
+    /// than `key`, or `None` if no stored key is below it.
+    ///
+    /// # Examples
+    /// ```
+    /// use ist_core::{permute_in_place, Algorithm, Layout};
+    /// use ist_query::Searcher;
+    /// let mut v: Vec<u64> = vec![10, 20, 20, 30];
+    /// permute_in_place(&mut v, Layout::Veb, Algorithm::CycleLeader).unwrap();
+    /// let s = Searcher::for_layout(&v, Layout::Veb);
+    /// assert_eq!(s.predecessor(&20).map(|p| v[p]), Some(10)); // skips both 20s
+    /// assert_eq!(s.predecessor(&10), None);
+    /// assert_eq!(s.predecessor(&99).map(|p| v[p]), Some(30));
+    /// ```
+    pub fn predecessor(&self, key: &T) -> Option<usize> {
+        match self.rank(key) {
+            0 => None,
+            r => self.position_of_rank(r - 1),
+        }
+    }
+
+    /// Scalar batch successor (one [`Searcher::successor`] per key).
+    pub fn batch_successor_seq(&self, keys: &[T]) -> Vec<Option<usize>> {
+        keys.iter().map(|k| self.successor(k)).collect()
+    }
+
+    /// Batch successor: upper-rank descents through the pipelined
+    /// engine (parallel over adaptively-sized chunks), then the
+    /// closed-form position maps. `out[i]` is identical to per-key
+    /// [`Searcher::successor`].
+    pub fn batch_successor(&self, keys: &[T]) -> Vec<Option<usize>> {
+        let mut out = vec![None; keys.len()];
+        par_chunked(keys, &mut out, |kc, oc| {
+            self.pipelined_rank_into::<DEFAULT_WINDOW, true>(
+                kc.len(),
+                |i| &kc[i],
+                |i, r| oc[i] = self.position_of_rank(r),
+            )
+        });
+        out
+    }
+
+    /// Scalar batch predecessor (one [`Searcher::predecessor`] per key).
+    pub fn batch_predecessor_seq(&self, keys: &[T]) -> Vec<Option<usize>> {
+        keys.iter().map(|k| self.predecessor(k)).collect()
+    }
+
+    /// Batch predecessor: rank descents through the pipelined engine
+    /// (parallel over adaptively-sized chunks). `out[i]` is identical
+    /// to per-key [`Searcher::predecessor`].
+    pub fn batch_predecessor(&self, keys: &[T]) -> Vec<Option<usize>> {
+        let mut out = vec![None; keys.len()];
+        par_chunked(keys, &mut out, |kc, oc| {
+            self.pipelined_rank_into::<DEFAULT_WINDOW, false>(
+                kc.len(),
+                |i| &kc[i],
+                |i, r| {
+                    oc[i] = match r {
+                        0 => None,
+                        r => self.position_of_rank(r - 1),
+                    }
+                },
+            )
+        });
+        out
+    }
+}

@@ -8,7 +8,7 @@
 //! through one pipelined rank engine, so `q` range queries overlap the
 //! latency of `2q` descents.
 
-use crate::batch::par_chunked;
+use crate::batch::{par_chunked, DEFAULT_WINDOW};
 use crate::Searcher;
 
 impl<'a, T: Ord + Sync> Searcher<'a, T> {
@@ -68,7 +68,7 @@ impl<'a, T: Ord + Sync> Searcher<'a, T> {
 /// difference each pair into `counts`.
 fn range_chunk<T: Ord + Sync>(s: &Searcher<'_, T>, ranges: &[(T, T)], counts: &mut [usize]) {
     let mut ranks = vec![0usize; 2 * ranges.len()];
-    s.pipelined_rank_into(
+    s.pipelined_rank_into::<DEFAULT_WINDOW, false>(
         2 * ranges.len(),
         |i| {
             let (lo, hi) = &ranges[i / 2];

@@ -2,34 +2,50 @@
 //! its compute on binary searches over **static** sorted arrays (Khuong &
 //! Morin's AppNexus observation, cited in the introduction).
 //!
-//! A bid floor table maps campaign price points to floor prices; it is
-//! rebuilt rarely and probed on every bid request. This example measures
+//! A bid floor table maps campaign price points to a **payload** — the
+//! floor price to enforce and the deal it came from. [`StaticMap`]
+//! carries the payloads through the layout permutation obliviously
+//! (they are never compared; they are not even `Ord`), so every bid
+//! request is one descent plus one payload read. This example measures
 //! when permuting the table into a B-tree layout pays for itself
 //! compared to leaving it sorted — the crossover question of
-//! Figures 6.6/6.7.
+//! Figures 6.6/6.7 — with lookups served on the software-pipelined
+//! batched engine.
 //!
 //! ```text
 //! cargo run --release --example ad_bidding
 //! ```
 
-use implicit_search_trees::{permute_in_place, Algorithm, Layout, QueryKind, Searcher};
+use implicit_search_trees::{Algorithm, Layout, QueryKind, StaticMap};
 use std::time::Instant;
+
+/// What the bidder needs back per price point. Deliberately not `Ord`,
+/// not `Eq` — the map never compares payloads.
+#[derive(Clone, Copy, Debug)]
+struct Floor {
+    /// Floor price in micro-dollars CPM.
+    floor_micros: u64,
+    /// Which programmatic deal set this floor.
+    deal_id: u32,
+}
 
 fn main() {
     let n = 4_000_000usize;
     let b = 8; // 64-byte cache lines / 8-byte keys
-    println!("bid floor table: {n} price points, B-tree layout with B = {b}\n");
+    println!("bid floor table: {n} price points -> floor payloads, B-tree layout with B = {b}\n");
 
     // Price points in tenths of a cent (synthetic but realistic:
     // clustered around common floor prices). The jitter term makes the
-    // raw sequence non-monotonic, so sort before deduplicating — every
-    // index here requires sorted input.
-    let table: Vec<u64> = (0..n as u64).map(|i| 100 + i * 3 + (i % 7)).collect();
-    let mut sorted_table = table.clone();
-    sorted_table.sort_unstable();
-    sorted_table.dedup();
-    let table = sorted_table;
-    let n = table.len();
+    // raw sequence non-monotonic and StaticMap::build sorts it — while
+    // keeping each price point's payload attached.
+    let price_points: Vec<u64> = (0..n as u64).map(|i| 100 + i * 3 + (i % 7)).collect();
+    let payloads: Vec<Floor> = price_points
+        .iter()
+        .map(|&p| Floor {
+            floor_micros: p * 997,
+            deal_id: (p % 1311) as u32,
+        })
+        .collect();
 
     // Bid requests: uniformly random lookups.
     let requests: Vec<u64> = {
@@ -44,34 +60,70 @@ fn main() {
             .collect()
     };
 
-    // Option A: leave the table sorted, binary search every request.
-    let sorted_index = Searcher::new(&table, QueryKind::Sorted);
+    // Option A: leave the table sorted; binary-search each request as
+    // it arrives (the bidder's status-quo loop the paper starts from).
+    let sorted_map = StaticMap::build_for_kind(
+        price_points.clone(),
+        payloads.clone(),
+        QueryKind::Sorted,
+        Algorithm::CycleLeader,
+    )
+    .unwrap();
+    let sorted_searcher = sorted_map.searcher();
     let t0 = Instant::now();
-    let hits_sorted = sorted_index.batch_count_seq(&requests);
+    let floors_sorted: Vec<Option<&Floor>> = requests
+        .iter()
+        .map(|r| Some(&sorted_map.values()[sorted_searcher.search(r)?]))
+        .collect();
     let t_binary = t0.elapsed();
 
     // Option B: permute once (in place — no second 32 MB buffer in the
-    // bidder's memory budget), then query the B-tree layout.
-    let mut permuted = table.clone();
+    // bidder's memory budget; the payloads ride the same oblivious
+    // permutation), then serve from the B-tree layout.
     let t0 = Instant::now();
-    permute_in_place(&mut permuted, Layout::Btree { b }, Algorithm::CycleLeader).unwrap();
+    let btree_map = StaticMap::build(price_points, payloads, Layout::Btree { b }).unwrap();
     let t_permute = t0.elapsed();
 
-    let btree_index = Searcher::new(&permuted, QueryKind::Btree(b));
+    let btree_searcher = btree_map.searcher();
     let t0 = Instant::now();
-    let hits_btree = btree_index.batch_count_seq(&requests);
+    let floors_btree: Vec<Option<&Floor>> = requests
+        .iter()
+        .map(|r| Some(&btree_map.values()[btree_searcher.search(r)?]))
+        .collect();
     let t_btree = t0.elapsed();
 
-    assert_eq!(hits_sorted, hits_btree);
+    // Requests arriving in batches can additionally overlap their
+    // memory latency on the software-pipelined multi-descent engine.
+    let t0 = Instant::now();
+    let floors_batched = btree_map.batch_get(&requests);
+    let t_batched = t0.elapsed();
+    assert_eq!(floors_batched.len(), requests.len());
+
+    // Same hits, same floors, independent of the layout.
+    let mut revenue_floor = 0u64;
+    for (a, b) in floors_sorted.iter().zip(&floors_btree) {
+        match (a, b) {
+            (None, None) => {}
+            (Some(x), Some(y)) => {
+                assert_eq!(x.floor_micros, y.floor_micros);
+                assert_eq!(x.deal_id, y.deal_id);
+                revenue_floor += x.floor_micros;
+            }
+            _ => panic!("layouts disagree on a hit"),
+        }
+    }
+    let hits = floors_btree.iter().filter(|f| f.is_some()).count();
+
     println!(
-        "binary search  : {t_binary:>10.3?} for {} requests",
+        "binary search   : {t_binary:>10.3?} for {} requests ({hits} hits)",
         requests.len()
     );
-    println!("permute (once) : {t_permute:>10.3?}");
+    println!("permute (once)  : {t_permute:>10.3?}  (keys + payloads, both in place)");
     println!(
-        "B-tree queries : {t_btree:>10.3?} for {} requests",
+        "B-tree lookups  : {t_btree:>10.3?} for {} requests (floor sum: {revenue_floor} µ$)",
         requests.len()
     );
+    println!("B-tree batched  : {t_batched:>10.3?} on the pipelined multi-descent engine");
 
     let per_binary = t_binary.as_secs_f64() / requests.len() as f64;
     let per_btree = t_btree.as_secs_f64() / requests.len() as f64;

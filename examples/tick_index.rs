@@ -1,41 +1,60 @@
-//! A financial tick-store index (the paper cites finance as a domain
-//! with search-heavy static data): one immutable array of timestamps per
-//! trading day, probed by analytics jobs with large *batches* of
-//! point-in-time lookups and time-window counts.
+//! A financial tick-store (the paper cites finance as a domain with
+//! search-heavy static data): one immutable array of timestamps per
+//! trading day, each carrying its trade `(price, size)`, probed by
+//! analytics jobs with large *batches* of point-in-time lookups and
+//! time-window counts.
 //!
-//! This example drives the [`StaticIndex`] facade end to end: it owns
-//! the tick buffer, sorts + permutes it **in place** (no 2x memory
-//! spike on the ingest node), and serves batched lookups on the
-//! software-pipelined multi-descent engine plus range counts via rank
-//! descents. The tick count is deliberately not a perfect-tree size.
+//! This example drives the [`StaticMap`] facade end to end: it owns the
+//! tick buffers, sorts + permutes timestamps **and** payloads in place
+//! (no 2x memory spike on the ingest node — the payloads ride the
+//! layout's oblivious permutation and are never compared), and serves
+//! batched timestamp→trade lookups on the software-pipelined
+//! multi-descent engine, plus window counts via rank descents and
+//! as-of lookups via predecessor descents. The tick count is
+//! deliberately not a perfect-tree size.
 //!
 //! ```text
 //! cargo run --release --example tick_index
 //! ```
 
-use implicit_search_trees::{Layout, StaticIndex};
+use implicit_search_trees::{Layout, StaticMap};
 use std::time::Instant;
 
+/// One trade: the payload stored under its timestamp.
+#[derive(Clone, Copy)]
+struct Trade {
+    /// Price in hundredths of a cent.
+    price: u32,
+    /// Shares.
+    size: u32,
+}
+
 /// Synthetic trading day: strictly increasing nanosecond timestamps with
-/// bursty gaps. The count is deliberately not a perfect-tree size.
-fn trading_day(ticks: usize, seed: u64) -> Vec<u64> {
+/// bursty gaps, each with a trade. The count is deliberately not a
+/// perfect-tree size.
+fn trading_day(ticks: usize, seed: u64) -> (Vec<u64>, Vec<Trade>) {
     let mut x = seed | 1;
     let mut t = 34_200_000_000_000u64; // 09:30:00 in ns
-    (0..ticks)
-        .map(|_| {
-            x ^= x << 13;
-            x ^= x >> 7;
-            x ^= x << 17;
-            t += 1 + x % 50_000; // up to 50 µs between ticks
-            t
-        })
-        .collect()
+    let mut times = Vec::with_capacity(ticks);
+    let mut trades = Vec::with_capacity(ticks);
+    for _ in 0..ticks {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        t += 1 + x % 50_000; // up to 50 µs between ticks
+        times.push(t);
+        trades.push(Trade {
+            price: 150_000 + (x % 2_000) as u32,
+            size: 1 + (x % 900) as u32,
+        });
+    }
+    (times, trades)
 }
 
 fn main() {
     let ticks = 3_333_333usize; // decidedly non-perfect
-    let day = trading_day(ticks, 0xfeed);
-    println!("tick index: {ticks} timestamps (non-perfect tree size)\n");
+    let (day, trades) = trading_day(ticks, 0xfeed);
+    println!("tick store: {ticks} timestamps -> (price, size) (non-perfect tree size)\n");
 
     // Lookups: a mix of exact tick timestamps (hits) and arbitrary
     // points in time (misses).
@@ -61,27 +80,37 @@ fn main() {
         ("B-tree (B = 8)", Layout::Btree { b: 8 }),
     ] {
         let t0 = Instant::now();
-        // In place: the index lives in the same buffer the ticks loaded
-        // into; no second allocation on the ingest node.
-        let index = StaticIndex::build(day.clone(), layout).unwrap();
+        // In place: the index lives in the buffers the ticks loaded
+        // into; the trades follow the timestamps through the oblivious
+        // permutation without a single comparison.
+        let map = StaticMap::build(day.clone(), trades.clone(), layout).unwrap();
         let built = t0.elapsed();
 
         let t0 = Instant::now();
-        let hits = index.batch_count(&queries); // pipelined + parallel
+        let looked_up = map.batch_get(&queries); // pipelined + parallel
         let batch = t0.elapsed();
+        let hits = looked_up.iter().filter(|t| t.is_some()).count();
+        let volume: u64 = looked_up.iter().flatten().map(|t| t.size as u64).sum();
 
         let t0 = Instant::now();
-        let per_minute = index.batch_range_count(&windows);
+        let per_minute = map.batch_range_count(&windows);
         let ranged = t0.elapsed();
+
+        // As-of join primitive: the last trade at or before a point in
+        // time is predecessor(t + 1).
+        let (ts, last) = map.predecessor(&(day[ticks / 2] + 1)).unwrap();
+        assert_eq!(*ts, day[ticks / 2]);
 
         let expected_hits = day.iter().step_by(7).count();
         assert!(hits >= expected_hits); // +1 queries may also collide with real ticks
         assert_eq!(per_minute.iter().sum::<usize>(), ticks); // windows tile the session
         let busiest = per_minute.iter().max().unwrap();
         println!(
-            "{label:<22}: built in {built:>9.3?}, {} lookups in {batch:>9.3?} ({hits} hits), \
-             390 window counts in {ranged:>9.3?} (busiest minute: {busiest} ticks)",
-            queries.len()
+            "{label:<22}: built in {built:>9.3?}, {} lookups in {batch:>9.3?} \
+             ({hits} hits, {volume} shares), 390 window counts in {ranged:>9.3?} \
+             (busiest minute: {busiest} ticks, as-of price {:.2})",
+            queries.len(),
+            last.price as f64 / 10_000.0
         );
     }
 

@@ -40,12 +40,11 @@ impl<K: Ord + Send + Sync> StaticIndex<K> {
     /// Duplicates are kept (see [`ist_query`'s duplicate-key
     /// contract](ist_query#duplicate-keys)).
     pub fn build(keys: Vec<K>, layout: Layout) -> Result<Self, Error> {
-        let kind = match layout {
-            Layout::Bst => QueryKind::BstPrefetch,
-            Layout::Btree { b } => QueryKind::Btree(b),
-            Layout::Veb => QueryKind::Veb,
-        };
-        Self::build_for_kind(keys, kind, Algorithm::CycleLeader)
+        Self::build_for_kind(
+            keys,
+            default_kind_for_layout(layout),
+            Algorithm::CycleLeader,
+        )
     }
 
     /// Full-control constructor: explicit [`QueryKind`] (which implies
@@ -64,6 +63,13 @@ impl<K: Ord + Send + Sync> StaticIndex<K> {
             }
         }
         Ok(Self { data: keys, kind })
+    }
+
+    /// Wrap keys that are **already** sorted-and-permuted into `kind`'s
+    /// layout (`StaticMap` builds its key side this way after
+    /// co-permuting the payloads through the same index maps).
+    pub(crate) fn from_layout_order(data: Vec<K>, kind: QueryKind) -> Self {
+        Self { data, kind }
     }
 
     /// Number of stored keys (duplicates counted).
@@ -162,12 +168,25 @@ impl<K: Ord + Send + Sync> StaticIndex<K> {
     }
 }
 
-fn layout_of_kind(kind: QueryKind) -> Option<Layout> {
+/// The construction layout behind a [`QueryKind`] (`None` for the
+/// un-permuted sorted baseline). Shared by both facades so the mapping
+/// lives once.
+pub(crate) fn layout_of_kind(kind: QueryKind) -> Option<Layout> {
     match kind {
         QueryKind::Sorted => None,
         QueryKind::Bst | QueryKind::BstPrefetch => Some(Layout::Bst),
         QueryKind::Btree(b) => Some(Layout::Btree { b }),
         QueryKind::Veb => Some(Layout::Veb),
+    }
+}
+
+/// The best default descent for a layout (grandchild prefetching for
+/// the BST); the `build` constructors of both facades use this.
+pub(crate) fn default_kind_for_layout(layout: Layout) -> QueryKind {
+    match layout {
+        Layout::Bst => QueryKind::BstPrefetch,
+        Layout::Btree { b } => QueryKind::Btree(b),
+        Layout::Veb => QueryKind::Veb,
     }
 }
 

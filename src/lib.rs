@@ -19,8 +19,8 @@
 //!
 //! [`StaticIndex`] owns its keys: it sorts them, permutes them in place
 //! into the chosen layout, and serves the whole query API — point
-//! lookups, ranks, successors, range counts, and batched variants that
-//! run on a software-pipelined multi-descent engine.
+//! lookups, ranks, successors/predecessors, range counts, and batched
+//! variants that run on a software-pipelined multi-descent engine.
 //!
 //! ```
 //! use implicit_search_trees::{Layout, StaticIndex};
@@ -34,6 +34,25 @@
 //! assert_eq!(index.rank(&150_000), 50_000);
 //! assert_eq!(index.range_count(&0, &30), 10);
 //! assert_eq!(index.batch_count(&[3, 4, 5, 6]), 2); // pipelined batch
+//! ```
+//!
+//! [`StaticMap`] serves key→**value** lookups: the layout permutation
+//! is data-oblivious (position depends only on `n` and the layout), so
+//! payloads ride the same permutation as their keys without ever being
+//! compared — `V` needs no `Ord`, and `values()` is a zero-copy view
+//! parallel to the keys (see [`perm::oblivious`] for the argument).
+//!
+//! ```
+//! use implicit_search_trees::{Layout, StaticMap};
+//!
+//! let map = StaticMap::build(
+//!     vec![30u64, 10, 20],
+//!     vec!["thirty", "ten", "twenty"],
+//!     Layout::Btree { b: 8 },
+//! ).unwrap();
+//! assert_eq!(map.get(&20), Some(&"twenty"));
+//! assert_eq!(map.batch_get(&[10, 15]), vec![Some(&"ten"), None]);
+//! assert_eq!(map.predecessor(&30), Some((&20, &"twenty")));
 //! ```
 //!
 //! For borrowed data (or full control over the descent variant and
@@ -67,8 +86,9 @@
 //! |---|---|
 //! | `core` (re-exported at the root) | the construction algorithms (written once, `Machine`-generic) and public API |
 //! | [`StaticIndex`] (this crate, `src/index.rs`) | owning sort + permute + full-query-API facade |
+//! | [`StaticMap`] (this crate, `src/map.rs`) | key→value facade: payloads co-permuted obliviously alongside the keys |
 //! | [`machine`] | the `Machine` execution-substrate trait and the `Ram` backend |
-//! | [`query`] | per-layout searchers and the batched query engine: `descent` (scalar + resumable one-level-per-step descents), `batch` (software-pipelined multi-descent core, rayon composition), `range` (range counts over rank descents) |
+//! | [`query`] | the per-layout `Navigator`s (`nav` — the single home of all descent arithmetic) and the layout-agnostic engines: scalar descents, `batch` (software-pipelined multi-descent window, rayon composition), `range` (range counts over rank descents), `order` (successor/predecessor on the rank engine) |
 //! | [`layout`] | position maps / index arithmetic per layout |
 //! | [`gather`] | equidistant gather operations |
 //! | [`shuffle`] | perfect shuffles and rotations |
@@ -78,8 +98,10 @@
 //! | [`gpu_sim`] | SIMT (GPU) execution cost backend |
 
 mod index;
+mod map;
 
 pub use index::StaticIndex;
+pub use map::StaticMap;
 
 pub use ist_core::{
     construct, cycle_leader, fich_baseline, involution, nonperfect, permute_in_place,

@@ -1,0 +1,281 @@
+//! [`StaticMap`]: key→value serving on top of the implicit layouts.
+//!
+//! A [`crate::StaticIndex`] answers "is this key stored, and where?";
+//! a serving system needs "what is stored *under* this key?". The
+//! layouts make that almost free: because the layout permutation is
+//! **data-oblivious** (position depends only on `n` and the layout —
+//! see `ist_perm::oblivious`), the payload array can be carried through
+//! the exact same index maps as the keys without ever being compared.
+//! Construction therefore:
+//!
+//! 1. argsorts the keys (the only comparisons anywhere),
+//! 2. applies the sort's index permutation to keys **and** values in
+//!    one in-place cycle walk ([`ist_perm::co_permute_by_gather`]),
+//! 3. runs the oblivious layout permutation over each array separately
+//!    ([`ist_core::permute_in_place`] — note its `V: Send` bound:
+//!    values need no `Ord`, no `Eq`, nothing).
+//!
+//! After that, `keys()[p]` and `values()[p]` are parallel for every
+//! layout position `p`, so every query the key side answers (point,
+//! batch, range, successor/predecessor — all tiers, including the
+//! software-pipelined batched engine) resolves to a payload with one
+//! array read.
+
+use crate::index::StaticIndex;
+use ist_core::{permute_in_place, Algorithm, Error, Layout};
+use ist_perm::co_permute_by_gather;
+use ist_query::{QueryKind, Searcher};
+
+/// An immutable key→value map stored as two parallel implicit-layout
+/// arrays: keys in the layout, payloads co-permuted obliviously.
+///
+/// Duplicate keys are allowed; lookups resolve to *some* matching
+/// slot's value (deterministic per layout — see the duplicate-key
+/// contract in [`ist_query`](ist_query#duplicate-keys)).
+///
+/// # Examples
+/// ```
+/// use implicit_search_trees::{Layout, StaticMap};
+///
+/// // Unsorted keys with arbitrary (non-Ord) payloads.
+/// let map = StaticMap::build(
+///     vec![30u64, 10, 20],
+///     vec!["thirty", "ten", "twenty"],
+///     Layout::Veb,
+/// )
+/// .unwrap();
+/// assert_eq!(map.get(&20), Some(&"twenty"));
+/// assert_eq!(map.get(&25), None);
+/// assert_eq!(map.lower_bound(&25), Some((&30, &"thirty")));
+/// assert_eq!(map.batch_get(&[10, 15, 30]), vec![Some(&"ten"), None, Some(&"thirty")]);
+/// assert_eq!(map.range_count(&10, &30), 2);
+/// ```
+pub struct StaticMap<K, V> {
+    index: StaticIndex<K>,
+    values: Vec<V>,
+}
+
+impl<K: Ord + Send + Sync, V: Send> StaticMap<K, V> {
+    /// Sort `keys`, co-permute `values` alongside them, and permute
+    /// both into `layout` in place (BST uses the grandchild-prefetching
+    /// descent, like [`StaticIndex::build`]).
+    ///
+    /// # Panics
+    /// Panics if `keys` and `values` have different lengths.
+    pub fn build(keys: Vec<K>, values: Vec<V>, layout: Layout) -> Result<Self, Error> {
+        Self::build_for_kind(
+            keys,
+            values,
+            crate::index::default_kind_for_layout(layout),
+            Algorithm::CycleLeader,
+        )
+    }
+
+    /// Full-control constructor: explicit [`QueryKind`] (with
+    /// [`QueryKind::Sorted`] the arrays stay in sorted order — the
+    /// binary-search baseline) and construction [`Algorithm`].
+    ///
+    /// # Panics
+    /// Panics if `keys` and `values` have different lengths.
+    pub fn build_for_kind(
+        mut keys: Vec<K>,
+        mut values: Vec<V>,
+        kind: QueryKind,
+        algorithm: Algorithm,
+    ) -> Result<Self, Error> {
+        assert_eq!(
+            keys.len(),
+            values.len(),
+            "StaticMap::build: {} keys but {} values",
+            keys.len(),
+            values.len()
+        );
+        // Argsort (stable under duplicates via the index tiebreak): the
+        // only place anything is ever compared.
+        let mut order: Vec<usize> = (0..keys.len()).collect();
+        order.sort_unstable_by(|&x, &y| keys[x].cmp(&keys[y]).then(x.cmp(&y)));
+        co_permute_by_gather(&mut keys, &mut values, &order);
+        drop(order);
+        // The layout permutation is oblivious: values ride the same
+        // permutation without a single comparison (V: Send, not V: Ord).
+        if !keys.is_empty() {
+            if let Some(layout) = crate::index::layout_of_kind(kind) {
+                permute_in_place(&mut keys, layout, algorithm)?;
+                permute_in_place(&mut values, layout, algorithm)?;
+            }
+        }
+        Ok(Self {
+            index: StaticIndex::from_layout_order(keys, kind),
+            values,
+        })
+    }
+
+    /// Number of stored entries (duplicate keys counted).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` iff no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The layout the entries are stored in (`None` for the un-permuted
+    /// [`QueryKind::Sorted`] baseline).
+    pub fn layout(&self) -> Option<Layout> {
+        self.index.layout()
+    }
+
+    /// The descent this map answers queries with.
+    pub fn kind(&self) -> QueryKind {
+        self.index.kind()
+    }
+
+    /// The stored keys in **layout order** (parallel to
+    /// [`StaticMap::values`]).
+    pub fn keys(&self) -> &[K] {
+        self.index.as_slice()
+    }
+
+    /// Zero-copy view of the payloads in **layout order**: for every
+    /// layout position `p` (as returned by the key side's `search` /
+    /// `batch_search`), `values()[p]` is the payload stored under
+    /// `keys()[p]`.
+    pub fn values(&self) -> &[V] {
+        &self.values
+    }
+
+    /// The key side as a [`StaticIndex`], for the full key-only query
+    /// API (ranks, batch counts, pipelined tiers, …).
+    pub fn index(&self) -> &StaticIndex<K> {
+        &self.index
+    }
+
+    /// A borrowing [`Searcher`] over the keys (for amortizing shape
+    /// setup across many calls).
+    pub fn searcher(&self) -> Searcher<'_, K> {
+        self.index.searcher()
+    }
+
+    /// Consume the map, returning `(keys, values)` in layout order.
+    pub fn into_parts(self) -> (Vec<K>, Vec<V>) {
+        (self.index.into_inner(), self.values)
+    }
+
+    /// `true` iff `key` is stored.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.index.contains(key)
+    }
+
+    /// The payload stored under `key`, if any (some matching slot's
+    /// value when `key` is duplicated).
+    pub fn get(&self, key: &K) -> Option<&V> {
+        Some(&self.values[self.index.search(key)?])
+    }
+
+    /// The stored key and its payload, if any.
+    pub fn get_key_value(&self, key: &K) -> Option<(&K, &V)> {
+        self.entry_at(self.index.search(key)?)
+    }
+
+    /// Number of stored keys strictly smaller than `key`.
+    pub fn rank(&self, key: &K) -> usize {
+        self.index.rank(key)
+    }
+
+    /// The smallest stored entry with key `≥ key`, if any.
+    pub fn lower_bound(&self, key: &K) -> Option<(&K, &V)> {
+        self.entry_at(self.searcher().lower_bound(key)?)
+    }
+
+    /// The smallest stored entry with key **strictly greater** than
+    /// `key`, if any.
+    pub fn successor(&self, key: &K) -> Option<(&K, &V)> {
+        self.entry_at(self.searcher().successor(key)?)
+    }
+
+    /// The largest stored entry with key **strictly smaller** than
+    /// `key`, if any.
+    pub fn predecessor(&self, key: &K) -> Option<(&K, &V)> {
+        self.entry_at(self.searcher().predecessor(key)?)
+    }
+
+    /// Number of stored keys in the half-open interval `[lo, hi)`
+    /// (duplicates counted), via two rank descents.
+    pub fn range_count(&self, lo: &K, hi: &K) -> usize {
+        self.index.range_count(lo, hi)
+    }
+
+    /// Payloads for a batch of lookups, on the software-pipelined
+    /// multi-descent engine (parallel over adaptive chunks):
+    /// `out[i]` is exactly what [`StaticMap::get`]`(&keys[i])` returns.
+    pub fn batch_get(&self, keys: &[K]) -> Vec<Option<&V>> {
+        self.index
+            .batch_search(keys)
+            .into_iter()
+            .map(|pos| pos.map(|p| &self.values[p]))
+            .collect()
+    }
+
+    /// Per-pair [`StaticMap::range_count`] for a batch of `(lo, hi)`
+    /// ranges; both descents of every pair go through one pipeline.
+    pub fn batch_range_count(&self, ranges: &[(K, K)]) -> Vec<usize> {
+        self.index.batch_range_count(ranges)
+    }
+
+    fn entry_at(&self, pos: usize) -> Option<(&K, &V)> {
+        Some((self.index.get(pos)?, &self.values[pos]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Payload type with no Ord/Eq — the obliviousness claim in types.
+    struct Payload {
+        tag: f64, // f64: not even Eq
+    }
+
+    #[test]
+    fn values_follow_keys_through_every_layout() {
+        let keys: Vec<u64> = vec![50, 10, 40, 20, 30, 20];
+        let values: Vec<Payload> = keys.iter().map(|&k| Payload { tag: k as f64 }).collect();
+        for kind in [
+            QueryKind::Sorted,
+            QueryKind::Bst,
+            QueryKind::BstPrefetch,
+            QueryKind::Btree(2),
+            QueryKind::Veb,
+        ] {
+            let map = StaticMap::build_for_kind(
+                keys.clone(),
+                keys.iter().map(|&k| Payload { tag: k as f64 }).collect(),
+                kind,
+                Algorithm::Involution,
+            )
+            .unwrap();
+            // Parallel views stay aligned slot by slot.
+            for (k, v) in map.keys().iter().zip(map.values()) {
+                assert_eq!(*k as f64, v.tag, "{kind:?}");
+            }
+            for k in &keys {
+                assert_eq!(map.get(k).unwrap().tag, *k as f64, "{kind:?}");
+            }
+            assert!(map.get(&99).is_none());
+        }
+        drop(values);
+    }
+
+    #[test]
+    fn empty_and_mismatched() {
+        let map = StaticMap::<u64, String>::build(vec![], vec![], Layout::Bst).unwrap();
+        assert!(map.is_empty());
+        assert_eq!(map.get(&1), None);
+        assert_eq!(map.batch_get(&[1, 2]), vec![None, None]);
+        assert_eq!(map.successor(&0), None);
+        let r =
+            std::panic::catch_unwind(|| StaticMap::build(vec![1u64], vec!["a", "b"], Layout::Bst));
+        assert!(r.is_err(), "length mismatch must panic");
+    }
+}

@@ -1,0 +1,174 @@
+//! Navigator equivalence: the scalar engine, the software-pipelined
+//! batched engine, and the gpu-sim lane model must visit **bit-identical
+//! node sequences** for every (layout, n, key).
+//!
+//! All three execution paths step the same `ist_query::nav::Navigator`
+//! per layout — this suite is what makes that claim checkable instead
+//! of aspirational. Contracts pinned here:
+//!
+//! * **rank descents** never exit early, so scalar and pipelined
+//!   address traces are *equal*;
+//! * **search descents** early-exit on equality in the scalar engine
+//!   and the gpu lane, while the pipelined window keeps descending with
+//!   the hit latched in a result register — so the scalar trace is a
+//!   *prefix* of the pipelined trace, and the gpu lane trace *equals*
+//!   the scalar trace (the sorted baseline replays the rank descent and
+//!   never exits early, on every path);
+//! * results agree across all tiers regardless (also enforced, more
+//!   broadly, by `tests/query_differential.rs`).
+
+use implicit_search_trees::gpu_sim::{lane_node_trace, GpuQueryKind};
+use implicit_search_trees::{permute_in_place, Algorithm, Layout, QueryKind, Searcher};
+
+/// (CPU kind, construction layout, gpu-sim kind) triples. The scalar
+/// BST prefetch variant shares the BST node sequence by construction
+/// (the hint is a prefetch, not a read), so it maps to the same gpu
+/// kind.
+fn kinds() -> Vec<(QueryKind, Option<Layout>, GpuQueryKind)> {
+    vec![
+        (QueryKind::Sorted, None, GpuQueryKind::BinarySearch),
+        (QueryKind::Bst, Some(Layout::Bst), GpuQueryKind::Bst),
+        (QueryKind::BstPrefetch, Some(Layout::Bst), GpuQueryKind::Bst),
+        (
+            QueryKind::Btree(1),
+            Some(Layout::Btree { b: 1 }),
+            GpuQueryKind::Btree(1),
+        ),
+        (
+            QueryKind::Btree(3),
+            Some(Layout::Btree { b: 3 }),
+            GpuQueryKind::Btree(3),
+        ),
+        (
+            QueryKind::Btree(8),
+            Some(Layout::Btree { b: 8 }),
+            GpuQueryKind::Btree(8),
+        ),
+        (QueryKind::Veb, Some(Layout::Veb), GpuQueryKind::Veb),
+    ]
+}
+
+/// Perfect sizes, their neighbors, B-tree node boundaries, and tiny
+/// degenerate trees.
+fn sizes() -> Vec<usize> {
+    vec![
+        1, 2, 3, 4, 7, 8, 15, 16, 26, 27, 30, 63, 80, 100, 127, 128, 511, 624, 625, 1000,
+    ]
+}
+
+fn layout_data(n: usize, layout: Option<Layout>) -> Vec<u64> {
+    // Keys 3x+2 so that probes hit stored keys, gaps, and out-of-range
+    // values on both sides.
+    let mut data: Vec<u64> = (0..n as u64).map(|x| 3 * x + 2).collect();
+    if let Some(l) = layout {
+        permute_in_place(&mut data, l, Algorithm::CycleLeader).unwrap();
+    }
+    data
+}
+
+fn probes(n: usize) -> Vec<u64> {
+    (0..=(3 * n as u64 + 4)).collect()
+}
+
+/// Search: scalar == gpu lane; scalar is a prefix of pipelined; rank:
+/// scalar == pipelined. Every probe key, every size, every layout.
+#[test]
+fn all_paths_visit_identical_node_sequences() {
+    for (kind, layout, gpu_kind) in kinds() {
+        for n in sizes() {
+            let data = layout_data(n, layout);
+            let s = Searcher::new(&data, kind);
+            let keys = probes(n);
+            let piped_search = s.trace_search_pipelined(&keys);
+            let piped_rank = s.trace_rank_pipelined(&keys);
+            for (i, key) in keys.iter().enumerate() {
+                let tag = format!("{kind:?} n={n} key={key}");
+                let scalar_search = s.trace_search(key);
+                let scalar_rank = s.trace_rank(key);
+                assert!(
+                    scalar_search.len() <= piped_search[i].len(),
+                    "{tag}: scalar longer than pipelined"
+                );
+                assert_eq!(
+                    scalar_search[..],
+                    piped_search[i][..scalar_search.len()],
+                    "{tag}: scalar search not a prefix of pipelined"
+                );
+                assert_eq!(scalar_rank, piped_rank[i], "{tag}: rank traces differ");
+                let gpu = lane_node_trace(&data, gpu_kind, *key);
+                assert_eq!(gpu, scalar_search, "{tag}: gpu lane trace differs");
+            }
+        }
+    }
+}
+
+/// The pipelined search trace always runs the full round count (hits
+/// are latched, not short-circuited), and rank/search traces agree up
+/// to the early exit — i.e. the two descent flavors really share one
+/// probe structure.
+#[test]
+fn pipelined_full_depth_and_misses_share_structure() {
+    for (kind, layout, _) in kinds() {
+        let n = 511usize;
+        let data = layout_data(n, layout);
+        let s = Searcher::new(&data, kind);
+        let keys = probes(n);
+        let piped = s.trace_search_pipelined(&keys);
+        for (i, key) in keys.iter().enumerate() {
+            // Misses never exit early, so the scalar trace must be the
+            // whole pipelined trace.
+            if !s.contains(key) {
+                assert_eq!(
+                    s.trace_search(key),
+                    piped[i],
+                    "{kind:?} miss key={key} truncated"
+                );
+            }
+        }
+        // All pipelined traces of one layout have the same depth: the
+        // window is level-synchronous.
+        let depth = piped[0].len();
+        if !matches!(kind, QueryKind::Sorted) {
+            for (i, t) in piped.iter().enumerate() {
+                assert_eq!(t.len(), depth, "{kind:?} query {i} depth");
+            }
+        }
+    }
+}
+
+/// Window width is an engine parameter, not a semantics parameter: the
+/// node traces and results are identical for every width (spot-checked
+/// against results here; the differential suite covers results more
+/// broadly).
+#[test]
+fn window_width_never_changes_results() {
+    for (kind, layout, _) in kinds() {
+        for n in [26usize, 100, 625] {
+            let data = layout_data(n, layout);
+            let s = Searcher::new(&data, kind);
+            let keys = probes(n);
+            let expect = s.batch_search_seq(&keys);
+            assert_eq!(
+                s.batch_search_pipelined_with_window::<1>(&keys),
+                expect,
+                "{kind:?} n={n} W=1"
+            );
+            assert_eq!(
+                s.batch_search_pipelined_with_window::<7>(&keys),
+                expect,
+                "{kind:?} n={n} W=7"
+            );
+            assert_eq!(
+                s.batch_search_pipelined_with_window::<64>(&keys),
+                expect,
+                "{kind:?} n={n} W=64"
+            );
+            let expect_rank = s.batch_rank_seq(&keys);
+            assert_eq!(
+                s.batch_rank_pipelined_with_window::<5>(&keys),
+                expect_rank,
+                "{kind:?} n={n} W=5 rank"
+            );
+        }
+    }
+}

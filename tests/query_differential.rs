@@ -128,12 +128,30 @@ fn check_all_ops(sorted: &[u64], kind: QueryKind, layout: Option<Layout>, rng: &
         // rank = count strictly smaller (duplicates not self-counting).
         assert_eq!(s.rank(&p), oracle_rank, "rank {}", tag(p));
 
+        // rank_upper = count <= probe, so the gap is the multiplicity.
+        let oracle_upper = sorted.partition_point(|x| *x <= p);
+        assert_eq!(s.rank_upper(&p), oracle_upper, "rank_upper {}", tag(p));
+
         // lower_bound = slot of the sorted-order-first key >= probe.
         let lb = s.lower_bound(&p);
         assert_eq!(
             lb.map(|pos| data[pos]),
             sorted.get(oracle_rank).copied(),
             "lower_bound value {}",
+            tag(p)
+        );
+
+        // successor/predecessor skip duplicates of the probe entirely.
+        assert_eq!(
+            s.successor(&p).map(|pos| data[pos]),
+            sorted.get(oracle_upper).copied(),
+            "successor {}",
+            tag(p)
+        );
+        assert_eq!(
+            s.predecessor(&p).map(|pos| data[pos]),
+            oracle_rank.checked_sub(1).map(|r| sorted[r]),
+            "predecessor {}",
             tag(p)
         );
     }
@@ -168,6 +186,17 @@ fn check_all_ops(sorted: &[u64], kind: QueryKind, layout: Option<Layout>, rng: &
         s.batch_lower_bound(&probes),
         scalar_lb,
         "batch_lower_bound n={n} {kind:?}"
+    );
+
+    assert_eq!(
+        s.batch_successor(&probes),
+        s.batch_successor_seq(&probes),
+        "batch_successor n={n} {kind:?}"
+    );
+    assert_eq!(
+        s.batch_predecessor(&probes),
+        s.batch_predecessor_seq(&probes),
+        "batch_predecessor n={n} {kind:?}"
     );
 
     assert_eq!(
