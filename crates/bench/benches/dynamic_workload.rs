@@ -1,0 +1,108 @@
+//! Mixed read/write workloads on the log-structured [`DynamicMap`],
+//! against two baselines:
+//!
+//! * `StaticMap::batch_get` on the same resident key set — the
+//!   acceptance bar: the dynamized map's batched reads must stay within
+//!   **2×** of the static map it is built from (the committed
+//!   `BENCH_dynamic.json` in the repository root records this at full
+//!   size);
+//! * `std::collections::BTreeMap` — the pointer-chasing structure the
+//!   dynamization replaces.
+//!
+//! Workloads per iteration are one serving "tick": a batched read of
+//! the read share plus scalar writes for the write share, at 95/5 and
+//! 50/50 read/write ratios. Writes draw from the resident key range
+//! (mostly overwrites plus a delete stride), so the live set stays
+//! ~stable while versions pile up and merges fire across samples —
+//! the steady state a serving deployment sits in.
+//!
+//! Set `IST_BENCH_SMOKE=1` to shrink sizes (CI bit-rot guard).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use implicit_search_trees::{DynamicMap, Layout, QueryKind, StaticMap};
+use ist_bench::{sorted_keys, uniform_queries};
+use std::collections::BTreeMap;
+
+/// The dynamized map under test: bulk-loaded, then churned with one
+/// buffer-capacity's worth of writes so several tiers are resident (a
+/// fresh bulk load would serve from a single run, which flatters it).
+fn churned_dynamic(keys: &[u64], writes: &[u64]) -> DynamicMap<u64, u64> {
+    let mut map = DynamicMap::build(keys.to_vec(), keys.to_vec(), Layout::Veb).unwrap();
+    for (i, &k) in writes.iter().enumerate() {
+        if i % 4 == 3 {
+            map.remove(&k);
+        } else {
+            map.insert(k, k.wrapping_mul(3));
+        }
+    }
+    map
+}
+
+fn mixed_tick(map: &mut DynamicMap<u64, u64>, reads: &[u64], writes: &[u64]) -> usize {
+    let hits = map.batch_get(reads).iter().filter(|v| v.is_some()).count();
+    for (i, &k) in writes.iter().enumerate() {
+        if i % 8 == 7 {
+            map.remove(&k);
+        } else {
+            map.insert(k, k ^ 1);
+        }
+    }
+    hits
+}
+
+fn mixed_tick_btree(map: &mut BTreeMap<u64, u64>, reads: &[u64], writes: &[u64]) -> usize {
+    let hits = reads.iter().filter(|k| map.get(k).is_some()).count();
+    for (i, &k) in writes.iter().enumerate() {
+        if i % 8 == 7 {
+            map.remove(&k);
+        } else {
+            map.insert(k, k ^ 1);
+        }
+    }
+    hits
+}
+
+fn bench_dynamic_workload(c: &mut Criterion) {
+    let smoke = std::env::var_os("IST_BENCH_SMOKE").is_some();
+    let mut group = c.benchmark_group("dynamic_workload");
+    group.sample_size(if smoke { 3 } else { 30 });
+    let n = if smoke { (1 << 14) - 1 } else { (1 << 20) - 1 };
+    let batch = if smoke { 1000 } else { 10_000 };
+    let keys = sorted_keys(n);
+    let queries = uniform_queries(n, batch, 42);
+    let churn = uniform_queries(n, implicit_search_trees::DEFAULT_BUFFER_CAP * 3, 7);
+
+    // --- the acceptance-bar pair: batched reads, static vs dynamized ---
+    let static_map = StaticMap::build_for_kind(
+        keys.clone(),
+        keys.clone(),
+        QueryKind::Veb,
+        implicit_search_trees::Algorithm::CycleLeader,
+    )
+    .unwrap();
+    group.bench_function(BenchmarkId::new("static_batch_get", "veb"), |b| {
+        b.iter(|| std::hint::black_box(static_map.batch_get(&queries)))
+    });
+    let dynamic_map = churned_dynamic(&keys, &churn);
+    group.bench_function(BenchmarkId::new("dynamic_batch_get", "veb"), |b| {
+        b.iter(|| std::hint::black_box(dynamic_map.batch_get(&queries)))
+    });
+
+    // --- mixed serving ticks at two read/write ratios ---
+    for (label, read_share) in [("95_5", 95usize), ("50_50", 50)] {
+        let reads = &queries[..batch * read_share / 100];
+        let writes = &queries[batch * read_share / 100..];
+        let mut dmap = churned_dynamic(&keys, &churn);
+        group.bench_function(BenchmarkId::new("dynamic_mixed", label), |b| {
+            b.iter(|| std::hint::black_box(mixed_tick(&mut dmap, reads, writes)))
+        });
+        let mut bmap: BTreeMap<u64, u64> = keys.iter().map(|&k| (k, k)).collect();
+        group.bench_function(BenchmarkId::new("btreemap_mixed", label), |b| {
+            b.iter(|| std::hint::black_box(mixed_tick_btree(&mut bmap, reads, writes)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dynamic_workload);
+criterion_main!(benches);

@@ -1,0 +1,1166 @@
+//! [`DynamicMap`]: a write-capable key→value map built as
+//! log-structured tiers of static layouts.
+//!
+//! The paper's contribution — fast parallel **in-place rebuild** of an
+//! implicit search-tree layout — makes rebuilding cheap enough to be
+//! the mutation primitive. This module applies the classic logarithmic
+//! method (LSM-style) on top of it:
+//!
+//! ```text
+//!        writes
+//!          │
+//!          ▼
+//!   ┌─────────────┐   sorted write buffer (≤ cap entries, newest data)
+//!   │   buffer    │
+//!   └─────────────┘
+//!          │ overflow: k-way merge into the first empty tier
+//!          ▼
+//!   tier 0 ▓             (≈ cap entries)        newest run
+//!   tier 1 ▓▓            (≈ 2·cap)                  │
+//!   tier 2 (empty)                                  │ age
+//!   tier 3 ▓▓▓▓▓▓▓▓      (≈ 8·cap)              oldest run
+//! ```
+//!
+//! Every occupied tier holds one immutable **run**: a [`StaticMap`]
+//! whose keys sit in a cache-optimal layout, built by the parallel
+//! in-place construction. When the buffer fills, it is merged with the
+//! runs of every tier up to the first empty one (a k-way merge of
+//! already-sorted sources) and the result is rebuilt into that tier via
+//! [`StaticMap::build_presorted`] — no argsort, just the oblivious
+//! layout permutation. Amortized, an element is merged `O(log(n/cap))`
+//! times over its lifetime.
+//!
+//! ## Deletes, overwrites, and exact ranks: per-version weights
+//!
+//! Runs are immutable, so a delete is a **tombstone** (a version whose
+//! payload slot is empty) that shadows older versions of its key; a
+//! merge annihilates tombstones when (and only when) no older tier
+//! remains below the merge target. Overwrites and re-inserts leave
+//! multiple versions of one key resident at once, which would make the
+//! natural "sum the per-run ranks" answer overcount. Every version
+//! therefore carries an integer **weight**, assigned at write time so
+//! that the invariant
+//!
+//! > for every key, the weights of all resident versions sum to **1 if
+//! > the key is live and 0 if it is not**
+//!
+//! always holds: a fresh insert weighs `+1`, an overwrite of a live key
+//! weighs `0`, a tombstone weighs minus the summed weight of the older
+//! versions it shadows, and merges add the weights of the versions they
+//! collapse. Each run stores its weights as a rank-indexed prefix-sum
+//! array, so the run's contribution to a global rank is
+//! `prefix[run.rank(key)]` — one descent — and
+//!
+//! `rank(k) = Σ_runs prefix[rank_r(k)] + Σ_{buffer, key < k} weight`
+//!
+//! is **exactly** the number of live keys strictly below `k`, no matter
+//! how keys were overwritten, deleted, or re-inserted across runs.
+//! `range_count` is a rank difference (reversed bounds yield 0), and
+//! `len` is the total weight.
+//!
+//! ## Queries
+//!
+//! Point lookups probe the buffer, then runs newest-first, and stop at
+//! the first version found (live → the value, tombstone → absent).
+//! [`DynamicMap::batch_get`] does the same run-by-run but drives every
+//! run with the software-pipelined batched engine
+//! (`StaticIndex::batch_search`), so batched read throughput survives
+//! dynamization. Order queries (`lower_bound` / `successor` /
+//! `predecessor`) combine per-run candidates and skip dead versions.
+//!
+//! ## Snapshots: readers never block on a merge
+//!
+//! [`DynamicMap::snapshot`] returns a [`Frozen`] view — `Arc`s of the
+//! current runs plus a copy of the (small) buffer — with the same read
+//! API. The map also maintains a published snapshot cell, swapped
+//! atomically after **every** mutation while any [`Reader`] handle is
+//! outstanding (and skipped entirely while none is, so writers don't
+//! pay for readers they don't have); a cloneable [`Reader`]
+//! ([`DynamicMap::reader`]) can be sent to other threads and yields, at
+//! any moment, the state after some prefix of the writer's operations.
+//! Merges happen entirely before the swap, so a reader is never stalled
+//! behind one, and the runs a `Frozen` references are kept alive by
+//! refcounts even if the writer merges them away.
+
+use crate::index::default_kind_for_layout;
+use crate::map::StaticMap;
+use ist_core::{Algorithm, Error, Layout};
+use ist_query::QueryKind;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Default write-buffer capacity (entries buffered between merges).
+///
+/// Small enough that per-operation snapshot publication (which copies
+/// the buffer) stays cheap, large enough that merge amortization works;
+/// see [`DynamicMap::with_config`] to tune.
+pub const DEFAULT_BUFFER_CAP: usize = 256;
+
+/// One buffered write: the newest version of `key`. An empty `slot` is
+/// a tombstone. `weight` maintains the per-key sum invariant described
+/// in the [module docs](self).
+#[derive(Clone)]
+struct BufEntry<K, V> {
+    key: K,
+    slot: Option<V>,
+    weight: i64,
+}
+
+/// A `(key, payload-or-tombstone, weight)` triple streamed out of a
+/// source during a merge.
+type MergedEntry<K, V> = (K, Option<V>, i64);
+
+/// One immutable run: a static layout over this run's versions plus the
+/// rank-indexed prefix sums of their weights.
+struct Run<K, V> {
+    map: StaticMap<K, Option<V>>,
+    /// `prefix[r]` = summed weight of the `r` smallest versions;
+    /// `prefix[len]` is the run's total weight. Rank-indexed (sorted
+    /// order), not layout-indexed.
+    prefix: Vec<i64>,
+}
+
+impl<K: Ord + Send + Sync, V: Send> Run<K, V> {
+    fn build(
+        keys: Vec<K>,
+        slots: Vec<Option<V>>,
+        weights: &[i64],
+        kind: QueryKind,
+        algorithm: Algorithm,
+    ) -> Result<Self, Error> {
+        debug_assert_eq!(keys.len(), weights.len());
+        let mut prefix = Vec::with_capacity(weights.len() + 1);
+        let mut acc = 0i64;
+        prefix.push(0);
+        for &w in weights {
+            acc += w;
+            prefix.push(acc);
+        }
+        Ok(Self {
+            map: StaticMap::build_presorted(keys, slots, kind, algorithm)?,
+            prefix,
+        })
+    }
+
+    /// Number of resident versions (live + tombstones).
+    fn versions(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total weight of the run (its contribution to `len`).
+    fn total_weight(&self) -> i64 {
+        *self.prefix.last().expect("prefix is never empty")
+    }
+
+    /// Summed weight of versions with key strictly below `key`.
+    fn weight_below(&self, key: &K) -> i64 {
+        self.prefix[self.map.rank(key)]
+    }
+
+    /// Weight of this run's version of `key` (0 if absent).
+    fn weight_of(&self, key: &K) -> i64 {
+        let s = self.map.searcher();
+        self.prefix[s.rank_upper(key)] - self.prefix[s.rank(key)]
+    }
+
+    /// Stream the run's versions in sorted-key order (cloning), for
+    /// merges: walks ranks through the closed-form position maps, so no
+    /// sorted copy of the run is ever materialized.
+    fn iter_sorted(&self) -> impl Iterator<Item = MergedEntry<K, V>> + '_
+    where
+        K: Clone,
+        V: Clone,
+    {
+        let searcher = self.map.searcher();
+        (0..self.map.len()).map(move |r| {
+            let p = searcher
+                .position_of_rank(r)
+                .expect("rank below len resolves");
+            (
+                self.map.keys()[p].clone(),
+                self.map.values()[p].clone(),
+                self.prefix[r + 1] - self.prefix[r],
+            )
+        })
+    }
+}
+
+/// Lock that shrugs off poisoning: publication is a single pointer
+/// store, so a panicked writer cannot leave the cell torn.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Binary-search the sorted write buffer (one entry per key) for
+/// `key`: `Ok(index)` of the entry, or `Err(insert position)`. The
+/// single home of the buffer's probe semantics — mutations and every
+/// read path go through it.
+fn buffer_slot<K: Ord, V>(buffer: &[BufEntry<K, V>], key: &K) -> Result<usize, usize> {
+    buffer.binary_search_by(|e| e.key.cmp(key))
+}
+
+/// An immutable snapshot of a [`DynamicMap`]: the whole read API over
+/// the state after some prefix of the writer's operations.
+///
+/// Cheap to clone (two `Arc` bumps), `Send + Sync` when the key and
+/// value types are, and independent of the writer: merges that retire
+/// the referenced runs only drop refcounts.
+pub struct Frozen<K, V> {
+    buffer: Arc<Vec<BufEntry<K, V>>>,
+    /// Non-empty runs, newest first.
+    runs: Arc<Vec<Arc<Run<K, V>>>>,
+}
+
+impl<K, V> Clone for Frozen<K, V> {
+    fn clone(&self) -> Self {
+        Self {
+            buffer: Arc::clone(&self.buffer),
+            runs: Arc::clone(&self.runs),
+        }
+    }
+}
+
+/// A cloneable handle to a [`DynamicMap`]'s published-snapshot cell.
+///
+/// Obtained from [`DynamicMap::reader`] before handing the map to a
+/// writer thread; [`Reader::snapshot`] then yields, at any moment, a
+/// [`Frozen`] view of the state after some prefix of the writer's
+/// operations (publication order is the operation order, so successive
+/// snapshots never go backwards).
+pub struct Reader<K, V> {
+    cell: Arc<Mutex<Arc<Frozen<K, V>>>>,
+}
+
+impl<K, V> Clone for Reader<K, V> {
+    fn clone(&self) -> Self {
+        Self {
+            cell: Arc::clone(&self.cell),
+        }
+    }
+}
+
+impl<K, V> Reader<K, V> {
+    /// The latest published snapshot. The lock is held only to clone an
+    /// `Arc` — never while a merge or rebuild runs.
+    pub fn snapshot(&self) -> Frozen<K, V> {
+        lock(&self.cell).as_ref().clone()
+    }
+}
+
+/// A write-capable key→value map: a sorted write buffer plus
+/// geometrically-tiered immutable runs, each run a [`StaticMap`] in a
+/// cache-optimal implicit layout. See the [module docs](self) for the
+/// design.
+///
+/// Semantics mirror `std::collections::BTreeMap`: one live value per
+/// key, `insert` overwrites, `remove` deletes; `rank`, `range_count`,
+/// `lower_bound`, `successor`, and `predecessor` see only live keys.
+///
+/// # Examples
+/// ```
+/// use implicit_search_trees::{DynamicMap, Layout};
+///
+/// let mut m: DynamicMap<u64, &str> = DynamicMap::new(Layout::Veb);
+/// assert!(!m.insert(2, "two")); // false: no live value replaced
+/// m.insert(1, "one");
+/// m.insert(3, "three");
+/// assert_eq!(m.get(&2), Some(&"two"));
+/// assert_eq!(m.rank(&3), 2);
+/// assert_eq!(m.successor(&1), Some((&2, &"two")));
+///
+/// let snap = m.snapshot(); // frozen view
+/// assert!(m.remove(&2));
+/// assert_eq!(m.get(&2), None);
+/// assert_eq!(m.len(), 2);
+/// assert_eq!(snap.len(), 3); // unaffected by later writes
+/// assert_eq!(snap.get(&2), Some(&"two"));
+/// ```
+pub struct DynamicMap<K, V> {
+    /// Sorted by key, at most one entry per key (the newest version).
+    buffer: Vec<BufEntry<K, V>>,
+    /// `tiers[0]` is the newest run; `None` marks an empty tier.
+    tiers: Vec<Option<Arc<Run<K, V>>>>,
+    kind: QueryKind,
+    algorithm: Algorithm,
+    buffer_cap: usize,
+    /// Snapshot cell swapped after every mutation; [`Reader`]s share it.
+    published: Arc<Mutex<Arc<Frozen<K, V>>>>,
+}
+
+impl<K, V> DynamicMap<K, V>
+where
+    K: Ord + Clone + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    /// An empty map storing its runs in `layout` (best default descent,
+    /// [`DEFAULT_BUFFER_CAP`], cycle-leader construction).
+    ///
+    /// # Panics
+    /// Panics on `Layout::Btree { b: 0 }`.
+    pub fn new(layout: Layout) -> Self {
+        Self::with_config(
+            default_kind_for_layout(layout),
+            Algorithm::CycleLeader,
+            DEFAULT_BUFFER_CAP,
+        )
+    }
+
+    /// Full-control constructor: explicit query descent, construction
+    /// algorithm, and write-buffer capacity (`buffer_cap` writes are
+    /// absorbed between merges; small values make merges adversarially
+    /// frequent, which the differential suite exploits).
+    ///
+    /// # Panics
+    /// Panics if `buffer_cap == 0` or `kind` is `QueryKind::Btree(0)`.
+    pub fn with_config(kind: QueryKind, algorithm: Algorithm, buffer_cap: usize) -> Self {
+        assert!(buffer_cap >= 1, "buffer_cap must be at least 1");
+        if let QueryKind::Btree(b) = kind {
+            assert!(b >= 1, "B-tree node capacity B must be at least 1");
+        }
+        let empty = Frozen {
+            buffer: Arc::new(Vec::new()),
+            runs: Arc::new(Vec::new()),
+        };
+        Self {
+            buffer: Vec::new(),
+            tiers: Vec::new(),
+            kind,
+            algorithm,
+            buffer_cap,
+            published: Arc::new(Mutex::new(Arc::new(empty))),
+        }
+    }
+
+    /// Bulk-load from unsorted `(keys, values)` pairs (duplicate keys:
+    /// the **last** pair wins, like repeated `BTreeMap::insert`). The
+    /// data lands in a single run on a deep tier, leaving the shallow
+    /// tiers free so subsequent writes don't immediately re-merge it.
+    ///
+    /// # Panics
+    /// Panics if `keys` and `values` have different lengths.
+    pub fn build(keys: Vec<K>, values: Vec<V>, layout: Layout) -> Result<Self, Error> {
+        Self::build_for_kind(
+            keys,
+            values,
+            default_kind_for_layout(layout),
+            Algorithm::CycleLeader,
+            DEFAULT_BUFFER_CAP,
+        )
+    }
+
+    /// [`DynamicMap::build`] with explicit descent, algorithm, and
+    /// buffer capacity.
+    ///
+    /// # Panics
+    /// Panics if `keys` and `values` have different lengths, or on the
+    /// invalid configurations [`DynamicMap::with_config`] rejects.
+    pub fn build_for_kind(
+        keys: Vec<K>,
+        values: Vec<V>,
+        kind: QueryKind,
+        algorithm: Algorithm,
+        buffer_cap: usize,
+    ) -> Result<Self, Error> {
+        assert_eq!(
+            keys.len(),
+            values.len(),
+            "DynamicMap::build: {} keys but {} values",
+            keys.len(),
+            values.len()
+        );
+        let mut pairs: Vec<(K, V)> = keys.into_iter().zip(values).collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0)); // stable: later duplicate stays later
+        pairs.dedup_by(|later, kept| {
+            if later.0 == kept.0 {
+                std::mem::swap(later, kept); // keep the later pair's value
+                true
+            } else {
+                false
+            }
+        });
+        let mut map = Self::with_config(kind, algorithm, buffer_cap);
+        let n = pairs.len();
+        if n > 0 {
+            // Deep enough that `t` buffer flushes fit above the bulk run.
+            let mut t = 0usize;
+            while (buffer_cap << t) < n {
+                t += 1;
+            }
+            let (keys, slots): (Vec<K>, Vec<Option<V>>) =
+                pairs.into_iter().map(|(k, v)| (k, Some(v))).unzip();
+            map.tiers = vec![None; t + 1];
+            map.tiers[t] = Some(Arc::new(Run::build(
+                keys,
+                slots,
+                &vec![1i64; n],
+                kind,
+                algorithm,
+            )?));
+        }
+        Ok(map)
+    }
+
+    // ----- mutation -----
+
+    /// Insert or overwrite; returns `true` iff a live value for `key`
+    /// was replaced (what `BTreeMap::insert(..).is_some()` reports).
+    ///
+    /// May trigger a buffer flush — a k-way merge plus one in-place
+    /// layout rebuild — and, while any [`Reader`] handle exists,
+    /// publishes a fresh snapshot.
+    pub fn insert(&mut self, key: K, value: V) -> bool {
+        let s = self.runs_weight_of(&key);
+        let live_before;
+        match buffer_slot(&self.buffer, &key) {
+            Ok(i) => {
+                let entry = &mut self.buffer[i];
+                live_before = entry.slot.is_some();
+                entry.slot = Some(value);
+                entry.weight = 1 - s;
+            }
+            Err(i) => {
+                live_before = s == 1;
+                self.buffer.insert(
+                    i,
+                    BufEntry {
+                        key,
+                        slot: Some(value),
+                        weight: 1 - s,
+                    },
+                );
+                self.maybe_flush();
+            }
+        }
+        self.maybe_publish();
+        live_before
+    }
+
+    /// Delete; returns `true` iff a live value for `key` was removed
+    /// (what `BTreeMap::remove(..).is_some()` reports). Removing an
+    /// absent or already-deleted key is a no-op.
+    ///
+    /// A delete that must shadow older resident versions buffers a
+    /// tombstone, annihilated when a merge reaches the bottom tier.
+    pub fn remove(&mut self, key: &K) -> bool {
+        let s = self.runs_weight_of(key);
+        let live_before;
+        match buffer_slot(&self.buffer, key) {
+            Ok(i) => {
+                let entry = &mut self.buffer[i];
+                live_before = entry.slot.is_some();
+                entry.slot = None;
+                entry.weight = -s;
+            }
+            Err(i) if s == 1 => {
+                live_before = true;
+                self.buffer.insert(
+                    i,
+                    BufEntry {
+                        key: key.clone(),
+                        slot: None,
+                        weight: -1,
+                    },
+                );
+                self.maybe_flush();
+            }
+            Err(_) => {
+                debug_assert_eq!(s, 0, "per-key weight invariant violated");
+                live_before = false;
+            }
+        }
+        self.maybe_publish();
+        live_before
+    }
+
+    /// Merge the buffer down now, regardless of fill level, so
+    /// subsequent reads skip the buffer probe and serve from layout
+    /// runs only. Note the merge targets the first **empty** tier: if
+    /// tier 0 is currently empty this *adds* a shallow run rather than
+    /// reducing the run count.
+    pub fn compact_buffer(&mut self) {
+        self.flush();
+        self.maybe_publish();
+    }
+
+    // ----- snapshots -----
+
+    /// An immutable view of the current state; later writes to `self`
+    /// are invisible to it. Cost: one copy of the (≤ `buffer_cap`-entry)
+    /// buffer plus one `Arc` bump per resident run.
+    pub fn snapshot(&self) -> Frozen<K, V> {
+        self.freeze()
+    }
+
+    /// A handle to the published-snapshot cell, for concurrent readers;
+    /// see [`Reader`]. The current state is published immediately, and
+    /// the cell is re-published after every subsequent mutation for as
+    /// long as any handle exists (with no outstanding handle, mutations
+    /// skip publication entirely — writers don't pay for readers they
+    /// don't have).
+    pub fn reader(&self) -> Reader<K, V> {
+        self.publish();
+        Reader {
+            cell: Arc::clone(&self.published),
+        }
+    }
+
+    // ----- reads (shared with Frozen via ViewRef) -----
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.view().len()
+    }
+
+    /// `true` iff no key is live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The live value under `key`, if any (buffer first, then runs
+    /// newest-first, stopping at the first version found).
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.view().get(key)
+    }
+
+    /// `true` iff `key` is live.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of live keys strictly smaller than `key` — exact, via the
+    /// per-run weight prefixes (see the [module docs](self)).
+    pub fn rank(&self, key: &K) -> usize {
+        self.view().rank(key)
+    }
+
+    /// Number of live keys in `[lo, hi)`. Reversed bounds (`lo > hi`)
+    /// describe an empty interval and yield 0 — never a panic (the same
+    /// contract as [`crate::StaticIndex::range_count`]).
+    pub fn range_count(&self, lo: &K, hi: &K) -> usize {
+        self.view().range_count(lo, hi)
+    }
+
+    /// The smallest live entry with key `≥ key`, if any.
+    pub fn lower_bound(&self, key: &K) -> Option<(&K, &V)> {
+        self.view().lower_bound(key)
+    }
+
+    /// The smallest live entry with key **strictly greater** than
+    /// `key`, if any.
+    pub fn successor(&self, key: &K) -> Option<(&K, &V)> {
+        self.view().successor(key)
+    }
+
+    /// The largest live entry with key **strictly smaller** than `key`,
+    /// if any.
+    pub fn predecessor(&self, key: &K) -> Option<(&K, &V)> {
+        self.view().predecessor(key)
+    }
+
+    /// Batched [`DynamicMap::get`]: unresolved keys cascade run by run
+    /// (newest first), each run driven by the software-pipelined
+    /// parallel `batch_search` engine. `out[i]` is exactly
+    /// `get(&keys[i])`.
+    pub fn batch_get(&self, keys: &[K]) -> Vec<Option<&V>> {
+        self.view().batch_get(keys)
+    }
+
+    /// Batched [`DynamicMap::rank`] on the pipelined per-run rank
+    /// engine.
+    pub fn batch_rank(&self, keys: &[K]) -> Vec<usize> {
+        self.view().batch_rank(keys)
+    }
+
+    /// Per-pair [`DynamicMap::range_count`] (reversed pairs yield 0);
+    /// all endpoint ranks go through the pipelined engine.
+    pub fn batch_range_count(&self, ranges: &[(K, K)]) -> Vec<usize> {
+        self.view().batch_range_count(ranges)
+    }
+
+    // ----- introspection -----
+
+    /// Writes currently absorbed by the buffer (not yet merged).
+    pub fn buffered_versions(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Resident versions per tier, newest tier first (`None` = empty
+    /// tier). Sums can exceed [`DynamicMap::len`]: overwrites,
+    /// re-inserts, and tombstones all hold versions until a merge
+    /// collapses them.
+    pub fn tier_versions(&self) -> Vec<Option<usize>> {
+        self.tiers
+            .iter()
+            .map(|t| t.as_ref().map(|r| r.versions()))
+            .collect()
+    }
+
+    /// Number of resident runs.
+    pub fn run_count(&self) -> usize {
+        self.tiers.iter().flatten().count()
+    }
+
+    // ----- internals -----
+
+    fn view(&self) -> ViewRef<'_, K, V> {
+        ViewRef {
+            buffer: &self.buffer,
+            runs: self.tiers.iter().flatten().map(|a| a.as_ref()).collect(),
+        }
+    }
+
+    fn freeze(&self) -> Frozen<K, V> {
+        Frozen {
+            buffer: Arc::new(self.buffer.clone()),
+            runs: Arc::new(self.tiers.iter().flatten().cloned().collect()),
+        }
+    }
+
+    fn publish(&self) {
+        let frozen = Arc::new(self.freeze());
+        *lock(&self.published) = frozen;
+    }
+
+    /// Publish only if a [`Reader`] handle is outstanding (they share
+    /// the cell's `Arc`, so one atomic load detects them); with no
+    /// readers, mutations skip the buffer copy entirely. [`reader()`]
+    /// publishes eagerly, so a handle taken after unpublished mutations
+    /// still starts from the current state.
+    ///
+    /// [`reader()`]: DynamicMap::reader
+    fn maybe_publish(&self) {
+        if Arc::strong_count(&self.published) > 1 {
+            self.publish();
+        }
+    }
+
+    /// Summed weight of `key`'s versions across all resident runs
+    /// (excluding the buffer): two rank descents per run.
+    fn runs_weight_of(&self, key: &K) -> i64 {
+        self.tiers.iter().flatten().map(|r| r.weight_of(key)).sum()
+    }
+
+    fn maybe_flush(&mut self) {
+        if self.buffer.len() >= self.buffer_cap {
+            self.flush();
+        }
+    }
+
+    /// Merge the buffer and every run above the first empty tier into
+    /// that tier: one k-way merge (newest source wins per key, weights
+    /// summed, tombstones annihilated iff no deeper tier remains), then
+    /// one argsort-free layout rebuild.
+    fn flush(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        let t = match self.tiers.iter().position(Option::is_none) {
+            Some(t) => t,
+            None => {
+                self.tiers.push(None);
+                self.tiers.len() - 1
+            }
+        };
+        let deeper_occupied = self.tiers[t + 1..].iter().any(Option::is_some);
+        let buffer = std::mem::take(&mut self.buffer);
+        let merged_runs: Vec<Arc<Run<K, V>>> = self.tiers[..t]
+            .iter_mut()
+            .map(|slot| {
+                slot.take()
+                    .expect("tiers above the first empty tier are occupied")
+            })
+            .collect();
+
+        // Newest-first sources: the buffer, then tiers 0..t in order.
+        let mut sources: Vec<Source<'_, K, V>> = Vec::with_capacity(merged_runs.len() + 1);
+        sources.push(Source::new(Box::new(
+            buffer.into_iter().map(|e| (e.key, e.slot, e.weight)),
+        )));
+        for run in &merged_runs {
+            sources.push(Source::new(Box::new(run.iter_sorted())));
+        }
+
+        let mut keys = Vec::new();
+        let mut slots = Vec::new();
+        let mut weights = Vec::new();
+        loop {
+            // Newest source holding the minimum head key (strict `<`
+            // keeps the earliest source on ties).
+            let mut min_idx: Option<usize> = None;
+            for i in 0..sources.len() {
+                let Some((k, _, _)) = &sources[i].head else {
+                    continue;
+                };
+                let better = match min_idx {
+                    Some(j) => {
+                        let (mk, _, _) = sources[j].head.as_ref().expect("tracked head");
+                        k < mk
+                    }
+                    None => true,
+                };
+                if better {
+                    min_idx = Some(i);
+                }
+            }
+            let Some(first) = min_idx else { break };
+            let (key, slot, mut weight) = sources[first].advance();
+            // Older sources may hold the same key (each source's keys
+            // are distinct): collapse them, newest version wins.
+            for src in sources.iter_mut().skip(first + 1) {
+                if src.head.as_ref().is_some_and(|(k, _, _)| *k == key) {
+                    weight += src.advance().2;
+                }
+            }
+            if slot.is_none() && !deeper_occupied {
+                // Tombstone reaching the bottom: annihilate.
+                debug_assert_eq!(weight, 0, "annihilated key retains weight");
+                continue;
+            }
+            keys.push(key);
+            slots.push(slot);
+            weights.push(weight);
+        }
+        drop(sources);
+        drop(merged_runs); // snapshots may still hold these runs
+
+        self.tiers[t] = if keys.is_empty() {
+            None
+        } else {
+            Some(Arc::new(
+                Run::build(keys, slots, &weights, self.kind, self.algorithm)
+                    .expect("configuration validated at construction"),
+            ))
+        };
+    }
+}
+
+/// A merge source with one-entry lookahead.
+struct Source<'s, K, V> {
+    head: Option<MergedEntry<K, V>>,
+    rest: Box<dyn Iterator<Item = MergedEntry<K, V>> + 's>,
+}
+
+impl<'s, K, V> Source<'s, K, V> {
+    fn new(mut rest: Box<dyn Iterator<Item = MergedEntry<K, V>> + 's>) -> Self {
+        let head = rest.next();
+        Self { head, rest }
+    }
+
+    fn advance(&mut self) -> MergedEntry<K, V> {
+        let head = self.head.take().expect("advance() requires a head");
+        self.head = self.rest.next();
+        head
+    }
+}
+
+impl<K, V> Frozen<K, V>
+where
+    K: Ord + Clone + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    /// Number of live keys in the snapshot.
+    pub fn len(&self) -> usize {
+        self.view().len()
+    }
+
+    /// `true` iff the snapshot has no live key.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// See [`DynamicMap::get`].
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.view().get(key)
+    }
+
+    /// See [`DynamicMap::contains_key`].
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// See [`DynamicMap::rank`].
+    pub fn rank(&self, key: &K) -> usize {
+        self.view().rank(key)
+    }
+
+    /// See [`DynamicMap::range_count`] (reversed bounds yield 0).
+    pub fn range_count(&self, lo: &K, hi: &K) -> usize {
+        self.view().range_count(lo, hi)
+    }
+
+    /// See [`DynamicMap::lower_bound`].
+    pub fn lower_bound(&self, key: &K) -> Option<(&K, &V)> {
+        self.view().lower_bound(key)
+    }
+
+    /// See [`DynamicMap::successor`].
+    pub fn successor(&self, key: &K) -> Option<(&K, &V)> {
+        self.view().successor(key)
+    }
+
+    /// See [`DynamicMap::predecessor`].
+    pub fn predecessor(&self, key: &K) -> Option<(&K, &V)> {
+        self.view().predecessor(key)
+    }
+
+    /// See [`DynamicMap::batch_get`].
+    pub fn batch_get(&self, keys: &[K]) -> Vec<Option<&V>> {
+        self.view().batch_get(keys)
+    }
+
+    /// See [`DynamicMap::batch_rank`].
+    pub fn batch_rank(&self, keys: &[K]) -> Vec<usize> {
+        self.view().batch_rank(keys)
+    }
+
+    /// See [`DynamicMap::batch_range_count`].
+    pub fn batch_range_count(&self, ranges: &[(K, K)]) -> Vec<usize> {
+        self.view().batch_range_count(ranges)
+    }
+
+    fn view(&self) -> ViewRef<'_, K, V> {
+        ViewRef {
+            buffer: &self.buffer,
+            runs: self.runs.iter().map(|a| a.as_ref()).collect(),
+        }
+    }
+}
+
+/// Borrowed multi-run state — the single implementation of every read,
+/// shared by [`DynamicMap`] (live state) and [`Frozen`] (snapshots).
+struct ViewRef<'a, K, V> {
+    buffer: &'a [BufEntry<K, V>],
+    /// Non-empty runs, newest first.
+    runs: Vec<&'a Run<K, V>>,
+}
+
+impl<'a, K, V> ViewRef<'a, K, V>
+where
+    K: Ord + Clone + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    /// The newest resident version of `key`: `None` = absent from every
+    /// run and the buffer, `Some(None)` = tombstone, `Some(Some(v))` =
+    /// live.
+    fn version(&self, key: &K) -> Option<&'a Option<V>> {
+        if let Ok(i) = buffer_slot(self.buffer, key) {
+            return Some(&self.buffer[i].slot);
+        }
+        for run in &self.runs {
+            if let Some(slot) = run.map.get(key) {
+                return Some(slot);
+            }
+        }
+        None
+    }
+
+    fn get(&self, key: &K) -> Option<&'a V> {
+        self.version(key)?.as_ref()
+    }
+
+    fn buffer_weight_below(&self, key: &K) -> i64 {
+        let i = self.buffer.partition_point(|e| e.key < *key);
+        self.buffer[..i].iter().map(|e| e.weight).sum()
+    }
+
+    fn rank(&self, key: &K) -> usize {
+        let mut w = self.buffer_weight_below(key);
+        for run in &self.runs {
+            w += run.weight_below(key);
+        }
+        debug_assert!(w >= 0, "weight invariant violated: negative rank");
+        w as usize
+    }
+
+    fn len(&self) -> usize {
+        let w: i64 = self.buffer.iter().map(|e| e.weight).sum::<i64>()
+            + self.runs.iter().map(|r| r.total_weight()).sum::<i64>();
+        debug_assert!(w >= 0, "weight invariant violated: negative len");
+        w as usize
+    }
+
+    fn range_count(&self, lo: &K, hi: &K) -> usize {
+        if lo >= hi {
+            return 0; // reversed or empty bounds: defined as 0
+        }
+        self.rank(hi).saturating_sub(self.rank(lo))
+    }
+
+    /// Smallest version key `≥ key` across buffer and runs (dead
+    /// versions included — callers resolve liveness).
+    fn version_at_least(&self, key: &K) -> Option<&'a K> {
+        let i = self.buffer.partition_point(|e| e.key < *key);
+        let mut best = self.buffer.get(i).map(|e| &e.key);
+        for run in &self.runs {
+            if let Some((k, _)) = run.map.lower_bound(key) {
+                best = Some(match best {
+                    Some(b) if b <= k => b,
+                    _ => k,
+                });
+            }
+        }
+        best
+    }
+
+    /// Smallest version key strictly greater than `key`.
+    fn version_after(&self, key: &K) -> Option<&'a K> {
+        let i = self.buffer.partition_point(|e| e.key <= *key);
+        let mut best = self.buffer.get(i).map(|e| &e.key);
+        for run in &self.runs {
+            if let Some((k, _)) = run.map.successor(key) {
+                best = Some(match best {
+                    Some(b) if b <= k => b,
+                    _ => k,
+                });
+            }
+        }
+        best
+    }
+
+    /// Largest version key strictly smaller than `key`.
+    fn version_before(&self, key: &K) -> Option<&'a K> {
+        let i = self.buffer.partition_point(|e| e.key < *key);
+        let mut best = i.checked_sub(1).map(|j| &self.buffer[j].key);
+        for run in &self.runs {
+            if let Some((k, _)) = run.map.predecessor(key) {
+                best = Some(match best {
+                    Some(b) if b >= k => b,
+                    _ => k,
+                });
+            }
+        }
+        best
+    }
+
+    /// Walk candidates rightward until one is live.
+    fn resolve_forward(&self, mut cand: &'a K) -> Option<(&'a K, &'a V)> {
+        loop {
+            match self.version(cand).expect("candidate keys have a version") {
+                Some(v) => return Some((cand, v)),
+                None => cand = self.version_after(cand)?,
+            }
+        }
+    }
+
+    /// Walk candidates leftward until one is live.
+    fn resolve_backward(&self, mut cand: &'a K) -> Option<(&'a K, &'a V)> {
+        loop {
+            match self.version(cand).expect("candidate keys have a version") {
+                Some(v) => return Some((cand, v)),
+                None => cand = self.version_before(cand)?,
+            }
+        }
+    }
+
+    fn lower_bound(&self, key: &K) -> Option<(&'a K, &'a V)> {
+        self.resolve_forward(self.version_at_least(key)?)
+    }
+
+    fn successor(&self, key: &K) -> Option<(&'a K, &'a V)> {
+        self.resolve_forward(self.version_after(key)?)
+    }
+
+    fn predecessor(&self, key: &K) -> Option<(&'a K, &'a V)> {
+        self.resolve_backward(self.version_before(key)?)
+    }
+
+    fn batch_get(&self, keys: &[K]) -> Vec<Option<&'a V>> {
+        let mut out: Vec<Option<&'a V>> = vec![None; keys.len()];
+        // Buffer pass: cheap binary searches over ≤ cap entries.
+        let mut pending: Vec<usize> = Vec::new();
+        for (i, key) in keys.iter().enumerate() {
+            match buffer_slot(self.buffer, key) {
+                Ok(j) => out[i] = self.buffer[j].slot.as_ref(),
+                Err(_) => pending.push(i),
+            }
+        }
+        // Cascade the unresolved keys run by run, newest first, each
+        // run on the pipelined parallel engine.
+        for run in &self.runs {
+            if pending.is_empty() {
+                break;
+            }
+            let probe: Vec<K> = pending.iter().map(|&i| keys[i].clone()).collect();
+            let positions = run.map.index().batch_search(&probe);
+            let mut still = Vec::with_capacity(pending.len());
+            for (j, &i) in pending.iter().enumerate() {
+                match positions[j] {
+                    Some(p) => out[i] = run.map.values()[p].as_ref(),
+                    None => still.push(i),
+                }
+            }
+            pending = still;
+        }
+        out
+    }
+
+    fn batch_rank(&self, keys: &[K]) -> Vec<usize> {
+        let mut acc: Vec<i64> = keys.iter().map(|k| self.buffer_weight_below(k)).collect();
+        for run in &self.runs {
+            for (a, r) in acc.iter_mut().zip(run.map.index().batch_rank(keys)) {
+                *a += run.prefix[r];
+            }
+        }
+        acc.into_iter()
+            .map(|w| {
+                debug_assert!(w >= 0, "weight invariant violated: negative rank");
+                w as usize
+            })
+            .collect()
+    }
+
+    fn batch_range_count(&self, ranges: &[(K, K)]) -> Vec<usize> {
+        let mut flat = Vec::with_capacity(2 * ranges.len());
+        for (lo, hi) in ranges {
+            flat.push(lo.clone());
+            flat.push(hi.clone());
+        }
+        let ranks = self.batch_rank(&flat);
+        ranges
+            .iter()
+            .enumerate()
+            .map(|(i, (lo, hi))| {
+                if lo >= hi {
+                    0
+                } else {
+                    ranks[2 * i + 1].saturating_sub(ranks[2 * i])
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    impl<K, V> DynamicMap<K, V>
+    where
+        K: Ord + Clone + Send + Sync,
+        V: Clone + Send + Sync,
+    {
+        /// Test-only exhaustive check of the per-key weight invariant:
+        /// for every resident key, weights sum to 1 iff the newest
+        /// version is live.
+        fn validate_weights(&self) {
+            let mut keys: Vec<K> = self.buffer.iter().map(|e| e.key.clone()).collect();
+            for run in self.tiers.iter().flatten() {
+                keys.extend(run.iter_sorted().map(|(k, _, _)| k));
+            }
+            keys.sort();
+            keys.dedup();
+            for k in keys {
+                let total = self.runs_weight_of(&k)
+                    + self
+                        .buffer
+                        .iter()
+                        .find(|e| e.key == k)
+                        .map_or(0, |e| e.weight);
+                let live = self.view().version(&k).expect("resident").is_some();
+                assert_eq!(total, i64::from(live), "weight invariant for resident key");
+            }
+        }
+    }
+
+    #[test]
+    fn tier_evolution_is_binomial() {
+        let mut m: DynamicMap<u64, u64> =
+            DynamicMap::with_config(QueryKind::Veb, Algorithm::CycleLeader, 4);
+        for k in 0..16u64 {
+            m.insert(k, k * 10);
+            m.validate_weights();
+        }
+        // 16 inserts at cap 4 = 4 flushes: binomial counter 100 -> tier 2
+        // holds everything, tiers 0/1 empty.
+        assert_eq!(m.tier_versions(), vec![None, None, Some(16)]);
+        assert_eq!(m.len(), 16);
+        assert_eq!(m.buffered_versions(), 0);
+        for k in 0..16u64 {
+            assert_eq!(m.get(&k), Some(&(k * 10)));
+            assert_eq!(m.rank(&k), k as usize);
+        }
+    }
+
+    #[test]
+    fn annihilation_empties_the_structure() {
+        let mut m: DynamicMap<u64, &str> =
+            DynamicMap::with_config(QueryKind::BstPrefetch, Algorithm::Involution, 1);
+        m.insert(7, "seven"); // flush -> tier 0 live
+        assert!(m.remove(&7)); // tombstone flush merges to bottom -> annihilated
+        m.validate_weights();
+        assert_eq!(m.len(), 0);
+        assert_eq!(m.run_count(), 0, "tombstone + value must annihilate");
+        assert_eq!(m.get(&7), None);
+        assert!(!m.remove(&7), "double delete is a no-op");
+    }
+
+    #[test]
+    fn reinsert_across_runs_keeps_ranks_exact() {
+        let mut m: DynamicMap<u64, u64> =
+            DynamicMap::with_config(QueryKind::Btree(2), Algorithm::CycleLeader, 2);
+        // Spread versions of key 5 across several runs.
+        for round in 0..5u64 {
+            m.insert(5, round);
+            m.insert(100 + round, round);
+            m.validate_weights();
+        }
+        assert_eq!(m.get(&5), Some(&4));
+        assert_eq!(m.len(), 6); // 5 plus 100..=104
+        assert_eq!(m.rank(&100), 1, "key 5 must count once despite re-inserts");
+        assert_eq!(m.range_count(&0, &200), 6);
+        assert!(m.remove(&5));
+        m.validate_weights();
+        assert_eq!(m.rank(&100), 0);
+        assert_eq!(m.len(), 5);
+    }
+
+    #[test]
+    fn bulk_build_last_duplicate_wins() {
+        let m = DynamicMap::build(
+            vec![3u64, 1, 3, 2, 1],
+            vec!["a", "b", "c", "d", "e"],
+            Layout::Bst,
+        )
+        .unwrap();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.get(&1), Some(&"e"));
+        assert_eq!(m.get(&3), Some(&"c"));
+        assert_eq!(m.get(&2), Some(&"d"));
+        assert_eq!(m.run_count(), 1);
+    }
+
+    #[test]
+    fn reversed_bounds_yield_zero() {
+        let mut m: DynamicMap<u64, u64> = DynamicMap::new(Layout::Veb);
+        for k in 0..50u64 {
+            m.insert(k, k);
+        }
+        assert_eq!(m.range_count(&30, &10), 0);
+        assert_eq!(m.range_count(&10, &10), 0);
+        assert_eq!(
+            m.batch_range_count(&[(30, 10), (0, 50), (49, 49)]),
+            vec![0, 50, 0]
+        );
+        assert_eq!(m.snapshot().range_count(&u64::MAX, &0), 0);
+    }
+
+    #[test]
+    fn snapshots_are_isolated_and_readers_advance() {
+        let mut m: DynamicMap<u64, u64> =
+            DynamicMap::with_config(QueryKind::Veb, Algorithm::CycleLeader, 3);
+        let reader = m.reader();
+        assert_eq!(reader.snapshot().len(), 0);
+        let mut snaps = Vec::new();
+        for k in 0..10u64 {
+            m.insert(k, k);
+            snaps.push(m.snapshot());
+        }
+        for (i, snap) in snaps.iter().enumerate() {
+            assert_eq!(snap.len(), i + 1, "snapshot pinned at its prefix");
+            assert_eq!(snap.get(&(i as u64)), Some(&(i as u64)));
+            assert_eq!(snap.get(&(i as u64 + 1)), None);
+        }
+        // The reader's cell tracks the newest published state.
+        assert_eq!(reader.snapshot().len(), 10);
+        assert_eq!(reader.snapshot().batch_get(&[0, 10]), vec![Some(&0), None]);
+    }
+}

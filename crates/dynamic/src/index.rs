@@ -57,6 +57,36 @@ impl<K: Ord + Send + Sync> StaticIndex<K> {
         algorithm: Algorithm,
     ) -> Result<Self, Error> {
         keys.sort_unstable();
+        Self::build_presorted(keys, kind, algorithm)
+    }
+
+    /// Build from keys that are **already sorted** ascending, skipping
+    /// the sort: the merge-then-build fast path. A k-way merge of
+    /// sorted runs (as in [`crate::DynamicMap`]'s tier merges) produces
+    /// sorted output, so re-sorting would waste the dominant `O(n log n)`
+    /// term — this constructor goes straight to the parallel in-place
+    /// layout permutation.
+    ///
+    /// Sortedness is the caller's contract; debug builds assert it.
+    ///
+    /// # Examples
+    /// ```
+    /// use implicit_search_trees::{Algorithm, Layout, QueryKind, StaticIndex};
+    /// let merged: Vec<u64> = (0..100).map(|x| 2 * x).collect(); // already sorted
+    /// let idx = StaticIndex::build_presorted(merged, QueryKind::Veb, Algorithm::CycleLeader)
+    ///     .unwrap();
+    /// assert!(idx.contains(&42));
+    /// assert_eq!(idx.rank(&51), 26);
+    /// ```
+    pub fn build_presorted(
+        mut keys: Vec<K>,
+        kind: QueryKind,
+        algorithm: Algorithm,
+    ) -> Result<Self, Error> {
+        debug_assert!(
+            keys.windows(2).all(|w| w[0] <= w[1]),
+            "StaticIndex::build_presorted: keys are not sorted"
+        );
         if !keys.is_empty() {
             if let Some(layout) = layout_of_kind(kind) {
                 permute_in_place(&mut keys, layout, algorithm)?;
@@ -137,8 +167,20 @@ impl<K: Ord + Send + Sync> StaticIndex<K> {
         Some(&self.data[pos])
     }
 
+    /// Number of stored keys strictly smaller than or equal to `key`
+    /// (so `rank_upper − rank` is the key's multiplicity).
+    pub fn rank_upper(&self, key: &K) -> usize {
+        self.searcher().rank_upper(key)
+    }
+
     /// Number of stored keys in the half-open interval `[lo, hi)`, via
     /// two rank descents.
+    ///
+    /// **Reversed bounds are defined, not a bug**: when `lo > hi` (or
+    /// `lo == hi`) the interval is empty and the count is `0` — never a
+    /// panic, in debug or release, on any layout. The same contract
+    /// holds for [`StaticIndex::batch_range_count`],
+    /// `StaticMap::range_count`, and `DynamicMap::range_count`.
     pub fn range_count(&self, lo: &K, hi: &K) -> usize {
         self.searcher().range_count(lo, hi)
     }
@@ -163,6 +205,7 @@ impl<K: Ord + Send + Sync> StaticIndex<K> {
 
     /// Per-pair [`StaticIndex::range_count`] for a batch of `(lo, hi)`
     /// ranges; both descents of every pair go through one pipeline.
+    /// Reversed pairs (`lo > hi`) yield 0, like the scalar call.
     pub fn batch_range_count(&self, ranges: &[(K, K)]) -> Vec<usize> {
         self.searcher().batch_range_count(ranges)
     }

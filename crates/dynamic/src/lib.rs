@@ -1,0 +1,40 @@
+//! # ist-dynamic
+//!
+//! The serving facades over the implicit search tree layouts:
+//!
+//! * [`StaticIndex`] — an immutable sorted-key index, permuted in place
+//!   into a cache-optimal layout, with the full point/batch/range query
+//!   API.
+//! * [`StaticMap`] — the key→value variant: payloads co-permuted
+//!   obliviously alongside the keys (`V` never compared).
+//! * [`DynamicMap`] — the write-capable structure this crate exists
+//!   for: a logarithmic-method (LSM-style) dynamization that keeps
+//!   every resident run in a static layout and turns the paper's fast
+//!   parallel in-place **rebuild** into the mutation primitive.
+//!
+//! All three are re-exported from the root `implicit-search-trees`
+//! facade crate; this crate exists so the dynamization can layer on the
+//! static facades without a dependency cycle.
+//!
+//! ## Dynamization in one paragraph
+//!
+//! A [`DynamicMap`] absorbs writes in a small sorted buffer; when the
+//! buffer fills it is merged with the runs of every tier up to the
+//! first empty one and the result is rebuilt — one k-way merge of
+//! already-sorted entries plus one parallel in-place layout
+//! construction ([`StaticMap::build_presorted`], which skips the
+//! argsort entirely). Deletes are tombstones annihilated at merge time;
+//! per-version integer *weights* make summed ranks exact even when keys
+//! are overwritten or re-inserted across runs (see the
+//! [`dynamic`](self) module docs). Reads fan out newest-run-first and
+//! reuse the software-pipelined batched engine per run; snapshots
+//! ([`DynamicMap::snapshot`] → [`Frozen`], or a cloneable [`Reader`]
+//! handle) decouple concurrent readers from merges entirely.
+
+pub mod dynamic;
+mod index;
+mod map;
+
+pub use dynamic::{DynamicMap, Frozen, Reader, DEFAULT_BUFFER_CAP};
+pub use index::StaticIndex;
+pub use map::StaticMap;

@@ -96,8 +96,55 @@ impl<K: Ord + Send + Sync, V: Send> StaticMap<K, V> {
         order.sort_unstable_by(|&x, &y| keys[x].cmp(&keys[y]).then(x.cmp(&y)));
         co_permute_by_gather(&mut keys, &mut values, &order);
         drop(order);
-        // The layout permutation is oblivious: values ride the same
-        // permutation without a single comparison (V: Send, not V: Ord).
+        Self::build_presorted(keys, values, kind, algorithm)
+    }
+
+    /// Build from `(keys, values)` pairs that are **already sorted** by
+    /// key and already aligned slot-for-slot, skipping the argsort and
+    /// the co-permutation entirely: the merge-then-build fast path.
+    ///
+    /// [`crate::DynamicMap`]'s tier merges produce exactly this shape —
+    /// a k-way merge of sorted runs is sorted, and its values were
+    /// carried along during the merge — so the rebuild reduces to the
+    /// two oblivious layout permutations (keys, then values through the
+    /// same index map; see [`ist_perm::oblivious`]).
+    ///
+    /// Sortedness of `keys` is the caller's contract; debug builds
+    /// assert it.
+    ///
+    /// # Panics
+    /// Panics if `keys` and `values` have different lengths.
+    ///
+    /// # Examples
+    /// ```
+    /// use implicit_search_trees::{Algorithm, Layout, QueryKind, StaticMap};
+    /// // Already merged: sorted keys, values aligned.
+    /// let map = StaticMap::build_presorted(
+    ///     vec![10u64, 20, 30],
+    ///     vec!["ten", "twenty", "thirty"],
+    ///     QueryKind::Veb,
+    ///     Algorithm::CycleLeader,
+    /// )
+    /// .unwrap();
+    /// assert_eq!(map.get(&20), Some(&"twenty"));
+    /// ```
+    pub fn build_presorted(
+        mut keys: Vec<K>,
+        mut values: Vec<V>,
+        kind: QueryKind,
+        algorithm: Algorithm,
+    ) -> Result<Self, Error> {
+        assert_eq!(
+            keys.len(),
+            values.len(),
+            "StaticMap::build_presorted: {} keys but {} values",
+            keys.len(),
+            values.len()
+        );
+        debug_assert!(
+            keys.windows(2).all(|w| w[0] <= w[1]),
+            "StaticMap::build_presorted: keys are not sorted"
+        );
         if !keys.is_empty() {
             if let Some(layout) = crate::index::layout_of_kind(kind) {
                 permute_in_place(&mut keys, layout, algorithm)?;
@@ -202,6 +249,9 @@ impl<K: Ord + Send + Sync, V: Send> StaticMap<K, V> {
 
     /// Number of stored keys in the half-open interval `[lo, hi)`
     /// (duplicates counted), via two rank descents.
+    ///
+    /// Reversed bounds (`lo > hi`) describe an empty interval and yield
+    /// 0 — never a panic (see [`StaticIndex::range_count`]).
     pub fn range_count(&self, lo: &K, hi: &K) -> usize {
         self.index.range_count(lo, hi)
     }

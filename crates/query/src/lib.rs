@@ -357,8 +357,25 @@ impl<'a, T: Ord + Sync> Searcher<'a, T> {
     /// Layout position of the element with sorted rank `r`, via the
     /// closed-form position maps (`None` past the end). Shared by
     /// `lower_bound`/`successor`/`predecessor` and their batched tiers
-    /// so all resolve ranks to identical slots.
-    pub(crate) fn position_of_rank(&self, r: usize) -> Option<usize> {
+    /// so all resolve ranks to identical slots; also the way to walk a
+    /// layout in **sorted order** without materializing a sorted copy
+    /// (the log-structured merge in `ist-dynamic` streams runs this
+    /// way).
+    ///
+    /// # Examples
+    /// ```
+    /// use ist_core::{permute_in_place, Algorithm, Layout};
+    /// use ist_query::Searcher;
+    /// let mut v: Vec<u64> = (0..7).collect();
+    /// permute_in_place(&mut v, Layout::Bst, Algorithm::CycleLeader).unwrap();
+    /// let s = Searcher::for_layout(&v, Layout::Bst);
+    /// let resorted: Vec<u64> = (0..7)
+    ///     .map(|r| v[s.position_of_rank(r).unwrap()])
+    ///     .collect();
+    /// assert_eq!(resorted, (0..7).collect::<Vec<u64>>());
+    /// assert_eq!(s.position_of_rank(7), None);
+    /// ```
+    pub fn position_of_rank(&self, r: usize) -> Option<usize> {
         let n = self.data.len();
         if r >= n {
             return None;

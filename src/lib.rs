@@ -55,6 +55,34 @@
 //! assert_eq!(map.predecessor(&30), Some((&20, &"twenty")));
 //! ```
 //!
+//! [`DynamicMap`] makes the structure **write-capable**: a logarithmic-
+//! method (LSM-style) dynamization that absorbs inserts and deletes in
+//! a small sorted buffer and keeps every resident run in a static
+//! layout, using the paper's fast parallel in-place rebuild as the
+//! mutation primitive (merges skip the argsort entirely —
+//! [`StaticMap::build_presorted`]). Reads fan out newest-run-first on
+//! the same pipelined engines; [`DynamicMap::snapshot`] /
+//! [`DynamicMap::reader`] give concurrent readers frozen views that
+//! never block on a merge. See [`dynamic`](ist_dynamic) for the tier,
+//! tombstone, and weight design.
+//!
+//! ```
+//! use implicit_search_trees::{DynamicMap, Layout};
+//!
+//! let mut m: DynamicMap<u64, &str> = DynamicMap::new(Layout::Veb);
+//! m.insert(10, "ten");
+//! m.insert(20, "twenty");
+//! m.insert(10, "TEN"); // overwrite
+//! m.remove(&20);
+//! assert_eq!(m.get(&10), Some(&"TEN"));
+//! assert_eq!(m.len(), 1);
+//! assert_eq!(m.batch_get(&[10, 20]), vec![Some(&"TEN"), None]);
+//!
+//! let snapshot = m.snapshot(); // frozen: later writes are invisible
+//! m.insert(30, "thirty");
+//! assert_eq!(snapshot.len(), 1);
+//! ```
+//!
 //! For borrowed data (or full control over the descent variant and
 //! construction algorithm), use [`permute_in_place`] + [`Searcher`]
 //! directly:
@@ -85,8 +113,9 @@
 //! | Module | Contents |
 //! |---|---|
 //! | `core` (re-exported at the root) | the construction algorithms (written once, `Machine`-generic) and public API |
-//! | [`StaticIndex`] (this crate, `src/index.rs`) | owning sort + permute + full-query-API facade |
-//! | [`StaticMap`] (this crate, `src/map.rs`) | key→value facade: payloads co-permuted obliviously alongside the keys |
+//! | [`StaticIndex`] (`ist-dynamic`, re-exported here) | owning sort + permute + full-query-API facade |
+//! | [`StaticMap`] (`ist-dynamic`, re-exported here) | key→value facade: payloads co-permuted obliviously alongside the keys |
+//! | [`DynamicMap`] (`ist-dynamic`, re-exported here) | log-structured tiers of static runs: write buffer, tombstones + weights, merge-rebuild, snapshot readers |
 //! | [`machine`] | the `Machine` execution-substrate trait and the `Ram` backend |
 //! | [`query`] | the per-layout `Navigator`s (`nav` — the single home of all descent arithmetic) and the layout-agnostic engines: scalar descents, `batch` (software-pipelined multi-descent window, rayon composition), `range` (range counts over rank descents), `order` (successor/predecessor on the rank engine) |
 //! | [`layout`] | position maps / index arithmetic per layout |
@@ -97,11 +126,7 @@
 //! | [`pem_sim`] | PEM-model I/O cost backend |
 //! | [`gpu_sim`] | SIMT (GPU) execution cost backend |
 
-mod index;
-mod map;
-
-pub use index::StaticIndex;
-pub use map::StaticMap;
+pub use ist_dynamic::{DynamicMap, Frozen, Reader, StaticIndex, StaticMap, DEFAULT_BUFFER_CAP};
 
 pub use ist_core::{
     construct, cycle_leader, fich_baseline, involution, nonperfect, permute_in_place,
@@ -114,6 +139,8 @@ pub use ist_query::{
 
 /// Digit reversal and modular arithmetic primitives.
 pub use ist_bits as bits;
+/// The serving facades (`StaticIndex` / `StaticMap` / `DynamicMap`).
+pub use ist_dynamic;
 /// Equidistant gather operations.
 pub use ist_gather as gather;
 /// SIMT (GPU) execution cost model.

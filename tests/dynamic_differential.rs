@@ -1,0 +1,414 @@
+//! Op-sequence differential fuzz: seeded-PRNG insert / delete / query
+//! sequences driven through [`DynamicMap`] and a `BTreeMap` oracle in
+//! lockstep, with the **entire observable state** compared after every
+//! single operation.
+//!
+//! What the generator stresses:
+//!
+//! * duplicate and re-inserted keys — a small key universe guarantees
+//!   overwrites, deletes of absent keys, tombstones shadowing live
+//!   versions in deeper runs, and re-inserts over tombstones;
+//! * adversarial buffer/tier boundaries — buffer capacities 1, 3, and 8
+//!   make merges constant and tier shapes degenerate;
+//! * every query: `get`, `rank`, `lower_bound`, `successor`,
+//!   `predecessor`, `range_count` (reversed bounds included), and
+//!   `batch_get` at window-straddling batch lengths;
+//! * snapshot coherence — a [`DynamicMap::snapshot`] taken mid-sequence
+//!   must answer exactly like the live map at that instant.
+//!
+//! On divergence the test panics with the **seed, the configuration,
+//! and the minimal op prefix that first diverges** (state is checked
+//! after every op, so the first failing index is minimal); re-running
+//! that seed replays it exactly.
+//!
+//! CI runs 3 fixed seeds; `IST_FUZZ_LONG=1` widens the sweep to 30
+//! seeds with longer sequences.
+
+use implicit_search_trees::{Algorithm, DynamicMap, QueryKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::Bound::{Excluded, Unbounded};
+
+/// Key universe: small, so collisions, overwrites and re-inserts are
+/// the common case rather than the rare one.
+const UNIVERSE: u64 = 40;
+
+#[derive(Clone)]
+enum Op {
+    Insert(u64, u64),
+    Remove(u64),
+    Get(u64),
+    Rank(u64),
+    LowerBound(u64),
+    Successor(u64),
+    Predecessor(u64),
+    RangeCount(u64, u64),
+    BatchGet(Vec<u64>),
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Insert(k, v) => write!(f, "insert({k}, {v})"),
+            Op::Remove(k) => write!(f, "remove({k})"),
+            Op::Get(k) => write!(f, "get({k})"),
+            Op::Rank(k) => write!(f, "rank({k})"),
+            Op::LowerBound(k) => write!(f, "lower_bound({k})"),
+            Op::Successor(k) => write!(f, "successor({k})"),
+            Op::Predecessor(k) => write!(f, "predecessor({k})"),
+            Op::RangeCount(lo, hi) => write!(f, "range_count({lo}, {hi})"),
+            Op::BatchGet(keys) => write!(f, "batch_get(len={})", keys.len()),
+        }
+    }
+}
+
+fn gen_op(rng: &mut StdRng, op_index: usize) -> Op {
+    let key = rng.gen_range(0..UNIVERSE);
+    match rng.gen_range(0..100u32) {
+        // Mutation-heavy mix: versions must pile up across runs.
+        0..=29 => Op::Insert(key, op_index as u64),
+        30..=49 => Op::Remove(key),
+        50..=59 => Op::Get(key),
+        60..=69 => Op::Rank(key),
+        70..=74 => Op::LowerBound(key),
+        75..=79 => Op::Successor(key),
+        80..=84 => Op::Predecessor(key),
+        85..=89 => {
+            // Half the ranges reversed or empty on purpose.
+            let other = rng.gen_range(0..UNIVERSE + 3);
+            Op::RangeCount(key, other)
+        }
+        _ => {
+            // Batch lengths straddling the pipeline window (32) and the
+            // empty/singleton corners.
+            let len = *[0usize, 1, 2, 31, 32, 33, 40, 64, 65]
+                .get(rng.gen_range(0..9usize))
+                .unwrap();
+            Op::BatchGet((0..len).map(|_| rng.gen_range(0..UNIVERSE + 2)).collect())
+        }
+    }
+}
+
+// --- oracle-side query helpers ---
+
+fn oracle_rank(oracle: &BTreeMap<u64, u64>, key: u64) -> usize {
+    oracle.range(..key).count()
+}
+
+fn oracle_range_count(oracle: &BTreeMap<u64, u64>, lo: u64, hi: u64) -> usize {
+    if lo >= hi {
+        0
+    } else {
+        oracle.range(lo..hi).count()
+    }
+}
+
+fn oracle_lower_bound(oracle: &BTreeMap<u64, u64>, key: u64) -> Option<(u64, u64)> {
+    oracle.range(key..).next().map(|(k, v)| (*k, *v))
+}
+
+fn oracle_successor(oracle: &BTreeMap<u64, u64>, key: u64) -> Option<(u64, u64)> {
+    oracle
+        .range((Excluded(key), Unbounded))
+        .next()
+        .map(|(k, v)| (*k, *v))
+}
+
+fn oracle_predecessor(oracle: &BTreeMap<u64, u64>, key: u64) -> Option<(u64, u64)> {
+    oracle.range(..key).next_back().map(|(k, v)| (*k, *v))
+}
+
+/// Compare the complete observable state of `map` (or a snapshot of
+/// it) against the oracle: every universe key, every query, reversed
+/// ranges, batched tiers.
+fn check_full_state(map: &DynamicMap<u64, u64>, oracle: &BTreeMap<u64, u64>) -> Result<(), String> {
+    let fail = |what: String| -> Result<(), String> { Err(what) };
+    if map.len() != oracle.len() {
+        return fail(format!("len: map={} oracle={}", map.len(), oracle.len()));
+    }
+    if map.is_empty() != oracle.is_empty() {
+        return fail("is_empty disagrees".to_string());
+    }
+    let probes: Vec<u64> = (0..UNIVERSE + 2).chain([u64::MAX]).collect();
+    for &k in &probes {
+        if map.get(&k) != oracle.get(&k) {
+            return fail(format!(
+                "get({k}): map={:?} oracle={:?}",
+                map.get(&k),
+                oracle.get(&k)
+            ));
+        }
+        if map.contains_key(&k) != oracle.contains_key(&k) {
+            return fail(format!("contains_key({k}) disagrees"));
+        }
+        if map.rank(&k) != oracle_rank(oracle, k) {
+            return fail(format!(
+                "rank({k}): map={} oracle={}",
+                map.rank(&k),
+                oracle_rank(oracle, k)
+            ));
+        }
+        let lb = map.lower_bound(&k).map(|(a, b)| (*a, *b));
+        if lb != oracle_lower_bound(oracle, k) {
+            return fail(format!(
+                "lower_bound({k}): map={lb:?} oracle={:?}",
+                oracle_lower_bound(oracle, k)
+            ));
+        }
+        let succ = map.successor(&k).map(|(a, b)| (*a, *b));
+        if succ != oracle_successor(oracle, k) {
+            return fail(format!(
+                "successor({k}): map={succ:?} oracle={:?}",
+                oracle_successor(oracle, k)
+            ));
+        }
+        let pred = map.predecessor(&k).map(|(a, b)| (*a, *b));
+        if pred != oracle_predecessor(oracle, k) {
+            return fail(format!(
+                "predecessor({k}): map={pred:?} oracle={:?}",
+                oracle_predecessor(oracle, k)
+            ));
+        }
+    }
+    // Batched tiers answer exactly like the scalar loop / oracle.
+    let batch = map.batch_get(&probes);
+    for (i, &k) in probes.iter().enumerate() {
+        if batch[i] != oracle.get(&k) {
+            return fail(format!("batch_get[{k}] disagrees with oracle get"));
+        }
+    }
+    let ranks = map.batch_rank(&probes);
+    for (i, &k) in probes.iter().enumerate() {
+        if ranks[i] != oracle_rank(oracle, k) {
+            return fail(format!("batch_rank[{k}] disagrees with oracle rank"));
+        }
+    }
+    // Range pairs, reversed and empty included.
+    let pairs: Vec<(u64, u64)> = (0..8)
+        .flat_map(|i| {
+            let lo = 5 * i;
+            [(lo, lo + 7), (lo + 7, lo), (lo, lo), (0, u64::MAX)]
+        })
+        .collect();
+    let counts = map.batch_range_count(&pairs);
+    for (i, &(lo, hi)) in pairs.iter().enumerate() {
+        let expect = oracle_range_count(oracle, lo, hi);
+        if map.range_count(&lo, &hi) != expect {
+            return fail(format!("range_count({lo},{hi}) != {expect}"));
+        }
+        if counts[i] != expect {
+            return fail(format!("batch_range_count({lo},{hi}) != {expect}"));
+        }
+    }
+    Ok(())
+}
+
+/// Apply one op to both sides; compare the op's own observable result.
+fn apply_op(
+    map: &mut DynamicMap<u64, u64>,
+    oracle: &mut BTreeMap<u64, u64>,
+    op: &Op,
+) -> Result<(), String> {
+    match op {
+        Op::Insert(k, v) => {
+            let replaced = map.insert(*k, *v);
+            let expect = oracle.insert(*k, *v).is_some();
+            if replaced != expect {
+                return Err(format!("insert returned {replaced}, oracle {expect}"));
+            }
+        }
+        Op::Remove(k) => {
+            let removed = map.remove(k);
+            let expect = oracle.remove(k).is_some();
+            if removed != expect {
+                return Err(format!("remove returned {removed}, oracle {expect}"));
+            }
+        }
+        Op::Get(k) => {
+            if map.get(k) != oracle.get(k) {
+                return Err(format!(
+                    "get: map={:?} oracle={:?}",
+                    map.get(k),
+                    oracle.get(k)
+                ));
+            }
+        }
+        Op::Rank(k) => {
+            if map.rank(k) != oracle_rank(oracle, *k) {
+                return Err(format!(
+                    "rank: map={} oracle={}",
+                    map.rank(k),
+                    oracle_rank(oracle, *k)
+                ));
+            }
+        }
+        Op::LowerBound(k) => {
+            let got = map.lower_bound(k).map(|(a, b)| (*a, *b));
+            if got != oracle_lower_bound(oracle, *k) {
+                return Err(format!(
+                    "lower_bound: map={got:?} oracle={:?}",
+                    oracle_lower_bound(oracle, *k)
+                ));
+            }
+        }
+        Op::Successor(k) => {
+            let got = map.successor(k).map(|(a, b)| (*a, *b));
+            if got != oracle_successor(oracle, *k) {
+                return Err(format!(
+                    "successor: map={got:?} oracle={:?}",
+                    oracle_successor(oracle, *k)
+                ));
+            }
+        }
+        Op::Predecessor(k) => {
+            let got = map.predecessor(k).map(|(a, b)| (*a, *b));
+            if got != oracle_predecessor(oracle, *k) {
+                return Err(format!(
+                    "predecessor: map={got:?} oracle={:?}",
+                    oracle_predecessor(oracle, *k)
+                ));
+            }
+        }
+        Op::RangeCount(lo, hi) => {
+            let got = map.range_count(lo, hi);
+            let expect = oracle_range_count(oracle, *lo, *hi);
+            if got != expect {
+                return Err(format!("range_count: map={got} oracle={expect}"));
+            }
+        }
+        Op::BatchGet(keys) => {
+            let got = map.batch_get(keys);
+            for (i, k) in keys.iter().enumerate() {
+                if got[i] != oracle.get(k) {
+                    return Err(format!("batch_get[{k}] disagrees"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Run one seeded sequence against one configuration; panic with the
+/// seed and the minimal diverging prefix on failure.
+fn run_sequence(seed: u64, kind: QueryKind, buffer_cap: usize, num_ops: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut map: DynamicMap<u64, u64> =
+        DynamicMap::with_config(kind, Algorithm::CycleLeader, buffer_cap);
+    let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut ops: Vec<Op> = Vec::with_capacity(num_ops);
+    for i in 0..num_ops {
+        let op = gen_op(&mut rng, i);
+        ops.push(op.clone());
+        let result = apply_op(&mut map, &mut oracle, &op)
+            .and_then(|()| check_full_state(&map, &oracle))
+            .and_then(|()| {
+                if i % 32 == 7 {
+                    // Snapshot coherence: a snapshot taken now answers
+                    // exactly like the live map.
+                    let snap = map.snapshot();
+                    if snap.len() != oracle.len() {
+                        return Err("snapshot len diverges from live state".into());
+                    }
+                    for k in 0..UNIVERSE {
+                        if snap.get(&k) != oracle.get(&k) {
+                            return Err(format!("snapshot get({k}) diverges"));
+                        }
+                    }
+                }
+                Ok(())
+            });
+        if let Err(why) = result {
+            let prefix: Vec<String> = ops.iter().map(|o| format!("  {o}")).collect();
+            panic!(
+                "dynamic_differential diverged\n\
+                 seed        = {seed:#x}\n\
+                 config      = kind={kind:?} buffer_cap={buffer_cap}\n\
+                 failure     = {why}\n\
+                 minimal op prefix that first diverges ({} ops, last one diverges):\n{}",
+                ops.len(),
+                prefix.join("\n")
+            );
+        }
+    }
+}
+
+fn kinds() -> [QueryKind; 4] {
+    [
+        QueryKind::Sorted,
+        QueryKind::BstPrefetch,
+        QueryKind::Btree(2),
+        QueryKind::Veb,
+    ]
+}
+
+/// Buffer capacities that keep merges constant and tier shapes
+/// adversarial (cap 1 flushes every write; 3 and 8 exercise uneven
+/// binomial-counter states).
+const CAPS: [usize; 3] = [1, 3, 8];
+
+/// The CI seeds (fixed: failures must reproduce byte-for-byte).
+const CI_SEEDS: [u64; 3] = [0xA11CE, 0xB0B5EED, 0xC0FFEE];
+
+#[test]
+fn differential_fixed_seeds() {
+    for &seed in &CI_SEEDS {
+        for kind in kinds() {
+            for &cap in &CAPS {
+                run_sequence(seed, kind, cap, 250);
+            }
+        }
+    }
+}
+
+/// Extended sweep: 30 seeds, longer sequences. `IST_FUZZ_LONG=1` turns
+/// it on (a dedicated CI job runs it in release).
+#[test]
+fn differential_long_sweep() {
+    if std::env::var_os("IST_FUZZ_LONG").is_none() {
+        eprintln!("IST_FUZZ_LONG not set; skipping the 30-seed sweep");
+        return;
+    }
+    for seed in 0..30u64 {
+        for kind in kinds() {
+            for &cap in &CAPS {
+                run_sequence(0x10_0000 + seed, kind, cap, 400);
+            }
+        }
+    }
+}
+
+/// A bulk-loaded map must behave identically: start from `build` with
+/// duplicate keys, then fuzz on top of the pre-populated tiers.
+#[test]
+fn differential_after_bulk_build() {
+    for &seed in &CI_SEEDS {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xB01D);
+        let n = 120usize;
+        let keys: Vec<u64> = (0..n).map(|_| rng.gen_range(0..UNIVERSE)).collect();
+        let values: Vec<u64> = (0..n as u64).collect();
+        let mut map = DynamicMap::build_for_kind(
+            keys.clone(),
+            values.clone(),
+            QueryKind::Veb,
+            Algorithm::CycleLeader,
+            4,
+        )
+        .unwrap();
+        // Oracle with the same last-duplicate-wins bulk semantics.
+        let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+        for (k, v) in keys.into_iter().zip(values) {
+            oracle.insert(k, v);
+        }
+        check_full_state(&map, &oracle).expect("bulk build state");
+        for i in 0..150 {
+            let op = gen_op(&mut rng, 1000 + i);
+            apply_op(&mut map, &mut oracle, &op)
+                .and_then(|()| check_full_state(&map, &oracle))
+                .unwrap_or_else(|why| {
+                    panic!("bulk-build fuzz diverged (seed={seed:#x}, op {i}): {why}")
+                });
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Concurrency smoke test: one writer thread driving a [`DynamicMap`]
+//! through constant merges while reader threads take snapshots through
+//! a [`Reader`] handle the whole time.
+//!
+//! The op sequence is chosen so that **every** prefix state is
+//! recognizable from the outside:
+//!
+//! * phase 1 inserts keys `0, 1, …, N−1` in order — after `i` ops the
+//!   live set is exactly `{0, …, i−1}`;
+//! * phase 2 deletes keys `0, 1, …, N/2−1` in order — after `d`
+//!   deletes the live set is exactly `{d, …, N−1}`.
+//!
+//! Each reader repeatedly snapshots and asserts the observed state *is*
+//! one of those prefix states (shape, boundary membership, rank, and
+//! order queries all agree), and that successive snapshots never move
+//! backwards — the published-cell swap happens after each op, so
+//! publication order is operation order. A torn or half-merged state
+//! (e.g. a run visible without its buffer, or a tombstone applied
+//! twice) cannot satisfy the checks.
+//!
+//! The test must pass under both CI profiles: release (this crate's
+//! tier-1 build) and the debug job (overflow checks + debug_asserts,
+//! which also arm the weight-invariant debug assertions inside the
+//! merge).
+
+use implicit_search_trees::{Algorithm, DynamicMap, QueryKind};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+const N: u64 = 3000;
+/// Small enough that the writer merges hundreds of times under load.
+const CAP: usize = 64;
+const READERS: usize = 3;
+
+/// Value stored under `k` (phase-independent, so readers can verify
+/// payload integrity, not just membership).
+fn value_of(k: u64) -> u64 {
+    k * 10 + 1
+}
+
+/// Assert `snap` is a valid prefix state; return its logical epoch
+/// (number of writer ops it reflects) for the monotonicity check.
+fn check_prefix_state(snap: &implicit_search_trees::Frozen<u64, u64>) -> u64 {
+    let len = snap.len() as u64;
+    assert!(len <= N, "more live keys than were ever inserted");
+    if len == 0 {
+        // Initial state only: phase 2 ends at N/2 live keys, never 0.
+        assert_eq!(snap.get(&0), None);
+        return 0;
+    }
+    if let Some(&v) = snap.get(&0) {
+        // Phase 1 state {0, …, len−1}.
+        assert_eq!(v, value_of(0));
+        let last = len - 1;
+        assert_eq!(snap.get(&last), Some(&value_of(last)), "len={len}");
+        if len < N {
+            assert_eq!(snap.get(&len), None, "key {len} must not exist yet");
+            assert_eq!(
+                snap.successor(&last),
+                None,
+                "nothing may be live above key {last}"
+            );
+        }
+        assert_eq!(snap.rank(&len), len as usize);
+        assert_eq!(snap.range_count(&0, &len), len as usize);
+        assert_eq!(snap.lower_bound(&0), Some((&0, &value_of(0))));
+        len
+    } else {
+        // Phase 2 state {d, …, N−1} with d = N − len deletes applied.
+        let d = N - len;
+        assert!((1..=N / 2).contains(&d), "impossible delete count {d}");
+        assert_eq!(snap.get(&d), Some(&value_of(d)), "first live key");
+        assert_eq!(snap.get(&(d - 1)), None, "key {} must be deleted", d - 1);
+        assert_eq!(snap.rank(&N), len as usize);
+        assert_eq!(snap.predecessor(&d), None, "nothing live below {d}");
+        assert_eq!(snap.lower_bound(&0), Some((&d, &value_of(d))));
+        assert_eq!(snap.successor(&(N - 1)), None);
+        N + d
+    }
+}
+
+#[test]
+fn snapshots_stay_prefix_consistent_under_concurrent_merges() {
+    let mut map: DynamicMap<u64, u64> =
+        DynamicMap::with_config(QueryKind::Veb, Algorithm::CycleLeader, CAP);
+    let reader = map.reader();
+    let done = Arc::new(AtomicBool::new(false));
+
+    let mut handles = Vec::new();
+    for r in 0..READERS {
+        let reader = reader.clone();
+        let done = Arc::clone(&done);
+        handles.push(thread::spawn(move || {
+            let mut last_epoch = 0u64;
+            let mut observed = 0usize;
+            // Poll until the writer finishes, then take one final look.
+            while !done.load(Ordering::Acquire) {
+                let snap = reader.snapshot();
+                let epoch = check_prefix_state(&snap);
+                assert!(
+                    epoch >= last_epoch,
+                    "reader {r} went backwards: {epoch} < {last_epoch}"
+                );
+                last_epoch = epoch;
+                observed += 1;
+                // Batched reads on a snapshot while the writer merges.
+                if observed.is_multiple_of(64) && !snap.is_empty() {
+                    let probes: Vec<u64> = (0..48).map(|i| i * (N / 48)).collect();
+                    let got = snap.batch_get(&probes);
+                    for (i, &k) in probes.iter().enumerate() {
+                        assert_eq!(got[i], snap.get(&k), "batch/scalar split on snapshot");
+                    }
+                }
+            }
+            let epoch = check_prefix_state(&reader.snapshot());
+            assert!(epoch >= last_epoch);
+            observed
+        }));
+    }
+
+    // Writer: phase 1 inserts, phase 2 deletes; merges happen every CAP
+    // ops throughout, while the readers above are snapshotting.
+    let writer = thread::spawn(move || {
+        for k in 0..N {
+            map.insert(k, value_of(k));
+        }
+        for k in 0..N / 2 {
+            assert!(map.remove(&k), "key {k} was live");
+        }
+        map
+    });
+
+    let map = writer.join().expect("writer must not panic");
+    done.store(true, Ordering::Release);
+    for handle in handles {
+        let observed = handle.join().expect("reader must not panic");
+        assert!(observed > 0, "reader never got a snapshot in");
+    }
+
+    // Final state, on the live map and on a fresh snapshot.
+    assert_eq!(map.len() as u64, N / 2);
+    let snap = map.snapshot();
+    assert_eq!(check_prefix_state(&snap), N + N / 2);
+    assert_eq!(map.get(&(N / 2 - 1)), None);
+    assert_eq!(map.get(&(N / 2)), Some(&value_of(N / 2)));
+}

@@ -318,6 +318,55 @@ fn differential_batch_length_boundaries() {
     }
 }
 
+/// Reversed-bound contract: `range_count(lo, hi)` with `lo > hi`
+/// describes an empty interval and yields 0 on every facade, every
+/// layout, every tier — never a panic (debug profile included, where
+/// an unchecked `rank(hi) - rank(lo)` would overflow-panic instead).
+#[test]
+fn reversed_range_bounds_yield_zero() {
+    use implicit_search_trees::{StaticIndex, StaticMap};
+    let n = 500usize;
+    let sorted: Vec<u64> = (0..n as u64).map(|x| 2 * x + 1).collect();
+    // Extremes, interior points, off-by-one around stored keys.
+    let bounds: Vec<(u64, u64)> = vec![
+        (u64::MAX, 0),
+        (u64::MAX, u64::MAX - 1),
+        (1, 0),
+        (2, 1),
+        (500, 499),
+        (999, 3),
+        (1000, 999),
+        (42, 42), // empty, not reversed
+    ];
+    for (kind, layout) in kinds() {
+        let mut data = sorted.clone();
+        if let Some(l) = layout {
+            permute_in_place(&mut data, l, Algorithm::CycleLeader).unwrap();
+        }
+        let s = Searcher::new(&data, kind);
+        for &(lo, hi) in &bounds {
+            assert_eq!(s.range_count(&lo, &hi), 0, "{kind:?} [{lo},{hi})");
+        }
+        assert_eq!(
+            s.batch_range_count(&bounds),
+            vec![0; bounds.len()],
+            "{kind:?}"
+        );
+        // The owning facades share the contract.
+        let index =
+            StaticIndex::build_for_kind(sorted.clone(), kind, Algorithm::CycleLeader).unwrap();
+        let map =
+            StaticMap::build_for_kind(sorted.clone(), sorted.clone(), kind, Algorithm::CycleLeader)
+                .unwrap();
+        for &(lo, hi) in &bounds {
+            assert_eq!(index.range_count(&lo, &hi), 0, "{kind:?} [{lo},{hi})");
+            assert_eq!(map.range_count(&lo, &hi), 0, "{kind:?} [{lo},{hi})");
+        }
+        assert_eq!(index.batch_range_count(&bounds), vec![0; bounds.len()]);
+        assert_eq!(map.batch_range_count(&bounds), vec![0; bounds.len()]);
+    }
+}
+
 /// Duplicate-key contract, spelled out on a hand-checkable multiset.
 #[test]
 fn duplicate_key_contract() {
