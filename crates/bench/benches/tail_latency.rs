@@ -1,0 +1,204 @@
+//! Per-op **write tail latency** under churn: is the merge still on the
+//! caller's path?
+//!
+//! The subjects, all bulk-loaded with the same keys and churned with
+//! the same paced write stream. The harness is **open-loop and
+//! coordinated-omission-corrected**: requests arrive on a fixed
+//! timeline (one per inter-arrival gap), the writer sleeps until each
+//! scheduled arrival, and the recorded latency is *completion minus
+//! scheduled arrival* — so a multi-millisecond synchronous merge is
+//! charged to every request it made wait, exactly as a serving
+//! process's callers would experience it (timing only the call itself
+//! would silently exclude them). The subjects:
+//!
+//! * `inline/veb` — `DynamicMap` with [`CompactionMode::Inline`]: the
+//!   synchronous-merge baseline, where an overflowing write pays for
+//!   the k-way merge + rebuild itself;
+//! * `background/veb` — the same map with the default
+//!   [`CompactionMode::Background`]: the overflowing write pays only
+//!   for the seal (a buffer move plus a weight prefix sum — no layout
+//!   permutation) while the merge runs on the worker thread;
+//! * `sharded/veb` — a 4-shard [`ShardedMap`], background mode: seals
+//!   and merges are per-shard and proportionally smaller.
+//!
+//! Reported per subject: p50 / p99 / p999 / max over the individual
+//! write-call durations, plus the merge-visibility ratio the repository
+//! root's `BENCH_tail_latency.json` commits — the acceptance bar is
+//! **p999(inline) ≥ 10× p999(background)** under churn.
+//!
+//! Set `IST_BENCH_SMOKE=1` to shrink sizes (CI bit-rot guard);
+//! `IST_BENCH_JSON=<path>` appends one JSON object per subject.
+
+use implicit_search_trees::{Algorithm, CompactionMode, DynamicMap, QueryKind, ShardedMap};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// A 128-byte heap-allocated session record — serving payloads are
+/// rows, not bare words. The seal **moves** records (no allocation on
+/// the write path); the merge **clones** every one it streams, which is
+/// exactly the work the background worker takes off the caller.
+type Record = Box<[u64; 16]>;
+
+fn record_of(k: u64) -> Record {
+    Box::new([k; 16])
+}
+
+struct Percentiles {
+    p50: u64,
+    p99: u64,
+    p999: u64,
+    max: u64,
+}
+
+fn percentiles(mut lat_ns: Vec<u64>) -> Percentiles {
+    assert!(!lat_ns.is_empty());
+    lat_ns.sort_unstable();
+    let at = |q_num: usize, q_den: usize| lat_ns[(lat_ns.len() - 1) * q_num / q_den];
+    Percentiles {
+        p50: at(1, 2),
+        p99: at(99, 100),
+        p999: at(999, 1000),
+        max: *lat_ns.last().unwrap(),
+    }
+}
+
+/// Drive `ops` paced writes through `write`, recording each op's
+/// **response time from its scheduled arrival** on a fixed open-loop
+/// timeline (`arrival_i = start + i·gap`). This is the
+/// coordinated-omission-corrected measurement: when a synchronous merge
+/// stalls the writer for milliseconds, every request that was due to
+/// arrive during the stall records the queueing delay it actually
+/// suffered — the naive "time the call only" harness would silently
+/// drop exactly the latencies the merge causes. The writer sleeps (not
+/// spins) until each arrival, so a background worker gets the idle CPU
+/// a real serving process would leave it.
+///
+/// The mix (7/8 overwrite-or-new insert, 1/8 delete over the loaded key
+/// range) keeps the live set roughly stable while versions pile up and
+/// merges fire throughout.
+fn churn_latencies(
+    ops: usize,
+    key_range: u64,
+    gap: Duration,
+    mut write: impl FnMut(usize, u64),
+) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(0x7A11);
+    let mut lat = Vec::with_capacity(ops);
+    let start = Instant::now();
+    for i in 0..ops {
+        let key = rng.gen_range(0..key_range);
+        let arrival = gap * (i as u32 + 1);
+        loop {
+            let now = start.elapsed();
+            if now >= arrival {
+                break; // behind schedule: serve immediately (queueing)
+            }
+            std::thread::sleep(arrival - now);
+        }
+        write(i, key);
+        lat.push((start.elapsed() - arrival).as_nanos() as u64);
+    }
+    lat
+}
+
+fn report(bench: &str, ops: usize, p: &Percentiles) {
+    println!(
+        "  {bench:<24} p50 {:>9} ns  p99 {:>9} ns  p999 {:>10} ns  max {:>12} ns  ({ops} ops)",
+        p.p50, p.p99, p.p999, p.max
+    );
+    if let Ok(path) = std::env::var("IST_BENCH_JSON") {
+        let line = format!(
+            "{{\"group\":\"tail_latency\",\"bench\":\"{bench}\",\"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\"max_ns\":{},\"ops\":{ops}}}\n",
+            p.p50, p.p99, p.p999, p.max
+        );
+        let write = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| f.write_all(line.as_bytes()));
+        if let Err(e) = write {
+            eprintln!("warning: could not append to {path}: {e}");
+        }
+    }
+}
+
+fn main() {
+    let smoke = std::env::var_os("IST_BENCH_SMOKE").is_some();
+    let n: usize = if smoke { 1 << 13 } else { 1 << 17 };
+    let ops: usize = if smoke { 6_000 } else { 48_000 };
+    let cap: usize = 128;
+    // Open-loop inter-arrival gap: long enough that a background worker
+    // actually gets scheduled between requests (this container is
+    // single-core), short enough to keep merges constantly in flight.
+    let gap = Duration::from_micros(if smoke { 20 } else { 40 });
+    let keys: Vec<u64> = (0..n as u64).map(|x| 2 * x).collect();
+    let key_range = 4 * n as u64; // hits, overwrites, and fresh keys
+    println!("group tail_latency (n={n}, ops={ops}, cap={cap}, gap={gap:?})");
+
+    let records: Vec<Record> = keys.iter().map(|&k| record_of(k)).collect();
+
+    let build_dynamic = |mode: CompactionMode| {
+        DynamicMap::build_for_kind(
+            keys.clone(),
+            records.clone(),
+            QueryKind::Veb,
+            Algorithm::CycleLeader,
+            cap,
+        )
+        .expect("valid configuration")
+        .with_compaction_mode(mode)
+    };
+
+    let write_mix = |map: &mut DynamicMap<u64, Record>, i: usize, k: u64| {
+        if i % 8 == 7 {
+            map.remove(&k);
+        } else {
+            map.insert(k, record_of(k));
+        }
+    };
+
+    // --- inline: the synchronous-merge baseline ---
+    let mut inline_map = build_dynamic(CompactionMode::Inline);
+    let inline = percentiles(churn_latencies(ops, key_range, gap, |i, k| {
+        write_mix(&mut inline_map, i, k)
+    }));
+    report("inline/veb", ops, &inline);
+    drop(inline_map);
+
+    // --- background: seal on the write path, merge off it ---
+    let mut bg_map = build_dynamic(CompactionMode::Background);
+    let background = percentiles(churn_latencies(ops, key_range, gap, |i, k| {
+        write_mix(&mut bg_map, i, k)
+    }));
+    report("background/veb", ops, &background);
+    bg_map.quiesce();
+    drop(bg_map);
+
+    // --- sharded front-end: per-shard buffers, seals, and workers ---
+    let mut sharded = ShardedMap::build_for_kind(
+        keys.clone(),
+        records.clone(),
+        QueryKind::Veb,
+        Algorithm::CycleLeader,
+        cap,
+        4,
+    )
+    .expect("valid configuration")
+    .with_compaction_mode(CompactionMode::Background);
+    let sharded_p = percentiles(churn_latencies(ops, key_range, gap, |i, k| {
+        if i % 8 == 7 {
+            sharded.remove(&k);
+        } else {
+            sharded.insert(k, record_of(k));
+        }
+    }));
+    report("sharded4/veb", ops, &sharded_p);
+    sharded.quiesce();
+
+    let ratio = inline.p999 as f64 / background.p999.max(1) as f64;
+    println!(
+        "  p999 inline/background ratio: {ratio:.1}x (acceptance bar: >= 10x — merge off the caller's path)"
+    );
+}

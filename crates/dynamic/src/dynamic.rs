@@ -13,22 +13,47 @@
 //!   ┌─────────────┐   sorted write buffer (≤ cap entries, newest data)
 //!   │   buffer    │
 //!   └─────────────┘
-//!          │ overflow: k-way merge into the first empty tier
-//!          ▼
-//!   tier 0 ▓             (≈ cap entries)        newest run
+//!          │ overflow: SEAL — freeze the sorted buffer into an L0 run
+//!          ▼          (a move + weight prefix sum; synchronous, ~free)
+//!   L0     ▒ ▒ ▒         sealed runs awaiting compaction (newest last)
+//!          │ COMPACT — k-way merge + rebuild on a background worker;
+//!          ▼           installed atomically on completion
+//!   tier 0 ▓             (≈ cap entries)        newest tier run
 //!   tier 1 ▓▓            (≈ 2·cap)                  │
 //!   tier 2 (empty)                                  │ age
 //!   tier 3 ▓▓▓▓▓▓▓▓      (≈ 8·cap)              oldest run
 //! ```
 //!
-//! Every occupied tier holds one immutable **run**: a [`StaticMap`]
-//! whose keys sit in a cache-optimal layout, built by the parallel
-//! in-place construction. When the buffer fills, it is merged with the
-//! runs of every tier up to the first empty one (a k-way merge of
-//! already-sorted sources) and the result is rebuilt into that tier via
-//! [`StaticMap::build_presorted`] — no argsort, just the oblivious
-//! layout permutation. Amortized, an element is merged `O(log(n/cap))`
-//! times over its lifetime.
+//! Every occupied tier (and every sealed L0 slot) holds one immutable
+//! **run**: a [`StaticMap`] whose keys sit in a cache-optimal layout,
+//! built by the parallel in-place construction. The overflow path is
+//! split in two so the expensive half never sits on the writer's
+//! critical path:
+//!
+//! * **Seal** (synchronous, near-free): the sorted buffer is frozen
+//!   into an L0 run via [`StaticMap::build_presorted`] with
+//!   [`QueryKind::Sorted`] — sealed runs keep sorted order (≤ `cap`
+//!   entries sit in a couple of cache lines; binary search is already
+//!   optimal there, and the run only lives until the next compaction),
+//!   so sealing is a buffer move plus a weight prefix sum, with no
+//!   layout permutation on the write path.
+//! * **Compact** (deamortized): all sealed runs plus the runs of every
+//!   tier up to the first empty one are k-way merged (already-sorted
+//!   sources) and rebuilt into that tier. Under
+//!   [`CompactionMode::Background`] (the default) this runs on a
+//!   background worker thread over `Arc`-shared immutable runs; the
+//!   writer installs the finished run atomically at the start of a
+//!   later mutation (or in [`DynamicMap::quiesce`]). Until then, reads
+//!   and snapshots consult the sealed-but-uncompacted runs — newest
+//!   first, before any tier — so answers stay exact while the merge is
+//!   mid-flight. [`CompactionMode::Inline`] runs the same machinery on
+//!   the caller for deterministic tier shapes (tests, replay).
+//!
+//! At most [`MAX_SEALED_RUNS`] sealed runs accumulate; past that the
+//! writer blocks on the in-flight merge (backpressure bounds read
+//! fan-out and memory, and is the only time a write waits for a merge).
+//! Amortized, an element is merged `O(log(n/cap))` times over its
+//! lifetime, exactly as in the synchronous schedule.
 //!
 //! ## Deletes, overwrites, and exact ranks: per-version weights
 //!
@@ -72,28 +97,71 @@
 //!
 //! [`DynamicMap::snapshot`] returns a [`Frozen`] view — `Arc`s of the
 //! current runs plus a copy of the (small) buffer — with the same read
-//! API. The map also maintains a published snapshot cell, swapped
-//! atomically after **every** mutation while any [`Reader`] handle is
-//! outstanding (and skipped entirely while none is, so writers don't
-//! pay for readers they don't have); a cloneable [`Reader`]
-//! ([`DynamicMap::reader`]) can be sent to other threads and yields, at
-//! any moment, the state after some prefix of the writer's operations.
-//! Merges happen entirely before the swap, so a reader is never stalled
-//! behind one, and the runs a `Frozen` references are kept alive by
-//! refcounts even if the writer merges them away.
+//! API, reflecting **exactly** the state at the call. The map also
+//! maintains a published snapshot cell for cloneable [`Reader`] handles
+//! ([`DynamicMap::reader`]). Publication is **seal/compaction
+//! granular**: the cell is swapped when a seal freezes the buffer
+//! (at which point the frozen view shares the sealed run by `Arc` — no
+//! data is copied), when a compaction installs, eagerly when a handle
+//! is taken, and in any case after every `buffer_cap` mutations (so a
+//! hot set overwriting in place, which never overflows the buffer,
+//! still publishes) — never per buffered write, so a mutation while
+//! readers exist costs refcount bumps at merge cadence instead of an
+//! `O(cap)` buffer clone per op. A `Reader` therefore yields, at any
+//! moment, the state after some recent prefix of the writer's
+//! operations (at most one buffer's worth behind; call
+//! [`DynamicMap::compact_buffer`] to publish the current buffer
+//! immediately), and successive snapshots never go backwards. Merges
+//! complete entirely before the pointer swap, so a reader is never
+//! stalled behind one, and the runs a `Frozen` references are kept
+//! alive by refcounts even after the writer compacts them away. When
+//! the last `Reader` drops, the next mutation releases the cell's
+//! frozen view, so a departed reader population does not pin a stale
+//! copy of the map.
 
 use crate::index::default_kind_for_layout;
 use crate::map::StaticMap;
 use ist_core::{Algorithm, Error, Layout};
 use ist_query::QueryKind;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
 
-/// Default write-buffer capacity (entries buffered between merges).
+/// Default write-buffer capacity (entries buffered between seals).
 ///
-/// Small enough that per-operation snapshot publication (which copies
-/// the buffer) stays cheap, large enough that merge amortization works;
-/// see [`DynamicMap::with_config`] to tune.
+/// Small enough that buffer probes and the (move-only) seal stay
+/// cache-resident, large enough that merge amortization works; see
+/// [`DynamicMap::with_config`] to tune.
 pub const DEFAULT_BUFFER_CAP: usize = 256;
+
+/// Maximum number of sealed L0 runs allowed to accumulate while a
+/// compaction is in flight. Sealing past this limit blocks the writer
+/// on the in-flight merge — the backpressure that bounds read fan-out
+/// and resident memory, and the only point where a write waits for a
+/// merge.
+///
+/// Sized so a full-depth merge comfortably finishes within the writes
+/// that fill the budget: sealed runs are tiny (≤ `buffer_cap` sorted
+/// entries each, probed by binary search), so the cost of a deep
+/// budget is a few extra micro-run probes on reads, while too shallow
+/// a budget puts the merge back on the writer's path exactly when it
+/// is longest.
+pub const MAX_SEALED_RUNS: usize = 16;
+
+/// Where the compact half of the overflow path runs; see the
+/// [module docs](self) for the seal/compact state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompactionMode {
+    /// Merge + rebuild on the calling thread at every seal, like the
+    /// classic synchronous logarithmic method. Deterministic tier
+    /// shapes; the full merge cost lands on the overflowing write.
+    Inline,
+    /// Merge + rebuild on a background worker thread (the default).
+    /// The overflowing write pays only for the seal; the merged run is
+    /// installed atomically at a later mutation (or on
+    /// [`DynamicMap::quiesce`]). Reads stay exact throughout.
+    Background,
+}
 
 /// One buffered write: the newest version of `key`. An empty `slot` is
 /// a tombstone. `weight` maintains the per-key sum invariant described
@@ -198,6 +266,125 @@ fn buffer_slot<K: Ord, V>(buffer: &[BufEntry<K, V>], key: &K) -> Result<usize, u
     buffer.binary_search_by(|e| e.key.cmp(key))
 }
 
+/// An in-flight background compaction: which sources it consumed and
+/// where the merged run will land. The worker owns `Arc` clones of the
+/// source runs, so the writer and readers keep using them until
+/// install.
+struct Pending<K, V> {
+    /// How many sealed runs (the oldest prefix of `l0`) the merge
+    /// consumed.
+    consumed_l0: usize,
+    /// Tier index the merged run installs into; tiers `0..target` were
+    /// consumed as sources.
+    target: usize,
+    /// Set by the worker after the merged run is fully built, so the
+    /// writer's install check is one atomic load, never a join of a
+    /// still-running merge.
+    done: Arc<AtomicBool>,
+    handle: Option<JoinHandle<Option<Run<K, V>>>>,
+}
+
+impl<K, V> Drop for Pending<K, V> {
+    fn drop(&mut self) {
+        // Dropping the map mid-compaction: wait the worker out rather
+        // than leaking a detached thread past the owner's lifetime.
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// How many entries the background worker streams between cooperative
+/// [`std::thread::yield_now`] calls. On a host with spare cores the
+/// yields are nearly free; on a saturated or single-core host they are
+/// what keeps the latency-sensitive writer scheduling promptly while a
+/// long merge is CPU-bound (the same reason production LSM engines run
+/// compaction threads at low priority).
+const MERGE_YIELD_STRIDE: usize = 256;
+
+/// The compact half of the overflow path: k-way merge `sources`
+/// (newest first; each source's keys are distinct) and rebuild the
+/// result as a single run. Newest version wins per key, weights are
+/// summed, and tombstones are annihilated iff no occupied tier remains
+/// below the merge target (`deeper_occupied == false`). Returns `None`
+/// when everything annihilated.
+///
+/// Runs on the background worker in [`CompactionMode::Background`]
+/// (with `cooperative = true`: yield the timeslice every
+/// [`MERGE_YIELD_STRIDE`] entries) and on the caller in
+/// [`CompactionMode::Inline`]; it touches only the immutable
+/// `Arc`-shared runs, never the map.
+fn merge_runs<K, V>(
+    sources: &[Arc<Run<K, V>>],
+    deeper_occupied: bool,
+    kind: QueryKind,
+    algorithm: Algorithm,
+    cooperative: bool,
+) -> Option<Run<K, V>>
+where
+    K: Ord + Clone + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    let mut srcs: Vec<Source<'_, K, V>> = sources
+        .iter()
+        .map(|run| Source::new(Box::new(run.iter_sorted())))
+        .collect();
+    let mut keys = Vec::new();
+    let mut slots = Vec::new();
+    let mut weights = Vec::new();
+    let mut streamed = 0usize;
+    loop {
+        streamed += 1;
+        if cooperative && streamed.is_multiple_of(MERGE_YIELD_STRIDE) {
+            std::thread::yield_now();
+        }
+        // Newest source holding the minimum head key (strict `<` keeps
+        // the earliest source on ties).
+        let mut min_idx: Option<usize> = None;
+        for i in 0..srcs.len() {
+            let Some((k, _, _)) = &srcs[i].head else {
+                continue;
+            };
+            let better = match min_idx {
+                Some(j) => {
+                    let (mk, _, _) = srcs[j].head.as_ref().expect("tracked head");
+                    k < mk
+                }
+                None => true,
+            };
+            if better {
+                min_idx = Some(i);
+            }
+        }
+        let Some(first) = min_idx else { break };
+        let (key, slot, mut weight) = srcs[first].advance();
+        // Older sources may hold the same key (each source's keys are
+        // distinct): collapse them, newest version wins.
+        for src in srcs.iter_mut().skip(first + 1) {
+            if src.head.as_ref().is_some_and(|(k, _, _)| *k == key) {
+                weight += src.advance().2;
+            }
+        }
+        if slot.is_none() && !deeper_occupied {
+            // Tombstone reaching the bottom: annihilate.
+            debug_assert_eq!(weight, 0, "annihilated key retains weight");
+            continue;
+        }
+        keys.push(key);
+        slots.push(slot);
+        weights.push(weight);
+    }
+    drop(srcs);
+    if keys.is_empty() {
+        None
+    } else {
+        Some(
+            Run::build(keys, slots, &weights, kind, algorithm)
+                .expect("configuration validated at construction"),
+        )
+    }
+}
+
 /// An immutable snapshot of a [`DynamicMap`]: the whole read API over
 /// the state after some prefix of the writer's operations.
 ///
@@ -277,19 +464,35 @@ impl<K, V> Reader<K, V> {
 pub struct DynamicMap<K, V> {
     /// Sorted by key, at most one entry per key (the newest version).
     buffer: Vec<BufEntry<K, V>>,
-    /// `tiers[0]` is the newest run; `None` marks an empty tier.
+    /// Sealed-but-uncompacted L0 runs, **oldest first** (seals push to
+    /// the back); all are newer than every tier run.
+    l0: Vec<Arc<Run<K, V>>>,
+    /// `tiers[0]` is the newest tier run; `None` marks an empty tier.
     tiers: Vec<Option<Arc<Run<K, V>>>>,
+    /// The single in-flight compaction, if any.
+    pending: Option<Pending<K, V>>,
     kind: QueryKind,
     algorithm: Algorithm,
     buffer_cap: usize,
-    /// Snapshot cell swapped after every mutation; [`Reader`]s share it.
+    mode: CompactionMode,
+    /// Snapshot cell swapped at seal/compaction granularity; [`Reader`]s
+    /// share it.
     published: Arc<Mutex<Arc<Frozen<K, V>>>>,
+    /// Whether `published` currently holds a non-trivial snapshot that
+    /// should be released once the last [`Reader`] is gone.
+    published_dirty: AtomicBool,
+    /// Mutations since the last publication. Overwrite-heavy workloads
+    /// can churn forever inside a never-overflowing buffer (every write
+    /// hits an existing entry, so no seal fires); this counter forces a
+    /// publication every `buffer_cap` mutations regardless, which is
+    /// what makes the reader-lag bound an *operation* bound.
+    muts_since_publish: std::sync::atomic::AtomicUsize,
 }
 
 impl<K, V> DynamicMap<K, V>
 where
-    K: Ord + Clone + Send + Sync,
-    V: Clone + Send + Sync,
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
 {
     /// An empty map storing its runs in `layout` (best default descent,
     /// [`DEFAULT_BUFFER_CAP`], cycle-leader construction).
@@ -306,8 +509,10 @@ where
 
     /// Full-control constructor: explicit query descent, construction
     /// algorithm, and write-buffer capacity (`buffer_cap` writes are
-    /// absorbed between merges; small values make merges adversarially
-    /// frequent, which the differential suite exploits).
+    /// absorbed between seals; small values make seals and merges
+    /// adversarially frequent, which the differential suite exploits).
+    /// Compaction runs in [`CompactionMode::Background`]; chain
+    /// [`DynamicMap::with_compaction_mode`] to override.
     ///
     /// # Panics
     /// Panics if `buffer_cap == 0` or `kind` is `QueryKind::Btree(0)`.
@@ -322,12 +527,27 @@ where
         };
         Self {
             buffer: Vec::new(),
+            l0: Vec::new(),
             tiers: Vec::new(),
+            pending: None,
             kind,
             algorithm,
             buffer_cap,
+            mode: CompactionMode::Background,
             published: Arc::new(Mutex::new(Arc::new(empty))),
+            published_dirty: AtomicBool::new(false),
+            muts_since_publish: std::sync::atomic::AtomicUsize::new(0),
         }
+    }
+
+    /// Builder-style override of the [`CompactionMode`] (the
+    /// constructors default to [`CompactionMode::Background`]).
+    /// Switching an existing map to `Inline` does not disturb an
+    /// already-in-flight background merge — it is installed normally.
+    #[must_use]
+    pub fn with_compaction_mode(mut self, mode: CompactionMode) -> Self {
+        self.mode = mode;
+        self
     }
 
     /// Bulk-load from unsorted `(keys, values)` pairs (duplicate keys:
@@ -377,16 +597,49 @@ where
                 false
             }
         });
+        let (keys, values): (Vec<K>, Vec<V>) = pairs.into_iter().unzip();
+        Self::build_presorted(keys, values, kind, algorithm, buffer_cap)
+    }
+
+    /// Bulk-load from `(keys, values)` pairs that are **already sorted**
+    /// by key with **distinct** keys, skipping the sort and dedup
+    /// entirely: the fast path for callers that pre-partition sorted
+    /// data (a `ShardedMap` bulk load builds every shard this way).
+    /// Mirrors [`crate::StaticMap::build_presorted`].
+    ///
+    /// Sortedness and distinctness are the caller's contract; debug
+    /// builds assert them.
+    ///
+    /// # Panics
+    /// Panics if `keys` and `values` have different lengths, or on the
+    /// invalid configurations [`DynamicMap::with_config`] rejects.
+    pub fn build_presorted(
+        keys: Vec<K>,
+        values: Vec<V>,
+        kind: QueryKind,
+        algorithm: Algorithm,
+        buffer_cap: usize,
+    ) -> Result<Self, Error> {
+        assert_eq!(
+            keys.len(),
+            values.len(),
+            "DynamicMap::build_presorted: {} keys but {} values",
+            keys.len(),
+            values.len()
+        );
+        debug_assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "DynamicMap::build_presorted: keys are not sorted and distinct"
+        );
         let mut map = Self::with_config(kind, algorithm, buffer_cap);
-        let n = pairs.len();
+        let n = keys.len();
         if n > 0 {
             // Deep enough that `t` buffer flushes fit above the bulk run.
             let mut t = 0usize;
             while (buffer_cap << t) < n {
                 t += 1;
             }
-            let (keys, slots): (Vec<K>, Vec<Option<V>>) =
-                pairs.into_iter().map(|(k, v)| (k, Some(v))).unzip();
+            let slots: Vec<Option<V>> = values.into_iter().map(Some).collect();
             map.tiers = vec![None; t + 1];
             map.tiers[t] = Some(Arc::new(Run::build(
                 keys,
@@ -404,10 +657,13 @@ where
     /// Insert or overwrite; returns `true` iff a live value for `key`
     /// was replaced (what `BTreeMap::insert(..).is_some()` reports).
     ///
-    /// May trigger a buffer flush — a k-way merge plus one in-place
-    /// layout rebuild — and, while any [`Reader`] handle exists,
-    /// publishes a fresh snapshot.
+    /// On buffer overflow this **seals** the buffer into a sorted L0
+    /// run (a move plus a weight prefix sum — no layout permutation)
+    /// and hands the k-way merge to the compactor — a background worker
+    /// by default ([`CompactionMode`]), so the merge is off this call's
+    /// path unless [`MAX_SEALED_RUNS`] backpressure engages.
     pub fn insert(&mut self, key: K, value: V) -> bool {
+        self.try_install();
         let s = self.runs_weight_of(&key);
         let live_before;
         match buffer_slot(&self.buffer, &key) {
@@ -427,10 +683,10 @@ where
                         weight: 1 - s,
                     },
                 );
-                self.maybe_flush();
+                self.maybe_seal();
             }
         }
-        self.maybe_publish();
+        self.after_mutation();
         live_before
     }
 
@@ -441,6 +697,7 @@ where
     /// A delete that must shadow older resident versions buffers a
     /// tombstone, annihilated when a merge reaches the bottom tier.
     pub fn remove(&mut self, key: &K) -> bool {
+        self.try_install();
         let s = self.runs_weight_of(key);
         let live_before;
         match buffer_slot(&self.buffer, key) {
@@ -460,25 +717,54 @@ where
                         weight: -1,
                     },
                 );
-                self.maybe_flush();
+                self.maybe_seal();
             }
             Err(_) => {
                 debug_assert_eq!(s, 0, "per-key weight invariant violated");
                 live_before = false;
             }
         }
-        self.maybe_publish();
+        self.after_mutation();
         live_before
     }
 
-    /// Merge the buffer down now, regardless of fill level, so
-    /// subsequent reads skip the buffer probe and serve from layout
-    /// runs only. Note the merge targets the first **empty** tier: if
-    /// tier 0 is currently empty this *adds* a shallow run rather than
-    /// reducing the run count.
+    /// Seal the buffer now, regardless of fill level, and start (or, in
+    /// [`CompactionMode::Inline`], complete) a compaction — so
+    /// subsequent reads skip the buffer probe, and outstanding
+    /// [`Reader`]s see the current state immediately (publication is
+    /// otherwise seal-granular). Note the merge targets the first
+    /// **empty** tier: if tier 0 is currently empty this *adds* a
+    /// shallow run rather than reducing the run count.
     pub fn compact_buffer(&mut self) {
-        self.flush();
-        self.maybe_publish();
+        self.try_install();
+        self.seal();
+        self.ensure_compaction();
+        self.after_mutation();
+    }
+
+    /// Drain all deferred compaction work: block until the in-flight
+    /// merge (if any) installs and every sealed L0 run has been
+    /// compacted into a tier. The buffer is left as-is (it is the
+    /// normal resting state for recent writes). Afterwards
+    /// [`DynamicMap::sealed_runs`] is 0 and
+    /// [`DynamicMap::compaction_in_flight`] is `false`.
+    ///
+    /// Observable state is unchanged — compaction never alters answers,
+    /// only where versions reside. Worth calling at the end of a write
+    /// burst: installs otherwise happen at the start of the **next**
+    /// mutation, so a map that goes read-only mid-compaction keeps both
+    /// the merge's source runs and the finished merged run resident
+    /// (up to 2× the compacted data) until some later write or this
+    /// call installs it.
+    pub fn quiesce(&mut self) {
+        loop {
+            self.wait_for_pending();
+            if self.l0.is_empty() {
+                break;
+            }
+            self.start_compaction();
+        }
+        self.after_mutation();
     }
 
     // ----- snapshots -----
@@ -491,11 +777,20 @@ where
     }
 
     /// A handle to the published-snapshot cell, for concurrent readers;
-    /// see [`Reader`]. The current state is published immediately, and
-    /// the cell is re-published after every subsequent mutation for as
-    /// long as any handle exists (with no outstanding handle, mutations
-    /// skip publication entirely — writers don't pay for readers they
-    /// don't have).
+    /// see [`Reader`]. The current state is published immediately;
+    /// afterwards, for as long as any handle exists, the cell is
+    /// re-published at **seal/compaction granularity** — when the
+    /// buffer is sealed into an L0 run (sharing the run by `Arc`, no
+    /// data copy), when a compaction installs, and in any case after
+    /// every `buffer_cap` mutations (so overwrite-heavy hot sets that
+    /// never overflow the buffer still publish) — never per buffered
+    /// write. A reader therefore lags the writer by at most
+    /// `buffer_cap` operations, at an amortized cost of one ≤-cap
+    /// buffer copy per cap mutations; [`DynamicMap::compact_buffer`]
+    /// publishes the current state on demand. With no outstanding
+    /// handle, mutations skip publication entirely (and release the
+    /// cell's last snapshot) — writers don't pay for readers they
+    /// don't have.
     pub fn reader(&self) -> Reader<K, V> {
         self.publish();
         Reader {
@@ -578,15 +873,16 @@ where
 
     // ----- introspection -----
 
-    /// Writes currently absorbed by the buffer (not yet merged).
+    /// Writes currently absorbed by the buffer (not yet sealed).
     pub fn buffered_versions(&self) -> usize {
         self.buffer.len()
     }
 
     /// Resident versions per tier, newest tier first (`None` = empty
-    /// tier). Sums can exceed [`DynamicMap::len`]: overwrites,
-    /// re-inserts, and tombstones all hold versions until a merge
-    /// collapses them.
+    /// tier); sealed L0 runs are **not** included (see
+    /// [`DynamicMap::sealed_versions`]). Sums can exceed
+    /// [`DynamicMap::len`]: overwrites, re-inserts, and tombstones all
+    /// hold versions until a merge collapses them.
     pub fn tier_versions(&self) -> Vec<Option<usize>> {
         self.tiers
             .iter()
@@ -594,142 +890,274 @@ where
             .collect()
     }
 
-    /// Number of resident runs.
+    /// Resident versions per sealed-but-uncompacted L0 run, newest
+    /// first.
+    pub fn sealed_versions(&self) -> Vec<usize> {
+        self.l0.iter().rev().map(|r| r.versions()).collect()
+    }
+
+    /// Number of sealed L0 runs awaiting compaction.
+    pub fn sealed_runs(&self) -> usize {
+        self.l0.len()
+    }
+
+    /// `true` while a background compaction is in flight (started but
+    /// not yet installed). Inline compactions never appear here.
+    pub fn compaction_in_flight(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// The configured [`CompactionMode`].
+    pub fn compaction_mode(&self) -> CompactionMode {
+        self.mode
+    }
+
+    /// Number of resident runs (sealed L0 runs plus occupied tiers).
     pub fn run_count(&self) -> usize {
-        self.tiers.iter().flatten().count()
+        self.l0.len() + self.tiers.iter().flatten().count()
     }
 
     // ----- internals -----
 
+    /// All resident runs, newest first: sealed L0 runs (newest sealed
+    /// last in `l0`), then tiers shallow-to-deep. Every read, weight
+    /// probe, and snapshot derives its run order from this.
+    fn all_runs(&self) -> impl Iterator<Item = &Arc<Run<K, V>>> {
+        self.l0.iter().rev().chain(self.tiers.iter().flatten())
+    }
+
     fn view(&self) -> ViewRef<'_, K, V> {
         ViewRef {
             buffer: &self.buffer,
-            runs: self.tiers.iter().flatten().map(|a| a.as_ref()).collect(),
+            runs: self.all_runs().map(|a| a.as_ref()).collect(),
         }
     }
 
     fn freeze(&self) -> Frozen<K, V> {
         Frozen {
             buffer: Arc::new(self.buffer.clone()),
-            runs: Arc::new(self.tiers.iter().flatten().cloned().collect()),
+            runs: Arc::new(self.all_runs().cloned().collect()),
         }
     }
 
     fn publish(&self) {
         let frozen = Arc::new(self.freeze());
         *lock(&self.published) = frozen;
+        self.published_dirty.store(true, Ordering::Relaxed);
+        self.muts_since_publish.store(0, Ordering::Relaxed);
     }
 
-    /// Publish only if a [`Reader`] handle is outstanding (they share
-    /// the cell's `Arc`, so one atomic load detects them); with no
-    /// readers, mutations skip the buffer copy entirely. [`reader()`]
-    /// publishes eagerly, so a handle taken after unpublished mutations
-    /// still starts from the current state.
-    ///
-    /// [`reader()`]: DynamicMap::reader
-    fn maybe_publish(&self) {
-        if Arc::strong_count(&self.published) > 1 {
+    /// One atomic load: [`Reader`] handles share the cell's `Arc`.
+    fn has_readers(&self) -> bool {
+        Arc::strong_count(&self.published) > 1
+    }
+
+    /// Publish after a reader-visible structural event (seal or
+    /// compaction install) — the publication points of the
+    /// seal-granular contract. No-op without outstanding readers.
+    fn publish_event(&self) {
+        if self.has_readers() {
             self.publish();
+        }
+    }
+
+    /// Mutation epilogue. With readers outstanding: count the mutation
+    /// and force a publication once `buffer_cap` of them have gone
+    /// unpublished — in-place buffer overwrites never seal, so without
+    /// this an under-cap hot set would leave readers unboundedly stale;
+    /// with the counter, the reader-lag bound really is "at most
+    /// `buffer_cap` operations" (amortized cost: one ≤ cap buffer copy
+    /// per cap mutations, same as a seal). With the last [`Reader`]
+    /// gone: release the published cell's snapshot (swap in an empty
+    /// view) so a departed reader population cannot pin a stale copy of
+    /// the map — the regression behind
+    /// `published_cell_releases_after_last_reader`.
+    fn after_mutation(&self) {
+        if self.has_readers() {
+            if self.muts_since_publish.fetch_add(1, Ordering::Relaxed) + 1 >= self.buffer_cap {
+                self.publish();
+            }
+        } else if self.published_dirty.load(Ordering::Relaxed) {
+            *lock(&self.published) = Arc::new(Frozen {
+                buffer: Arc::new(Vec::new()),
+                runs: Arc::new(Vec::new()),
+            });
+            self.published_dirty.store(false, Ordering::Relaxed);
         }
     }
 
     /// Summed weight of `key`'s versions across all resident runs
     /// (excluding the buffer): two rank descents per run.
     fn runs_weight_of(&self, key: &K) -> i64 {
-        self.tiers.iter().flatten().map(|r| r.weight_of(key)).sum()
+        self.all_runs().map(|r| r.weight_of(key)).sum()
     }
 
-    fn maybe_flush(&mut self) {
+    fn maybe_seal(&mut self) {
         if self.buffer.len() >= self.buffer_cap {
-            self.flush();
+            self.seal();
+            self.ensure_compaction();
         }
     }
 
-    /// Merge the buffer and every run above the first empty tier into
-    /// that tier: one k-way merge (newest source wins per key, weights
-    /// summed, tombstones annihilated iff no deeper tier remains), then
-    /// one argsort-free layout rebuild.
-    fn flush(&mut self) {
+    /// The seal half of the overflow path: freeze the sorted buffer
+    /// into an immutable L0 run — the only construction work on the
+    /// writer's critical path — and publish to readers, who share the
+    /// new run by `Arc` without any data copy.
+    ///
+    /// Sealed runs stay in **sorted order** ([`QueryKind::Sorted`]):
+    /// they hold ≤ `buffer_cap` entries, where binary search is already
+    /// cache-resident, and they live only until the next compaction
+    /// rebuilds them into the configured layout — so the seal is a
+    /// `move` of the buffer plus a weight prefix sum, with no layout
+    /// permutation at all on the write path.
+    fn seal(&mut self) {
         if self.buffer.is_empty() {
             return;
         }
-        let t = match self.tiers.iter().position(Option::is_none) {
+        let buffer = std::mem::take(&mut self.buffer);
+        let mut keys = Vec::with_capacity(buffer.len());
+        let mut slots = Vec::with_capacity(buffer.len());
+        let mut weights = Vec::with_capacity(buffer.len());
+        for e in buffer {
+            keys.push(e.key);
+            slots.push(e.slot);
+            weights.push(e.weight);
+        }
+        let run = Run::build(keys, slots, &weights, QueryKind::Sorted, self.algorithm)
+            .expect("sorted runs never fail to build");
+        self.l0.push(Arc::new(run));
+        self.publish_event();
+    }
+
+    /// Make sure sealed runs are on their way into a tier, applying
+    /// [`MAX_SEALED_RUNS`] backpressure first: past the limit the
+    /// writer blocks on the in-flight merge before continuing.
+    fn ensure_compaction(&mut self) {
+        if self.pending.is_some() && self.l0.len() >= MAX_SEALED_RUNS {
+            self.wait_for_pending();
+        }
+        if self.pending.is_none() {
+            self.start_compaction();
+        }
+    }
+
+    /// Start compacting every sealed run plus the runs of every tier
+    /// above the first empty one into that tier. In
+    /// [`CompactionMode::Background`] the merge runs on a worker thread
+    /// over `Arc`-shared sources while the map keeps serving from the
+    /// originals; in [`CompactionMode::Inline`] it completes (and
+    /// installs) before returning.
+    fn start_compaction(&mut self) {
+        debug_assert!(self.pending.is_none(), "at most one compaction in flight");
+        if self.l0.is_empty() {
+            return;
+        }
+        let target = match self.tiers.iter().position(Option::is_none) {
             Some(t) => t,
             None => {
                 self.tiers.push(None);
                 self.tiers.len() - 1
             }
         };
-        let deeper_occupied = self.tiers[t + 1..].iter().any(Option::is_some);
-        let buffer = std::mem::take(&mut self.buffer);
-        let merged_runs: Vec<Arc<Run<K, V>>> = self.tiers[..t]
-            .iter_mut()
-            .map(|slot| {
-                slot.take()
-                    .expect("tiers above the first empty tier are occupied")
-            })
+        let consumed_l0 = self.l0.len();
+        // Newest-first sources: sealed runs (newest sealed sits last in
+        // `l0`), then tiers 0..target shallow-to-deep.
+        let sources: Vec<Arc<Run<K, V>>> = self
+            .l0
+            .iter()
+            .rev()
+            .chain(self.tiers[..target].iter().flatten())
+            .cloned()
             .collect();
-
-        // Newest-first sources: the buffer, then tiers 0..t in order.
-        let mut sources: Vec<Source<'_, K, V>> = Vec::with_capacity(merged_runs.len() + 1);
-        sources.push(Source::new(Box::new(
-            buffer.into_iter().map(|e| (e.key, e.slot, e.weight)),
-        )));
-        for run in &merged_runs {
-            sources.push(Source::new(Box::new(run.iter_sorted())));
-        }
-
-        let mut keys = Vec::new();
-        let mut slots = Vec::new();
-        let mut weights = Vec::new();
-        loop {
-            // Newest source holding the minimum head key (strict `<`
-            // keeps the earliest source on ties).
-            let mut min_idx: Option<usize> = None;
-            for i in 0..sources.len() {
-                let Some((k, _, _)) = &sources[i].head else {
-                    continue;
-                };
-                let better = match min_idx {
-                    Some(j) => {
-                        let (mk, _, _) = sources[j].head.as_ref().expect("tracked head");
-                        k < mk
+        debug_assert_eq!(
+            sources.len(),
+            consumed_l0 + target,
+            "tiers above the first empty tier are occupied"
+        );
+        let deeper_occupied = self.tiers[target + 1..].iter().any(Option::is_some);
+        let (kind, algorithm) = (self.kind, self.algorithm);
+        match self.mode {
+            CompactionMode::Inline => {
+                let merged = merge_runs(&sources, deeper_occupied, kind, algorithm, false);
+                self.install(consumed_l0, target, merged);
+            }
+            CompactionMode::Background => {
+                // One short-lived thread per compaction: the spawn
+                // (~tens of µs) lands once per `buffer_cap` writes, not
+                // per write, which keeps it out of the latency profile
+                // the tail_latency bench guards. A long-lived worker
+                // fed by a channel would shave it if profiles ever say
+                // otherwise.
+                let done = Arc::new(AtomicBool::new(false));
+                let worker_done = Arc::clone(&done);
+                let handle = std::thread::spawn(move || {
+                    /// Sets `done` even when the merge panics, so the
+                    /// writer's next `try_install` joins the worker and
+                    /// re-raises the panic instead of sealing on top of
+                    /// a compaction that will never finish.
+                    struct DoneGuard(Arc<AtomicBool>);
+                    impl Drop for DoneGuard {
+                        fn drop(&mut self) {
+                            self.0.store(true, Ordering::Release);
+                        }
                     }
-                    None => true,
-                };
-                if better {
-                    min_idx = Some(i);
-                }
+                    let _guard = DoneGuard(worker_done);
+                    merge_runs(&sources, deeper_occupied, kind, algorithm, true)
+                });
+                self.pending = Some(Pending {
+                    consumed_l0,
+                    target,
+                    done,
+                    handle: Some(handle),
+                });
             }
-            let Some(first) = min_idx else { break };
-            let (key, slot, mut weight) = sources[first].advance();
-            // Older sources may hold the same key (each source's keys
-            // are distinct): collapse them, newest version wins.
-            for src in sources.iter_mut().skip(first + 1) {
-                if src.head.as_ref().is_some_and(|(k, _, _)| *k == key) {
-                    weight += src.advance().2;
-                }
-            }
-            if slot.is_none() && !deeper_occupied {
-                // Tombstone reaching the bottom: annihilate.
-                debug_assert_eq!(weight, 0, "annihilated key retains weight");
-                continue;
-            }
-            keys.push(key);
-            slots.push(slot);
-            weights.push(weight);
         }
-        drop(sources);
-        drop(merged_runs); // snapshots may still hold these runs
+    }
 
-        self.tiers[t] = if keys.is_empty() {
-            None
-        } else {
-            Some(Arc::new(
-                Run::build(keys, slots, &weights, self.kind, self.algorithm)
-                    .expect("configuration validated at construction"),
-            ))
+    /// Atomically swap the compacted sources for the merged run: the
+    /// consumed L0 prefix and tiers `0..target` go out, `merged` goes
+    /// into `target`, all under `&mut self` — readers hold `Arc`s and
+    /// can never observe a torn state. Observable answers are identical
+    /// before and after (the merge preserves newest-wins resolution and
+    /// per-key weight sums).
+    fn install(&mut self, consumed_l0: usize, target: usize, merged: Option<Run<K, V>>) {
+        self.l0.drain(..consumed_l0);
+        for slot in &mut self.tiers[..target] {
+            *slot = None;
+        }
+        self.tiers[target] = merged.map(Arc::new);
+        self.publish_event();
+    }
+
+    /// Block until the in-flight compaction (if any) finishes, then
+    /// install it. Worker panics propagate to the writer here.
+    fn wait_for_pending(&mut self) {
+        let Some(mut pending) = self.pending.take() else {
+            return;
         };
+        let handle = pending.handle.take().expect("pending owns its worker");
+        let merged = handle
+            .join()
+            .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+        self.install(pending.consumed_l0, pending.target, merged);
+    }
+
+    /// Non-blocking install check, run at the start of every mutation:
+    /// one atomic load while the merge is still running, a join of an
+    /// already-finished thread (cheap) plus the pointer swaps when it
+    /// is done. Immediately starts compacting any sealed runs that
+    /// accumulated while the previous merge was in flight.
+    fn try_install(&mut self) {
+        let finished = self
+            .pending
+            .as_ref()
+            .is_some_and(|p| p.done.load(Ordering::Acquire));
+        if finished {
+            self.wait_for_pending();
+            if !self.l0.is_empty() {
+                self.start_compaction();
+            }
+        }
     }
 }
 
@@ -1035,15 +1463,16 @@ mod tests {
 
     impl<K, V> DynamicMap<K, V>
     where
-        K: Ord + Clone + Send + Sync,
-        V: Clone + Send + Sync,
+        K: Ord + Clone + Send + Sync + 'static,
+        V: Clone + Send + Sync + 'static,
     {
         /// Test-only exhaustive check of the per-key weight invariant:
         /// for every resident key, weights sum to 1 iff the newest
-        /// version is live.
+        /// version is live. Holds at every instant, including while a
+        /// background compaction is mid-flight (sealed runs included).
         fn validate_weights(&self) {
             let mut keys: Vec<K> = self.buffer.iter().map(|e| e.key.clone()).collect();
-            for run in self.tiers.iter().flatten() {
+            for run in self.all_runs() {
                 keys.extend(run.iter_sorted().map(|(k, _, _)| k));
             }
             keys.sort();
@@ -1063,15 +1492,19 @@ mod tests {
 
     #[test]
     fn tier_evolution_is_binomial() {
+        // Inline mode: deterministic tier shapes (background compaction
+        // preserves answers, not shapes).
         let mut m: DynamicMap<u64, u64> =
-            DynamicMap::with_config(QueryKind::Veb, Algorithm::CycleLeader, 4);
+            DynamicMap::with_config(QueryKind::Veb, Algorithm::CycleLeader, 4)
+                .with_compaction_mode(CompactionMode::Inline);
         for k in 0..16u64 {
             m.insert(k, k * 10);
             m.validate_weights();
         }
-        // 16 inserts at cap 4 = 4 flushes: binomial counter 100 -> tier 2
-        // holds everything, tiers 0/1 empty.
+        // 16 inserts at cap 4 = 4 seal+compact cycles: binomial counter
+        // 100 -> tier 2 holds everything, tiers 0/1 empty.
         assert_eq!(m.tier_versions(), vec![None, None, Some(16)]);
+        assert_eq!(m.sealed_runs(), 0);
         assert_eq!(m.len(), 16);
         assert_eq!(m.buffered_versions(), 0);
         for k in 0..16u64 {
@@ -1083,14 +1516,32 @@ mod tests {
     #[test]
     fn annihilation_empties_the_structure() {
         let mut m: DynamicMap<u64, &str> =
-            DynamicMap::with_config(QueryKind::BstPrefetch, Algorithm::Involution, 1);
-        m.insert(7, "seven"); // flush -> tier 0 live
-        assert!(m.remove(&7)); // tombstone flush merges to bottom -> annihilated
+            DynamicMap::with_config(QueryKind::BstPrefetch, Algorithm::Involution, 1)
+                .with_compaction_mode(CompactionMode::Inline);
+        m.insert(7, "seven"); // seal+compact -> tier 0 live
+        assert!(m.remove(&7)); // tombstone merge reaches bottom -> annihilated
         m.validate_weights();
         assert_eq!(m.len(), 0);
         assert_eq!(m.run_count(), 0, "tombstone + value must annihilate");
         assert_eq!(m.get(&7), None);
         assert!(!m.remove(&7), "double delete is a no-op");
+    }
+
+    #[test]
+    fn background_annihilation_after_quiesce() {
+        let mut m: DynamicMap<u64, &str> =
+            DynamicMap::with_config(QueryKind::BstPrefetch, Algorithm::Involution, 1);
+        assert_eq!(m.compaction_mode(), CompactionMode::Background);
+        m.insert(7, "seven");
+        assert!(m.remove(&7));
+        m.validate_weights();
+        assert_eq!(m.len(), 0);
+        assert_eq!(m.get(&7), None);
+        m.quiesce();
+        assert_eq!(m.sealed_runs(), 0);
+        assert!(!m.compaction_in_flight());
+        assert_eq!(m.run_count(), 0, "tombstone + value must annihilate");
+        assert_eq!(m.len(), 0);
     }
 
     #[test]
@@ -1159,8 +1610,204 @@ mod tests {
             assert_eq!(snap.get(&(i as u64)), Some(&(i as u64)));
             assert_eq!(snap.get(&(i as u64 + 1)), None);
         }
-        // The reader's cell tracks the newest published state.
+        // Publication is seal-granular: the reader's cell reflects the
+        // last seal (after the 9th insert at cap 3); the 10th insert is
+        // still buffered and unpublished.
+        assert_eq!(reader.snapshot().len(), 9);
+        assert_eq!(reader.snapshot().batch_get(&[0, 9]), vec![Some(&0), None]);
+        // compact_buffer publishes the current state on demand.
+        m.compact_buffer();
         assert_eq!(reader.snapshot().len(), 10);
-        assert_eq!(reader.snapshot().batch_get(&[0, 10]), vec![Some(&0), None]);
+        assert_eq!(
+            reader.snapshot().batch_get(&[0, 9]),
+            vec![Some(&0), Some(&9)]
+        );
+    }
+
+    #[test]
+    fn reader_lag_is_op_bounded_even_without_seals() {
+        // A hot set smaller than the buffer never overflows, so no seal
+        // ever fires — the mutation counter must publish instead,
+        // keeping the reader at most `buffer_cap` operations behind.
+        let cap = 8usize;
+        let mut m: DynamicMap<u64, u64> =
+            DynamicMap::with_config(QueryKind::Veb, Algorithm::CycleLeader, cap);
+        m.insert(1, 0);
+        let reader = m.reader();
+        for i in 1..=1_000u64 {
+            m.insert(1, i); // always the in-place overwrite arm
+            assert_eq!(m.buffered_versions(), 1, "hot set must never seal");
+            let seen = *reader.snapshot().get(&1).expect("key 1 is live");
+            assert!(
+                i - seen < cap as u64,
+                "reader is {} ops behind at op {i} (cap {cap})",
+                i - seen
+            );
+        }
+    }
+
+    #[test]
+    fn published_cell_releases_after_last_reader() {
+        let mut m: DynamicMap<u64, u64> =
+            DynamicMap::with_config(QueryKind::Veb, Algorithm::CycleLeader, 4)
+                .with_compaction_mode(CompactionMode::Inline);
+        for k in 0..8u64 {
+            m.insert(k, k);
+        }
+        let run = m
+            .all_runs()
+            .next()
+            .expect("8 inserts at cap 4 leave a resident run")
+            .clone();
+        assert_eq!(Arc::strong_count(&run), 2, "map + this test's clone");
+        let reader = m.reader(); // eager publish pins the run in the cell
+        assert_eq!(Arc::strong_count(&run), 3);
+        assert_eq!(reader.snapshot().len(), 8);
+        drop(reader);
+        // The cell still pins the frozen view until the writer re-checks…
+        assert_eq!(Arc::strong_count(&run), 3);
+        // …which happens on the next mutation (no seal needed).
+        m.insert(100, 0);
+        assert_eq!(
+            Arc::strong_count(&run),
+            2,
+            "published cell must release its snapshot after the last reader drops"
+        );
+    }
+
+    /// A value whose clones are counted: the write-amplification
+    /// contract in types.
+    #[derive(Debug)]
+    struct CountedVal {
+        n: u64,
+        clones: Arc<std::sync::atomic::AtomicUsize>,
+    }
+
+    impl Clone for CountedVal {
+        fn clone(&self) -> Self {
+            self.clones.fetch_add(1, Ordering::SeqCst);
+            Self {
+                n: self.n,
+                clones: Arc::clone(&self.clones),
+            }
+        }
+    }
+
+    #[test]
+    fn publication_is_seal_granular_not_per_write() {
+        let clones = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let mut m: DynamicMap<u64, CountedVal> =
+            DynamicMap::with_config(QueryKind::Veb, Algorithm::CycleLeader, 64)
+                .with_compaction_mode(CompactionMode::Inline);
+        let _reader = m.reader();
+        for k in 0..63u64 {
+            m.insert(
+                k,
+                CountedVal {
+                    n: k,
+                    clones: Arc::clone(&clones),
+                },
+            );
+        }
+        // The write-amplification contract: buffered writes while a
+        // reader is outstanding clone NOTHING (the old behavior cloned
+        // the whole buffer per mutation — O(cap) value clones per op).
+        assert_eq!(
+            clones.load(Ordering::SeqCst),
+            0,
+            "buffered writes must not clone for publication"
+        );
+        // An explicit snapshot still copies the live buffer — exactly
+        // once, on demand.
+        let snap = m.snapshot();
+        assert_eq!(clones.load(Ordering::SeqCst), 63);
+        assert_eq!(snap.len(), 63);
+        drop(snap);
+        // The 64th insert seals: entries move into the L0 run without
+        // cloning, publication shares it by Arc, and the inline merge
+        // streams each version exactly once.
+        m.insert(
+            63,
+            CountedVal {
+                n: 63,
+                clones: Arc::clone(&clones),
+            },
+        );
+        assert_eq!(
+            clones.load(Ordering::SeqCst),
+            63 + 64,
+            "seal + publish + one merge stream, nothing else"
+        );
+    }
+
+    /// A value whose clone panics once armed: the only clones in the
+    /// write path happen on the merge worker, so arming it detonates
+    /// the background compaction.
+    struct Grenade {
+        armed: bool,
+    }
+
+    impl Clone for Grenade {
+        fn clone(&self) -> Self {
+            assert!(!self.armed, "merge grenade");
+            Self { armed: self.armed }
+        }
+    }
+
+    #[test]
+    fn background_worker_panics_propagate_to_writer() {
+        let result = std::panic::catch_unwind(|| {
+            let mut m: DynamicMap<u64, Grenade> =
+                DynamicMap::with_config(QueryKind::Veb, Algorithm::CycleLeader, 4);
+            // Armed values reach the worker via a seal; the writer must
+            // observe the worker's panic at a later install (or at the
+            // quiesce() below at the latest), not seal forever on top
+            // of a compaction that will never finish.
+            for k in 0..200u64 {
+                m.insert(k, Grenade { armed: true });
+            }
+            m.quiesce();
+        });
+        let payload = result.expect_err("worker panic must reach the writer");
+        let msg = payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        assert!(msg.contains("merge grenade"), "unexpected panic: {msg}");
+    }
+
+    #[test]
+    fn background_matches_inline_observably() {
+        let mut inline: DynamicMap<u64, u64> =
+            DynamicMap::with_config(QueryKind::Btree(2), Algorithm::CycleLeader, 4)
+                .with_compaction_mode(CompactionMode::Inline);
+        let mut bg: DynamicMap<u64, u64> =
+            DynamicMap::with_config(QueryKind::Btree(2), Algorithm::CycleLeader, 4);
+        // A deterministic mutation mix with overwrites and deletes.
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        for i in 0..600u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let k = (x >> 33) % 50;
+            if x.is_multiple_of(5) {
+                assert_eq!(inline.remove(&k), bg.remove(&k), "op {i}");
+            } else {
+                assert_eq!(inline.insert(k, i), bg.insert(k, i), "op {i}");
+            }
+            assert_eq!(inline.len(), bg.len(), "op {i}");
+            bg.validate_weights();
+        }
+        bg.quiesce();
+        assert_eq!(bg.sealed_runs(), 0);
+        for k in 0..52u64 {
+            assert_eq!(inline.get(&k), bg.get(&k));
+            assert_eq!(inline.rank(&k), bg.rank(&k));
+            assert_eq!(
+                inline.successor(&k).map(|(a, b)| (*a, *b)),
+                bg.successor(&k).map(|(a, b)| (*a, *b))
+            );
+        }
     }
 }

@@ -224,8 +224,10 @@ pub(crate) fn layout_of_kind(kind: QueryKind) -> Option<Layout> {
 }
 
 /// The best default descent for a layout (grandchild prefetching for
-/// the BST); the `build` constructors of both facades use this.
-pub(crate) fn default_kind_for_layout(layout: Layout) -> QueryKind {
+/// the BST); the `build` constructors of the facades use this, and
+/// callers that pre-partition data for the kind-explicit constructors
+/// (e.g. a sharded bulk load) can apply the same mapping.
+pub fn default_kind_for_layout(layout: Layout) -> QueryKind {
     match layout {
         Layout::Bst => QueryKind::BstPrefetch,
         Layout::Btree { b } => QueryKind::Btree(b),

@@ -19,22 +19,28 @@
 //! ## Dynamization in one paragraph
 //!
 //! A [`DynamicMap`] absorbs writes in a small sorted buffer; when the
-//! buffer fills it is merged with the runs of every tier up to the
-//! first empty one and the result is rebuilt — one k-way merge of
-//! already-sorted entries plus one parallel in-place layout
-//! construction ([`StaticMap::build_presorted`], which skips the
-//! argsort entirely). Deletes are tombstones annihilated at merge time;
-//! per-version integer *weights* make summed ranks exact even when keys
-//! are overwritten or re-inserted across runs (see the
-//! [`dynamic`](self) module docs). Reads fan out newest-run-first and
-//! reuse the software-pipelined batched engine per run; snapshots
-//! ([`DynamicMap::snapshot`] → [`Frozen`], or a cloneable [`Reader`]
-//! handle) decouple concurrent readers from merges entirely.
+//! buffer fills it is **sealed** into an immutable L0 run (one
+//! argsort-free in-place layout build, [`StaticMap::build_presorted`] —
+//! the only construction work on the writer's path) and the k-way merge
+//! of sealed runs + tiers is **compacted** on a background worker
+//! thread ([`dynamic::CompactionMode`]), installed atomically when it
+//! finishes; reads consult sealed-but-uncompacted runs in the meantime,
+//! so answers stay exact while merges are mid-flight. Deletes are
+//! tombstones annihilated at merge time; per-version integer *weights*
+//! make summed ranks exact even when keys are overwritten or
+//! re-inserted across runs (see the [`dynamic`](self) module docs).
+//! Reads fan out newest-run-first and reuse the software-pipelined
+//! batched engine per run; snapshots ([`DynamicMap::snapshot`] →
+//! [`Frozen`], or a cloneable [`Reader`] handle published at
+//! seal/compaction granularity) decouple concurrent readers from
+//! merges entirely.
 
 pub mod dynamic;
 mod index;
 mod map;
 
-pub use dynamic::{DynamicMap, Frozen, Reader, DEFAULT_BUFFER_CAP};
-pub use index::StaticIndex;
+pub use dynamic::{
+    CompactionMode, DynamicMap, Frozen, Reader, DEFAULT_BUFFER_CAP, MAX_SEALED_RUNS,
+};
+pub use index::{default_kind_for_layout, StaticIndex};
 pub use map::StaticMap;

@@ -86,6 +86,7 @@ mod batch;
 pub mod nav;
 mod order;
 mod range;
+pub mod route;
 
 pub use batch::DEFAULT_WINDOW;
 

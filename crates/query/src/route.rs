@@ -1,0 +1,166 @@
+//! Scatter/gather batch routing for sharded serving layers.
+//!
+//! A range-partitioned front-end (e.g. `ShardedMap` in `ist-shard`)
+//! answers a batched query in three moves:
+//!
+//! 1. **partition** the input batch into per-shard sub-batches,
+//!    remembering each item's original position
+//!    ([`partition_batch`], with [`shard_of_key`] as the router for
+//!    range partitions);
+//! 2. drive every sub-batch through its shard's pipelined engine —
+//!    in parallel, since the sub-batches are disjoint;
+//! 3. **scatter** the per-shard results back into input order
+//!    ([`scatter_to_input_order`]), so the caller sees exactly the
+//!    answer a single unsharded structure would have produced.
+//!
+//! The helpers live here (rather than in the sharding crate) because
+//! they are pure batch-plumbing over the query engine's inputs and
+//! outputs: any front-end that fans a batch out over disjoint indexes
+//! and must preserve input order can reuse them.
+
+/// Index of the shard owning `key` under the range partition described
+/// by `splits` (sorted, strictly increasing): shard `0` owns keys below
+/// `splits[0]`, shard `i` owns `[splits[i-1], splits[i])`, and the last
+/// shard owns everything from `splits[len-1]` up. With empty `splits`
+/// there is exactly one shard.
+///
+/// This is the **range-partition invariant** that makes sharded ranks
+/// exact: every key in shard `j < i` is strictly smaller than every key
+/// in shard `i`, so a global rank is the sum of whole-shard lengths
+/// below plus one in-shard rank.
+///
+/// # Examples
+/// ```
+/// use ist_query::route::shard_of_key;
+/// let splits = [10u64, 20];
+/// assert_eq!(shard_of_key(&splits, &3), 0);
+/// assert_eq!(shard_of_key(&splits, &10), 1); // boundary key goes right
+/// assert_eq!(shard_of_key(&splits, &19), 1);
+/// assert_eq!(shard_of_key(&splits, &99), 2);
+/// assert_eq!(shard_of_key(&[] as &[u64], &99), 0);
+/// ```
+pub fn shard_of_key<K: Ord>(splits: &[K], key: &K) -> usize {
+    debug_assert!(
+        splits.windows(2).all(|w| w[0] < w[1]),
+        "splits must be sorted and strictly increasing"
+    );
+    splits.partition_point(|s| s <= key)
+}
+
+/// Partition a batch into `shards` per-shard sub-batches, preserving
+/// input order within each: returns, per shard, the original indices
+/// and the (cloned) items routed to it. Feed each `(indices, items)`
+/// pair's items to the shard's batch engine, then hand the pairs —
+/// items replaced by results — to [`scatter_to_input_order`].
+///
+/// # Panics
+/// Panics if `route` returns an index `>= shards`.
+///
+/// # Examples
+/// ```
+/// use ist_query::route::partition_batch;
+/// let parts = partition_batch(&[5u64, 12, 3, 20], 3, |k| (k / 10) as usize);
+/// assert_eq!(parts[0], (vec![0, 2], vec![5, 3]));
+/// assert_eq!(parts[1], (vec![1], vec![12]));
+/// assert_eq!(parts[2], (vec![3], vec![20]));
+/// ```
+pub fn partition_batch<T: Clone>(
+    items: &[T],
+    shards: usize,
+    mut route: impl FnMut(&T) -> usize,
+) -> Vec<(Vec<usize>, Vec<T>)> {
+    let mut parts: Vec<(Vec<usize>, Vec<T>)> = vec![(Vec::new(), Vec::new()); shards];
+    for (i, item) in items.iter().enumerate() {
+        let s = route(item);
+        assert!(s < shards, "route sent item {i} to shard {s} of {shards}");
+        parts[s].0.push(i);
+        parts[s].1.push(item.clone());
+    }
+    parts
+}
+
+/// Scatter per-shard results back into input order: `parts` pairs each
+/// shard's original-index list (from [`partition_batch`]) with its
+/// result list, and the output places result `j` of shard `s` at
+/// `parts[s].0[j]` — undoing the partition, so `out[i]` answers input
+/// item `i`.
+///
+/// # Panics
+/// Panics unless the index lists form an exact partition of `0..len`
+/// (each index covered once) with one result per index — torn routing
+/// is a bug, never silently misattributed.
+///
+/// # Examples
+/// ```
+/// use ist_query::route::scatter_to_input_order;
+/// let parts = vec![(vec![0, 2], vec!["a", "c"]), (vec![1], vec!["b"])];
+/// assert_eq!(scatter_to_input_order(3, parts), vec!["a", "b", "c"]);
+/// ```
+pub fn scatter_to_input_order<R>(
+    len: usize,
+    parts: impl IntoIterator<Item = (Vec<usize>, Vec<R>)>,
+) -> Vec<R> {
+    let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(len).collect();
+    let mut filled = 0usize;
+    for (indices, results) in parts {
+        assert_eq!(
+            indices.len(),
+            results.len(),
+            "scatter: a shard returned {} results for {} routed items",
+            results.len(),
+            indices.len()
+        );
+        for (i, r) in indices.into_iter().zip(results) {
+            assert!(
+                out[i].replace(r).is_none(),
+                "scatter: input slot {i} routed twice"
+            );
+            filled += 1;
+        }
+    }
+    assert_eq!(filled, len, "scatter: not every input slot was covered");
+    out.into_iter()
+        .map(|slot| slot.expect("every slot covered"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_then_scatter_roundtrips() {
+        let items: Vec<u64> = (0..100).map(|i| (i * 37) % 90).collect();
+        let parts = partition_batch(&items, 4, |k| shard_of_key(&[20u64, 45, 70], k));
+        // Within-shard order is input order.
+        for (indices, routed) in &parts {
+            assert!(indices.windows(2).all(|w| w[0] < w[1]));
+            for (&i, k) in indices.iter().zip(routed) {
+                assert_eq!(items[i], *k);
+            }
+        }
+        // Identity results scatter back to the input batch.
+        let back = scatter_to_input_order(items.len(), parts);
+        assert_eq!(back, items);
+    }
+
+    #[test]
+    fn empty_batch_and_empty_shards() {
+        let parts = partition_batch(&[] as &[u64], 3, |_| 0);
+        assert_eq!(parts.len(), 3);
+        let out: Vec<u64> = scatter_to_input_order(0, parts);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not every input slot was covered")]
+    fn scatter_rejects_missing_slots() {
+        scatter_to_input_order(2, vec![(vec![0], vec!["only"])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "routed twice")]
+    fn scatter_rejects_duplicate_slots() {
+        scatter_to_input_order(2, vec![(vec![0, 0], vec!["a", "b"])]);
+    }
+}

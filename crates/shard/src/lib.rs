@@ -1,0 +1,563 @@
+//! # ist-shard
+//!
+//! [`ShardedMap`]: a **key-range-sharded** serving facade over
+//! per-shard [`DynamicMap`]s — the multi-writer-scale front-end of the
+//! serving story.
+//!
+//! ## Range partition
+//!
+//! A `ShardedMap` is `splits.len() + 1` shards under a sorted,
+//! strictly-increasing split-key vector: shard `0` owns keys below
+//! `splits[0]`, shard `i` owns `[splits[i-1], splits[i])`, the last
+//! shard owns everything from the last split up
+//! ([`ist_query::route::shard_of_key`]). Each shard is a full
+//! [`DynamicMap`]: its own write buffer, sealed L0 runs, tiers, and
+//! background compaction worker — so shards seal and merge
+//! independently, and a hot key range never stalls writes elsewhere.
+//!
+//! ## Why the answers stay exact
+//!
+//! The **range-partition invariant** — every key in shard `j < i` is
+//! strictly smaller than every key in shard `i` — turns global order
+//! statistics into sums of per-shard answers:
+//!
+//! `rank(k) = Σ_{j < shard(k)} len_j + rank_{shard(k)}(k)`
+//!
+//! and `range_count` is a rank difference, so both are exact for the
+//! same reason the per-shard answers are (the weight machinery in
+//! [`ist_dynamic::dynamic`]). Order queries probe the home shard and
+//! walk outward only across empty neighbors.
+//!
+//! ## Batched queries
+//!
+//! [`ShardedMap::batch_get`] / [`ShardedMap::batch_rank`] /
+//! [`ShardedMap::batch_range_count`] partition the batch per shard
+//! ([`ist_query::route::partition_batch`]), drive every shard's
+//! software-pipelined descent engine **in parallel** (the sub-batches
+//! are disjoint), and scatter the results back into input order
+//! ([`ist_query::route::scatter_to_input_order`]) — bit-identical to
+//! what one unsharded [`DynamicMap`] would answer, which
+//! `tests/sharded_differential.rs` (repository root) checks against
+//! both a `BTreeMap` oracle and a single-map mirror.
+
+use ist_core::{Algorithm, Error, Layout};
+use ist_dynamic::{default_kind_for_layout, CompactionMode, DynamicMap, DEFAULT_BUFFER_CAP};
+use ist_query::route::{partition_batch, scatter_to_input_order, shard_of_key};
+use ist_query::QueryKind;
+
+/// A key-range-sharded map: range-partitioned shards, each a
+/// [`DynamicMap`] with its own buffer and background compaction, behind
+/// one exact read/write API.
+///
+/// Semantics mirror a single [`DynamicMap`] (one live value per key,
+/// `insert` overwrites, `remove` deletes, order statistics see only
+/// live keys); the differential suite pins batch results bit-identical
+/// to the unsharded map.
+///
+/// # Examples
+/// ```
+/// use implicit_search_trees::{Layout, ShardedMap};
+///
+/// // Four shards at equal-count boundaries of the loaded data.
+/// let keys: Vec<u64> = (0..10_000).map(|x| 3 * x).collect();
+/// let vals: Vec<u64> = (0..10_000).collect();
+/// let mut m = ShardedMap::build(keys, vals, Layout::Veb, 4).unwrap();
+/// assert_eq!(m.shard_count(), 4);
+/// assert_eq!(m.len(), 10_000);
+///
+/// m.insert(1, 999); // routed to the owning shard
+/// assert_eq!(m.get(&1), Some(&999));
+/// assert_eq!(m.rank(&1), 1); // global: one key (0) strictly below
+///
+/// // Batched reads straddle shard boundaries transparently.
+/// let got = m.batch_get(&[0, 1, 29_997, 5]);
+/// assert_eq!(got, vec![Some(&0), Some(&999), Some(&9_999), None]);
+/// assert_eq!(m.range_count(&0, &u64::MAX), 10_001);
+/// ```
+pub struct ShardedMap<K, V> {
+    /// Sorted, strictly increasing; shard `i` owns `[splits[i-1],
+    /// splits[i])` with open ends at the extremes.
+    splits: Vec<K>,
+    /// `shards.len() == splits.len() + 1`, ordered by key range.
+    shards: Vec<DynamicMap<K, V>>,
+}
+
+impl<K, V> ShardedMap<K, V>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    /// An empty map with explicit split keys (`splits.len() + 1`
+    /// shards), each shard a default-configured [`DynamicMap`] for
+    /// `layout`. An empty `splits` gives a single shard.
+    ///
+    /// # Panics
+    /// Panics if `splits` is not sorted and strictly increasing, or on
+    /// `Layout::Btree { b: 0 }`.
+    pub fn with_splits(splits: Vec<K>, layout: Layout) -> Self {
+        Self::validate_splits(&splits);
+        let shards = (0..splits.len() + 1)
+            .map(|_| DynamicMap::new(layout))
+            .collect();
+        Self { splits, shards }
+    }
+
+    /// [`ShardedMap::with_splits`] with full per-shard control:
+    /// explicit query descent, construction algorithm, and write-buffer
+    /// capacity (each shard gets its own `buffer_cap`-entry buffer).
+    ///
+    /// # Panics
+    /// Panics on unsorted `splits` or the invalid configurations
+    /// [`DynamicMap::with_config`] rejects.
+    pub fn with_splits_config(
+        splits: Vec<K>,
+        kind: QueryKind,
+        algorithm: Algorithm,
+        buffer_cap: usize,
+    ) -> Self {
+        Self::validate_splits(&splits);
+        let shards = (0..splits.len() + 1)
+            .map(|_| DynamicMap::with_config(kind, algorithm, buffer_cap))
+            .collect();
+        Self { splits, shards }
+    }
+
+    /// The one home of the split-vector precondition both explicit
+    /// constructors enforce (bulk loaders construct splits sorted).
+    fn validate_splits(splits: &[K]) {
+        assert!(
+            splits.windows(2).all(|w| w[0] < w[1]),
+            "splits must be sorted and strictly increasing"
+        );
+    }
+
+    /// Bulk-load from unsorted `(keys, values)` pairs (duplicate keys:
+    /// the **last** pair wins, like [`DynamicMap::build`]), choosing
+    /// split keys at equal-count boundaries of the loaded data and
+    /// building one bulk run per shard. Duplicate-heavy data can
+    /// collapse boundaries, yielding fewer than `num_shards` shards.
+    ///
+    /// # Panics
+    /// Panics if `keys` and `values` have different lengths or
+    /// `num_shards == 0`.
+    pub fn build(
+        keys: Vec<K>,
+        values: Vec<V>,
+        layout: Layout,
+        num_shards: usize,
+    ) -> Result<Self, Error> {
+        Self::build_for_kind(
+            keys,
+            values,
+            default_kind_for_layout(layout),
+            Algorithm::CycleLeader,
+            DEFAULT_BUFFER_CAP,
+            num_shards,
+        )
+    }
+
+    /// [`ShardedMap::build`] with explicit descent, algorithm, and
+    /// per-shard buffer capacity.
+    ///
+    /// # Panics
+    /// Panics if `keys` and `values` have different lengths,
+    /// `num_shards == 0`, or on the invalid configurations
+    /// [`DynamicMap::with_config`] rejects.
+    pub fn build_for_kind(
+        keys: Vec<K>,
+        values: Vec<V>,
+        kind: QueryKind,
+        algorithm: Algorithm,
+        buffer_cap: usize,
+        num_shards: usize,
+    ) -> Result<Self, Error> {
+        let (splits, parts) = Self::partition_bulk(keys, values, num_shards);
+        let shards = parts
+            .into_iter()
+            // The global pre-pass sorted and deduped; every partition
+            // is sorted with distinct keys, so shards skip both.
+            .map(|(k, v)| DynamicMap::build_presorted(k, v, kind, algorithm, buffer_cap))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { splits, shards })
+    }
+
+    /// Builder-style [`CompactionMode`] override applied to every shard
+    /// (they default to [`CompactionMode::Background`]).
+    #[must_use]
+    pub fn with_compaction_mode(mut self, mode: CompactionMode) -> Self {
+        self.shards = self
+            .shards
+            .into_iter()
+            .map(|s| s.with_compaction_mode(mode))
+            .collect();
+        self
+    }
+
+    /// Dedup (last wins), pick equal-count splits, and partition the
+    /// pairs by the resulting ranges — shared by both bulk loaders.
+    #[allow(clippy::type_complexity)]
+    fn partition_bulk(
+        keys: Vec<K>,
+        values: Vec<V>,
+        num_shards: usize,
+    ) -> (Vec<K>, Vec<(Vec<K>, Vec<V>)>) {
+        assert_eq!(
+            keys.len(),
+            values.len(),
+            "ShardedMap::build: {} keys but {} values",
+            keys.len(),
+            values.len()
+        );
+        assert!(num_shards >= 1, "num_shards must be at least 1");
+        let mut pairs: Vec<(K, V)> = keys.into_iter().zip(values).collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0)); // stable: later duplicate stays later
+        pairs.dedup_by(|later, kept| {
+            if later.0 == kept.0 {
+                std::mem::swap(later, kept); // keep the later pair's value
+                true
+            } else {
+                false
+            }
+        });
+        // Equal-count boundaries over the (now distinct) sorted keys.
+        let mut splits: Vec<K> = Vec::with_capacity(num_shards.saturating_sub(1));
+        for i in 1..num_shards {
+            let idx = i * pairs.len() / num_shards;
+            if idx == 0 || idx >= pairs.len() {
+                continue;
+            }
+            let candidate = &pairs[idx].0;
+            if splits.last().is_none_or(|last| last < candidate) {
+                splits.push(candidate.clone());
+            }
+        }
+        let mut parts: Vec<(Vec<K>, Vec<V>)> = vec![(Vec::new(), Vec::new()); splits.len() + 1];
+        for (k, v) in pairs {
+            let s = shard_of_key(&splits, &k);
+            parts[s].0.push(k);
+            parts[s].1.push(v);
+        }
+        (splits, parts)
+    }
+
+    // ----- routing -----
+
+    /// Index of the shard owning `key` (the range-partition router).
+    pub fn shard_of(&self, key: &K) -> usize {
+        shard_of_key(&self.splits, key)
+    }
+
+    /// The split keys (shard `i` owns `[splits[i-1], splits[i])`).
+    pub fn splits(&self) -> &[K] {
+        &self.splits
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Live keys per shard, in key-range order.
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.shards.iter().map(DynamicMap::len).collect()
+    }
+
+    /// `true` while any shard has a background compaction in flight.
+    pub fn compaction_in_flight(&self) -> bool {
+        self.shards.iter().any(DynamicMap::compaction_in_flight)
+    }
+
+    // ----- mutation -----
+
+    /// Insert or overwrite in the owning shard; returns `true` iff a
+    /// live value for `key` was replaced. See [`DynamicMap::insert`]
+    /// for the seal/compact behavior behind an overflow.
+    pub fn insert(&mut self, key: K, value: V) -> bool {
+        let s = self.shard_of(&key);
+        self.shards[s].insert(key, value)
+    }
+
+    /// Delete from the owning shard; returns `true` iff a live value
+    /// was removed.
+    pub fn remove(&mut self, key: &K) -> bool {
+        let s = self.shard_of(key);
+        self.shards[s].remove(key)
+    }
+
+    /// Seal every shard's buffer and start (or complete, for inline
+    /// shards) a compaction per shard; see
+    /// [`DynamicMap::compact_buffer`].
+    pub fn compact_buffers(&mut self) {
+        for shard in &mut self.shards {
+            shard.compact_buffer();
+        }
+    }
+
+    /// Drain every shard's deferred compaction work; see
+    /// [`DynamicMap::quiesce`]. Observable state is unchanged.
+    pub fn quiesce(&mut self) {
+        for shard in &mut self.shards {
+            shard.quiesce();
+        }
+    }
+
+    // ----- scalar reads -----
+
+    /// Number of live keys across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(DynamicMap::len).sum()
+    }
+
+    /// `true` iff no key is live in any shard.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(DynamicMap::is_empty)
+    }
+
+    /// The live value under `key`, if any (one shard probe).
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.shards[self.shard_of(key)].get(key)
+    }
+
+    /// `true` iff `key` is live.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of live keys strictly smaller than `key`, globally exact:
+    /// whole-shard lengths below the home shard plus one in-shard rank
+    /// (the range-partition invariant).
+    pub fn rank(&self, key: &K) -> usize {
+        let i = self.shard_of(key);
+        let below: usize = self.shards[..i].iter().map(DynamicMap::len).sum();
+        below + self.shards[i].rank(key)
+    }
+
+    /// Number of live keys in `[lo, hi)` across all shards. Reversed
+    /// bounds (`lo > hi`) yield 0 — never a panic (the workspace-wide
+    /// contract).
+    pub fn range_count(&self, lo: &K, hi: &K) -> usize {
+        if lo >= hi {
+            return 0;
+        }
+        self.rank(hi).saturating_sub(self.rank(lo))
+    }
+
+    /// The smallest live entry with key `≥ key`, if any.
+    pub fn lower_bound(&self, key: &K) -> Option<(&K, &V)> {
+        let i = self.shard_of(key);
+        self.shards[i]
+            .lower_bound(key)
+            .or_else(|| self.first_live_after_shard(i))
+    }
+
+    /// The smallest live entry with key **strictly greater** than
+    /// `key`, if any.
+    pub fn successor(&self, key: &K) -> Option<(&K, &V)> {
+        let i = self.shard_of(key);
+        self.shards[i]
+            .successor(key)
+            .or_else(|| self.first_live_after_shard(i))
+    }
+
+    /// The largest live entry with key **strictly smaller** than `key`,
+    /// if any.
+    pub fn predecessor(&self, key: &K) -> Option<(&K, &V)> {
+        let i = self.shard_of(key);
+        self.shards[i]
+            .predecessor(key)
+            .or_else(|| self.last_live_before_shard(i))
+    }
+
+    // ----- batched reads: partition → parallel per-shard → scatter -----
+
+    /// Batched [`ShardedMap::get`]: the batch is partitioned per shard,
+    /// every shard's software-pipelined engine runs in parallel on its
+    /// disjoint sub-batch, and results scatter back in input order —
+    /// `out[i]` is exactly `get(&keys[i])`.
+    pub fn batch_get(&self, keys: &[K]) -> Vec<Option<&V>> {
+        self.fan_out(keys, |i, routed| self.shards[i].batch_get(routed))
+    }
+
+    /// Batched [`ShardedMap::rank`]: per-shard pipelined rank descents
+    /// in parallel, each shard's results pre-offset by the summed
+    /// lengths of the shards below it, scattered back in input order.
+    pub fn batch_rank(&self, keys: &[K]) -> Vec<usize> {
+        let mut offsets = Vec::with_capacity(self.shards.len());
+        let mut below = 0usize;
+        for shard in &self.shards {
+            offsets.push(below);
+            below += shard.len();
+        }
+        self.fan_out(keys, |i, routed| {
+            let mut ranks = self.shards[i].batch_rank(routed);
+            for r in &mut ranks {
+                *r += offsets[i];
+            }
+            ranks
+        })
+    }
+
+    /// Per-pair [`ShardedMap::range_count`] (reversed pairs yield 0).
+    /// Endpoint ranks go through [`ShardedMap::batch_rank`], so ranges
+    /// straddling shard boundaries cost the same two descents as local
+    /// ones.
+    pub fn batch_range_count(&self, ranges: &[(K, K)]) -> Vec<usize> {
+        let mut flat = Vec::with_capacity(2 * ranges.len());
+        for (lo, hi) in ranges {
+            flat.push(lo.clone());
+            flat.push(hi.clone());
+        }
+        let ranks = self.batch_rank(&flat);
+        ranges
+            .iter()
+            .enumerate()
+            .map(|(i, (lo, hi))| {
+                if lo >= hi {
+                    0
+                } else {
+                    ranks[2 * i + 1].saturating_sub(ranks[2 * i])
+                }
+            })
+            .collect()
+    }
+
+    // ----- internals -----
+
+    /// The batched-query skeleton shared by every fan-out read:
+    /// partition `keys` per shard, run `per_shard(i, sub_batch)` for
+    /// every non-empty sub-batch in parallel (the sub-batches are
+    /// disjoint), and scatter the per-shard results back into input
+    /// order.
+    fn fan_out<R, F>(&self, keys: &[K], per_shard: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, &[K]) -> Vec<R> + Sync,
+    {
+        let parts = partition_batch(keys, self.shards.len(), |k| self.shard_of(k));
+        let mut results: Vec<Vec<R>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        rayon::scope(|s| {
+            for (i, out) in results.iter_mut().enumerate() {
+                let routed = &parts[i].1;
+                if routed.is_empty() {
+                    continue;
+                }
+                let per_shard = &per_shard;
+                s.spawn(move |_| *out = per_shard(i, routed));
+            }
+        });
+        scatter_to_input_order(
+            keys.len(),
+            parts.into_iter().map(|(idx, _)| idx).zip(results),
+        )
+    }
+
+    /// Minimum live entry of the first non-empty shard after `i`.
+    fn first_live_after_shard(&self, i: usize) -> Option<(&K, &V)> {
+        for j in i + 1..self.shards.len() {
+            // Every key in shard j is ≥ its lower boundary, so a
+            // lower_bound there is the shard's minimum entry.
+            if let Some(hit) = self.shards[j].lower_bound(&self.splits[j - 1]) {
+                return Some(hit);
+            }
+        }
+        None
+    }
+
+    /// Maximum live entry of the last non-empty shard before `i`.
+    fn last_live_before_shard(&self, i: usize) -> Option<(&K, &V)> {
+        for j in (0..i).rev() {
+            // Every key in shard j is < its upper boundary, so a
+            // predecessor there is the shard's maximum entry.
+            if let Some(hit) = self.shards[j].predecessor(&self.splits[j]) {
+                return Some(hit);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map_with_gaps() -> ShardedMap<u64, u64> {
+        // Shards: (..10), [10, 20), [20, ..); the middle shard stays
+        // empty so order queries must walk across it.
+        let mut m: ShardedMap<u64, u64> = ShardedMap::with_splits(vec![10, 20], Layout::Veb);
+        for k in [2u64, 5, 25, 30] {
+            m.insert(k, k * 100);
+        }
+        m
+    }
+
+    #[test]
+    fn routing_and_global_order_statistics() {
+        let m = map_with_gaps();
+        assert_eq!(m.shard_count(), 3);
+        assert_eq!(m.shard_lens(), vec![2, 0, 2]);
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.rank(&0), 0);
+        assert_eq!(m.rank(&25), 2);
+        assert_eq!(m.rank(&100), 4);
+        assert_eq!(m.range_count(&3, &26), 2); // straddles all three shards
+        assert_eq!(m.range_count(&26, &3), 0); // reversed: defined as 0
+    }
+
+    #[test]
+    fn order_queries_cross_empty_shards() {
+        let m = map_with_gaps();
+        // Successor of 5 lives two shards to the right.
+        assert_eq!(m.successor(&5), Some((&25, &2500)));
+        assert_eq!(m.lower_bound(&11), Some((&25, &2500)));
+        // Predecessor of 25 lives two shards to the left.
+        assert_eq!(m.predecessor(&25), Some((&5, &500)));
+        assert_eq!(m.predecessor(&2), None);
+        assert_eq!(m.successor(&30), None);
+    }
+
+    #[test]
+    fn batches_scatter_back_in_input_order() {
+        let m = map_with_gaps();
+        let keys = [30u64, 2, 11, 25, 5, 2];
+        assert_eq!(
+            m.batch_get(&keys),
+            vec![
+                Some(&3000),
+                Some(&200),
+                None,
+                Some(&2500),
+                Some(&500),
+                Some(&200)
+            ]
+        );
+        assert_eq!(m.batch_rank(&keys), vec![3, 0, 2, 2, 1, 0]);
+        assert_eq!(
+            m.batch_range_count(&[(0, 100), (26, 3), (5, 26)]),
+            vec![4, 0, 2] // [5, 26) holds {5, 25}
+        );
+    }
+
+    #[test]
+    fn bulk_build_balances_and_dedups() {
+        let keys: Vec<u64> = (0..1000).chain(0..1000).collect(); // every key twice
+        let vals: Vec<u64> = (0..2000).collect();
+        let m = ShardedMap::build(keys, vals, Layout::Bst, 4).unwrap();
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.shard_count(), 4);
+        let lens = m.shard_lens();
+        assert_eq!(lens.iter().sum::<usize>(), 1000);
+        assert!(
+            lens.iter().all(|&l| l == 250),
+            "equal-count splits: {lens:?}"
+        );
+        // Last duplicate wins.
+        assert_eq!(m.get(&0), Some(&1000));
+        assert_eq!(m.rank(&999), 999);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_splits_are_rejected() {
+        let _ = ShardedMap::<u64, u64>::with_splits(vec![20, 10], Layout::Veb);
+    }
+}

@@ -8,8 +8,11 @@
 //!
 //! 1. bulk-load yesterday's sessions into one static run,
 //! 2. stream today's logins / refreshes / logouts through the write
-//!    buffer (watching tiers merge as it overflows),
-//! 3. serve batched point lookups from the live map the whole time,
+//!    buffer — overflows **seal** cheap L0 runs while the k-way merges
+//!    run on the background compaction worker (the default
+//!    `CompactionMode`), so no write waits for a rebuild,
+//! 3. serve batched point lookups from the live map the whole time
+//!    (sealed-but-uncompacted runs keep answers exact mid-merge),
 //! 4. hand a [`Reader`] to a separate thread that audits a frozen
 //!    snapshot while the writer keeps mutating.
 //!
@@ -48,10 +51,13 @@ fn main() {
         };
     }
     println!(
-        "after 50k writes: {} live sessions, {} buffered, {} runs, tiers: {:?}",
+        "after 50k writes: {} live sessions, {} buffered, {} runs \
+         ({} sealed awaiting compaction, worker in flight: {}), tiers: {:?}",
         store.len(),
         store.buffered_versions(),
         store.run_count(),
+        store.sealed_runs(),
+        store.compaction_in_flight(),
         store.tier_versions()
     );
 
@@ -81,4 +87,11 @@ fn main() {
     assert_eq!(snap_len as u64, walked, "snapshot order-scan is exact");
     println!("audit thread walked {walked} sessions on its snapshot");
     println!("live map meanwhile advanced to {} sessions", store.len());
+
+    // --- 5. drain the background compactor before shutdown -------------
+    store.quiesce();
+    println!(
+        "after quiesce: 0 sealed runs, tiers: {:?}",
+        store.tier_versions()
+    );
 }

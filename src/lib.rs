@@ -60,8 +60,13 @@
 //! a small sorted buffer and keeps every resident run in a static
 //! layout, using the paper's fast parallel in-place rebuild as the
 //! mutation primitive (merges skip the argsort entirely —
-//! [`StaticMap::build_presorted`]). Reads fan out newest-run-first on
-//! the same pipelined engines; [`DynamicMap::snapshot`] /
+//! [`StaticMap::build_presorted`]). The merge itself is **deamortized**:
+//! an overflowing buffer is cheaply *sealed* into an L0 run while the
+//! k-way merge + rebuild runs on a background worker
+//! ([`CompactionMode`]), installed atomically when done — reads consult
+//! sealed runs in the interim, so answers stay exact and a write never
+//! waits for an `O(n)` merge. Reads fan out newest-run-first on the
+//! same pipelined engines; [`DynamicMap::snapshot`] /
 //! [`DynamicMap::reader`] give concurrent readers frozen views that
 //! never block on a merge. See [`dynamic`](ist_dynamic) for the tier,
 //! tombstone, and weight design.
@@ -81,6 +86,26 @@
 //! let snapshot = m.snapshot(); // frozen: later writes are invisible
 //! m.insert(30, "thirty");
 //! assert_eq!(snapshot.len(), 1);
+//! ```
+//!
+//! [`ShardedMap`] is the scale-out front-end: key-range-partitioned
+//! shards, each an independent [`DynamicMap`] (own buffer, own
+//! background compactor), behind one exact API. Batched queries
+//! partition per shard, drive every shard's pipelined engine in
+//! parallel, and scatter results back in input order — bit-identical
+//! to a single unsharded map; global `rank`/`range_count` stay exact
+//! via the range-partition invariant.
+//!
+//! ```
+//! use implicit_search_trees::{Layout, ShardedMap};
+//!
+//! let keys: Vec<u64> = (0..40_000u64).collect();
+//! let vals = keys.clone();
+//! let mut m = ShardedMap::build(keys, vals, Layout::Veb, 4).unwrap();
+//! m.insert(7, 700);
+//! m.remove(&8);
+//! assert_eq!(m.batch_get(&[7, 8, 39_999]), vec![Some(&700), None, Some(&39_999)]);
+//! assert_eq!(m.rank(&20_000), 19_999); // exact across shards
 //! ```
 //!
 //! For borrowed data (or full control over the descent variant and
@@ -115,7 +140,8 @@
 //! | `core` (re-exported at the root) | the construction algorithms (written once, `Machine`-generic) and public API |
 //! | [`StaticIndex`] (`ist-dynamic`, re-exported here) | owning sort + permute + full-query-API facade |
 //! | [`StaticMap`] (`ist-dynamic`, re-exported here) | key→value facade: payloads co-permuted obliviously alongside the keys |
-//! | [`DynamicMap`] (`ist-dynamic`, re-exported here) | log-structured tiers of static runs: write buffer, tombstones + weights, merge-rebuild, snapshot readers |
+//! | [`DynamicMap`] (`ist-dynamic`, re-exported here) | log-structured tiers of static runs: write buffer, sealed L0 runs, background compaction, tombstones + weights, snapshot readers |
+//! | [`ShardedMap`] (`ist-shard`, re-exported here) | key-range-sharded serving layer: per-shard `DynamicMap`s, parallel scatter/gather batch routing |
 //! | [`machine`] | the `Machine` execution-substrate trait and the `Ram` backend |
 //! | [`query`] | the per-layout `Navigator`s (`nav` — the single home of all descent arithmetic) and the layout-agnostic engines: scalar descents, `batch` (software-pipelined multi-descent window, rayon composition), `range` (range counts over rank descents), `order` (successor/predecessor on the rank engine) |
 //! | [`layout`] | position maps / index arithmetic per layout |
@@ -126,7 +152,11 @@
 //! | [`pem_sim`] | PEM-model I/O cost backend |
 //! | [`gpu_sim`] | SIMT (GPU) execution cost backend |
 
-pub use ist_dynamic::{DynamicMap, Frozen, Reader, StaticIndex, StaticMap, DEFAULT_BUFFER_CAP};
+pub use ist_dynamic::{
+    CompactionMode, DynamicMap, Frozen, Reader, StaticIndex, StaticMap, DEFAULT_BUFFER_CAP,
+    MAX_SEALED_RUNS,
+};
+pub use ist_shard::ShardedMap;
 
 pub use ist_core::{
     construct, cycle_leader, fich_baseline, involution, nonperfect, permute_in_place,
@@ -155,5 +185,7 @@ pub use ist_pem_sim as pem_sim;
 pub use ist_perm as perm;
 /// Per-layout searchers.
 pub use ist_query as query;
+/// Key-range-sharded serving layer (`ShardedMap`).
+pub use ist_shard as shard;
 /// Perfect shuffles and rotations.
 pub use ist_shuffle as shuffle;

@@ -24,7 +24,7 @@
 //! CI runs 3 fixed seeds; `IST_FUZZ_LONG=1` widens the sweep to 30
 //! seeds with longer sequences.
 
-use implicit_search_trees::{Algorithm, DynamicMap, QueryKind};
+use implicit_search_trees::{Algorithm, CompactionMode, DynamicMap, QueryKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
@@ -292,10 +292,22 @@ fn apply_op(
 
 /// Run one seeded sequence against one configuration; panic with the
 /// seed and the minimal diverging prefix on failure.
-fn run_sequence(seed: u64, kind: QueryKind, buffer_cap: usize, num_ops: usize) {
+///
+/// In [`CompactionMode::Background`] merges overlap the op sequence
+/// (install timing depends on scheduling), so the suite doubles as a
+/// proof that mid-flight compactions never perturb an answer; the op
+/// sequence itself is still seed-deterministic for replay.
+fn run_sequence(
+    seed: u64,
+    kind: QueryKind,
+    buffer_cap: usize,
+    num_ops: usize,
+    mode: CompactionMode,
+) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut map: DynamicMap<u64, u64> =
-        DynamicMap::with_config(kind, Algorithm::CycleLeader, buffer_cap);
+        DynamicMap::with_config(kind, Algorithm::CycleLeader, buffer_cap)
+            .with_compaction_mode(mode);
     let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
     let mut ops: Vec<Op> = Vec::with_capacity(num_ops);
     for i in 0..num_ops {
@@ -324,7 +336,7 @@ fn run_sequence(seed: u64, kind: QueryKind, buffer_cap: usize, num_ops: usize) {
             panic!(
                 "dynamic_differential diverged\n\
                  seed        = {seed:#x}\n\
-                 config      = kind={kind:?} buffer_cap={buffer_cap}\n\
+                 config      = kind={kind:?} buffer_cap={buffer_cap} mode={mode:?}\n\
                  failure     = {why}\n\
                  minimal op prefix that first diverges ({} ops, last one diverges):\n{}",
                 ops.len(),
@@ -332,6 +344,13 @@ fn run_sequence(seed: u64, kind: QueryKind, buffer_cap: usize, num_ops: usize) {
             );
         }
     }
+    // Draining all deferred compaction work must not change anything
+    // observable.
+    map.quiesce();
+    assert_eq!(map.sealed_runs(), 0);
+    assert!(!map.compaction_in_flight());
+    check_full_state(&map, &oracle)
+        .unwrap_or_else(|why| panic!("state diverged after quiesce (seed={seed:#x}): {why}"));
 }
 
 fn kinds() -> [QueryKind; 4] {
@@ -356,14 +375,29 @@ fn differential_fixed_seeds() {
     for &seed in &CI_SEEDS {
         for kind in kinds() {
             for &cap in &CAPS {
-                run_sequence(seed, kind, cap, 250);
+                run_sequence(seed, kind, cap, 250, CompactionMode::Inline);
             }
         }
     }
 }
 
-/// Extended sweep: 30 seeds, longer sequences. `IST_FUZZ_LONG=1` turns
-/// it on (a dedicated CI job runs it in release).
+/// The same harness with merges on the background worker: installs land
+/// at scheduling-dependent points between ops, and the full observable
+/// state must still match the oracle after every single op.
+#[test]
+fn differential_fixed_seeds_background_compaction() {
+    for &seed in &CI_SEEDS {
+        for kind in kinds() {
+            for &cap in &[1usize, 8] {
+                run_sequence(seed, kind, cap, 250, CompactionMode::Background);
+            }
+        }
+    }
+}
+
+/// Extended sweep: 30 seeds, longer sequences, both compaction modes.
+/// `IST_FUZZ_LONG=1` turns it on (a dedicated CI job runs it in
+/// release).
 #[test]
 fn differential_long_sweep() {
     if std::env::var_os("IST_FUZZ_LONG").is_none() {
@@ -373,7 +407,9 @@ fn differential_long_sweep() {
     for seed in 0..30u64 {
         for kind in kinds() {
             for &cap in &CAPS {
-                run_sequence(0x10_0000 + seed, kind, cap, 400);
+                for mode in [CompactionMode::Inline, CompactionMode::Background] {
+                    run_sequence(0x10_0000 + seed, kind, cap, 400, mode);
+                }
             }
         }
     }

@@ -13,20 +13,31 @@
 //! Each reader repeatedly snapshots and asserts the observed state *is*
 //! one of those prefix states (shape, boundary membership, rank, and
 //! order queries all agree), and that successive snapshots never move
-//! backwards — the published-cell swap happens after each op, so
-//! publication order is operation order. A torn or half-merged state
-//! (e.g. a run visible without its buffer, or a tombstone applied
-//! twice) cannot satisfy the checks.
+//! backwards — publications are seal/compaction-granular but always
+//! happen on the writer thread in op order, so every published state is
+//! a prefix state and publication order is operation order. A torn or
+//! half-merged state (e.g. a run visible without its buffer, or a
+//! tombstone applied twice) cannot satisfy the checks.
 //!
-//! The test must pass under both CI profiles: release (this crate's
+//! The writer runs under **both** compaction modes: inline (merges on
+//! the writer's own path, the deterministic baseline) and background
+//! (seals publish immediately while the k-way merges overlap subsequent
+//! ops on a worker thread — installs must never tear a published
+//! state). A separate test holds a compaction **mid-flight** with
+//! slow-cloning values and checks every query against an oracle while
+//! the merge is provably still running.
+//!
+//! The tests must pass under both CI profiles: release (this crate's
 //! tier-1 build) and the debug job (overflow checks + debug_asserts,
 //! which also arm the weight-invariant debug assertions inside the
 //! merge).
 
-use implicit_search_trees::{Algorithm, DynamicMap, QueryKind};
-use std::sync::atomic::{AtomicBool, Ordering};
+use implicit_search_trees::{Algorithm, CompactionMode, DynamicMap, QueryKind};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
+use std::time::Duration;
 
 const N: u64 = 3000;
 /// Small enough that the writer merges hundreds of times under load.
@@ -81,9 +92,19 @@ fn check_prefix_state(snap: &implicit_search_trees::Frozen<u64, u64>) -> u64 {
 }
 
 #[test]
-fn snapshots_stay_prefix_consistent_under_concurrent_merges() {
+fn snapshots_stay_prefix_consistent_under_inline_merges() {
+    run_concurrent_snapshot_load(CompactionMode::Inline);
+}
+
+#[test]
+fn snapshots_stay_prefix_consistent_under_background_merges() {
+    run_concurrent_snapshot_load(CompactionMode::Background);
+}
+
+fn run_concurrent_snapshot_load(mode: CompactionMode) {
     let mut map: DynamicMap<u64, u64> =
-        DynamicMap::with_config(QueryKind::Veb, Algorithm::CycleLeader, CAP);
+        DynamicMap::with_config(QueryKind::Veb, Algorithm::CycleLeader, CAP)
+            .with_compaction_mode(mode);
     let reader = map.reader();
     let done = Arc::new(AtomicBool::new(false));
 
@@ -144,4 +165,113 @@ fn snapshots_stay_prefix_consistent_under_concurrent_merges() {
     assert_eq!(check_prefix_state(&snap), N + N / 2);
     assert_eq!(map.get(&(N / 2 - 1)), None);
     assert_eq!(map.get(&(N / 2)), Some(&value_of(N / 2)));
+
+    // Draining deferred merges changes nothing observable.
+    let mut map = map;
+    map.quiesce();
+    assert_eq!(map.sealed_runs(), 0);
+    assert!(!map.compaction_in_flight());
+    assert_eq!(map.len() as u64, N / 2);
+    assert_eq!(check_prefix_state(&map.snapshot()), N + N / 2);
+}
+
+/// A payload whose `Clone` sleeps: every clone a compaction streams
+/// keeps the merge observably in flight, so the assertions below run
+/// against a map whose background worker is provably mid-merge.
+#[derive(Debug)]
+struct SlowVal {
+    n: u64,
+    clones: Arc<AtomicUsize>,
+}
+
+impl Clone for SlowVal {
+    fn clone(&self) -> Self {
+        self.clones.fetch_add(1, Ordering::Relaxed);
+        thread::sleep(Duration::from_micros(200));
+        Self {
+            n: self.n,
+            clones: Arc::clone(&self.clones),
+        }
+    }
+}
+
+/// Queries against a live map while a background compaction is
+/// mid-flight must be exact and untorn: the sealed-but-uncompacted runs
+/// carry the answers until the install.
+#[test]
+fn queries_stay_exact_while_compaction_is_mid_flight() {
+    let clones = Arc::new(AtomicUsize::new(0));
+    let cap = 16usize;
+    let mut map: DynamicMap<u64, SlowVal> =
+        DynamicMap::with_config(QueryKind::Veb, Algorithm::CycleLeader, cap);
+    let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut checked_mid_flight = 0usize;
+
+    for k in 0..300u64 {
+        let n = k * 7 + 1;
+        map.insert(
+            k,
+            SlowVal {
+                n,
+                clones: Arc::clone(&clones),
+            },
+        );
+        oracle.insert(k, n);
+        if k % 11 == 10 {
+            let dead = k / 2;
+            map.remove(&dead);
+            oracle.remove(&dead);
+        }
+        if map.compaction_in_flight() {
+            checked_mid_flight += 1;
+            // Full query battery while the merge worker is running.
+            for probe in [0u64, 1, k / 2, k.saturating_sub(1), k, k + 1, 100_000] {
+                assert_eq!(
+                    map.get(&probe).map(|v| v.n),
+                    oracle.get(&probe).copied(),
+                    "get({probe}) diverged mid-flight at op {k}"
+                );
+                assert_eq!(
+                    map.rank(&probe),
+                    oracle.range(..probe).count(),
+                    "rank({probe}) diverged mid-flight at op {k}"
+                );
+                assert_eq!(
+                    map.successor(&probe).map(|(sk, sv)| (*sk, sv.n)),
+                    oracle
+                        .range((std::ops::Bound::Excluded(probe), std::ops::Bound::Unbounded))
+                        .next()
+                        .map(|(sk, sv)| (*sk, *sv)),
+                    "successor({probe}) diverged mid-flight at op {k}"
+                );
+            }
+            assert_eq!(map.len(), oracle.len(), "len diverged mid-flight at op {k}");
+            // A snapshot taken mid-merge is exact and untorn too.
+            let snap = map.snapshot();
+            assert_eq!(snap.len(), oracle.len());
+            let probes: Vec<u64> = (0..=k).step_by(7).collect();
+            let got = snap.batch_get(&probes);
+            for (i, &p) in probes.iter().enumerate() {
+                assert_eq!(
+                    got[i].map(|v| v.n),
+                    oracle.get(&p).copied(),
+                    "snapshot batch_get({p}) diverged mid-flight at op {k}"
+                );
+            }
+        }
+    }
+    assert!(
+        checked_mid_flight > 0,
+        "slow clones never held a compaction in flight — the test lost its subject"
+    );
+
+    // Quiesce and verify the drained map answers identically.
+    map.quiesce();
+    assert_eq!(map.sealed_runs(), 0);
+    assert!(!map.compaction_in_flight());
+    assert_eq!(map.len(), oracle.len());
+    for k in 0..301u64 {
+        assert_eq!(map.get(&k).map(|v| v.n), oracle.get(&k).copied());
+        assert_eq!(map.rank(&k), oracle.range(..k).count());
+    }
 }
