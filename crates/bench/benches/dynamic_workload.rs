@@ -10,16 +10,32 @@
 //!   dynamization replaces.
 //!
 //! Workloads per iteration are one serving "tick": a batched read of
-//! the read share plus scalar writes for the write share, at 95/5 and
-//! 50/50 read/write ratios. Writes draw from the resident key range
-//! (mostly overwrites plus a delete stride), so the live set stays
-//! ~stable while versions pile up and merges fire across samples —
-//! the steady state a serving deployment sits in.
+//! the read share plus the write share, at 95/5 and 50/50 read/write
+//! ratios. `dynamic_mixed` routes writes through the bulk-delta API
+//! (`batch_insert` / `batch_remove` — the production write path this
+//! crate ships); `dynamic_mixed_perkey` keeps the scalar per-key loop
+//! for transparency, so the bulk-path win is visible in the same JSON.
+//! Writes draw from the resident key range (mostly overwrites plus a
+//! delete stride), so the live set stays ~stable while versions pile
+//! up and merges fire across samples — the steady state a serving
+//! deployment sits in.
+//!
+//! Two write-path-only groups ride along:
+//!
+//! * `bulk_ingest` — one `batch_insert` of a full batch per tick,
+//!   dynamized vs `BTreeMap`;
+//! * `merge_throughput` — seal + k-way merge + rebuild of a
+//!   ~quarter-million-version map per sample, at `merge_threads` 1
+//!   vs 4 (on a single-core host the 4-thread figure measures slicing
+//!   overhead under oversubscription, not speedup; set `IST_PARALLEL`
+//!   to the core count on real hardware).
 //!
 //! Set `IST_BENCH_SMOKE=1` to shrink sizes (CI bit-rot guard).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use implicit_search_trees::{DynamicMap, Layout, QueryKind, StaticMap};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use implicit_search_trees::{
+    Algorithm, CompactionMode, CompactionPolicy, DynamicMap, Layout, QueryKind, StaticMap,
+};
 use ist_bench::{sorted_keys, uniform_queries};
 use std::collections::BTreeMap;
 
@@ -38,7 +54,61 @@ fn churned_dynamic(keys: &[u64], writes: &[u64]) -> DynamicMap<u64, u64> {
     map
 }
 
-fn mixed_tick(map: &mut DynamicMap<u64, u64>, reads: &[u64], writes: &[u64]) -> usize {
+/// [`churned_dynamic`] under the write-optimized configuration the
+/// write-heavy ticks run with: a buffer sized for the tick's batch (a
+/// seal fires every few ticks, not every tick), tiering to bound write
+/// amplification (a seal lands next to sibling runs instead of forcing
+/// an immediate merge), and the lazy bottom so steady-state churn never
+/// rewrites the ~n-version bottom run.
+fn churned_dynamic_tuned(keys: &[u64], writes: &[u64], buffer_cap: usize) -> DynamicMap<u64, u64> {
+    let mut map = DynamicMap::build_for_kind(
+        keys.to_vec(),
+        keys.to_vec(),
+        QueryKind::Veb,
+        Algorithm::CycleLeader,
+        buffer_cap,
+    )
+    .unwrap()
+    .with_policy(CompactionPolicy::tiered(4).with_lazy_bottom(true));
+    for (i, &k) in writes.iter().enumerate() {
+        if i % 4 == 3 {
+            map.remove(&k);
+        } else {
+            map.insert(k, k.wrapping_mul(3));
+        }
+    }
+    map
+}
+
+/// Split a tick's write share into the delete stride (every 8th) and
+/// the insert remainder, as the bulk ops consume them.
+fn split_writes(writes: &[u64]) -> (Vec<(u64, u64)>, Vec<u64>) {
+    let mut inserts = Vec::with_capacity(writes.len());
+    let mut deletes = Vec::new();
+    for (i, &k) in writes.iter().enumerate() {
+        if i % 8 == 7 {
+            deletes.push(k);
+        } else {
+            inserts.push((k, k ^ 1));
+        }
+    }
+    (inserts, deletes)
+}
+
+/// One serving tick with the write share routed through the bulk-delta
+/// API: one `batch_insert` + one `batch_remove` instead of a scalar
+/// call per key.
+fn mixed_tick_bulk(map: &mut DynamicMap<u64, u64>, reads: &[u64], writes: &[u64]) -> usize {
+    let hits = map.batch_get(reads).iter().filter(|v| v.is_some()).count();
+    let (inserts, deletes) = split_writes(writes);
+    map.batch_insert(inserts);
+    map.batch_remove(&deletes);
+    hits
+}
+
+/// The scalar per-key write loop (the pre-bulk write path), kept so the
+/// committed JSON shows both routes side by side.
+fn mixed_tick_perkey(map: &mut DynamicMap<u64, u64>, reads: &[u64], writes: &[u64]) -> usize {
     let hits = map.batch_get(reads).iter().filter(|v| v.is_some()).count();
     for (i, &k) in writes.iter().enumerate() {
         if i % 8 == 7 {
@@ -77,7 +147,7 @@ fn bench_dynamic_workload(c: &mut Criterion) {
         keys.clone(),
         keys.clone(),
         QueryKind::Veb,
-        implicit_search_trees::Algorithm::CycleLeader,
+        Algorithm::CycleLeader,
     )
     .unwrap();
     group.bench_function(BenchmarkId::new("static_batch_get", "veb"), |b| {
@@ -92,16 +162,78 @@ fn bench_dynamic_workload(c: &mut Criterion) {
     for (label, read_share) in [("95_5", 95usize), ("50_50", 50)] {
         let reads = &queries[..batch * read_share / 100];
         let writes = &queries[batch * read_share / 100..];
-        let mut dmap = churned_dynamic(&keys, &churn);
+        let mut dmap = churned_dynamic_tuned(&keys, &churn, 4 * batch);
         group.bench_function(BenchmarkId::new("dynamic_mixed", label), |b| {
-            b.iter(|| std::hint::black_box(mixed_tick(&mut dmap, reads, writes)))
+            b.iter(|| std::hint::black_box(mixed_tick_bulk(&mut dmap, reads, writes)))
+        });
+        let mut dmap_perkey = churned_dynamic(&keys, &churn);
+        group.bench_function(BenchmarkId::new("dynamic_mixed_perkey", label), |b| {
+            b.iter(|| std::hint::black_box(mixed_tick_perkey(&mut dmap_perkey, reads, writes)))
         });
         let mut bmap: BTreeMap<u64, u64> = keys.iter().map(|&k| (k, k)).collect();
         group.bench_function(BenchmarkId::new("btreemap_mixed", label), |b| {
             b.iter(|| std::hint::black_box(mixed_tick_btree(&mut bmap, reads, writes)))
         });
     }
+
+    // --- write-only: one full-batch bulk ingest per tick ---
+    let ingest = uniform_queries(n, batch, 9);
+    let mut dmap = churned_dynamic_tuned(&keys, &churn, 4 * batch);
+    group.bench_function(BenchmarkId::new("bulk_ingest", "dynamic"), |b| {
+        b.iter(|| {
+            std::hint::black_box(dmap.batch_insert(ingest.iter().map(|&k| (k, k ^ 1)).collect()))
+        })
+    });
+    let mut bmap: BTreeMap<u64, u64> = keys.iter().map(|&k| (k, k)).collect();
+    group.bench_function(BenchmarkId::new("bulk_ingest", "btreemap"), |b| {
+        b.iter(|| {
+            for &k in &ingest {
+                bmap.insert(k, k ^ 1);
+            }
+            std::hint::black_box(bmap.len())
+        })
+    });
     group.finish();
+
+    // --- merge throughput: seal + k-way merge + rebuild, 1 vs 4 merge
+    //     threads (identical output by construction; the differential
+    //     suite pins bit-identity) ---
+    let mut merge_group = c.benchmark_group("merge_throughput");
+    merge_group.sample_size(if smoke { 2 } else { 10 });
+    let half = if smoke { 1 << 12 } else { 1 << 17 };
+    // Evens form the bottom run; odds fill the buffer, so the measured
+    // compaction merges two interleaved `half`-version sources.
+    let bottom: Vec<u64> = (0..half as u64).map(|x| 2 * x).collect();
+    let delta: Vec<(u64, u64)> = (0..half as u64).map(|x| (2 * x + 1, x)).collect();
+    for threads in [1usize, 4] {
+        merge_group.bench_function(
+            BenchmarkId::new("compact", format!("threads_{threads}")),
+            |b| {
+                b.iter_batched(
+                    || {
+                        let mut m = DynamicMap::build_for_kind(
+                            bottom.clone(),
+                            bottom.clone(),
+                            QueryKind::Veb,
+                            Algorithm::CycleLeader,
+                            half + 1, // buffer holds the whole delta un-sealed
+                        )
+                        .unwrap()
+                        .with_compaction_mode(CompactionMode::Inline)
+                        .with_policy(CompactionPolicy::tiered(1).with_merge_threads(threads));
+                        m.batch_insert(delta.clone());
+                        m
+                    },
+                    |mut m| {
+                        m.compact_buffer();
+                        std::hint::black_box(m.run_count())
+                    },
+                    BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    merge_group.finish();
 }
 
 criterion_group!(benches, bench_dynamic_workload);

@@ -163,6 +163,126 @@ pub enum CompactionMode {
     Background,
 }
 
+/// Merges smaller than this never split into parallel slices: the
+/// boundary descents and stitch would cost more than the merge.
+const PARALLEL_MERGE_MIN_SLICE: usize = 1024;
+
+/// How the compactor arranges runs into tiers; see [`CompactionPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompactionStyle {
+    /// **Size-tiered**: each tier accumulates up to `fanout` runs of
+    /// similar size before they are merged one tier down. Lowest write
+    /// amplification (each version is merged once per tier crossing),
+    /// but reads fan out over up to `fanout` runs per tier.
+    /// `fanout = 1` is the classic binomial-counter logarithmic method
+    /// (the default): every tier holds at most one run and a merge
+    /// targets the first tier with a free slot.
+    Tiered,
+    /// **Leveled**: every tier holds a single run bounded by
+    /// `buffer_cap · fanout^(tier+1)` versions; a merge folds the
+    /// overflowing prefix of tiers into the first tier whose budget
+    /// absorbs it (consuming that tier's run too). Lowest read fan-out
+    /// (≤ 1 run per tier), at up to `fanout`× the write amplification.
+    Leveled,
+}
+
+/// Tunable knobs for the compact half of the overflow path: how runs
+/// are arranged into tiers (write amplification vs read fan-out) and
+/// how many threads the k-way merge may use.
+///
+/// Configured at construction via [`DynamicMap::with_policy`] (and
+/// plumbed through the `ShardedMap` builders). The default —
+/// [`CompactionStyle::Tiered`] with `fanout = 1`, no lazy bottom,
+/// auto merge threads — reproduces the binomial-counter schedule the
+/// differential suites pin, so switching policies is purely a
+/// performance decision: observable answers are identical under every
+/// policy (the fuzz suites assert exactly this).
+///
+/// # Examples
+/// ```
+/// use implicit_search_trees::{CompactionPolicy, CompactionStyle, DynamicMap, Layout};
+///
+/// let policy = CompactionPolicy::tiered(4).with_lazy_bottom(true);
+/// let mut m: DynamicMap<u64, u64> = DynamicMap::new(Layout::Veb).with_policy(policy);
+/// m.insert(1, 10);
+/// assert_eq!(m.get(&1), Some(&10));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionPolicy {
+    /// Tier growth factor: runs-per-tier under [`CompactionStyle::Tiered`]
+    /// (≥ 1), per-tier size ratio under [`CompactionStyle::Leveled`]
+    /// (≥ 2).
+    pub fanout: usize,
+    /// Tiered (write-optimized) vs leveled (read-optimized) shape.
+    pub style: CompactionStyle,
+    /// Keep the bottom (largest) run out of merges until the data above
+    /// it reaches `1/fanout` of its size. Bulk-loaded maps churn their
+    /// upper tiers without repeatedly rewriting the big run, at the
+    /// cost of retaining tombstones (no annihilation) until the bottom
+    /// run is finally folded in.
+    pub lazy_bottom: bool,
+    /// Thread count for the sliced parallel merge: `0` = auto (the
+    /// rayon-shim's effective parallelism, overridable process-wide via
+    /// the `IST_PARALLEL` environment variable), `1` = always the
+    /// classic sequential merge.
+    pub merge_threads: usize,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        Self::tiered(1)
+    }
+}
+
+impl CompactionPolicy {
+    /// Size-tiered policy with up to `fanout` runs per tier (`fanout =
+    /// 1` is the default binomial schedule).
+    pub fn tiered(fanout: usize) -> Self {
+        Self {
+            fanout,
+            style: CompactionStyle::Tiered,
+            lazy_bottom: false,
+            merge_threads: 0,
+        }
+    }
+
+    /// Leveled policy: one run per tier, tier `t` bounded by
+    /// `buffer_cap · fanout^(t+1)` versions.
+    pub fn leveled(fanout: usize) -> Self {
+        Self {
+            fanout,
+            style: CompactionStyle::Leveled,
+            lazy_bottom: false,
+            merge_threads: 0,
+        }
+    }
+
+    /// Builder-style override of [`CompactionPolicy::lazy_bottom`].
+    #[must_use]
+    pub fn with_lazy_bottom(mut self, lazy: bool) -> Self {
+        self.lazy_bottom = lazy;
+        self
+    }
+
+    /// Builder-style override of [`CompactionPolicy::merge_threads`].
+    #[must_use]
+    pub fn with_merge_threads(mut self, threads: usize) -> Self {
+        self.merge_threads = threads;
+        self
+    }
+
+    fn validate(&self) {
+        match self.style {
+            CompactionStyle::Tiered => {
+                assert!(self.fanout >= 1, "tiered fanout must be at least 1")
+            }
+            CompactionStyle::Leveled => {
+                assert!(self.fanout >= 2, "leveled fanout must be at least 2")
+            }
+        }
+    }
+}
+
 /// One buffered write: the newest version of `key`. An empty `slot` is
 /// a tombstone. `weight` maintains the per-key sum invariant described
 /// in the [module docs](self).
@@ -176,6 +296,10 @@ struct BufEntry<K, V> {
 /// A `(key, payload-or-tombstone, weight)` triple streamed out of a
 /// source during a merge.
 type MergedEntry<K, V> = (K, Option<V>, i64);
+
+/// One merged slice in column form — `(keys, slots, weights)` — as
+/// [`merge_slice`] produces it and the stitch step concatenates it.
+type MergedColumns<K, V> = (Vec<K>, Vec<Option<V>>, Vec<i64>);
 
 /// One immutable run: a static layout over this run's versions plus the
 /// rank-indexed prefix sums of their weights.
@@ -224,22 +348,36 @@ impl<K: Ord + Send + Sync, V: Send> Run<K, V> {
         self.prefix[self.map.rank(key)]
     }
 
-    /// Weight of this run's version of `key` (0 if absent).
+    /// Weight of this run's version of `key` (0 if absent): one rank
+    /// descent, then the closed-form position map plus a key equality
+    /// decides presence (run keys are distinct, so `rank`/`rank_upper`
+    /// can only differ by the key itself).
     fn weight_of(&self, key: &K) -> i64 {
         let s = self.map.searcher();
-        self.prefix[s.rank_upper(key)] - self.prefix[s.rank(key)]
+        let r = s.rank(key);
+        match s.position_of_rank(r) {
+            Some(p) if self.map.keys()[p] == *key => self.prefix[r + 1] - self.prefix[r],
+            _ => 0,
+        }
     }
 
-    /// Stream the run's versions in sorted-key order (cloning), for
-    /// merges: walks ranks through the closed-form position maps, so no
-    /// sorted copy of the run is ever materialized.
-    fn iter_sorted(&self) -> impl Iterator<Item = MergedEntry<K, V>> + '_
+    /// Stream the run's versions with rank in `lo..hi` in sorted-key
+    /// order (cloning) — each merge slice's view of a source: walks
+    /// ranks through the closed-form position maps, so no sorted copy
+    /// of the run is ever materialized. `(0, len)` streams the whole
+    /// run.
+    fn iter_sorted_range(
+        &self,
+        lo: usize,
+        hi: usize,
+    ) -> impl Iterator<Item = MergedEntry<K, V>> + '_
     where
         K: Clone,
         V: Clone,
     {
+        debug_assert!(lo <= hi && hi <= self.map.len());
         let searcher = self.map.searcher();
-        (0..self.map.len()).map(move |r| {
+        (lo..hi).map(move |r| {
             let p = searcher
                 .position_of_rank(r)
                 .expect("rank below len resolves");
@@ -266,17 +404,36 @@ fn buffer_slot<K: Ord, V>(buffer: &[BufEntry<K, V>], key: &K) -> Result<usize, u
     buffer.binary_search_by(|e| e.key.cmp(key))
 }
 
-/// An in-flight background compaction: which sources it consumed and
-/// where the merged run will land. The worker owns `Arc` clones of the
-/// source runs, so the writer and readers keep using them until
-/// install.
-struct Pending<K, V> {
+/// A compaction plan: which **contiguous newest prefix** of the
+/// resident runs the merge consumes, and where the merged run lands.
+/// Consuming a contiguous prefix and installing at its boundary is what
+/// keeps the global newest-first run order valid under every
+/// [`CompactionPolicy`].
+#[derive(Debug, Clone, Copy)]
+struct Plan {
     /// How many sealed runs (the oldest prefix of `l0`) the merge
-    /// consumed.
+    /// consumes — always all of them.
     consumed_l0: usize,
-    /// Tier index the merged run installs into; tiers `0..target` were
-    /// consumed as sources.
+    /// Tiers `0..full_tiers` are consumed entirely…
+    full_tiers: usize,
+    /// …plus the `partial_runs` **newest** runs of tier `full_tiers`
+    /// (non-zero only for lazy-bottom plans that stop short of the
+    /// bottom run).
+    partial_runs: usize,
+    /// The merged run is pushed as the **newest** run of this tier.
+    /// After the consumed runs are removed, every tier above `target`
+    /// is empty.
     target: usize,
+    /// Whether any run survives below the consumed prefix (tombstones
+    /// are annihilated iff `false`).
+    deeper_occupied: bool,
+}
+
+/// An in-flight background compaction: the plan it executes. The worker
+/// owns `Arc` clones of the source runs, so the writer and readers keep
+/// using them until install.
+struct Pending<K, V> {
+    plan: Plan,
     /// Set by the worker after the merged run is fully built, so the
     /// writer's install check is one atomic load, never a join of a
     /// still-running merge.
@@ -309,6 +466,17 @@ const MERGE_YIELD_STRIDE: usize = 256;
 /// below the merge target (`deeper_occupied == false`). Returns `None`
 /// when everything annihilated.
 ///
+/// When `threads` (0 = the rayon-shim's effective parallelism) exceeds
+/// 1 and the merge is large enough, the merged key space is split into
+/// near-equal **slices**: boundary keys are drawn from the largest
+/// source at evenly spaced ranks (closed-form `position_of_rank`, no
+/// scan), each source is cut at those keys with one rank descent per
+/// boundary, the slices are merged concurrently on the rayon-shim, and
+/// the outputs are stitched back together. Per-key resolution
+/// (newest-wins, weight sums, annihilation) is local to a slice, so the
+/// stitched output is bit-identical to the sequential merge — the fuzz
+/// suites pin this at parallelism {1, 4}.
+///
 /// Runs on the background worker in [`CompactionMode::Background`]
 /// (with `cooperative = true`: yield the timeslice every
 /// [`MERGE_YIELD_STRIDE`] entries) and on the caller in
@@ -320,14 +488,106 @@ fn merge_runs<K, V>(
     kind: QueryKind,
     algorithm: Algorithm,
     cooperative: bool,
+    threads: usize,
 ) -> Option<Run<K, V>>
+where
+    K: Ord + Clone + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    let total: usize = sources.iter().map(|r| r.versions()).sum();
+    let threads = if threads == 0 {
+        rayon::current_num_threads()
+    } else {
+        threads
+    };
+    let want = threads.min(total / PARALLEL_MERGE_MIN_SLICE).max(1);
+
+    let full: Vec<(usize, usize)> = sources.iter().map(|r| (0, r.versions())).collect();
+    let (keys, slots, weights) = if want <= 1 {
+        merge_slice(sources, &full, deeper_occupied, cooperative)
+    } else {
+        // Slice boundaries: evenly spaced ranks of the largest source
+        // approximate evenly sized merged slices (smaller sources can
+        // only add proportionally less to any slice).
+        let largest = sources
+            .iter()
+            .max_by_key(|r| r.versions())
+            .expect("merge has at least one source");
+        let searcher = largest.map.searcher();
+        let mut bounds: Vec<K> = Vec::with_capacity(want - 1);
+        for i in 1..want {
+            let r = i * largest.versions() / want;
+            let p = searcher
+                .position_of_rank(r)
+                .expect("rank below len resolves");
+            let k = largest.map.keys()[p].clone();
+            if bounds.last().is_none_or(|b| *b < k) {
+                bounds.push(k);
+            }
+        }
+        // Cut every source at the boundary keys: slice `i` covers keys
+        // in `[bounds[i-1], bounds[i])`, i.e. source ranks
+        // `[rank(bounds[i-1]), rank(bounds[i]))` — one descent per
+        // (source, boundary).
+        let cuts: Vec<Vec<usize>> = sources
+            .iter()
+            .map(|run| {
+                let mut c = Vec::with_capacity(bounds.len() + 2);
+                c.push(0);
+                c.extend(bounds.iter().map(|b| run.map.rank(b)));
+                c.push(run.versions());
+                c
+            })
+            .collect();
+        let slices = bounds.len() + 1;
+        let mut parts: Vec<MergedColumns<K, V>> = (0..slices).map(|_| Default::default()).collect();
+        rayon::scope(|s| {
+            for (i, part) in parts.iter_mut().enumerate() {
+                let ranges: Vec<(usize, usize)> = cuts.iter().map(|c| (c[i], c[i + 1])).collect();
+                s.spawn(move |_| {
+                    *part = merge_slice(sources, &ranges, deeper_occupied, cooperative);
+                });
+            }
+        });
+        // Stitch: slices are disjoint and ordered, so concatenation is
+        // the merged output.
+        let mut keys = Vec::with_capacity(total);
+        let mut slots = Vec::with_capacity(total);
+        let mut weights = Vec::with_capacity(total);
+        for (k, s, w) in parts {
+            keys.extend(k);
+            slots.extend(s);
+            weights.extend(w);
+        }
+        (keys, slots, weights)
+    };
+    if keys.is_empty() {
+        None
+    } else {
+        Some(
+            Run::build(keys, slots, &weights, kind, algorithm)
+                .expect("configuration validated at construction"),
+        )
+    }
+}
+
+/// Sequential k-way merge of one slice: each source restricted to its
+/// rank sub-range `ranges[i]`. The whole merge is one slice in the
+/// sequential case.
+fn merge_slice<K, V>(
+    sources: &[Arc<Run<K, V>>],
+    ranges: &[(usize, usize)],
+    deeper_occupied: bool,
+    cooperative: bool,
+) -> MergedColumns<K, V>
 where
     K: Ord + Clone + Send + Sync,
     V: Clone + Send + Sync,
 {
     let mut srcs: Vec<Source<'_, K, V>> = sources
         .iter()
-        .map(|run| Source::new(Box::new(run.iter_sorted())))
+        .zip(ranges)
+        .map(|(run, &(lo, hi))| Source::new(Box::new(run.iter_sorted_range(lo, hi))))
         .collect();
     let mut keys = Vec::new();
     let mut slots = Vec::new();
@@ -374,15 +634,7 @@ where
         slots.push(slot);
         weights.push(weight);
     }
-    drop(srcs);
-    if keys.is_empty() {
-        None
-    } else {
-        Some(
-            Run::build(keys, slots, &weights, kind, algorithm)
-                .expect("configuration validated at construction"),
-        )
-    }
+    (keys, slots, weights)
 }
 
 /// An immutable snapshot of a [`DynamicMap`]: the whole read API over
@@ -467,14 +719,22 @@ pub struct DynamicMap<K, V> {
     /// Sealed-but-uncompacted L0 runs, **oldest first** (seals push to
     /// the back); all are newer than every tier run.
     l0: Vec<Arc<Run<K, V>>>,
-    /// `tiers[0]` is the newest tier run; `None` marks an empty tier.
-    tiers: Vec<Option<Arc<Run<K, V>>>>,
+    /// `tiers[0]` is the shallowest (newest-data) tier; within a tier,
+    /// runs are **newest first**. Under the default policy every tier
+    /// holds at most one run; tiered policies with `fanout > 1` (and
+    /// lazy-bottom debt) hold several.
+    tiers: Vec<Vec<Arc<Run<K, V>>>>,
     /// The single in-flight compaction, if any.
     pending: Option<Pending<K, V>>,
     kind: QueryKind,
     algorithm: Algorithm,
     buffer_cap: usize,
     mode: CompactionMode,
+    policy: CompactionPolicy,
+    /// Cumulative count of buffer entries displaced toward the back by
+    /// out-of-order mutations (the cost the bulk append fast path
+    /// avoids); see [`DynamicMap::buffer_element_moves`].
+    buffer_moves: u64,
     /// Snapshot cell swapped at seal/compaction granularity; [`Reader`]s
     /// share it.
     published: Arc<Mutex<Arc<Frozen<K, V>>>>,
@@ -534,6 +794,8 @@ where
             algorithm,
             buffer_cap,
             mode: CompactionMode::Background,
+            policy: CompactionPolicy::default(),
+            buffer_moves: 0,
             published: Arc::new(Mutex::new(Arc::new(empty))),
             published_dirty: AtomicBool::new(false),
             muts_since_publish: std::sync::atomic::AtomicUsize::new(0),
@@ -547,6 +809,22 @@ where
     #[must_use]
     pub fn with_compaction_mode(mut self, mode: CompactionMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Builder-style override of the [`CompactionPolicy`] (the
+    /// constructors default to `CompactionPolicy::tiered(1)`, the
+    /// classic binomial schedule). Policies change **only** where
+    /// versions reside and how merges are scheduled — observable
+    /// answers are identical under every policy.
+    ///
+    /// # Panics
+    /// Panics on an invalid policy (tiered `fanout == 0`, leveled
+    /// `fanout < 2`).
+    #[must_use]
+    pub fn with_policy(mut self, policy: CompactionPolicy) -> Self {
+        policy.validate();
+        self.policy = policy;
         self
     }
 
@@ -640,8 +918,8 @@ where
                 t += 1;
             }
             let slots: Vec<Option<V>> = values.into_iter().map(Some).collect();
-            map.tiers = vec![None; t + 1];
-            map.tiers[t] = Some(Arc::new(Run::build(
+            map.tiers = vec![Vec::new(); t + 1];
+            map.tiers[t].push(Arc::new(Run::build(
                 keys,
                 slots,
                 &vec![1i64; n],
@@ -664,17 +942,27 @@ where
     /// path unless [`MAX_SEALED_RUNS`] backpressure engages.
     pub fn insert(&mut self, key: K, value: V) -> bool {
         self.try_install();
-        let s = self.runs_weight_of(&key);
         let live_before;
         match buffer_slot(&self.buffer, &key) {
             Ok(i) => {
+                // Buffer hit: the entry's weight already encodes the
+                // runs' summed weight for this key (weight = liveness −
+                // s, see the module docs), so the overwrite needs no
+                // run descent at all.
                 let entry = &mut self.buffer[i];
+                let s = if entry.slot.is_some() {
+                    1 - entry.weight
+                } else {
+                    -entry.weight
+                };
                 live_before = entry.slot.is_some();
                 entry.slot = Some(value);
                 entry.weight = 1 - s;
             }
             Err(i) => {
+                let s = self.runs_weight_of(&key);
                 live_before = s == 1;
+                self.buffer_moves += (self.buffer.len() - i) as u64;
                 self.buffer.insert(
                     i,
                     BufEntry {
@@ -698,43 +986,205 @@ where
     /// tombstone, annihilated when a merge reaches the bottom tier.
     pub fn remove(&mut self, key: &K) -> bool {
         self.try_install();
-        let s = self.runs_weight_of(key);
         let live_before;
         match buffer_slot(&self.buffer, key) {
             Ok(i) => {
+                // Buffer hit: recover `s` from the entry itself, no run
+                // descent (see `insert`).
                 let entry = &mut self.buffer[i];
+                let s = if entry.slot.is_some() {
+                    1 - entry.weight
+                } else {
+                    -entry.weight
+                };
                 live_before = entry.slot.is_some();
                 entry.slot = None;
                 entry.weight = -s;
             }
-            Err(i) if s == 1 => {
-                live_before = true;
-                self.buffer.insert(
-                    i,
-                    BufEntry {
-                        key: key.clone(),
-                        slot: None,
-                        weight: -1,
-                    },
-                );
-                self.maybe_seal();
-            }
-            Err(_) => {
-                debug_assert_eq!(s, 0, "per-key weight invariant violated");
-                live_before = false;
+            Err(i) => {
+                let s = self.runs_weight_of(key);
+                if s == 1 {
+                    live_before = true;
+                    self.buffer_moves += (self.buffer.len() - i) as u64;
+                    self.buffer.insert(
+                        i,
+                        BufEntry {
+                            key: key.clone(),
+                            slot: None,
+                            weight: -1,
+                        },
+                    );
+                    self.maybe_seal();
+                } else {
+                    debug_assert_eq!(s, 0, "per-key weight invariant violated");
+                    live_before = false;
+                }
             }
         }
         self.after_mutation();
         live_before
     }
 
+    /// Bulk insert: apply every `(key, value)` pair as one delta
+    /// (duplicate keys in the batch: the **last** pair wins, like
+    /// repeated [`DynamicMap::insert`]). Returns how many **distinct**
+    /// batch keys were live before the batch — the batch analog of the
+    /// scalar `bool`s summed, except that intra-batch overwrites of
+    /// the same key count once, not per pair.
+    ///
+    /// The delta is sorted **once**, its per-key run weights are
+    /// resolved with one software-pipelined `batch_rank` sweep per
+    /// resident run (instead of one descent cascade per key), and the
+    /// result is combined with the write buffer in a single linear
+    /// merge — no per-key `O(cap)` memmove. A batch that lands
+    /// entirely above the current buffer maximum appends without
+    /// touching existing entries at all (see
+    /// [`DynamicMap::buffer_element_moves`]). If the combined buffer
+    /// overflows `buffer_cap` it is sealed directly into a presorted
+    /// L0 run and handed to the compactor, exactly like a scalar
+    /// overflow.
+    ///
+    /// # Examples
+    /// ```
+    /// use implicit_search_trees::{DynamicMap, Layout};
+    ///
+    /// let mut m: DynamicMap<u64, &str> = DynamicMap::new(Layout::Veb);
+    /// m.insert(1, "old");
+    /// let replaced = m.batch_insert(vec![(1, "new"), (2, "two"), (3, "three")]);
+    /// assert_eq!(replaced, 1); // only key 1 was live before
+    /// assert_eq!(m.len(), 3);
+    /// assert_eq!(m.get(&1), Some(&"new"));
+    /// ```
+    pub fn batch_insert(&mut self, pairs: Vec<(K, V)>) -> usize {
+        self.apply_batch(pairs.into_iter().map(|(k, v)| (k, Some(v))).collect())
+    }
+
+    /// Bulk delete: apply every key as one delta (duplicates
+    /// collapse). Returns how many keys were live before the batch.
+    /// Keys that are absent (or already deleted) are no-ops and buffer
+    /// no tombstone.
+    ///
+    /// Costs mirror [`DynamicMap::batch_insert`]: one sort, one
+    /// pipelined weight sweep per resident run, one linear buffer
+    /// merge.
+    ///
+    /// # Examples
+    /// ```
+    /// use implicit_search_trees::{DynamicMap, Layout};
+    ///
+    /// let mut m: DynamicMap<u64, u64> = DynamicMap::new(Layout::Veb);
+    /// m.batch_insert((0..10u64).map(|k| (k, k)).collect());
+    /// assert_eq!(m.batch_remove(&[3, 4, 99]), 2); // 99 was never live
+    /// assert_eq!(m.len(), 8);
+    /// ```
+    pub fn batch_remove(&mut self, keys: &[K]) -> usize {
+        self.apply_batch(keys.iter().map(|k| (k.clone(), None)).collect())
+    }
+
+    /// Shared bulk-delta path: `Some(v)` entries insert, `None` entries
+    /// remove. Returns the number of delta keys that were live before.
+    fn apply_batch(&mut self, mut delta: Vec<(K, Option<V>)>) -> usize {
+        if delta.is_empty() {
+            return 0;
+        }
+        self.try_install();
+        // Sort once; stable, so "last pair wins" survives the dedup.
+        delta.sort_by(|a, b| a.0.cmp(&b.0));
+        delta.dedup_by(|later, kept| {
+            if later.0 == kept.0 {
+                std::mem::swap(later, kept);
+                true
+            } else {
+                false
+            }
+        });
+        // Per-key summed run weights, one pipelined rank sweep per run
+        // (the bulk analog of `runs_weight_of`).
+        let keys: Vec<K> = delta.iter().map(|(k, _)| k.clone()).collect();
+        let mut s_runs = vec![0i64; keys.len()];
+        for run in self.all_runs() {
+            let ranks = run.map.index().batch_rank(&keys);
+            let searcher = run.map.searcher();
+            for (s, (&r, key)) in s_runs.iter_mut().zip(ranks.iter().zip(&keys)) {
+                if let Some(p) = searcher.position_of_rank(r) {
+                    if run.map.keys()[p] == *key {
+                        *s += run.prefix[r + 1] - run.prefix[r];
+                    }
+                }
+            }
+        }
+        // Combine the delta with the buffer in one linear merge (delta
+        // wins per key). A batch strictly above the buffer max appends
+        // without displacing a single existing entry.
+        let batch_len = delta.len();
+        let mut changed = 0usize;
+        let append = match (self.buffer.last(), delta.first()) {
+            (Some(last), Some((first, _))) => last.key < *first,
+            _ => true,
+        };
+        let (old, mut merged) = if append {
+            (Vec::new(), std::mem::take(&mut self.buffer))
+        } else {
+            let old = std::mem::take(&mut self.buffer);
+            let cap = old.len() + batch_len;
+            (old, Vec::with_capacity(cap))
+        };
+        let mut old_it = old.into_iter().peekable();
+        let mut displaced = 0u64;
+        let mut delta_started = false;
+        for (i, (key, slot)) in delta.into_iter().enumerate() {
+            while old_it.peek().is_some_and(|e| e.key < key) {
+                if delta_started {
+                    displaced += 1;
+                }
+                merged.push(old_it.next().expect("peeked"));
+            }
+            let s = s_runs[i];
+            let buffered = old_it
+                .peek()
+                .is_some_and(|e| e.key == key)
+                .then(|| old_it.next().expect("peeked").weight);
+            let live_before = s + buffered.unwrap_or(0) == 1;
+            if live_before {
+                changed += 1;
+            }
+            delta_started = true;
+            match slot {
+                Some(v) => merged.push(BufEntry {
+                    key,
+                    slot: Some(v),
+                    weight: 1 - s,
+                }),
+                // A tombstone only needs buffering if run versions hold
+                // non-zero weight; with `s == 0` the runs' newest
+                // version (if any) is already dead, so the key can
+                // simply vanish from the buffer.
+                None if s != 0 => merged.push(BufEntry {
+                    key,
+                    slot: None,
+                    weight: -s,
+                }),
+                None => {}
+            }
+        }
+        for e in old_it {
+            displaced += 1;
+            merged.push(e);
+        }
+        self.buffer = merged;
+        self.buffer_moves += displaced;
+        self.maybe_seal();
+        self.after_mutations(batch_len);
+        changed
+    }
+
     /// Seal the buffer now, regardless of fill level, and start (or, in
     /// [`CompactionMode::Inline`], complete) a compaction — so
     /// subsequent reads skip the buffer probe, and outstanding
     /// [`Reader`]s see the current state immediately (publication is
-    /// otherwise seal-granular). Note the merge targets the first
-    /// **empty** tier: if tier 0 is currently empty this *adds* a
-    /// shallow run rather than reducing the run count.
+    /// otherwise seal-granular). Note the merge targets the policy's
+    /// chosen tier: if tier 0 currently has room this *adds* a shallow
+    /// run rather than reducing the run count.
     pub fn compact_buffer(&mut self) {
         self.try_install();
         self.seal();
@@ -878,16 +1328,33 @@ where
         self.buffer.len()
     }
 
-    /// Resident versions per tier, newest tier first (`None` = empty
-    /// tier); sealed L0 runs are **not** included (see
+    /// Resident versions per run, per tier: element `t` lists tier
+    /// `t`'s runs newest-first (empty = empty tier; more than one run
+    /// appears under tiered `fanout > 1` or lazy-bottom debt). Sealed
+    /// L0 runs are **not** included (see
     /// [`DynamicMap::sealed_versions`]). Sums can exceed
     /// [`DynamicMap::len`]: overwrites, re-inserts, and tombstones all
     /// hold versions until a merge collapses them.
-    pub fn tier_versions(&self) -> Vec<Option<usize>> {
+    pub fn tier_versions(&self) -> Vec<Vec<usize>> {
         self.tiers
             .iter()
-            .map(|t| t.as_ref().map(|r| r.versions()))
+            .map(|t| t.iter().map(|r| r.versions()).collect())
             .collect()
+    }
+
+    /// Cumulative count of buffer entries displaced toward the back of
+    /// the sorted write buffer by mutations (each scalar out-of-order
+    /// insert shifts `len − i` entries; a bulk delta that interleaves
+    /// re-positions the tail it overlaps). A batch that lands entirely
+    /// above the buffer maximum takes the **append fast path** and
+    /// displaces nothing — the regression meter for it.
+    pub fn buffer_element_moves(&self) -> u64 {
+        self.buffer_moves
+    }
+
+    /// The configured [`CompactionPolicy`].
+    pub fn compaction_policy(&self) -> CompactionPolicy {
+        self.policy
     }
 
     /// Resident versions per sealed-but-uncompacted L0 run, newest
@@ -912,9 +1379,9 @@ where
         self.mode
     }
 
-    /// Number of resident runs (sealed L0 runs plus occupied tiers).
+    /// Number of resident runs (sealed L0 runs plus tier runs).
     pub fn run_count(&self) -> usize {
-        self.l0.len() + self.tiers.iter().flatten().count()
+        self.l0.len() + self.tiers.iter().map(Vec::len).sum::<usize>()
     }
 
     // ----- internals -----
@@ -973,8 +1440,14 @@ where
     /// the map — the regression behind
     /// `published_cell_releases_after_last_reader`.
     fn after_mutation(&self) {
+        self.after_mutations(1);
+    }
+
+    /// [`DynamicMap::after_mutation`] for a batch of `n` mutations
+    /// (bulk deltas count every key toward the publication bound).
+    fn after_mutations(&self, n: usize) {
         if self.has_readers() {
-            if self.muts_since_publish.fetch_add(1, Ordering::Relaxed) + 1 >= self.buffer_cap {
+            if self.muts_since_publish.fetch_add(n, Ordering::Relaxed) + n >= self.buffer_cap {
                 self.publish();
             }
         } else if self.published_dirty.load(Ordering::Relaxed) {
@@ -987,7 +1460,7 @@ where
     }
 
     /// Summed weight of `key`'s versions across all resident runs
-    /// (excluding the buffer): two rank descents per run.
+    /// (excluding the buffer): one rank descent per run.
     fn runs_weight_of(&self, key: &K) -> i64 {
         self.all_runs().map(|r| r.weight_of(key)).sum()
     }
@@ -1041,8 +1514,99 @@ where
         }
     }
 
-    /// Start compacting every sealed run plus the runs of every tier
-    /// above the first empty one into that tier. In
+    /// Decide what the next compaction consumes and where the merged
+    /// run lands, per the configured [`CompactionPolicy`]. Every plan
+    /// consumes all sealed runs plus a **contiguous newest prefix** of
+    /// the tier runs, and installs at that prefix's boundary — the
+    /// invariant that keeps global newest-first order valid.
+    fn plan_compaction(&mut self) -> Plan {
+        let consumed_l0 = self.l0.len();
+        let fanout = self.policy.fanout;
+        let (mut full_tiers, mut partial_runs, mut target) = match self.policy.style {
+            CompactionStyle::Tiered => {
+                // First tier with a free run slot; tiers above it are
+                // full and fold in.
+                let target = self
+                    .tiers
+                    .iter()
+                    .position(|t| t.len() < fanout)
+                    .unwrap_or(self.tiers.len());
+                (target, 0, target)
+            }
+            CompactionStyle::Leveled => {
+                // First tier whose size budget `cap·fanout^(t+1)`
+                // absorbs everything above it plus its own run; the
+                // deepest occupied tier absorbs unconditionally.
+                let mut est: usize = self.l0.iter().map(|r| r.versions()).sum();
+                let mut budget = self.buffer_cap.saturating_mul(fanout);
+                let mut t = 0;
+                loop {
+                    let here: usize = self
+                        .tiers
+                        .get(t)
+                        .map_or(0, |v| v.iter().map(|r| r.versions()).sum());
+                    let deeper = self
+                        .tiers
+                        .get(t + 1..)
+                        .is_some_and(|rest| rest.iter().any(|v| !v.is_empty()));
+                    est += here;
+                    if !deeper || est <= budget {
+                        break (t + 1, 0, t);
+                    }
+                    budget = budget.saturating_mul(fanout);
+                    t += 1;
+                }
+            }
+        };
+        // Lazy bottom: when the plan would fold in the bottom (largest)
+        // run but everything above it is still small, stop short of it
+        // — merge the rest and stack the result on the bottom tier as
+        // newer runs ("debt") until the trigger is reached.
+        if self.policy.lazy_bottom {
+            if let Some(bottom) = self.tiers.iter().rposition(|t| !t.is_empty()) {
+                let consumes_bottom = full_tiers > bottom;
+                if consumes_bottom {
+                    let bottom_run = self.tiers[bottom].last().expect("non-empty tier");
+                    let above: usize = self.l0.iter().map(|r| r.versions()).sum::<usize>()
+                        + self
+                            .tiers
+                            .iter()
+                            .flatten()
+                            .map(|r| r.versions())
+                            .sum::<usize>()
+                        - bottom_run.versions();
+                    if above.saturating_mul(fanout.max(2)) < bottom_run.versions() {
+                        full_tiers = bottom;
+                        partial_runs = self.tiers[bottom].len() - 1;
+                        target = bottom;
+                    }
+                }
+            }
+        }
+        while self.tiers.len() <= target {
+            self.tiers.push(Vec::new());
+        }
+        // Anything below the consumed prefix that survives the merge?
+        let boundary_leftover = self
+            .tiers
+            .get(full_tiers)
+            .is_some_and(|t| t.len() > partial_runs);
+        let deeper_occupied = boundary_leftover
+            || self
+                .tiers
+                .get(full_tiers + 1..)
+                .is_some_and(|rest| rest.iter().any(|t| !t.is_empty()));
+        Plan {
+            consumed_l0,
+            full_tiers,
+            partial_runs,
+            target,
+            deeper_occupied,
+        }
+    }
+
+    /// Start compacting every sealed run plus the policy-chosen prefix
+    /// of the tier runs (see [`DynamicMap::plan_compaction`]). In
     /// [`CompactionMode::Background`] the merge runs on a worker thread
     /// over `Arc`-shared sources while the map keeps serving from the
     /// originals; in [`CompactionMode::Inline`] it completes (and
@@ -1052,34 +1616,27 @@ where
         if self.l0.is_empty() {
             return;
         }
-        let target = match self.tiers.iter().position(Option::is_none) {
-            Some(t) => t,
-            None => {
-                self.tiers.push(None);
-                self.tiers.len() - 1
-            }
-        };
-        let consumed_l0 = self.l0.len();
+        let plan = self.plan_compaction();
         // Newest-first sources: sealed runs (newest sealed sits last in
-        // `l0`), then tiers 0..target shallow-to-deep.
-        let sources: Vec<Arc<Run<K, V>>> = self
-            .l0
-            .iter()
-            .rev()
-            .chain(self.tiers[..target].iter().flatten())
-            .cloned()
-            .collect();
-        debug_assert_eq!(
-            sources.len(),
-            consumed_l0 + target,
-            "tiers above the first empty tier are occupied"
-        );
-        let deeper_occupied = self.tiers[target + 1..].iter().any(Option::is_some);
+        // `l0`), then the consumed tier prefix shallow-to-deep.
+        let mut sources: Vec<Arc<Run<K, V>>> = self.l0.iter().rev().cloned().collect();
+        for tier in &self.tiers[..plan.full_tiers] {
+            sources.extend(tier.iter().cloned());
+        }
+        if plan.partial_runs > 0 {
+            sources.extend(
+                self.tiers[plan.full_tiers][..plan.partial_runs]
+                    .iter()
+                    .cloned(),
+            );
+        }
+        let deeper_occupied = plan.deeper_occupied;
         let (kind, algorithm) = (self.kind, self.algorithm);
+        let threads = self.policy.merge_threads;
         match self.mode {
             CompactionMode::Inline => {
-                let merged = merge_runs(&sources, deeper_occupied, kind, algorithm, false);
-                self.install(consumed_l0, target, merged);
+                let merged = merge_runs(&sources, deeper_occupied, kind, algorithm, false, threads);
+                self.install(plan, merged);
             }
             CompactionMode::Background => {
                 // One short-lived thread per compaction: the spawn
@@ -1102,11 +1659,10 @@ where
                         }
                     }
                     let _guard = DoneGuard(worker_done);
-                    merge_runs(&sources, deeper_occupied, kind, algorithm, true)
+                    merge_runs(&sources, deeper_occupied, kind, algorithm, true, threads)
                 });
                 self.pending = Some(Pending {
-                    consumed_l0,
-                    target,
+                    plan,
                     done,
                     handle: Some(handle),
                 });
@@ -1115,17 +1671,26 @@ where
     }
 
     /// Atomically swap the compacted sources for the merged run: the
-    /// consumed L0 prefix and tiers `0..target` go out, `merged` goes
-    /// into `target`, all under `&mut self` — readers hold `Arc`s and
-    /// can never observe a torn state. Observable answers are identical
-    /// before and after (the merge preserves newest-wins resolution and
-    /// per-key weight sums).
-    fn install(&mut self, consumed_l0: usize, target: usize, merged: Option<Run<K, V>>) {
-        self.l0.drain(..consumed_l0);
-        for slot in &mut self.tiers[..target] {
-            *slot = None;
+    /// consumed L0 prefix and tier-run prefix go out, `merged` becomes
+    /// the newest run of the target tier, all under `&mut self` —
+    /// readers hold `Arc`s and can never observe a torn state.
+    /// Observable answers are identical before and after (the merge
+    /// preserves newest-wins resolution and per-key weight sums).
+    fn install(&mut self, plan: Plan, merged: Option<Run<K, V>>) {
+        self.l0.drain(..plan.consumed_l0);
+        for tier in &mut self.tiers[..plan.full_tiers] {
+            tier.clear();
         }
-        self.tiers[target] = merged.map(Arc::new);
+        if plan.partial_runs > 0 {
+            self.tiers[plan.full_tiers].drain(..plan.partial_runs);
+        }
+        debug_assert!(
+            self.tiers[..plan.target].iter().all(Vec::is_empty),
+            "merged run would sit below an occupied shallower tier"
+        );
+        if let Some(run) = merged {
+            self.tiers[plan.target].insert(0, Arc::new(run));
+        }
         self.publish_event();
     }
 
@@ -1139,7 +1704,7 @@ where
         let merged = handle
             .join()
             .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
-        self.install(pending.consumed_l0, pending.target, merged);
+        self.install(pending.plan, merged);
     }
 
     /// Non-blocking install check, run at the start of every mutation:
@@ -1473,7 +2038,7 @@ mod tests {
         fn validate_weights(&self) {
             let mut keys: Vec<K> = self.buffer.iter().map(|e| e.key.clone()).collect();
             for run in self.all_runs() {
-                keys.extend(run.iter_sorted().map(|(k, _, _)| k));
+                keys.extend(run.iter_sorted_range(0, run.map.len()).map(|(k, _, _)| k));
             }
             keys.sort();
             keys.dedup();
@@ -1503,7 +2068,7 @@ mod tests {
         }
         // 16 inserts at cap 4 = 4 seal+compact cycles: binomial counter
         // 100 -> tier 2 holds everything, tiers 0/1 empty.
-        assert_eq!(m.tier_versions(), vec![None, None, Some(16)]);
+        assert_eq!(m.tier_versions(), vec![vec![], vec![], vec![16]]);
         assert_eq!(m.sealed_runs(), 0);
         assert_eq!(m.len(), 16);
         assert_eq!(m.buffered_versions(), 0);
@@ -1511,6 +2076,166 @@ mod tests {
             assert_eq!(m.get(&k), Some(&(k * 10)));
             assert_eq!(m.rank(&k), k as usize);
         }
+    }
+
+    #[test]
+    fn tiered_fanout_two_accumulates_runs_before_folding() {
+        let mut m: DynamicMap<u64, u64> =
+            DynamicMap::with_config(QueryKind::Veb, Algorithm::CycleLeader, 4)
+                .with_compaction_mode(CompactionMode::Inline)
+                .with_policy(CompactionPolicy::tiered(2));
+        for k in 0..16u64 {
+            m.insert(k, k);
+            m.validate_weights();
+        }
+        // Tiered(2): a tier holds up to 2 runs before folding deeper.
+        // Seals 1-2 stack tier 0; seal 3 folds l0+tier0 into tier 1;
+        // seal 4 restarts tier 0.
+        assert_eq!(m.tier_versions(), vec![vec![4], vec![12]]);
+        for k in 16..32u64 {
+            m.insert(k, k);
+        }
+        assert_eq!(m.tier_versions(), vec![vec![4, 4], vec![12, 12]]);
+        // Newest-first order within a tier: run 0 of tier 0 holds the
+        // most recent seal.
+        assert_eq!(m.len(), 32);
+        for k in 0..32u64 {
+            assert_eq!(m.get(&k), Some(&k));
+            assert_eq!(m.rank(&k), k as usize);
+        }
+    }
+
+    #[test]
+    fn leveled_folds_into_the_deepest_occupied_tier() {
+        let mut m: DynamicMap<u64, u64> =
+            DynamicMap::with_config(QueryKind::Veb, Algorithm::CycleLeader, 4)
+                .with_compaction_mode(CompactionMode::Inline)
+                .with_policy(CompactionPolicy::leveled(2));
+        for k in 0..24u64 {
+            m.insert(k, k);
+            m.validate_weights();
+        }
+        // Leveled: every compaction leaves at most one run per tier;
+        // the deepest occupied tier absorbs unconditionally, so with
+        // no deeper neighbors everything folds into one bottom run.
+        assert_eq!(m.run_count(), 1);
+        assert_eq!(m.tier_versions(), vec![vec![24]]);
+        assert_eq!(m.len(), 24);
+    }
+
+    #[test]
+    fn lazy_bottom_defers_rewriting_the_big_run() {
+        let mut m: DynamicMap<u64, u64> =
+            DynamicMap::with_config(QueryKind::Veb, Algorithm::CycleLeader, 4)
+                .with_compaction_mode(CompactionMode::Inline)
+                .with_policy(CompactionPolicy::leveled(2).with_lazy_bottom(true));
+        // Grow a 12-version bottom run (the first three seals merge
+        // normally: the accumulated-above trigger is not yet met).
+        for k in 0..12u64 {
+            m.insert(k, k);
+        }
+        assert_eq!(m.tier_versions(), vec![vec![12]]);
+        let bottom = Arc::clone(&m.tiers[0][0]);
+        // The next seal would fold the bottom in, but 4 versions of
+        // debt × fanout 2 < 12: lazy bottom stops short and stacks the
+        // merged debt as a newer run of the same tier.
+        for k in 12..16u64 {
+            m.insert(k, k);
+            m.validate_weights();
+        }
+        assert_eq!(m.tier_versions(), vec![vec![4, 12]]);
+        assert!(
+            Arc::ptr_eq(&bottom, m.tiers[0].last().expect("bottom run")),
+            "lazy bottom must not rewrite the big run below the trigger"
+        );
+        // One more seal crosses the trigger (8 × 2 ≥ 12): the bottom
+        // run finally folds in.
+        for k in 16..20u64 {
+            m.insert(k, k);
+        }
+        assert_eq!(m.tier_versions(), vec![vec![20]]);
+        assert!(!Arc::ptr_eq(&bottom, &m.tiers[0][0]));
+        for k in 0..20u64 {
+            assert_eq!(m.get(&k), Some(&k));
+            assert_eq!(m.rank(&k), k as usize);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "leveled fanout must be at least 2")]
+    fn leveled_fanout_one_is_rejected() {
+        let _ = DynamicMap::<u64, u64>::new(Layout::Veb).with_policy(CompactionPolicy {
+            fanout: 1,
+            style: CompactionStyle::Leveled,
+            lazy_bottom: false,
+            merge_threads: 0,
+        });
+    }
+
+    #[test]
+    fn batch_append_fast_path_moves_no_elements() {
+        let mut m: DynamicMap<u64, u64> =
+            DynamicMap::with_config(QueryKind::Veb, Algorithm::CycleLeader, 64);
+        // Even keys only, so later odd-key writes miss the buffer.
+        assert_eq!(m.batch_insert((0..16u64).map(|k| (2 * k, k)).collect()), 0);
+        assert_eq!(
+            m.buffer_element_moves(),
+            0,
+            "first batch fills empty buffer"
+        );
+        // A sorted batch strictly above the buffer max appends without
+        // displacing a single existing entry.
+        assert_eq!(m.batch_insert((16..32u64).map(|k| (2 * k, k)).collect()), 0);
+        assert_eq!(m.buffer_element_moves(), 0, "above-max batch must append");
+        // An overlapping batch pays only for the entries it passes.
+        assert_eq!(m.batch_insert(vec![(10, 500)]), 1);
+        let after_overlap = m.buffer_element_moves();
+        assert!(after_overlap > 0, "overlapping batch displaces the tail");
+        // A per-key buffer-miss insert below the max pays the O(cap)
+        // memmove the batch path avoids.
+        m.insert(1, 100);
+        assert!(m.buffer_element_moves() > after_overlap);
+        m.validate_weights();
+        assert_eq!(m.len(), 33);
+        assert_eq!(m.get(&10), Some(&500));
+    }
+
+    #[test]
+    fn batch_ops_match_scalar_loop() {
+        let mut batched: DynamicMap<u64, u64> =
+            DynamicMap::with_config(QueryKind::Veb, Algorithm::CycleLeader, 4)
+                .with_compaction_mode(CompactionMode::Inline);
+        let mut scalar = DynamicMap::with_config(QueryKind::Veb, Algorithm::CycleLeader, 4)
+            .with_compaction_mode(CompactionMode::Inline);
+        // Duplicate keys in one batch: last pair wins, exactly like the
+        // scalar loop; the count is per **distinct** key live before
+        // (the scalar loop would also count intra-batch overwrites).
+        let pairs = vec![(5u64, 1u64), (3, 2), (5, 3), (9, 4), (3, 5)];
+        for &(k, v) in &pairs {
+            scalar.insert(k, v);
+        }
+        assert_eq!(batched.batch_insert(pairs), 0, "nothing was live before");
+        batched.validate_weights();
+        // Re-inserting over live keys counts each distinct key once.
+        assert_eq!(batched.batch_insert(vec![(5, 7), (5, 8), (11, 9)]), 1);
+        assert!(scalar.insert(5, 7));
+        assert!(scalar.insert(5, 8));
+        assert!(!scalar.insert(11, 9));
+        let keys = [3u64, 3, 7, 9];
+        let expect_removed = [3u64, 7, 9]
+            .iter()
+            .map(|k| usize::from(scalar.remove(k)))
+            .sum::<usize>();
+        assert_eq!(batched.batch_remove(&keys), expect_removed);
+        batched.validate_weights();
+        for k in 0..12u64 {
+            assert_eq!(batched.get(&k), scalar.get(&k));
+            assert_eq!(batched.rank(&k), scalar.rank(&k));
+        }
+        assert_eq!(batched.len(), scalar.len());
+        // Empty batches are free no-ops.
+        assert_eq!(batched.batch_insert(Vec::new()), 0);
+        assert_eq!(batched.batch_remove(&[]), 0);
     }
 
     #[test]

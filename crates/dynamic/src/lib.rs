@@ -40,7 +40,8 @@ mod index;
 mod map;
 
 pub use dynamic::{
-    CompactionMode, DynamicMap, Frozen, Reader, DEFAULT_BUFFER_CAP, MAX_SEALED_RUNS,
+    CompactionMode, CompactionPolicy, CompactionStyle, DynamicMap, Frozen, Reader,
+    DEFAULT_BUFFER_CAP, MAX_SEALED_RUNS,
 };
 pub use index::{default_kind_for_layout, StaticIndex};
 pub use map::StaticMap;

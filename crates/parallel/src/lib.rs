@@ -15,9 +15,12 @@
 //! Concurrency is provided by `std::thread::scope` behind two limits:
 //!
 //! 1. a **global spawn budget** of `available_parallelism() − 1` live
-//!    helper threads, which keeps deeply nested `join`/`scope`
-//!    recursion — the shape of every construction algorithm here — from
-//!    exploding the thread count; and
+//!    helper threads (overridable via the `IST_PARALLEL` environment
+//!    variable: `IST_PARALLEL=1` forces strictly serial execution,
+//!    larger values oversubscribe single-core hosts with real OS
+//!    threads), which keeps deeply nested `join`/`scope` recursion —
+//!    the shape of every construction algorithm here — from exploding
+//!    the thread count; and
 //! 2. the **installed pool allowance**: inside
 //!    [`ThreadPool::install`]`(p)` at most `p − 1` helpers are live at
 //!    once, the pool context is inherited by helper threads, and `p = 1`
@@ -49,6 +52,23 @@ static SPAWN_BUDGET: AtomicIsize = AtomicIsize::new(-1);
 
 fn hardware_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Logical thread count the global budget is derived from: the
+/// `IST_PARALLEL` environment variable when set to a positive integer,
+/// `available_parallelism()` otherwise. `IST_PARALLEL=1` forces every
+/// `join`/`scope`/par-iter in the process onto the calling thread (the
+/// degenerate-serial CI job); values above the core count oversubscribe
+/// with real OS threads, which is how single-core hosts still exercise
+/// the concurrent code paths.
+fn configured_threads() -> usize {
+    match std::env::var("IST_PARALLEL") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => hardware_threads(),
+        },
+        Err(_) => hardware_threads(),
+    }
 }
 
 /// The ambient thread-pool context: a logical thread count plus a shared
@@ -129,7 +149,7 @@ pub(crate) fn try_acquire_thread() -> Option<ThreadToken> {
     // Initialize the global budget lazily on first use (racing writers
     // store the same value).
     if SPAWN_BUDGET.load(Ordering::Relaxed) == -1 {
-        let budget = hardware_threads().saturating_sub(1) as isize;
+        let budget = configured_threads().saturating_sub(1) as isize;
         let _ = SPAWN_BUDGET.compare_exchange(-1, budget, Ordering::Relaxed, Ordering::Relaxed);
     }
     let pool = match current_pool_ctx() {
@@ -226,7 +246,7 @@ where
 pub(crate) fn effective_threads() -> usize {
     current_pool_ctx()
         .map(|ctx| ctx.threads)
-        .unwrap_or_else(hardware_threads)
+        .unwrap_or_else(configured_threads)
         .max(1)
 }
 

@@ -13,6 +13,10 @@
 //!    ([`scatter_to_input_order`]), so the caller sees exactly the
 //!    answer a single unsharded structure would have produced.
 //!
+//! Bulk **mutation** deltas follow the same shape with
+//! [`partition_owned`] — items are moved, not cloned, since the shards
+//! consume them.
+//!
 //! The helpers live here (rather than in the sharding crate) because
 //! they are pure batch-plumbing over the query engine's inputs and
 //! outputs: any front-end that fans a batch out over disjoint indexes
@@ -75,6 +79,41 @@ pub fn partition_batch<T: Clone>(
         assert!(s < shards, "route sent item {i} to shard {s} of {shards}");
         parts[s].0.push(i);
         parts[s].1.push(item.clone());
+    }
+    parts
+}
+
+/// [`partition_batch`] for **owned** items: moves each item into its
+/// shard's sub-batch instead of cloning — the right shape for bulk
+/// mutation deltas, where the routed values are consumed by the shards
+/// and per-item results (if any) are scalar. Original indices are
+/// returned the same way, so [`scatter_to_input_order`] applies
+/// unchanged when results must return in input order.
+///
+/// # Panics
+/// Panics if `route` returns an index `>= shards`.
+///
+/// # Examples
+/// ```
+/// use ist_query::route::partition_owned;
+/// let parts = partition_owned(vec![5u64, 12, 3, 20], 3, |k| (k / 10) as usize);
+/// assert_eq!(parts[0], (vec![0, 2], vec![5, 3]));
+/// assert_eq!(parts[1], (vec![1], vec![12]));
+/// assert_eq!(parts[2], (vec![3], vec![20]));
+/// ```
+pub fn partition_owned<T>(
+    items: Vec<T>,
+    shards: usize,
+    mut route: impl FnMut(&T) -> usize,
+) -> Vec<(Vec<usize>, Vec<T>)> {
+    let mut parts: Vec<(Vec<usize>, Vec<T>)> = std::iter::repeat_with(Default::default)
+        .take(shards)
+        .collect();
+    for (i, item) in items.into_iter().enumerate() {
+        let s = route(&item);
+        assert!(s < shards, "route sent item {i} to shard {s} of {shards}");
+        parts[s].0.push(i);
+        parts[s].1.push(item);
     }
     parts
 }

@@ -41,8 +41,10 @@
 //! both a `BTreeMap` oracle and a single-map mirror.
 
 use ist_core::{Algorithm, Error, Layout};
-use ist_dynamic::{default_kind_for_layout, CompactionMode, DynamicMap, DEFAULT_BUFFER_CAP};
-use ist_query::route::{partition_batch, scatter_to_input_order, shard_of_key};
+use ist_dynamic::{
+    default_kind_for_layout, CompactionMode, CompactionPolicy, DynamicMap, DEFAULT_BUFFER_CAP,
+};
+use ist_query::route::{partition_batch, partition_owned, scatter_to_input_order, shard_of_key};
 use ist_query::QueryKind;
 
 /// A key-range-sharded map: range-partitioned shards, each a
@@ -193,6 +195,24 @@ where
         self
     }
 
+    /// Builder-style [`CompactionPolicy`] override applied to every
+    /// shard; see [`DynamicMap::with_policy`]. Observable answers are
+    /// identical under every policy — this trades write amplification
+    /// against read fan-out, per shard.
+    ///
+    /// # Panics
+    /// Panics on an invalid policy (tiered `fanout == 0`, leveled
+    /// `fanout < 2`).
+    #[must_use]
+    pub fn with_policy(mut self, policy: CompactionPolicy) -> Self {
+        self.shards = self
+            .shards
+            .into_iter()
+            .map(|s| s.with_policy(policy))
+            .collect();
+        self
+    }
+
     /// Dedup (last wins), pick equal-count splits, and partition the
     /// pairs by the resulting ranges — shared by both bulk loaders.
     #[allow(clippy::type_complexity)]
@@ -282,6 +302,69 @@ where
     pub fn remove(&mut self, key: &K) -> bool {
         let s = self.shard_of(key);
         self.shards[s].remove(key)
+    }
+
+    /// Bulk insert across shards: the delta is partitioned per shard by
+    /// the range router ([`ist_query::route::partition_owned`] — items
+    /// moved, not cloned) and every non-empty sub-delta is applied via
+    /// [`DynamicMap::batch_insert`] **in parallel** under the
+    /// rayon-shim scope (shards are disjoint structures, so `&mut`
+    /// access per shard is race-free by construction). Returns the
+    /// total number of pairs that replaced a live value.
+    ///
+    /// Global-rank exactness is untouched: the range-partition
+    /// invariant (every key in shard `j < i` sorts strictly below every
+    /// key in shard `i`) is a property of the *router*, not of when
+    /// writes land, so per-shard bulk deltas — whatever order the
+    /// scope schedules them in — leave
+    /// `rank(k) = Σ_{j<shard(k)} len_j + rank_{shard(k)}(k)` exact, as
+    /// the sharded differential suite pins against an unsharded mirror.
+    ///
+    /// # Examples
+    /// ```
+    /// use implicit_search_trees::{Layout, ShardedMap};
+    ///
+    /// let mut m: ShardedMap<u64, u64> = ShardedMap::with_splits(vec![10, 20], Layout::Veb);
+    /// let replaced = m.batch_insert((0..30u64).map(|k| (k, k)).collect());
+    /// assert_eq!(replaced, 0);
+    /// assert_eq!(m.len(), 30);
+    /// assert_eq!(m.shard_lens(), vec![10, 10, 10]);
+    /// ```
+    pub fn batch_insert(&mut self, pairs: Vec<(K, V)>) -> usize {
+        let parts = partition_owned(pairs, self.shards.len(), |(k, _)| {
+            shard_of_key(&self.splits, k)
+        });
+        let mut counts = vec![0usize; self.shards.len()];
+        rayon::scope(|s| {
+            for ((shard, (_, routed)), count) in
+                self.shards.iter_mut().zip(parts).zip(counts.iter_mut())
+            {
+                if routed.is_empty() {
+                    continue;
+                }
+                s.spawn(move |_| *count = shard.batch_insert(routed));
+            }
+        });
+        counts.into_iter().sum()
+    }
+
+    /// Bulk delete across shards; the delta is routed and applied
+    /// shard-parallel exactly like [`ShardedMap::batch_insert`].
+    /// Returns how many keys were live before the batch.
+    pub fn batch_remove(&mut self, keys: &[K]) -> usize {
+        let parts = partition_batch(keys, self.shards.len(), |k| shard_of_key(&self.splits, k));
+        let mut counts = vec![0usize; self.shards.len()];
+        rayon::scope(|s| {
+            for ((shard, (_, routed)), count) in
+                self.shards.iter_mut().zip(&parts).zip(counts.iter_mut())
+            {
+                if routed.is_empty() {
+                    continue;
+                }
+                s.spawn(move |_| *count = shard.batch_remove(routed));
+            }
+        });
+        counts.into_iter().sum()
     }
 
     /// Seal every shard's buffer and start (or complete, for inline

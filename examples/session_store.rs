@@ -10,7 +10,12 @@
 //! 2. stream today's logins / refreshes / logouts through the write
 //!    buffer — overflows **seal** cheap L0 runs while the k-way merges
 //!    run on the background compaction worker (the default
-//!    `CompactionMode`), so no write waits for a rebuild,
+//!    `CompactionMode`), so no write waits for a rebuild; the store
+//!    runs a write-tuned [`CompactionPolicy`] (tiered fanout 4, lazy
+//!    bottom) so steady churn never rewrites the big bulk-loaded run,
+//!    2b. ingest a partner batch through the **bulk-delta** API
+//!    (`batch_insert` / `batch_remove`): one sort + one pipelined
+//!    weight sweep per resident run for the whole batch,
 //! 3. serve batched point lookups from the live map the whole time
 //!    (sealed-but-uncompacted runs keep answers exact mid-merge),
 //! 4. hand a [`Reader`] to a separate thread that audits a frozen
@@ -20,7 +25,7 @@
 //!
 //! [`Reader`]: implicit_search_trees::Reader
 
-use implicit_search_trees::{DynamicMap, Layout};
+use implicit_search_trees::{CompactionPolicy, DynamicMap, Layout};
 use std::thread;
 
 fn main() {
@@ -30,8 +35,12 @@ fn main() {
         .iter()
         .map(|s| 1_700_000_000 + s % 86_400)
         .collect();
-    let mut store: DynamicMap<u64, u64> =
-        DynamicMap::build(yesterday, created, Layout::Veb).expect("valid layout");
+    let mut store: DynamicMap<u64, u64> = DynamicMap::build(yesterday, created, Layout::Veb)
+        .expect("valid layout")
+        // Write-tuned compaction: up to 4 sibling runs per tier, and
+        // don't fold the 200k-version bulk run back in while the churn
+        // above it stays small.
+        .with_policy(CompactionPolicy::tiered(4).with_lazy_bottom(true));
     println!(
         "bulk-loaded {} sessions into {} run(s), tiers: {:?}",
         store.len(),
@@ -59,6 +68,22 @@ fn main() {
         store.sealed_runs(),
         store.compaction_in_flight(),
         store.tier_versions()
+    );
+
+    // --- 2b. bulk-delta ingest: a partner's session dump ---------------
+    // One call sorts the batch, resolves every key's run weights with a
+    // pipelined sweep per resident run, and merges the result into the
+    // buffer linearly — no per-key descent cascades, no per-key O(cap)
+    // memmove.
+    let partner: Vec<(u64, u64)> = (0..20_000u64)
+        .map(|s| (3 * s + 2, 1_700_090_000 + s))
+        .collect();
+    let already_live = store.batch_insert(partner);
+    let expired = store.batch_remove(&(0..5_000u64).map(|s| 3 * s).collect::<Vec<_>>());
+    println!(
+        "bulk delta: 20k upserts ({already_live} were already live), 5k expiries \
+         ({expired} were live), buffer moves so far: {}",
+        store.buffer_element_moves()
     );
 
     // --- 3. batched serving off the live map ---------------------------

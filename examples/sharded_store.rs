@@ -5,8 +5,14 @@
 //! one background compactor; this one puts a 4-shard router in front:
 //!
 //! 1. bulk-load a user→balance table, split at equal-count boundaries,
+//!    under a write-tuned [`CompactionPolicy`] applied to every shard,
 //! 2. churn it with writes that hash across all shards (each shard
 //!    seals and compacts independently, in the background),
+//!    2b. ingest a bulk delta (`batch_insert` / `batch_remove`): the
+//!    router partitions the batch by shard ranges and each shard takes
+//!    one sorted sub-batch — shards proceed in parallel, and the
+//!    returned live-before counts sum exactly across shards because
+//!    the range partition makes per-shard answers disjoint,
 //! 3. serve batched reads and global order statistics whose inputs
 //!    straddle every shard boundary — answers are bit-identical to an
 //!    unsharded map,
@@ -16,14 +22,18 @@
 //!
 //! [`DynamicMap`]: implicit_search_trees::DynamicMap
 
-use implicit_search_trees::{Layout, ShardedMap};
+use implicit_search_trees::{CompactionPolicy, Layout, ShardedMap};
 
 fn main() {
     // --- 1. bulk load, 4 range-partitioned shards ----------------------
     let users: Vec<u64> = (0..400_000u64).map(|u| 5 * u).collect();
     let balances: Vec<u64> = users.iter().map(|u| 1_000 + u % 997).collect();
-    let mut store: ShardedMap<u64, u64> =
-        ShardedMap::build(users, balances, Layout::Veb, 4).expect("valid layout");
+    let mut store: ShardedMap<u64, u64> = ShardedMap::build(users, balances, Layout::Veb, 4)
+        .expect("valid layout")
+        // Applied to every shard: tiering bounds write amplification
+        // and the lazy bottom keeps churn from rewriting each shard's
+        // big bulk-loaded run.
+        .with_policy(CompactionPolicy::tiered(4).with_lazy_bottom(true));
     println!(
         "bulk-loaded {} accounts into {} shards (splits at {:?}), per-shard: {:?}",
         store.len(),
@@ -45,6 +55,20 @@ fn main() {
         "after 120k writes: {} live accounts, compaction in flight: {}",
         store.len(),
         store.compaction_in_flight()
+    );
+
+    // --- 2b. bulk delta: one partner file, routed across shards --------
+    // Interest accrual for users ≡ 2 mod 5 (never bulk-loaded) plus a
+    // closure sweep — one call each; the router scatters both by shard
+    // range, so every shard ingests its sub-batch with a single sort
+    // and one pipelined weight sweep per resident run.
+    let accruals: Vec<(u64, u64)> = (0..60_000u64).map(|u| (5 * u + 2, 1_000 + u)).collect();
+    let already_live = store.batch_insert(accruals);
+    let closed = store.batch_remove(&(0..30_000u64).map(|u| 5 * u).collect::<Vec<_>>());
+    println!(
+        "bulk delta: 60k accruals ({already_live} were already live), \
+         30k closure attempts ({closed} were live) -> {} live accounts",
+        store.len()
     );
 
     // --- 3. batched serving straddling every boundary ------------------

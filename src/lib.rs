@@ -153,8 +153,8 @@
 //! | [`gpu_sim`] | SIMT (GPU) execution cost backend |
 
 pub use ist_dynamic::{
-    CompactionMode, DynamicMap, Frozen, Reader, StaticIndex, StaticMap, DEFAULT_BUFFER_CAP,
-    MAX_SEALED_RUNS,
+    CompactionMode, CompactionPolicy, CompactionStyle, DynamicMap, Frozen, Reader, StaticIndex,
+    StaticMap, DEFAULT_BUFFER_CAP, MAX_SEALED_RUNS,
 };
 pub use ist_shard::ShardedMap;
 

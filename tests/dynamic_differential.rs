@@ -24,10 +24,10 @@
 //! CI runs 3 fixed seeds; `IST_FUZZ_LONG=1` widens the sweep to 30
 //! seeds with longer sequences.
 
-use implicit_search_trees::{Algorithm, CompactionMode, DynamicMap, QueryKind};
+use implicit_search_trees::{Algorithm, CompactionMode, CompactionPolicy, DynamicMap, QueryKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::ops::Bound::{Excluded, Unbounded};
 
@@ -39,6 +39,8 @@ const UNIVERSE: u64 = 40;
 enum Op {
     Insert(u64, u64),
     Remove(u64),
+    BatchInsert(Vec<(u64, u64)>),
+    BatchRemove(Vec<u64>),
     Get(u64),
     Rank(u64),
     LowerBound(u64),
@@ -53,6 +55,8 @@ impl fmt::Display for Op {
         match self {
             Op::Insert(k, v) => write!(f, "insert({k}, {v})"),
             Op::Remove(k) => write!(f, "remove({k})"),
+            Op::BatchInsert(pairs) => write!(f, "batch_insert({pairs:?})"),
+            Op::BatchRemove(keys) => write!(f, "batch_remove({keys:?})"),
             Op::Get(k) => write!(f, "get({k})"),
             Op::Rank(k) => write!(f, "rank({k})"),
             Op::LowerBound(k) => write!(f, "lower_bound({k})"),
@@ -64,11 +68,36 @@ impl fmt::Display for Op {
     }
 }
 
-fn gen_op(rng: &mut StdRng, op_index: usize) -> Op {
+/// How the generator routes mutations: per-key scalar ops, or bulk
+/// deltas through `batch_insert` / `batch_remove` (with intra-batch
+/// duplicate keys, so last-pair-wins dedup is stressed too).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Ingest {
+    PerKey,
+    Bulk,
+}
+
+fn gen_op(rng: &mut StdRng, op_index: usize, ingest: Ingest) -> Op {
     let key = rng.gen_range(0..UNIVERSE);
     match rng.gen_range(0..100u32) {
         // Mutation-heavy mix: versions must pile up across runs.
+        0..=29 if ingest == Ingest::Bulk => {
+            // Empty, singleton, and duplicate-heavy batches included.
+            let len = rng.gen_range(0..8usize);
+            Op::BatchInsert(
+                (0..len)
+                    .map(|j| {
+                        let k = rng.gen_range(0..UNIVERSE);
+                        (k, (op_index as u64) << 8 | j as u64)
+                    })
+                    .collect(),
+            )
+        }
         0..=29 => Op::Insert(key, op_index as u64),
+        30..=49 if ingest == Ingest::Bulk => {
+            let len = rng.gen_range(0..8usize);
+            Op::BatchRemove((0..len).map(|_| rng.gen_range(0..UNIVERSE)).collect())
+        }
         30..=49 => Op::Remove(key),
         50..=59 => Op::Get(key),
         60..=69 => Op::Rank(key),
@@ -226,6 +255,30 @@ fn apply_op(
                 return Err(format!("remove returned {removed}, oracle {expect}"));
             }
         }
+        Op::BatchInsert(pairs) => {
+            // The return counts *distinct* batch keys live before the
+            // batch; applying the pairs in order gives last-pair-wins.
+            let distinct: BTreeSet<u64> = pairs.iter().map(|(k, _)| *k).collect();
+            let expect = distinct.iter().filter(|k| oracle.contains_key(k)).count();
+            let got = map.batch_insert(pairs.clone());
+            for &(k, v) in pairs {
+                oracle.insert(k, v);
+            }
+            if got != expect {
+                return Err(format!("batch_insert returned {got}, oracle {expect}"));
+            }
+        }
+        Op::BatchRemove(keys) => {
+            let distinct: BTreeSet<u64> = keys.iter().copied().collect();
+            let expect = distinct.iter().filter(|k| oracle.contains_key(k)).count();
+            let got = map.batch_remove(keys);
+            for k in keys {
+                oracle.remove(k);
+            }
+            if got != expect {
+                return Err(format!("batch_remove returned {got}, oracle {expect}"));
+            }
+        }
         Op::Get(k) => {
             if map.get(k) != oracle.get(k) {
                 return Err(format!(
@@ -304,14 +357,38 @@ fn run_sequence(
     num_ops: usize,
     mode: CompactionMode,
 ) {
+    run_sequence_with(
+        seed,
+        kind,
+        buffer_cap,
+        num_ops,
+        mode,
+        CompactionPolicy::default(),
+        Ingest::PerKey,
+    );
+}
+
+/// The full-matrix variant: a [`CompactionPolicy`] (fanout, style,
+/// lazy bottom, merge parallelism) and an ingest route on top of the
+/// base harness.
+fn run_sequence_with(
+    seed: u64,
+    kind: QueryKind,
+    buffer_cap: usize,
+    num_ops: usize,
+    mode: CompactionMode,
+    policy: CompactionPolicy,
+    ingest: Ingest,
+) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut map: DynamicMap<u64, u64> =
         DynamicMap::with_config(kind, Algorithm::CycleLeader, buffer_cap)
-            .with_compaction_mode(mode);
+            .with_compaction_mode(mode)
+            .with_policy(policy);
     let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
     let mut ops: Vec<Op> = Vec::with_capacity(num_ops);
     for i in 0..num_ops {
-        let op = gen_op(&mut rng, i);
+        let op = gen_op(&mut rng, i, ingest);
         ops.push(op.clone());
         let result = apply_op(&mut map, &mut oracle, &op)
             .and_then(|()| check_full_state(&map, &oracle))
@@ -336,7 +413,8 @@ fn run_sequence(
             panic!(
                 "dynamic_differential diverged\n\
                  seed        = {seed:#x}\n\
-                 config      = kind={kind:?} buffer_cap={buffer_cap} mode={mode:?}\n\
+                 config      = kind={kind:?} buffer_cap={buffer_cap} mode={mode:?} \
+                 policy={policy:?} ingest={ingest:?}\n\
                  failure     = {why}\n\
                  minimal op prefix that first diverges ({} ops, last one diverges):\n{}",
                 ops.len(),
@@ -395,9 +473,123 @@ fn differential_fixed_seeds_background_compaction() {
     }
 }
 
-/// Extended sweep: 30 seeds, longer sequences, both compaction modes.
-/// `IST_FUZZ_LONG=1` turns it on (a dedicated CI job runs it in
-/// release).
+/// The policy matrix: every [`CompactionPolicy`] style (tiered fanouts,
+/// leveled, lazy bottom) × merge parallelism {1, 4} × bulk vs per-key
+/// ingest, in both compaction modes — full observable state vs the
+/// oracle after every op, snapshots included (in background mode those
+/// land mid-merge).
+fn policies() -> [CompactionPolicy; 5] {
+    [
+        CompactionPolicy::tiered(1).with_merge_threads(1),
+        CompactionPolicy::tiered(2).with_merge_threads(4),
+        CompactionPolicy::tiered(3)
+            .with_lazy_bottom(true)
+            .with_merge_threads(1),
+        CompactionPolicy::leveled(2).with_merge_threads(4),
+        CompactionPolicy::leveled(3)
+            .with_lazy_bottom(true)
+            .with_merge_threads(4),
+    ]
+}
+
+#[test]
+fn differential_policy_and_bulk_matrix() {
+    for (p, policy) in policies().into_iter().enumerate() {
+        for ingest in [Ingest::PerKey, Ingest::Bulk] {
+            for mode in [CompactionMode::Inline, CompactionMode::Background] {
+                run_sequence_with(
+                    0xD0_11C7 + p as u64,
+                    QueryKind::Veb,
+                    3,
+                    200,
+                    mode,
+                    policy,
+                    ingest,
+                );
+            }
+        }
+    }
+}
+
+/// Bulk ingest through adversarial buffer capacities and query kinds
+/// (cap 1 seals on every non-empty batch; cap 8 exercises the
+/// buffer/batch linear merge repeatedly).
+#[test]
+fn differential_bulk_ingest_fixed_seeds() {
+    for &seed in &CI_SEEDS {
+        for kind in [QueryKind::Veb, QueryKind::Btree(2)] {
+            for &cap in &CAPS {
+                run_sequence_with(
+                    seed,
+                    kind,
+                    cap,
+                    200,
+                    CompactionMode::Inline,
+                    CompactionPolicy::default(),
+                    Ingest::Bulk,
+                );
+            }
+        }
+    }
+}
+
+/// The sliced parallel merge must be **bit-identical** to the
+/// sequential merge — same tier shapes, same answers. Runs here are
+/// large enough (thousands of versions) that the merge actually
+/// splits into slices; the fuzz sequences above stay below the
+/// slicing threshold and pin only the `merge_threads` plumbing.
+#[test]
+fn parallel_merge_bit_identical_to_serial() {
+    let mk = |threads: usize| -> DynamicMap<u64, u64> {
+        DynamicMap::with_config(QueryKind::Veb, Algorithm::CycleLeader, 2048)
+            .with_compaction_mode(CompactionMode::Inline)
+            .with_policy(CompactionPolicy::tiered(1).with_merge_threads(threads))
+    };
+    let mut serial = mk(1);
+    let mut parallel = mk(4);
+    let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut rng = StdRng::seed_from_u64(0x511_CE5);
+    for round in 0..4u64 {
+        let pairs: Vec<(u64, u64)> = (0..3000u64)
+            .map(|i| (rng.gen_range(0..8192), round * 10_000 + i))
+            .collect();
+        let s = serial.batch_insert(pairs.clone());
+        let p = parallel.batch_insert(pairs.clone());
+        assert_eq!(s, p, "round {round} insert counts");
+        for (k, v) in pairs {
+            oracle.insert(k, v);
+        }
+        let removes: Vec<u64> = (0..800).map(|_| rng.gen_range(0..8192)).collect();
+        assert_eq!(
+            serial.batch_remove(&removes),
+            parallel.batch_remove(&removes),
+            "round {round} remove counts"
+        );
+        for k in &removes {
+            oracle.remove(k);
+        }
+        // Tier shapes (run sizes per tier) must match exactly: the
+        // sliced merge may not change what gets merged or its result.
+        assert_eq!(
+            serial.tier_versions(),
+            parallel.tier_versions(),
+            "round {round} tier shapes"
+        );
+    }
+    assert_eq!(serial.len(), oracle.len());
+    assert_eq!(parallel.len(), oracle.len());
+    let probes: Vec<u64> = (0..8192u64).collect();
+    let serial_get = serial.batch_get(&probes);
+    assert_eq!(serial_get, parallel.batch_get(&probes));
+    assert_eq!(serial.batch_rank(&probes), parallel.batch_rank(&probes));
+    for (i, &k) in probes.iter().enumerate() {
+        assert_eq!(serial_get[i], oracle.get(&k), "get({k}) vs oracle");
+    }
+}
+
+/// Extended sweep: 30 seeds, longer sequences, both compaction modes,
+/// plus a policy × ingest sweep. `IST_FUZZ_LONG=1` turns it on (a
+/// dedicated CI job runs it in release).
 #[test]
 fn differential_long_sweep() {
     if std::env::var_os("IST_FUZZ_LONG").is_none() {
@@ -409,6 +601,23 @@ fn differential_long_sweep() {
             for &cap in &CAPS {
                 for mode in [CompactionMode::Inline, CompactionMode::Background] {
                     run_sequence(0x10_0000 + seed, kind, cap, 400, mode);
+                }
+            }
+        }
+    }
+    for seed in 0..6u64 {
+        for policy in policies() {
+            for ingest in [Ingest::PerKey, Ingest::Bulk] {
+                for mode in [CompactionMode::Inline, CompactionMode::Background] {
+                    run_sequence_with(
+                        0x40_0000 + seed,
+                        QueryKind::Veb,
+                        3,
+                        400,
+                        mode,
+                        policy,
+                        ingest,
+                    );
                 }
             }
         }
@@ -439,7 +648,7 @@ fn differential_after_bulk_build() {
         }
         check_full_state(&map, &oracle).expect("bulk build state");
         for i in 0..150 {
-            let op = gen_op(&mut rng, 1000 + i);
+            let op = gen_op(&mut rng, 1000 + i, Ingest::Bulk);
             apply_op(&mut map, &mut oracle, &op)
                 .and_then(|()| check_full_state(&map, &oracle))
                 .unwrap_or_else(|why| {

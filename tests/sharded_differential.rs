@@ -27,10 +27,12 @@
 //! workers overlapping the op stream). CI runs fixed seeds;
 //! `IST_FUZZ_LONG=1` widens the sweep.
 
-use implicit_search_trees::{Algorithm, CompactionMode, DynamicMap, QueryKind, ShardedMap};
+use implicit_search_trees::{
+    Algorithm, CompactionMode, CompactionPolicy, DynamicMap, QueryKind, ShardedMap,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::ops::Bound::{Excluded, Unbounded};
 
@@ -42,6 +44,8 @@ const UNIVERSE: u64 = 60;
 enum Op {
     Insert(u64, u64),
     Remove(u64),
+    BatchInsert(Vec<(u64, u64)>),
+    BatchRemove(Vec<u64>),
     BatchGet(Vec<u64>),
     BatchRank(Vec<u64>),
     BatchRangeCount(Vec<(u64, u64)>),
@@ -52,6 +56,8 @@ impl fmt::Display for Op {
         match self {
             Op::Insert(k, v) => write!(f, "insert({k}, {v})"),
             Op::Remove(k) => write!(f, "remove({k})"),
+            Op::BatchInsert(pairs) => write!(f, "batch_insert({pairs:?})"),
+            Op::BatchRemove(keys) => write!(f, "batch_remove({keys:?})"),
             Op::BatchGet(keys) => write!(f, "batch_get(len={})", keys.len()),
             Op::BatchRank(keys) => write!(f, "batch_rank(len={})", keys.len()),
             Op::BatchRangeCount(r) => write!(f, "batch_range_count(len={})", r.len()),
@@ -68,10 +74,34 @@ fn gen_batch_keys(rng: &mut StdRng) -> Vec<u64> {
     (0..len).map(|_| rng.gen_range(0..UNIVERSE + 4)).collect()
 }
 
-fn gen_op(rng: &mut StdRng, op_index: usize) -> Op {
+/// Mutation route: scalar per-key ops, or bulk deltas (batches span
+/// shard boundaries by construction — keys are uniform over the
+/// universe, so a batch of length ≥ 2 usually straddles a split).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Ingest {
+    PerKey,
+    Bulk,
+}
+
+fn gen_op(rng: &mut StdRng, op_index: usize, ingest: Ingest) -> Op {
     let key = rng.gen_range(0..UNIVERSE);
     match rng.gen_range(0..100u32) {
+        0..=39 if ingest == Ingest::Bulk => {
+            let len = rng.gen_range(0..10usize);
+            Op::BatchInsert(
+                (0..len)
+                    .map(|j| {
+                        let k = rng.gen_range(0..UNIVERSE);
+                        (k, (op_index as u64) << 8 | j as u64)
+                    })
+                    .collect(),
+            )
+        }
         0..=39 => Op::Insert(key, op_index as u64),
+        40..=59 if ingest == Ingest::Bulk => {
+            let len = rng.gen_range(0..10usize);
+            Op::BatchRemove((0..len).map(|_| rng.gen_range(0..UNIVERSE)).collect())
+        }
         40..=59 => Op::Remove(key),
         60..=74 => Op::BatchGet(gen_batch_keys(rng)),
         75..=84 => Op::BatchRank(gen_batch_keys(rng)),
@@ -244,6 +274,36 @@ fn apply_op(
                 return Err(format!("remove returned {got}, oracle {expect}"));
             }
         }
+        Op::BatchInsert(pairs) => {
+            // Per-shard parallel application must report exactly what
+            // the unsharded map reports: distinct keys live before.
+            let distinct: BTreeSet<u64> = pairs.iter().map(|(k, _)| *k).collect();
+            let expect = distinct.iter().filter(|k| oracle.contains_key(k)).count();
+            let got = sharded.batch_insert(pairs.clone());
+            let mirror_got = mirror.batch_insert(pairs.clone());
+            for &(k, v) in pairs {
+                oracle.insert(k, v);
+            }
+            if got != expect || mirror_got != expect {
+                return Err(format!(
+                    "batch_insert returned {got} (mirror {mirror_got}), oracle {expect}"
+                ));
+            }
+        }
+        Op::BatchRemove(keys) => {
+            let distinct: BTreeSet<u64> = keys.iter().copied().collect();
+            let expect = distinct.iter().filter(|k| oracle.contains_key(k)).count();
+            let got = sharded.batch_remove(keys);
+            let mirror_got = mirror.batch_remove(keys);
+            for k in keys {
+                oracle.remove(k);
+            }
+            if got != expect || mirror_got != expect {
+                return Err(format!(
+                    "batch_remove returned {got} (mirror {mirror_got}), oracle {expect}"
+                ));
+            }
+        }
         Op::BatchGet(keys) => {
             let got = sharded.batch_get(keys);
             if got != mirror.batch_get(keys) {
@@ -289,17 +349,44 @@ fn run_sequence(
     num_ops: usize,
     mode: CompactionMode,
 ) {
+    run_sequence_with(
+        seed,
+        splits,
+        kind,
+        buffer_cap,
+        num_ops,
+        mode,
+        CompactionPolicy::default(),
+        Ingest::PerKey,
+    );
+}
+
+/// The full-matrix variant: a [`CompactionPolicy`] (applied to every
+/// shard AND the unsharded mirror) and an ingest route.
+#[allow(clippy::too_many_arguments)]
+fn run_sequence_with(
+    seed: u64,
+    splits: &[u64],
+    kind: QueryKind,
+    buffer_cap: usize,
+    num_ops: usize,
+    mode: CompactionMode,
+    policy: CompactionPolicy,
+    ingest: Ingest,
+) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut sharded: ShardedMap<u64, u64> =
         ShardedMap::with_splits_config(splits.to_vec(), kind, Algorithm::CycleLeader, buffer_cap)
-            .with_compaction_mode(mode);
+            .with_compaction_mode(mode)
+            .with_policy(policy);
     let mut mirror: DynamicMap<u64, u64> =
         DynamicMap::with_config(kind, Algorithm::CycleLeader, buffer_cap)
-            .with_compaction_mode(mode);
+            .with_compaction_mode(mode)
+            .with_policy(policy);
     let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
     let mut ops: Vec<Op> = Vec::with_capacity(num_ops);
     for i in 0..num_ops {
-        let op = gen_op(&mut rng, i);
+        let op = gen_op(&mut rng, i, ingest);
         ops.push(op.clone());
         let result = apply_op(&mut sharded, &mut mirror, &mut oracle, &op)
             .and_then(|()| check_full_state(&sharded, &mirror, &oracle));
@@ -308,7 +395,8 @@ fn run_sequence(
             panic!(
                 "sharded_differential diverged\n\
                  seed        = {seed:#x}\n\
-                 config      = splits={splits:?} kind={kind:?} buffer_cap={buffer_cap} mode={mode:?}\n\
+                 config      = splits={splits:?} kind={kind:?} buffer_cap={buffer_cap} mode={mode:?} \
+                 policy={policy:?} ingest={ingest:?}\n\
                  failure     = {why}\n\
                  minimal op prefix that first diverges ({} ops, last one diverges):\n{}",
                 ops.len(),
@@ -380,12 +468,44 @@ fn sharded_differential_after_bulk_build() {
         }
         check_full_state(&sharded, &mirror, &oracle).expect("bulk build state");
         for i in 0..120 {
-            let op = gen_op(&mut rng, 1000 + i);
+            let op = gen_op(&mut rng, 1000 + i, Ingest::Bulk);
             apply_op(&mut sharded, &mut mirror, &mut oracle, &op)
                 .and_then(|()| check_full_state(&sharded, &mirror, &oracle))
                 .unwrap_or_else(|why| {
                     panic!("bulk-build sharded fuzz diverged (seed={seed:#x}, op {i}): {why}")
                 });
+        }
+    }
+}
+
+/// Policy × ingest matrix over the sharded layer: tunable compaction
+/// applied per shard (and to the mirror) must stay bit-identical to
+/// the unsharded map and exact vs the oracle — shard-parallel bulk
+/// deltas included, with batches straddling every split.
+#[test]
+fn sharded_differential_policy_and_bulk_matrix() {
+    let policies = [
+        CompactionPolicy::tiered(2).with_merge_threads(4),
+        CompactionPolicy::leveled(2)
+            .with_lazy_bottom(true)
+            .with_merge_threads(1),
+    ];
+    for (p, policy) in policies.into_iter().enumerate() {
+        for splits in &split_sets() {
+            for ingest in [Ingest::PerKey, Ingest::Bulk] {
+                for mode in [CompactionMode::Inline, CompactionMode::Background] {
+                    run_sequence_with(
+                        0xE0_11C7 + p as u64,
+                        splits,
+                        QueryKind::Veb,
+                        3,
+                        140,
+                        mode,
+                        policy,
+                        ingest,
+                    );
+                }
+            }
         }
     }
 }
