@@ -1,0 +1,177 @@
+//! End-to-end **serving** throughput and tail latency: the coalescing
+//! front-end vs the canonical thread-per-connection baseline, over real
+//! loopback TCP.
+//!
+//! Both servers run the identical wire protocol over an identically
+//! preloaded [`ShardedMap`] and face the identical open-loop,
+//! coordinated-omission-corrected workload (`ist_serve::loadgen`:
+//! arrivals on a fixed timeline, latency measured from *scheduled
+//! arrival* to reply receipt). The only variable is execution
+//! strategy:
+//!
+//! * **naive** — one thread per connection, each request takes the
+//!   global map lock, runs one scalar descent or one scalar
+//!   insert/remove, and pays one write+flush syscall for its reply.
+//!   Every overhead is per request.
+//! * **coalesced** — the same connections feed a central coalescer
+//!   that gathers all in-flight requests into per-tick batches (held
+//!   open for a short linger so moderate load still forms large
+//!   ticks), executes reads as three batched snapshot calls over the
+//!   software-pipelined per-shard engines, folds writes last-wins into
+//!   one bulk delta per tick, and writes each connection's replies
+//!   once per tick. Every overhead is per *tick*.
+//!
+//! Two workload rows, each driven at an offered rate **above the naive
+//! server's sustainable capacity** so its corrected tail reports the
+//! backlog honestly:
+//!
+//! * `read_mostly` (10% writes) — the per-request cost is dominated by
+//!   socket IO that a backlogged thread-per-connection server also
+//!   amortizes (its `BufReader` drains whole bursts per wakeup), so a
+//!   single-core host shows near-parity throughput; the coalesced win
+//!   here is the bounded, linger-shaped latency profile at rates the
+//!   naive server can also reach.
+//! * `ingest_heavy` (90% writes) — scalar inserts pay a per-key
+//!   sorted-buffer merge and per-run weight descent under the global
+//!   lock, while the coalescer's tick-wide `batch_insert` sorts once
+//!   and sweeps each run once; the advantage is algorithmic, so it
+//!   survives even on one core.
+//!
+//! The committed `BENCH_serve.json` records all four subjects. The
+//! acceptance target — **coalesced >= 3x naive throughput at
+//! equal-or-better p99, >= 1k connections sustained** — presumes cores
+//! for the shard-parallel engines and pipeline stages; on a
+//! single-core container every stage time-slices one CPU against the
+//! load generator itself, and the measured engine-level batch-vs-scalar
+//! gap (`dynamic_mixed_perkey` vs `dynamic_mixed` in
+//! `BENCH_dynamic.json`, ~5x) is diluted by the shared IO and
+//! compaction bill. The printed speedup states plainly what this host
+//! delivers.
+//!
+//! Set `IST_BENCH_SMOKE=1` to shrink sizes (CI bit-rot guard);
+//! `IST_BENCH_JSON=<path>` appends one JSON object per subject.
+
+use std::io::Write as _;
+use std::time::Duration;
+
+use implicit_search_trees::Layout;
+use ist_serve::{loadgen, serve, LoadgenConfig, Mode, ServeMap, ServerConfig};
+
+struct Row {
+    name: &'static str,
+    write_pct: u32,
+    rate: f64,
+    ops: usize,
+}
+
+fn report(row: &str, bench: &str, conns: usize, write_pct: u32, r: &loadgen::LoadReport) {
+    let p = r.latency;
+    println!(
+        "  {row:<12} {bench:<10} {:>9.0} ops/s  p50 {:>11} ns  p99 {:>11} ns  p999 {:>11} ns  ({} ops, {} conns)",
+        r.throughput, p.p50, p.p99, p.p999, r.completed, conns
+    );
+    if let Ok(path) = std::env::var("IST_BENCH_JSON") {
+        let line = format!(
+            "{{\"group\":\"serve\",\"bench\":\"{row}/{bench}\",\"throughput_ops_s\":{:.0},\"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\"max_ns\":{},\"conns\":{conns},\"write_pct\":{write_pct},\"ops\":{}}}\n",
+            r.throughput, p.p50, p.p99, p.p999, p.max, r.completed
+        );
+        let write = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| f.write_all(line.as_bytes()));
+        if let Err(e) = write {
+            eprintln!("warning: could not append to {path}: {e}");
+        }
+    }
+}
+
+fn main() {
+    let smoke = std::env::var_os("IST_BENCH_SMOKE").is_some();
+    // Preloaded live keys (even, so half the gets miss).
+    let n: u64 = if smoke { 1 << 14 } else { 1 << 20 };
+    let conns = if smoke { 64 } else { 1024 };
+    let shards = 4;
+    let rows: &[Row] = if smoke {
+        &[Row {
+            name: "read_mostly",
+            write_pct: 10,
+            rate: 20_000.0,
+            ops: 8_000,
+        }]
+    } else {
+        &[
+            Row {
+                name: "read_mostly",
+                write_pct: 10,
+                rate: 120_000.0,
+                ops: 360_000,
+            },
+            Row {
+                name: "ingest_heavy",
+                write_pct: 90,
+                rate: 160_000.0,
+                ops: 480_000,
+            },
+        ]
+    };
+    println!("group serve (n={n}, conns={conns}, {shards} shards)");
+
+    let build = || {
+        let keys: Vec<u64> = (0..n).map(|k| 2 * k).collect();
+        let vals: Vec<Vec<u8>> = keys.iter().map(|k| k.to_le_bytes().to_vec()).collect();
+        ServeMap::build(keys, vals, Layout::Veb, shards).expect("build")
+    };
+
+    for row in rows {
+        let load = LoadgenConfig {
+            conns,
+            workers: 4,
+            total_ops: row.ops,
+            rate: row.rate,
+            write_pct: row.write_pct,
+            key_space: 2 * n, // even keys live: hits, misses, fresh inserts
+            value_len: 16,
+            burst: 8,
+            seed: 0x5EED,
+        };
+        let mut results = Vec::new();
+        for (bench, mode) in [("naive", Mode::Direct), ("coalesced", Mode::Coalescing)] {
+            let handle = serve(
+                build(),
+                ServerConfig {
+                    mode,
+                    // Group-commit gather window: hold each tick open
+                    // ~1ms (smoke) / ~4ms so moderate load still forms
+                    // large ticks — the fixed per-tick cost is what
+                    // coalescing amortizes. Ignored by the naive mode,
+                    // which has no ticks.
+                    linger: Duration::from_micros(if smoke { 1000 } else { 4000 }),
+                    ..ServerConfig::default()
+                },
+            )
+            .expect("serve");
+            let r = loadgen::run(handle.addr(), &load).expect("load run");
+            assert_eq!(
+                r.completed, row.ops,
+                "{}/{bench}: dropped replies",
+                row.name
+            );
+            report(row.name, bench, conns, row.write_pct, &r);
+            handle.stop();
+            results.push(r);
+            if !smoke {
+                // Let the subject tear down off the measured path: a
+                // thousand connection threads exiting and a churned
+                // million-key map dropping would otherwise time-slice
+                // against the next subject's run.
+                std::thread::sleep(Duration::from_secs(4));
+            }
+        }
+        let speedup = results[1].throughput / results[0].throughput;
+        println!(
+            "  {:<12} coalesced/naive: {speedup:.2}x throughput (target >= 3x assumes multi-core), p99 {} vs {} ns",
+            row.name, results[1].latency.p99, results[0].latency.p99
+        );
+    }
+}

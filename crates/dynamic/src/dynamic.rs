@@ -1306,12 +1306,27 @@ where
     /// parallel `batch_search` engine. `out[i]` is exactly
     /// `get(&keys[i])`.
     pub fn batch_get(&self, keys: &[K]) -> Vec<Option<&V>> {
+        self.view().batch_get(&as_refs(keys))
+    }
+
+    /// [`DynamicMap::batch_get`] over **borrowed** keys: bit-identical
+    /// results without a contiguous owned key array, so routing layers
+    /// (`ShardedMap`, the serve-layer coalescer) can partition a batch
+    /// by reference instead of cloning every key into per-shard staging
+    /// buffers.
+    pub fn batch_get_ref(&self, keys: &[&K]) -> Vec<Option<&V>> {
         self.view().batch_get(keys)
     }
 
     /// Batched [`DynamicMap::rank`] on the pipelined per-run rank
     /// engine.
     pub fn batch_rank(&self, keys: &[K]) -> Vec<usize> {
+        self.view().batch_rank(&as_refs(keys))
+    }
+
+    /// [`DynamicMap::batch_rank`] over **borrowed** keys (see
+    /// [`DynamicMap::batch_get_ref`]).
+    pub fn batch_rank_ref(&self, keys: &[&K]) -> Vec<usize> {
         self.view().batch_rank(keys)
     }
 
@@ -1797,11 +1812,21 @@ where
 
     /// See [`DynamicMap::batch_get`].
     pub fn batch_get(&self, keys: &[K]) -> Vec<Option<&V>> {
+        self.view().batch_get(&as_refs(keys))
+    }
+
+    /// See [`DynamicMap::batch_get_ref`].
+    pub fn batch_get_ref(&self, keys: &[&K]) -> Vec<Option<&V>> {
         self.view().batch_get(keys)
     }
 
     /// See [`DynamicMap::batch_rank`].
     pub fn batch_rank(&self, keys: &[K]) -> Vec<usize> {
+        self.view().batch_rank(&as_refs(keys))
+    }
+
+    /// See [`DynamicMap::batch_rank_ref`].
+    pub fn batch_rank_ref(&self, keys: &[&K]) -> Vec<usize> {
         self.view().batch_rank(keys)
     }
 
@@ -1956,11 +1981,15 @@ where
         self.resolve_backward(self.version_before(key)?)
     }
 
-    fn batch_get(&self, keys: &[K]) -> Vec<Option<&'a V>> {
+    /// Batched get over **borrowed** keys — the single implementation
+    /// behind both `batch_get` flavors; nothing below this point ever
+    /// clones a key (probes cascade as `&K` straight into the engine's
+    /// position→key closures).
+    fn batch_get(&self, keys: &[&K]) -> Vec<Option<&'a V>> {
         let mut out: Vec<Option<&'a V>> = vec![None; keys.len()];
         // Buffer pass: cheap binary searches over ≤ cap entries.
         let mut pending: Vec<usize> = Vec::new();
-        for (i, key) in keys.iter().enumerate() {
+        for (i, &key) in keys.iter().enumerate() {
             match buffer_slot(self.buffer, key) {
                 Ok(j) => out[i] = self.buffer[j].slot.as_ref(),
                 Err(_) => pending.push(i),
@@ -1972,8 +2001,8 @@ where
             if pending.is_empty() {
                 break;
             }
-            let probe: Vec<K> = pending.iter().map(|&i| keys[i].clone()).collect();
-            let positions = run.map.index().batch_search(&probe);
+            let probe: Vec<&K> = pending.iter().map(|&i| keys[i]).collect();
+            let positions = run.map.index().batch_search_ref(&probe);
             let mut still = Vec::with_capacity(pending.len());
             for (j, &i) in pending.iter().enumerate() {
                 match positions[j] {
@@ -1986,10 +2015,10 @@ where
         out
     }
 
-    fn batch_rank(&self, keys: &[K]) -> Vec<usize> {
-        let mut acc: Vec<i64> = keys.iter().map(|k| self.buffer_weight_below(k)).collect();
+    fn batch_rank(&self, keys: &[&K]) -> Vec<usize> {
+        let mut acc: Vec<i64> = keys.iter().map(|&k| self.buffer_weight_below(k)).collect();
         for run in &self.runs {
-            for (a, r) in acc.iter_mut().zip(run.map.index().batch_rank(keys)) {
+            for (a, r) in acc.iter_mut().zip(run.map.index().batch_rank_ref(keys)) {
                 *a += run.prefix[r];
             }
         }
@@ -2002,10 +2031,10 @@ where
     }
 
     fn batch_range_count(&self, ranges: &[(K, K)]) -> Vec<usize> {
-        let mut flat = Vec::with_capacity(2 * ranges.len());
+        let mut flat: Vec<&K> = Vec::with_capacity(2 * ranges.len());
         for (lo, hi) in ranges {
-            flat.push(lo.clone());
-            flat.push(hi.clone());
+            flat.push(lo);
+            flat.push(hi);
         }
         let ranks = self.batch_rank(&flat);
         ranges
@@ -2020,6 +2049,12 @@ where
             })
             .collect()
     }
+}
+
+/// Borrow every element of `keys` (the shim between the public
+/// owned-slice batch API and the ref-based implementation).
+fn as_refs<K>(keys: &[K]) -> Vec<&K> {
+    keys.iter().collect()
 }
 
 #[cfg(test)]

@@ -203,6 +203,19 @@ impl<K: Ord + Send + Sync> StaticIndex<K> {
         self.searcher().batch_rank(keys)
     }
 
+    /// [`StaticIndex::batch_search`] over **borrowed** keys — the entry
+    /// point for routing layers that partition batches by reference
+    /// instead of cloning keys into per-shard staging buffers. No key is
+    /// copied: the engine reads each one through a position closure.
+    pub fn batch_search_ref(&self, keys: &[&K]) -> Vec<Option<usize>> {
+        self.searcher().batch_search_ref(keys)
+    }
+
+    /// [`StaticIndex::batch_rank`] over **borrowed** keys.
+    pub fn batch_rank_ref(&self, keys: &[&K]) -> Vec<usize> {
+        self.searcher().batch_rank_ref(keys)
+    }
+
     /// Per-pair [`StaticIndex::range_count`] for a batch of `(lo, hi)`
     /// ranges; both descents of every pair go through one pipeline.
     /// Reversed pairs (`lo > hi`) yield 0, like the scalar call.

@@ -320,6 +320,21 @@ impl<'a, T: Ord + Sync> Searcher<'a, T> {
         out
     }
 
+    /// [`Searcher::batch_search`] over **borrowed** keys: identical
+    /// results for `keys[i]` without requiring a contiguous owned key
+    /// array. The engine reads keys through a position→`&T` closure
+    /// internally, so this is not a convenience wrapper — no key is
+    /// ever cloned or copied into a staging buffer. The entry point for
+    /// routing layers that partition a batch by reference
+    /// ([`crate::route::partition_batch_ref`]).
+    pub fn batch_search_ref(&self, keys: &[&T]) -> Vec<Option<usize>> {
+        let mut out = vec![None; keys.len()];
+        par_chunked(keys, &mut out, |kc, oc| {
+            self.pipelined_search_into::<DEFAULT_WINDOW>(kc.len(), |i| kc[i], |i, r| oc[i] = r)
+        });
+        out
+    }
+
     /// Scalar batch rank (one [`Searcher::rank`] per key).
     pub fn batch_rank_seq(&self, keys: &[T]) -> Vec<usize> {
         keys.iter().map(|k| self.rank(k)).collect()
@@ -361,6 +376,16 @@ impl<'a, T: Ord + Sync> Searcher<'a, T> {
                 |i| &kc[i],
                 |i, r| oc[i] = r,
             )
+        });
+        out
+    }
+
+    /// [`Searcher::batch_rank`] over **borrowed** keys (see
+    /// [`Searcher::batch_search_ref`] for why this costs nothing extra).
+    pub fn batch_rank_ref(&self, keys: &[&T]) -> Vec<usize> {
+        let mut out = vec![0usize; keys.len()];
+        par_chunked(keys, &mut out, |kc, oc| {
+            self.pipelined_rank_into::<DEFAULT_WINDOW, false>(kc.len(), |i| kc[i], |i, r| oc[i] = r)
         });
         out
     }

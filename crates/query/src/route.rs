@@ -5,8 +5,10 @@
 //!
 //! 1. **partition** the input batch into per-shard sub-batches,
 //!    remembering each item's original position
-//!    ([`partition_batch`], with [`shard_of_key`] as the router for
-//!    range partitions);
+//!    ([`partition_batch_ref`] for read paths — no clones — or
+//!    [`partition_batch`] when owned sub-batches are needed, with
+//!    [`shard_of_key`] as the router for range partitions; validate the
+//!    split vector once per call with [`debug_assert_valid_splits`]);
 //! 2. drive every sub-batch through its shard's pipelined engine —
 //!    in parallel, since the sub-batches are disjoint;
 //! 3. **scatter** the per-shard results back into input order
@@ -33,6 +35,14 @@
 /// in shard `i`, so a global rank is the sum of whole-shard lengths
 /// below plus one in-shard rank.
 ///
+/// Sortedness of `splits` is the **caller's** precondition and is *not*
+/// re-checked here, not even in debug builds: this function sits inside
+/// per-item routing loops, and an earlier revision that `debug_assert!`ed
+/// the whole split vector on every call made every debug/fuzz partition
+/// pass O(batch × splits). Validate once per batch at the call boundary
+/// with [`debug_assert_valid_splits`] instead (the `ShardedMap`
+/// constructors also reject unsorted splits outright).
+///
 /// # Examples
 /// ```
 /// use ist_query::route::shard_of_key;
@@ -43,12 +53,22 @@
 /// assert_eq!(shard_of_key(&splits, &99), 2);
 /// assert_eq!(shard_of_key(&[] as &[u64], &99), 0);
 /// ```
+#[inline]
 pub fn shard_of_key<K: Ord>(splits: &[K], key: &K) -> usize {
+    splits.partition_point(|s| s <= key)
+}
+
+/// Debug-build check that `splits` satisfies [`shard_of_key`]'s
+/// precondition (sorted, strictly increasing). Call it **once per
+/// batched operation**, before the per-item routing loop — never inside
+/// it. Compiles to nothing in release builds.
+#[inline]
+pub fn debug_assert_valid_splits<K: Ord>(splits: &[K]) {
     debug_assert!(
         splits.windows(2).all(|w| w[0] < w[1]),
         "splits must be sorted and strictly increasing"
     );
-    splits.partition_point(|s| s <= key)
+    let _ = splits; // silence the unused warning in release builds
 }
 
 /// Partition a batch into `shards` per-shard sub-batches, preserving
@@ -79,6 +99,40 @@ pub fn partition_batch<T: Clone>(
         assert!(s < shards, "route sent item {i} to shard {s} of {shards}");
         parts[s].0.push(i);
         parts[s].1.push(item.clone());
+    }
+    parts
+}
+
+/// [`partition_batch`] without the clones: routes **borrows** of the
+/// items into per-shard sub-batches, so read-only paths (`batch_get`,
+/// `batch_rank`) never copy a key just to route it — the sub-batches
+/// hold `&T` and feed the engines' `*_ref` entry points. Original
+/// indices are returned the same way, so [`scatter_to_input_order`]
+/// applies unchanged.
+///
+/// # Panics
+/// Panics if `route` returns an index `>= shards`.
+///
+/// # Examples
+/// ```
+/// use ist_query::route::partition_batch_ref;
+/// let items = [5u64, 12, 3, 20];
+/// let parts = partition_batch_ref(&items, 3, |k| (k / 10) as usize);
+/// assert_eq!(parts[0], (vec![0, 2], vec![&5, &3]));
+/// assert_eq!(parts[1], (vec![1], vec![&12]));
+/// assert_eq!(parts[2], (vec![3], vec![&20]));
+/// ```
+pub fn partition_batch_ref<'a, T>(
+    items: &'a [T],
+    shards: usize,
+    mut route: impl FnMut(&T) -> usize,
+) -> Vec<(Vec<usize>, Vec<&'a T>)> {
+    let mut parts: Vec<(Vec<usize>, Vec<&'a T>)> = vec![(Vec::new(), Vec::new()); shards];
+    for (i, item) in items.iter().enumerate() {
+        let s = route(item);
+        assert!(s < shards, "route sent item {i} to shard {s} of {shards}");
+        parts[s].0.push(i);
+        parts[s].1.push(item);
     }
     parts
 }
@@ -181,6 +235,37 @@ mod tests {
         // Identity results scatter back to the input batch.
         let back = scatter_to_input_order(items.len(), parts);
         assert_eq!(back, items);
+    }
+
+    #[test]
+    fn partition_ref_matches_partition_batch() {
+        let items: Vec<u64> = (0..257).map(|i| (i * 131) % 300).collect();
+        let splits = [40u64, 90, 200];
+        let owned = partition_batch(&items, 4, |k| shard_of_key(&splits, k));
+        let byref = partition_batch_ref(&items, 4, |k| shard_of_key(&splits, k));
+        for ((oi, ov), (ri, rv)) in owned.iter().zip(&byref) {
+            assert_eq!(oi, ri);
+            assert_eq!(ov, &rv.iter().map(|&&k| k).collect::<Vec<_>>());
+        }
+    }
+
+    /// Regression for the O(batch × splits) debug-assert: `shard_of_key`
+    /// must NOT re-validate the split vector per routed item — that is
+    /// the caller's per-call responsibility via
+    /// [`debug_assert_valid_splits`]. Routing through knowingly-unsorted
+    /// splits must therefore not panic (the result is unspecified
+    /// garbage, but it is *cheap* garbage).
+    #[test]
+    fn shard_of_key_does_not_revalidate_splits() {
+        let unsorted = [20u64, 10];
+        let _ = shard_of_key(&unsorted, &15); // must not panic, even in debug
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "strictly increasing")]
+    fn per_call_validation_still_catches_bad_splits() {
+        debug_assert_valid_splits(&[20u64, 10]);
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! Standalone load generator: `loadgen --addr HOST:PORT [--conns 64]
+//! [--workers 4] [--ops 50000] [--rate 50000] [--write-pct 10]
+//! [--key-space 1048576] [--value-len 16] [--burst 16] [--seed 24301]`.
+//!
+//! Runs the open-loop, coordinated-omission-corrected workload from
+//! `ist_serve::loadgen` and prints one JSON report line.
+
+use ist_serve::LoadgenConfig;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen --addr HOST:PORT [--conns N] [--workers N] [--ops N] \
+         [--rate OPS_PER_SEC] [--write-pct N] [--key-space N] [--value-len N] \
+         [--burst N] [--seed N]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut addr: Option<String> = None;
+    let mut cfg = LoadgenConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut val = || args.next().unwrap_or_else(|| usage());
+        macro_rules! parse {
+            () => {
+                val().parse().unwrap_or_else(|_| usage())
+            };
+        }
+        match flag.as_str() {
+            "--addr" => addr = Some(val()),
+            "--conns" => cfg.conns = parse!(),
+            "--workers" => cfg.workers = parse!(),
+            "--ops" => cfg.total_ops = parse!(),
+            "--rate" => cfg.rate = parse!(),
+            "--write-pct" => cfg.write_pct = parse!(),
+            "--key-space" => cfg.key_space = parse!(),
+            "--value-len" => cfg.value_len = parse!(),
+            "--burst" => cfg.burst = parse!(),
+            "--seed" => cfg.seed = parse!(),
+            _ => usage(),
+        }
+    }
+    let addr = addr
+        .unwrap_or_else(|| usage())
+        .parse()
+        .unwrap_or_else(|_| usage());
+
+    let report = ist_serve::loadgen::run(addr, &cfg).expect("load run failed");
+    let p = report.latency;
+    println!(
+        "{{\"completed\":{},\"wall_ms\":{},\"throughput_ops_s\":{:.0},\
+         \"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\"max_ns\":{}}}",
+        report.completed,
+        report.wall.as_millis(),
+        report.throughput,
+        p.p50,
+        p.p99,
+        p.p999,
+        p.max
+    );
+}

@@ -1,0 +1,67 @@
+//! Standalone server: `serve [--addr 127.0.0.1:0] [--mode
+//! coalescing|direct] [--shards 4] [--preload 0] [--max-tick 8192]
+//! [--linger-us 0]`.
+//!
+//! Preloads `--preload` sequential keys (little-endian value = key),
+//! prints the bound address on stdout (`listening on <addr>`), and
+//! serves until killed.
+
+use std::net::TcpListener;
+
+use ist_core::Layout;
+use ist_serve::{serve_on, Mode, ServeMap, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve [--addr HOST:PORT] [--mode coalescing|direct] \
+         [--shards N] [--preload N] [--max-tick N] [--linger-us N]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut mode = Mode::Coalescing;
+    let mut shards = 4usize;
+    let mut preload = 0usize;
+    let mut cfg = ServerConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut val = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" => addr = val(),
+            "--mode" => {
+                mode = match val().as_str() {
+                    "coalescing" => Mode::Coalescing,
+                    "direct" => Mode::Direct,
+                    _ => usage(),
+                }
+            }
+            "--shards" => shards = val().parse().unwrap_or_else(|_| usage()),
+            "--preload" => preload = val().parse().unwrap_or_else(|_| usage()),
+            "--max-tick" => cfg.max_tick = val().parse().unwrap_or_else(|_| usage()),
+            "--linger-us" => {
+                cfg.linger =
+                    std::time::Duration::from_micros(val().parse().unwrap_or_else(|_| usage()))
+            }
+            _ => usage(),
+        }
+    }
+    cfg.mode = mode;
+
+    let keys: Vec<u64> = (0..preload as u64).collect();
+    let vals: Vec<Vec<u8>> = keys.iter().map(|k| k.to_le_bytes().to_vec()).collect();
+    let map =
+        ServeMap::build(keys, vals, Layout::Veb, shards.max(1)).expect("valid build configuration");
+
+    let listener = TcpListener::bind(&addr).expect("bind");
+    let handle = serve_on(listener, map, cfg).expect("serve");
+    println!(
+        "listening on {} ({mode:?}, {shards} shards, {preload} keys)",
+        handle.addr()
+    );
+    loop {
+        std::thread::park();
+    }
+}

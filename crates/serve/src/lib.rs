@@ -1,0 +1,58 @@
+//! # ist-serve
+//!
+//! A coalescing TCP front-end over [`ist_shard::ShardedMap`]: the
+//! serving layer that turns the batched query engine's throughput into
+//! network throughput.
+//!
+//! The insight the server is built around: the engine's software-
+//! pipelined batch descents are **3×+ faster per key** than scalar
+//! descents, but a network server handling one request at a time can
+//! never hand the engine a batch. So the server inverts the usual
+//! shape — IO threads do nothing but frame decoding, and a central
+//! **coalescer** gathers every request in flight across all
+//! connections into one *tick*, executes the tick's reads as three
+//! batched calls (get / rank / range_count) against a
+//! globally-consistent snapshot, folds its writes into one bulk delta,
+//! and scatters replies back per connection in request order. Under
+//! concurrency the batch forms by itself: the deeper the queue, the
+//! bigger the tick, the better the per-request cost — the opposite of
+//! the per-request-lock server whose overheads are fixed.
+//!
+//! See `crate::server` for the pipeline and its consistency contract,
+//! `crate::proto` for the wire format, and `crate::loadgen` for the
+//! open-loop, coordinated-omission-corrected harness behind the
+//! committed `BENCH_serve.json` numbers.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ist_core::Layout;
+//! use ist_serve::{serve, Client, ServeMap, ServerConfig};
+//!
+//! // Build and serve a 4-shard map on an OS-assigned localhost port.
+//! let keys: Vec<u64> = (0..1000).collect();
+//! let vals: Vec<Vec<u8>> = keys.iter().map(|k| k.to_le_bytes().to_vec()).collect();
+//! let map = ServeMap::build(keys, vals, Layout::Veb, 4).unwrap();
+//! let handle = serve(map, ServerConfig::default()).unwrap();
+//!
+//! // Any number of clients may connect and pipeline requests.
+//! let mut c = Client::connect(handle.addr()).unwrap();
+//! assert_eq!(c.get(42).unwrap(), Some(42u64.to_le_bytes().to_vec()));
+//! assert_eq!(c.rank(500).unwrap(), 500);
+//! c.insert(5000, b"new".to_vec()).unwrap();
+//! assert_eq!(c.range_count(0, 10_000).unwrap(), 1001);
+//! handle.stop();
+//! ```
+//!
+//! The `serve` and `loadgen` binaries wrap the same entry points for
+//! standalone use: `serve --mode coalescing --preload 1000000` and
+//! `loadgen --addr 127.0.0.1:4321 --conns 1024`.
+
+pub mod client;
+pub mod loadgen;
+pub mod proto;
+pub mod server;
+
+pub use client::Client;
+pub use loadgen::{percentiles, LoadReport, LoadgenConfig, Percentiles};
+pub use server::{serve, serve_on, Key, Mode, ServeMap, ServerConfig, ServerHandle, Value};

@@ -1,0 +1,340 @@
+//! Open-loop, coordinated-omission-corrected load generator.
+//!
+//! Requests are scheduled on a fixed timeline (`arrival_i = start +
+//! i/rate`) that does **not** slow down when the server backs up, and
+//! every recorded latency is *completion minus scheduled arrival* — so
+//! when the server stalls, each request that was due during the stall
+//! is charged the queueing delay a real caller would have suffered. A
+//! closed-loop harness (send, wait, send) would silently omit exactly
+//! those samples, which is the coordinated-omission mistake this
+//! module exists to avoid.
+//!
+//! Mechanically: connections are divided among a few worker threads,
+//! each driving its sockets **non-blocking** — due requests are
+//! appended to per-connection output buffers (in `burst`-sized runs per
+//! connection so socket syscalls amortize on both sides), pending bytes
+//! are written as the sockets accept them, and replies are parsed out
+//! of per-connection input buffers and matched to their scheduled
+//! arrival by `req_id`. In-flight depth is unbounded, as open loop
+//! demands: backlog shows up in the latency tail, not in a throttled
+//! arrival rate.
+
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::proto::{encode_request, Op, Request};
+
+/// Workload shape and intensity. `rate` is the **aggregate** scheduled
+/// arrival rate across all connections; it is an offered load, not a
+/// measured one — throughput below `rate` means the server saturated.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Concurrent client connections.
+    pub conns: usize,
+    /// Worker threads the connections are divided among.
+    pub workers: usize,
+    /// Total requests to schedule (split evenly across workers).
+    pub total_ops: usize,
+    /// Aggregate scheduled arrivals per second (open loop).
+    pub rate: f64,
+    /// Percent of requests that mutate (80% insert / 20% remove);
+    /// reads split 60% get / 25% rank / 15% range_count.
+    pub write_pct: u32,
+    /// Keys drawn uniformly from `0..key_space`.
+    pub key_space: u64,
+    /// Payload bytes per inserted value.
+    pub value_len: usize,
+    /// Consecutive requests assigned to one connection before moving to
+    /// the next (amortizes per-socket syscalls at high rates).
+    pub burst: usize,
+    pub seed: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            conns: 64,
+            workers: 4,
+            total_ops: 50_000,
+            rate: 50_000.0,
+            write_pct: 10,
+            key_space: 1 << 20,
+            value_len: 16,
+            burst: 16,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Latency distribution in nanoseconds (from **scheduled arrival** to
+/// reply receipt).
+#[derive(Debug, Clone, Copy)]
+pub struct Percentiles {
+    pub p50: u64,
+    pub p99: u64,
+    pub p999: u64,
+    pub max: u64,
+}
+
+/// Sorted-index percentiles over raw latency samples.
+///
+/// # Panics
+/// Panics on an empty sample set.
+pub fn percentiles(mut lat_ns: Vec<u64>) -> Percentiles {
+    assert!(!lat_ns.is_empty(), "no latency samples");
+    lat_ns.sort_unstable();
+    let at = |q_num: usize, q_den: usize| lat_ns[(lat_ns.len() - 1) * q_num / q_den];
+    Percentiles {
+        p50: at(1, 2),
+        p99: at(99, 100),
+        p999: at(999, 1000),
+        max: *lat_ns.last().expect("non-empty"),
+    }
+}
+
+/// What a load run measured.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadReport {
+    /// Replies received (equals scheduled ops on a clean run).
+    pub completed: usize,
+    /// First scheduled arrival to last reply.
+    pub wall: Duration,
+    /// `completed / wall` — at saturation this is the server's
+    /// capacity, below it, the offered rate.
+    pub throughput: f64,
+    /// Coordinated-omission-corrected latency distribution.
+    pub latency: Percentiles,
+}
+
+/// Run the configured load against `addr` and block until every
+/// scheduled request has been answered.
+///
+/// All of each worker's connections are established **before** the
+/// clock starts (a cross-worker barrier separates connect from load),
+/// so connection setup never pollutes the latency samples.
+pub fn run(addr: SocketAddr, cfg: &LoadgenConfig) -> io::Result<LoadReport> {
+    assert!(cfg.workers >= 1 && cfg.conns >= cfg.workers && cfg.total_ops >= 1);
+    assert!(cfg.rate > 0.0 && cfg.burst >= 1);
+    let barrier = Barrier::new(cfg.workers + 1);
+    let mut results: Vec<io::Result<Vec<u64>>> = Vec::new();
+    let mut wall = Duration::ZERO;
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for w in 0..cfg.workers {
+            let barrier = &barrier;
+            // Spread remainders so every op and conn is owned.
+            let n_ops = cfg.total_ops / cfg.workers + usize::from(w < cfg.total_ops % cfg.workers);
+            let n_conns = cfg.conns / cfg.workers + usize::from(w < cfg.conns % cfg.workers);
+            handles.push(s.spawn(move || worker(addr, cfg, w as u64, n_ops, n_conns, barrier)));
+        }
+        barrier.wait(); // all workers connected: the clock starts now
+        let start = Instant::now();
+        results = handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect();
+        wall = start.elapsed();
+    });
+    let mut lat = Vec::with_capacity(cfg.total_ops);
+    for r in results {
+        lat.extend(r?);
+    }
+    let completed = lat.len();
+    Ok(LoadReport {
+        completed,
+        wall,
+        throughput: completed as f64 / wall.as_secs_f64().max(1e-9),
+        latency: percentiles(lat),
+    })
+}
+
+struct Conn {
+    sock: TcpStream,
+    /// Encoded-but-unsent request bytes; `out_pos` marks how much the
+    /// socket has accepted.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Received-but-unparsed reply bytes; `in_pos` marks the parse
+    /// frontier.
+    inbuf: Vec<u8>,
+    in_pos: usize,
+    /// Requests sent (or queued) but not yet answered. A connection
+    /// with nothing pending and nothing in flight is skipped entirely —
+    /// sweeping a thousand idle sockets with speculative `read` calls
+    /// would burn the CPU the server is being measured on.
+    inflight: usize,
+}
+
+fn worker(
+    addr: SocketAddr,
+    cfg: &LoadgenConfig,
+    worker_idx: u64,
+    n_ops: usize,
+    n_conns: usize,
+    barrier: &Barrier,
+) -> io::Result<Vec<u64>> {
+    let mut conns = Vec::with_capacity(n_conns);
+    for _ in 0..n_conns {
+        let sock = TcpStream::connect(addr)?;
+        sock.set_nodelay(true)?;
+        sock.set_nonblocking(true)?;
+        conns.push(Conn {
+            sock,
+            out: Vec::new(),
+            out_pos: 0,
+            inbuf: Vec::new(),
+            in_pos: 0,
+            inflight: 0,
+        });
+    }
+    barrier.wait();
+    let start = Instant::now();
+
+    let mut rng =
+        StdRng::seed_from_u64(cfg.seed ^ (worker_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+    let rate_w = cfg.rate * (n_ops as f64 / cfg.total_ops as f64);
+    let gap_ns = 1e9 / rate_w;
+    let sched_ns = |i: usize| (i as f64 * gap_ns) as u64;
+
+    let mut scheds: Vec<u64> = Vec::with_capacity(n_ops); // scheduled arrival per req_id
+    let mut lat: Vec<u64> = Vec::with_capacity(n_ops);
+    let mut issued = 0usize;
+    let mut scratch = vec![0u8; 64 * 1024];
+
+    while lat.len() < n_ops {
+        let now_ns = start.elapsed().as_nanos() as u64;
+        let mut progress = false;
+
+        // Enqueue every request whose scheduled arrival has passed —
+        // regardless of how many are still in flight (open loop).
+        while issued < n_ops && sched_ns(issued) <= now_ns {
+            let c = (issued / cfg.burst) % n_conns;
+            let op = gen_op(&mut rng, cfg);
+            encode_request(
+                &Request {
+                    req_id: issued as u64,
+                    op,
+                },
+                &mut conns[c].out,
+            );
+            conns[c].inflight += 1;
+            scheds.push(sched_ns(issued));
+            issued += 1;
+            progress = true;
+        }
+
+        for conn in &mut conns {
+            if conn.out_pos == conn.out.len() && conn.inflight == 0 {
+                continue; // nothing to send, nothing to wait for
+            }
+            // Push pending bytes as far as the socket accepts.
+            while conn.out_pos < conn.out.len() {
+                match conn.sock.write(&conn.out[conn.out_pos..]) {
+                    Ok(0) => {
+                        return Err(io::Error::new(
+                            ErrorKind::WriteZero,
+                            "server stopped accepting bytes",
+                        ))
+                    }
+                    Ok(n) => {
+                        conn.out_pos += n;
+                        progress = true;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            if conn.out_pos == conn.out.len() && !conn.out.is_empty() {
+                conn.out.clear();
+                conn.out_pos = 0;
+            }
+
+            // Pull whatever replies have arrived.
+            loop {
+                match conn.sock.read(&mut scratch) {
+                    Ok(0) => {
+                        return Err(io::Error::new(
+                            ErrorKind::UnexpectedEof,
+                            "server closed a connection mid-run",
+                        ))
+                    }
+                    Ok(n) => {
+                        conn.inbuf.extend_from_slice(&scratch[..n]);
+                        progress = true;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(e) => return Err(e),
+                }
+            }
+
+            // Parse complete frames; only the req_id matters here.
+            let recv_ns = start.elapsed().as_nanos() as u64;
+            loop {
+                let avail = &conn.inbuf[conn.in_pos..];
+                if avail.len() < 4 {
+                    break;
+                }
+                let len = u32::from_le_bytes(avail[..4].try_into().expect("4 bytes")) as usize;
+                if avail.len() < 4 + len {
+                    break;
+                }
+                if len < 9 {
+                    return Err(io::Error::new(ErrorKind::InvalidData, "runt reply frame"));
+                }
+                let req_id = u64::from_le_bytes(avail[4..12].try_into().expect("8 bytes")) as usize;
+                let sched = *scheds.get(req_id).ok_or_else(|| {
+                    io::Error::new(ErrorKind::InvalidData, "reply to an unscheduled req_id")
+                })?;
+                lat.push(recv_ns.saturating_sub(sched));
+                conn.inflight -= 1;
+                conn.in_pos += 4 + len;
+            }
+            // Compact the parse buffer once the dead prefix dominates.
+            if conn.in_pos == conn.inbuf.len() {
+                conn.inbuf.clear();
+                conn.in_pos = 0;
+            } else if conn.in_pos > 256 * 1024 {
+                conn.inbuf.drain(..conn.in_pos);
+                conn.in_pos = 0;
+            }
+        }
+
+        if !progress {
+            // Nothing due, nothing readable: sleep briefly instead of
+            // burning the core the server needs.
+            std::thread::sleep(Duration::from_micros(20));
+        }
+    }
+    Ok(lat)
+}
+
+fn gen_op(rng: &mut StdRng, cfg: &LoadgenConfig) -> Op {
+    let roll: u32 = rng.gen_range(0..100u32);
+    let key = rng.gen_range(0..cfg.key_space.max(1));
+    if roll < cfg.write_pct {
+        if roll % 5 == 4 {
+            Op::Remove { key }
+        } else {
+            Op::Insert {
+                key,
+                value: vec![0xAB; cfg.value_len],
+            }
+        }
+    } else {
+        match roll % 20 {
+            0..=11 => Op::Get { key },
+            12..=16 => Op::Rank { key },
+            _ => Op::RangeCount {
+                lo: key,
+                hi: key.saturating_add(cfg.key_space / 64 + 1),
+            },
+        }
+    }
+}

@@ -1,0 +1,372 @@
+//! Protocol and server robustness suite.
+//!
+//! * **Codec round-trip fuzz** — randomized requests and replies
+//!   survive encode → frame → decode bit-identically.
+//! * **Malformed-frame fuzz** — truncated length prefixes, oversized
+//!   frames, unknown opcodes, and operand junk each produce a **clean
+//!   connection close**: no panic (the server stays up and serves a
+//!   fresh connection), no partial write (whatever the server did send
+//!   parses as complete frames).
+//! * **Kill-one-connection-mid-batch** — a connection that dies with
+//!   requests in flight (half a frame on the wire) does not perturb
+//!   the replies of connections sharing its coalescer ticks.
+//! * **Mode equivalence** — coalescing and direct servers answer an
+//!   identical op sequence identically.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::time::Duration;
+
+use ist_core::Layout;
+use ist_serve::proto::{
+    decode_reply, decode_request, encode_reply, encode_request, read_frame, Op, Reply, ReplyBody,
+    Request, MAX_FRAME,
+};
+use ist_serve::{serve, Client, Mode, ServeMap, ServerConfig, ServerHandle};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn test_map(n: u64, shards: usize) -> ServeMap {
+    let keys: Vec<u64> = (0..n).map(|k| 2 * k).collect(); // even keys live
+    let vals: Vec<Vec<u8>> = keys.iter().map(|k| k.to_le_bytes().to_vec()).collect();
+    ServeMap::build(keys, vals, Layout::Veb, shards).expect("build")
+}
+
+fn start(mode: Mode) -> ServerHandle {
+    serve(
+        test_map(512, 4),
+        ServerConfig {
+            mode,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("serve")
+}
+
+// ----- codec round-trip fuzz -----
+
+fn random_op(rng: &mut StdRng) -> Op {
+    match rng.gen_range(0..5u32) {
+        0 => Op::Get {
+            key: rng.gen_range(0..u64::MAX),
+        },
+        1 => Op::Rank {
+            key: rng.gen_range(0..u64::MAX),
+        },
+        2 => Op::RangeCount {
+            lo: rng.gen_range(0..u64::MAX),
+            hi: rng.gen_range(0..u64::MAX),
+        },
+        3 => {
+            let len = rng.gen_range(0..300usize);
+            let value = (0..len)
+                .map(|i| (rng.gen_range(0..u64::MAX) ^ i as u64) as u8)
+                .collect();
+            Op::Insert {
+                key: rng.gen_range(0..u64::MAX),
+                value,
+            }
+        }
+        _ => Op::Remove {
+            key: rng.gen_range(0..u64::MAX),
+        },
+    }
+}
+
+#[test]
+fn codec_roundtrip_fuzz() {
+    let mut rng = StdRng::seed_from_u64(0xC0DEC);
+    let mut wire = Vec::new();
+    let mut reqs = Vec::new();
+    let mut reps = Vec::new();
+    for i in 0..500u64 {
+        let req = Request {
+            req_id: rng.gen_range(0..u64::MAX),
+            op: random_op(&mut rng),
+        };
+        encode_request(&req, &mut wire);
+        reqs.push(req);
+        let body = match i % 4 {
+            0 => ReplyBody::Value(None),
+            1 => {
+                let len = rng.gen_range(0..300usize);
+                ReplyBody::Value(Some((0..len).map(|j| j as u8).collect()))
+            }
+            2 => ReplyBody::Count(rng.gen_range(0..u64::MAX)),
+            _ => ReplyBody::Ack,
+        };
+        let rep = Reply {
+            req_id: rng.gen_range(0..u64::MAX),
+            body,
+        };
+        encode_reply(&rep, &mut wire);
+        reps.push(rep);
+    }
+    let mut cursor = &wire[..];
+    let mut buf = Vec::new();
+    for (req, rep) in reqs.iter().zip(&reps) {
+        assert!(read_frame(&mut cursor, &mut buf).unwrap());
+        assert_eq!(&decode_request(&buf).unwrap(), req);
+        assert!(read_frame(&mut cursor, &mut buf).unwrap());
+        assert_eq!(&decode_reply(&buf).unwrap(), rep);
+    }
+    assert!(!read_frame(&mut cursor, &mut buf).unwrap());
+}
+
+#[test]
+fn decode_never_panics_on_random_bytes() {
+    let mut rng = StdRng::seed_from_u64(0xBAD1);
+    for _ in 0..2000 {
+        let len = rng.gen_range(0..64usize);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.gen_range(0..u64::MAX) as u8).collect();
+        let _ = decode_request(&bytes); // any Result is fine; panics are not
+        let _ = decode_reply(&bytes);
+    }
+}
+
+// ----- malformed input against a live server -----
+
+/// Read until EOF (with a timeout so a wedged server fails the test
+/// rather than hanging it) and assert everything received parses as
+/// complete frames — the no-partial-write half of the close contract.
+fn read_to_close_and_check_frames(sock: &TcpStream) -> usize {
+    sock.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut all = Vec::new();
+    let mut sock = sock;
+    let mut chunk = [0u8; 4096];
+    loop {
+        match sock.read(&mut chunk) {
+            Ok(0) => break, // clean close
+            Ok(n) => all.extend_from_slice(&chunk[..n]),
+            Err(e) => panic!("expected clean close, got read error: {e}"),
+        }
+    }
+    let mut cursor = &all[..];
+    let mut buf = Vec::new();
+    let mut frames = 0;
+    loop {
+        match read_frame(&mut cursor, &mut buf) {
+            Ok(true) => {
+                decode_reply(&buf).expect("server sent an undecodable frame");
+                frames += 1;
+            }
+            Ok(false) => break,
+            Err(e) => panic!("server sent a partial frame before closing: {e}"),
+        }
+    }
+    frames
+}
+
+fn malformed_close_cases(mode: Mode) {
+    let handle = start(mode);
+
+    // Case 1: truncated length prefix, then abrupt close.
+    let sock = TcpStream::connect(handle.addr()).unwrap();
+    (&sock).write_all(&[7u8, 0]).unwrap();
+    sock.shutdown(Shutdown::Write).unwrap();
+    assert_eq!(read_to_close_and_check_frames(&sock), 0);
+
+    // Case 2: oversized frame — a prefix promising more than MAX_FRAME.
+    // The server must reject on the prefix alone and close.
+    let sock = TcpStream::connect(handle.addr()).unwrap();
+    (&sock)
+        .write_all(&((MAX_FRAME as u32) + 1).to_le_bytes())
+        .unwrap();
+    assert_eq!(read_to_close_and_check_frames(&sock), 0);
+
+    // Case 3: unknown opcode in an otherwise well-formed frame.
+    let sock = TcpStream::connect(handle.addr()).unwrap();
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&17u32.to_le_bytes()); // 8 id + 1 op + 8 key
+    frame.extend_from_slice(&1u64.to_le_bytes());
+    frame.push(0xEE); // no such opcode
+    frame.extend_from_slice(&2u64.to_le_bytes());
+    (&sock).write_all(&frame).unwrap();
+    assert_eq!(read_to_close_and_check_frames(&sock), 0);
+
+    // Case 4: valid request, then operand junk. The valid request's
+    // reply must arrive as a complete frame; then the close.
+    let sock = TcpStream::connect(handle.addr()).unwrap();
+    let mut wire = Vec::new();
+    encode_request(
+        &Request {
+            req_id: 99,
+            op: Op::Get { key: 4 },
+        },
+        &mut wire,
+    );
+    wire.extend_from_slice(&9u32.to_le_bytes()); // claims 9 payload bytes
+    wire.extend_from_slice(&[0u8; 5]); // delivers 5, then close
+    (&sock).write_all(&wire).unwrap();
+    sock.shutdown(Shutdown::Write).unwrap();
+    assert_eq!(read_to_close_and_check_frames(&sock), 1);
+
+    // The server survived all of it: a fresh connection still works.
+    let mut c = Client::connect(handle.addr()).unwrap();
+    assert_eq!(c.get(4).unwrap(), Some(4u64.to_le_bytes().to_vec()));
+    assert_eq!(c.rank(u64::MAX).unwrap(), 512);
+    handle.stop();
+}
+
+#[test]
+fn malformed_frames_close_cleanly_coalescing() {
+    malformed_close_cases(Mode::Coalescing);
+}
+
+#[test]
+fn malformed_frames_close_cleanly_direct() {
+    malformed_close_cases(Mode::Direct);
+}
+
+// ----- kill one connection mid-batch -----
+
+/// A connection that dies with half a frame on the wire, while other
+/// connections have requests coalesced into the same ticks, must not
+/// perturb those connections' replies.
+#[test]
+fn killed_connection_does_not_affect_others() {
+    let handle = start(Mode::Coalescing);
+
+    let mut survivor = Client::connect(handle.addr()).unwrap();
+    // Interleave: victim pipelines a burst, then dies mid-frame.
+    let victim = TcpStream::connect(handle.addr()).unwrap();
+    let mut burst = Vec::new();
+    for i in 0..100u64 {
+        encode_request(
+            &Request {
+                req_id: i,
+                op: Op::Get { key: 2 * i },
+            },
+            &mut burst,
+        );
+    }
+    // End the burst with a torn frame: a prefix and half its payload.
+    burst.extend_from_slice(&17u32.to_le_bytes());
+    burst.extend_from_slice(&[0u8; 6]);
+    (&victim).write_all(&burst).unwrap();
+    victim.shutdown(Shutdown::Both).unwrap();
+    drop(victim);
+
+    // The survivor's requests — racing the victim's burst and its
+    // death — must all answer exactly.
+    for k in 0..200u64 {
+        let expect = if k % 2 == 0 && k < 1024 {
+            Some(k.to_le_bytes().to_vec())
+        } else {
+            None
+        };
+        assert_eq!(survivor.get(k).unwrap(), expect, "get({k}) after kill");
+        assert_eq!(
+            survivor.rank(k).unwrap(),
+            k.div_ceil(2).min(512),
+            "rank({k})"
+        );
+    }
+    // Writes still apply too.
+    survivor.insert(9999, b"alive".to_vec()).unwrap();
+    assert_eq!(survivor.get(9999).unwrap(), Some(b"alive".to_vec()));
+    handle.stop();
+}
+
+// ----- coalescing == direct equivalence -----
+
+/// Drive both server modes through the same op sequence with a
+/// strictly-blocking client (one request per tick, so tick-granular
+/// group commit and per-request execution coincide) and require
+/// identical answers throughout.
+#[test]
+fn coalesced_and_direct_modes_answer_identically() {
+    let coalescing = start(Mode::Coalescing);
+    let direct = start(Mode::Direct);
+    let mut a = Client::connect(coalescing.addr()).unwrap();
+    let mut b = Client::connect(direct.addr()).unwrap();
+
+    let mut rng = StdRng::seed_from_u64(0xD1FF);
+    for i in 0..600 {
+        let key = rng.gen_range(0..1500u64);
+        match rng.gen_range(0..6u32) {
+            0 => {
+                a.insert(key, key.to_be_bytes().to_vec()).unwrap();
+                b.insert(key, key.to_be_bytes().to_vec()).unwrap();
+            }
+            1 => {
+                a.remove(key).unwrap();
+                b.remove(key).unwrap();
+            }
+            2 | 3 => {
+                assert_eq!(a.get(key).unwrap(), b.get(key).unwrap(), "get({key}) @ {i}");
+            }
+            4 => {
+                assert_eq!(
+                    a.rank(key).unwrap(),
+                    b.rank(key).unwrap(),
+                    "rank({key}) @ {i}"
+                );
+            }
+            _ => {
+                let hi = rng.gen_range(0..2000u64);
+                assert_eq!(
+                    a.range_count(key, hi).unwrap(),
+                    b.range_count(key, hi).unwrap(),
+                    "range_count({key},{hi}) @ {i}"
+                );
+            }
+        }
+    }
+    coalescing.stop();
+    direct.stop();
+}
+
+/// Pipelined writes then reads on one connection: replies come back in
+/// request order, and a read queued behind a write in the same burst
+/// observes it (read-your-writes at tick granularity).
+#[test]
+fn pipelined_burst_preserves_order_and_sees_writes() {
+    let handle = start(Mode::Coalescing);
+    let sock = TcpStream::connect(handle.addr()).unwrap();
+    sock.set_nodelay(true).unwrap();
+
+    let mut wire = Vec::new();
+    for i in 0..50u64 {
+        encode_request(
+            &Request {
+                req_id: i,
+                op: Op::Insert {
+                    key: 100_000 + i,
+                    value: vec![i as u8; 8],
+                },
+            },
+            &mut wire,
+        );
+    }
+    for i in 0..50u64 {
+        encode_request(
+            &Request {
+                req_id: 50 + i,
+                op: Op::Get { key: 100_000 + i },
+            },
+            &mut wire,
+        );
+    }
+    (&sock).write_all(&wire).unwrap();
+
+    let mut reader = std::io::BufReader::new(&sock);
+    let mut buf = Vec::new();
+    for expect_id in 0..100u64 {
+        assert!(read_frame(&mut reader, &mut buf).unwrap(), "early close");
+        let rep = decode_reply(&buf).unwrap();
+        assert_eq!(rep.req_id, expect_id, "replies out of request order");
+        if expect_id < 50 {
+            assert_eq!(rep.body, ReplyBody::Ack);
+        } else {
+            let i = expect_id - 50;
+            assert_eq!(
+                rep.body,
+                ReplyBody::Value(Some(vec![i as u8; 8])),
+                "read {i} did not observe its burst's write"
+            );
+        }
+    }
+    handle.stop();
+}

@@ -31,20 +31,46 @@
 //! ## Batched queries
 //!
 //! [`ShardedMap::batch_get`] / [`ShardedMap::batch_rank`] /
-//! [`ShardedMap::batch_range_count`] partition the batch per shard
-//! ([`ist_query::route::partition_batch`]), drive every shard's
-//! software-pipelined descent engine **in parallel** (the sub-batches
-//! are disjoint), and scatter the results back into input order
+//! [`ShardedMap::batch_range_count`] partition the batch per shard **by
+//! reference** ([`ist_query::route::partition_batch_ref`] — no key is
+//! cloned just to route it), drive every shard's software-pipelined
+//! descent engine **in parallel** (the sub-batches are disjoint), and
+//! scatter the results back into input order
 //! ([`ist_query::route::scatter_to_input_order`]) — bit-identical to
 //! what one unsharded [`DynamicMap`] would answer, which
 //! `tests/sharded_differential.rs` (repository root) checks against
 //! both a `BTreeMap` oracle and a single-map mirror.
+//!
+//! ## Snapshots and concurrent readers
+//!
+//! The same read API is available off the writer's thread:
+//!
+//! * [`ShardedMap::snapshot`] freezes the **exact current** state into a
+//!   [`ShardedFrozen`] — globally consistent, because taking it requires
+//!   `&self` and mutation requires `&mut self`, so no write can
+//!   interleave with the per-shard freezes. A serving loop that owns the
+//!   map takes one of these per batch tick and hands it to reader
+//!   threads (the `ist-serve` coalescer does exactly this).
+//! * [`ShardedMap::reader`] returns a [`ShardedReader`] handle layered
+//!   on the per-shard [`Reader`] cells, for threads that must observe a
+//!   map **some other thread is mutating**. Each per-shard snapshot is a
+//!   prefix of that shard's operation sequence (publication is
+//!   seal/compaction-granular, lag op-bounded by the shard's
+//!   `buffer_cap`), but the cuts are taken per shard, **not** at one
+//!   global instant — see [`ShardedReader::snapshot`] for the honest
+//!   contract.
+
+use std::sync::Arc;
 
 use ist_core::{Algorithm, Error, Layout};
 use ist_dynamic::{
-    default_kind_for_layout, CompactionMode, CompactionPolicy, DynamicMap, DEFAULT_BUFFER_CAP,
+    default_kind_for_layout, CompactionMode, CompactionPolicy, DynamicMap, Frozen, Reader,
+    DEFAULT_BUFFER_CAP,
 };
-use ist_query::route::{partition_batch, partition_owned, scatter_to_input_order, shard_of_key};
+use ist_query::route::{
+    debug_assert_valid_splits, partition_batch, partition_batch_ref, partition_owned,
+    scatter_to_input_order, shard_of_key,
+};
 use ist_query::QueryKind;
 
 /// A key-range-sharded map: range-partitioned shards, each a
@@ -78,8 +104,10 @@ use ist_query::QueryKind;
 /// ```
 pub struct ShardedMap<K, V> {
     /// Sorted, strictly increasing; shard `i` owns `[splits[i-1],
-    /// splits[i])` with open ends at the extremes.
-    splits: Vec<K>,
+    /// splits[i])` with open ends at the extremes. `Arc`-shared with
+    /// every [`ShardedReader`] and [`ShardedFrozen`] spawned from this
+    /// map (splits never change after construction).
+    splits: Arc<Vec<K>>,
     /// `shards.len() == splits.len() + 1`, ordered by key range.
     shards: Vec<DynamicMap<K, V>>,
 }
@@ -101,7 +129,10 @@ where
         let shards = (0..splits.len() + 1)
             .map(|_| DynamicMap::new(layout))
             .collect();
-        Self { splits, shards }
+        Self {
+            splits: Arc::new(splits),
+            shards,
+        }
     }
 
     /// [`ShardedMap::with_splits`] with full per-shard control:
@@ -121,7 +152,10 @@ where
         let shards = (0..splits.len() + 1)
             .map(|_| DynamicMap::with_config(kind, algorithm, buffer_cap))
             .collect();
-        Self { splits, shards }
+        Self {
+            splits: Arc::new(splits),
+            shards,
+        }
     }
 
     /// The one home of the split-vector precondition both explicit
@@ -180,7 +214,10 @@ where
             // is sorted with distinct keys, so shards skip both.
             .map(|(k, v)| DynamicMap::build_presorted(k, v, kind, algorithm, buffer_cap))
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Self { splits, shards })
+        Ok(Self {
+            splits: Arc::new(splits),
+            shards,
+        })
     }
 
     /// Builder-style [`CompactionMode`] override applied to every shard
@@ -260,6 +297,14 @@ where
         (splits, parts)
     }
 
+    /// The shared read core over this map's live shards.
+    fn view(&self) -> RangeView<'_, K, DynamicMap<K, V>> {
+        RangeView {
+            splits: &self.splits,
+            shards: &self.shards,
+        }
+    }
+
     // ----- routing -----
 
     /// Index of the shard owning `key` (the range-partition router).
@@ -269,7 +314,7 @@ where
 
     /// The split keys (shard `i` owns `[splits[i-1], splits[i])`).
     pub fn splits(&self) -> &[K] {
-        &self.splits
+        self.splits.as_slice()
     }
 
     /// Number of shards.
@@ -285,6 +330,12 @@ where
     /// `true` while any shard has a background compaction in flight.
     pub fn compaction_in_flight(&self) -> bool {
         self.shards.iter().any(DynamicMap::compaction_in_flight)
+    }
+
+    /// Total sealed-but-uncompacted L0 runs across all shards (0 after
+    /// [`ShardedMap::quiesce`]).
+    pub fn sealed_runs(&self) -> usize {
+        self.shards.iter().map(DynamicMap::sealed_runs).sum()
     }
 
     // ----- mutation -----
@@ -331,9 +382,9 @@ where
     /// assert_eq!(m.shard_lens(), vec![10, 10, 10]);
     /// ```
     pub fn batch_insert(&mut self, pairs: Vec<(K, V)>) -> usize {
-        let parts = partition_owned(pairs, self.shards.len(), |(k, _)| {
-            shard_of_key(&self.splits, k)
-        });
+        debug_assert_valid_splits(&self.splits);
+        let splits = &self.splits;
+        let parts = partition_owned(pairs, self.shards.len(), |(k, _)| shard_of_key(splits, k));
         let mut counts = vec![0usize; self.shards.len()];
         rayon::scope(|s| {
             for ((shard, (_, routed)), count) in
@@ -352,7 +403,9 @@ where
     /// shard-parallel exactly like [`ShardedMap::batch_insert`].
     /// Returns how many keys were live before the batch.
     pub fn batch_remove(&mut self, keys: &[K]) -> usize {
-        let parts = partition_batch(keys, self.shards.len(), |k| shard_of_key(&self.splits, k));
+        debug_assert_valid_splits(&self.splits);
+        let splits = &self.splits;
+        let parts = partition_batch(keys, self.shards.len(), |k| shard_of_key(splits, k));
         let mut counts = vec![0usize; self.shards.len()];
         rayon::scope(|s| {
             for ((shard, (_, routed)), count) in
@@ -369,18 +422,64 @@ where
 
     /// Seal every shard's buffer and start (or complete, for inline
     /// shards) a compaction per shard; see
-    /// [`DynamicMap::compact_buffer`].
+    /// [`DynamicMap::compact_buffer`]. Shards are drained **in
+    /// parallel** under the rayon-shim scope — like
+    /// [`ShardedMap::batch_insert`] — so one shard's in-flight merge
+    /// (whose install the seal must wait for) never stalls the seals of
+    /// the others. Observable state is unchanged.
     pub fn compact_buffers(&mut self) {
-        for shard in &mut self.shards {
-            shard.compact_buffer();
-        }
+        rayon::scope(|s| {
+            for shard in &mut self.shards {
+                s.spawn(move |_| shard.compact_buffer());
+            }
+        });
     }
 
     /// Drain every shard's deferred compaction work; see
     /// [`DynamicMap::quiesce`]. Observable state is unchanged.
+    ///
+    /// Shards drain **in parallel** under the rayon-shim scope: each
+    /// shard's quiesce blocks on its own in-flight merge, and an
+    /// earlier serial loop let one slow shard's merge delay even
+    /// *starting* to drain the rest — exactly the stall a serving tick
+    /// cannot afford.
     pub fn quiesce(&mut self) {
-        for shard in &mut self.shards {
-            shard.quiesce();
+        rayon::scope(|s| {
+            for shard in &mut self.shards {
+                s.spawn(move |_| shard.quiesce());
+            }
+        });
+    }
+
+    // ----- snapshots -----
+
+    /// Freeze the **exact current** state of every shard into a
+    /// [`ShardedFrozen`] — the whole read API, independent of later
+    /// writes.
+    ///
+    /// This cut is **globally consistent**: taking it borrows `&self`,
+    /// and every mutation needs `&mut self`, so the per-shard freezes
+    /// cannot interleave with any write. Cost: one ≤`buffer_cap`-entry
+    /// buffer copy plus one `Arc` bump per resident run, per shard. A
+    /// serving loop that owns the map takes one snapshot per batch tick
+    /// and hands it to reader threads, which is how the `ist-serve`
+    /// coalescer overlaps read execution with the next tick's writes.
+    pub fn snapshot(&self) -> ShardedFrozen<K, V> {
+        ShardedFrozen {
+            splits: Arc::clone(&self.splits),
+            shards: self.shards.iter().map(DynamicMap::snapshot).collect(),
+        }
+    }
+
+    /// A cloneable handle for observing this map from threads that do
+    /// **not** own it, layered on the per-shard [`DynamicMap::reader`]
+    /// cells (the current state of every shard is published
+    /// immediately). See [`ShardedReader::snapshot`] for the coherence
+    /// contract — per-shard prefixes, not a global cut.
+    pub fn reader(&self) -> ShardedReader<K, V> {
+        ShardedReader {
+            splits: Arc::clone(&self.splits),
+            readers: self.shards.iter().map(DynamicMap::reader).collect(),
         }
     }
 
@@ -388,17 +487,17 @@ where
 
     /// Number of live keys across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(DynamicMap::len).sum()
+        self.view().len()
     }
 
     /// `true` iff no key is live in any shard.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(DynamicMap::is_empty)
+        self.view().is_empty()
     }
 
     /// The live value under `key`, if any (one shard probe).
     pub fn get(&self, key: &K) -> Option<&V> {
-        self.shards[self.shard_of(key)].get(key)
+        self.view().get(key)
     }
 
     /// `true` iff `key` is live.
@@ -410,69 +509,248 @@ where
     /// whole-shard lengths below the home shard plus one in-shard rank
     /// (the range-partition invariant).
     pub fn rank(&self, key: &K) -> usize {
-        let i = self.shard_of(key);
-        let below: usize = self.shards[..i].iter().map(DynamicMap::len).sum();
-        below + self.shards[i].rank(key)
+        self.view().rank(key)
     }
 
     /// Number of live keys in `[lo, hi)` across all shards. Reversed
     /// bounds (`lo > hi`) yield 0 — never a panic (the workspace-wide
     /// contract).
     pub fn range_count(&self, lo: &K, hi: &K) -> usize {
-        if lo >= hi {
-            return 0;
-        }
-        self.rank(hi).saturating_sub(self.rank(lo))
+        self.view().range_count(lo, hi)
     }
 
     /// The smallest live entry with key `≥ key`, if any.
     pub fn lower_bound(&self, key: &K) -> Option<(&K, &V)> {
-        let i = self.shard_of(key);
-        self.shards[i]
-            .lower_bound(key)
-            .or_else(|| self.first_live_after_shard(i))
+        self.view().lower_bound(key)
     }
 
     /// The smallest live entry with key **strictly greater** than
     /// `key`, if any.
     pub fn successor(&self, key: &K) -> Option<(&K, &V)> {
-        let i = self.shard_of(key);
-        self.shards[i]
-            .successor(key)
-            .or_else(|| self.first_live_after_shard(i))
+        self.view().successor(key)
     }
 
     /// The largest live entry with key **strictly smaller** than `key`,
     /// if any.
     pub fn predecessor(&self, key: &K) -> Option<(&K, &V)> {
-        let i = self.shard_of(key);
-        self.shards[i]
-            .predecessor(key)
-            .or_else(|| self.last_live_before_shard(i))
+        self.view().predecessor(key)
     }
 
     // ----- batched reads: partition → parallel per-shard → scatter -----
 
-    /// Batched [`ShardedMap::get`]: the batch is partitioned per shard,
-    /// every shard's software-pipelined engine runs in parallel on its
-    /// disjoint sub-batch, and results scatter back in input order —
-    /// `out[i]` is exactly `get(&keys[i])`.
+    /// Batched [`ShardedMap::get`]: the batch is partitioned per shard
+    /// **by reference** (routing clones no key), every shard's
+    /// software-pipelined engine runs in parallel on its disjoint
+    /// sub-batch, and results scatter back in input order — `out[i]` is
+    /// exactly `get(&keys[i])`.
     pub fn batch_get(&self, keys: &[K]) -> Vec<Option<&V>> {
-        self.fan_out(keys, |i, routed| self.shards[i].batch_get(routed))
+        self.view().batch_get(keys)
     }
 
     /// Batched [`ShardedMap::rank`]: per-shard pipelined rank descents
     /// in parallel, each shard's results pre-offset by the summed
     /// lengths of the shards below it, scattered back in input order.
     pub fn batch_rank(&self, keys: &[K]) -> Vec<usize> {
-        let mut offsets = Vec::with_capacity(self.shards.len());
-        let mut below = 0usize;
-        for shard in &self.shards {
-            offsets.push(below);
-            below += shard.len();
+        self.view().batch_rank(keys)
+    }
+
+    /// Per-pair [`ShardedMap::range_count`] (reversed pairs yield 0).
+    /// Endpoint ranks go through the batched rank path, so ranges
+    /// straddling shard boundaries cost the same two descents as local
+    /// ones.
+    pub fn batch_range_count(&self, ranges: &[(K, K)]) -> Vec<usize> {
+        self.view().batch_range_count(ranges)
+    }
+}
+
+/// The per-shard read surface the range-partitioned read core is
+/// generic over — implemented by live shards ([`DynamicMap`]) and
+/// frozen ones ([`Frozen`]), so [`ShardedMap`] and [`ShardedFrozen`]
+/// share every routing decision, offset sum, and scatter in one place
+/// ([`RangeView`]).
+trait ShardRead<K, V> {
+    fn len(&self) -> usize;
+    fn get(&self, key: &K) -> Option<&V>;
+    fn rank(&self, key: &K) -> usize;
+    fn lower_bound(&self, key: &K) -> Option<(&K, &V)>;
+    fn successor(&self, key: &K) -> Option<(&K, &V)>;
+    fn predecessor(&self, key: &K) -> Option<(&K, &V)>;
+    fn batch_get_ref(&self, keys: &[&K]) -> Vec<Option<&V>>;
+    fn batch_rank_ref(&self, keys: &[&K]) -> Vec<usize>;
+}
+
+impl<K, V> ShardRead<K, V> for DynamicMap<K, V>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    fn len(&self) -> usize {
+        DynamicMap::len(self)
+    }
+    fn get(&self, key: &K) -> Option<&V> {
+        DynamicMap::get(self, key)
+    }
+    fn rank(&self, key: &K) -> usize {
+        DynamicMap::rank(self, key)
+    }
+    fn lower_bound(&self, key: &K) -> Option<(&K, &V)> {
+        DynamicMap::lower_bound(self, key)
+    }
+    fn successor(&self, key: &K) -> Option<(&K, &V)> {
+        DynamicMap::successor(self, key)
+    }
+    fn predecessor(&self, key: &K) -> Option<(&K, &V)> {
+        DynamicMap::predecessor(self, key)
+    }
+    fn batch_get_ref(&self, keys: &[&K]) -> Vec<Option<&V>> {
+        DynamicMap::batch_get_ref(self, keys)
+    }
+    fn batch_rank_ref(&self, keys: &[&K]) -> Vec<usize> {
+        DynamicMap::batch_rank_ref(self, keys)
+    }
+}
+
+impl<K, V> ShardRead<K, V> for Frozen<K, V>
+where
+    K: Ord + Clone + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    fn len(&self) -> usize {
+        Frozen::len(self)
+    }
+    fn get(&self, key: &K) -> Option<&V> {
+        Frozen::get(self, key)
+    }
+    fn rank(&self, key: &K) -> usize {
+        Frozen::rank(self, key)
+    }
+    fn lower_bound(&self, key: &K) -> Option<(&K, &V)> {
+        Frozen::lower_bound(self, key)
+    }
+    fn successor(&self, key: &K) -> Option<(&K, &V)> {
+        Frozen::successor(self, key)
+    }
+    fn predecessor(&self, key: &K) -> Option<(&K, &V)> {
+        Frozen::predecessor(self, key)
+    }
+    fn batch_get_ref(&self, keys: &[&K]) -> Vec<Option<&V>> {
+        Frozen::batch_get_ref(self, keys)
+    }
+    fn batch_rank_ref(&self, keys: &[&K]) -> Vec<usize> {
+        Frozen::batch_rank_ref(self, keys)
+    }
+}
+
+/// The single implementation of every range-partitioned read — scalar
+/// routing, global-rank offset sums, the
+/// partition-by-reference → parallel per-shard → scatter skeleton, and
+/// the empty-shard walks — borrowed over any slice of [`ShardRead`]
+/// shards. [`ShardedMap`] instantiates it with live [`DynamicMap`]s,
+/// [`ShardedFrozen`] with per-shard [`Frozen`] snapshots.
+struct RangeView<'a, K, S> {
+    splits: &'a [K],
+    shards: &'a [S],
+}
+
+impl<'a, K, S> RangeView<'a, K, S>
+where
+    K: Ord + Sync,
+    S: Sync,
+{
+    fn shard_of(&self, key: &K) -> usize {
+        shard_of_key(self.splits, key)
+    }
+
+    fn len<V>(&self) -> usize
+    where
+        S: ShardRead<K, V>,
+    {
+        self.shards.iter().map(ShardRead::len).sum()
+    }
+
+    fn is_empty<V>(&self) -> bool
+    where
+        S: ShardRead<K, V>,
+    {
+        self.shards.iter().all(|s| s.len() == 0)
+    }
+
+    fn get<V>(&self, key: &K) -> Option<&'a V>
+    where
+        S: ShardRead<K, V>,
+    {
+        debug_assert_valid_splits(self.splits);
+        self.shards[self.shard_of(key)].get(key)
+    }
+
+    fn rank<V>(&self, key: &K) -> usize
+    where
+        S: ShardRead<K, V>,
+    {
+        debug_assert_valid_splits(self.splits);
+        let i = self.shard_of(key);
+        let below: usize = self.shards[..i].iter().map(ShardRead::len).sum();
+        below + self.shards[i].rank(key)
+    }
+
+    fn range_count<V>(&self, lo: &K, hi: &K) -> usize
+    where
+        S: ShardRead<K, V>,
+    {
+        if lo >= hi {
+            return 0;
         }
+        self.rank(hi).saturating_sub(self.rank(lo))
+    }
+
+    fn lower_bound<V>(&self, key: &K) -> Option<(&'a K, &'a V)>
+    where
+        S: ShardRead<K, V>,
+    {
+        debug_assert_valid_splits(self.splits);
+        let i = self.shard_of(key);
+        self.shards[i]
+            .lower_bound(key)
+            .or_else(|| self.first_live_after_shard(i))
+    }
+
+    fn successor<V>(&self, key: &K) -> Option<(&'a K, &'a V)>
+    where
+        S: ShardRead<K, V>,
+    {
+        debug_assert_valid_splits(self.splits);
+        let i = self.shard_of(key);
+        self.shards[i]
+            .successor(key)
+            .or_else(|| self.first_live_after_shard(i))
+    }
+
+    fn predecessor<V>(&self, key: &K) -> Option<(&'a K, &'a V)>
+    where
+        S: ShardRead<K, V>,
+    {
+        debug_assert_valid_splits(self.splits);
+        let i = self.shard_of(key);
+        self.shards[i]
+            .predecessor(key)
+            .or_else(|| self.last_live_before_shard(i))
+    }
+
+    fn batch_get<V>(&self, keys: &[K]) -> Vec<Option<&'a V>>
+    where
+        S: ShardRead<K, V>,
+        V: Sync,
+    {
+        self.fan_out(keys, |i, routed| self.shards[i].batch_get_ref(routed))
+    }
+
+    fn batch_rank<V>(&self, keys: &[K]) -> Vec<usize>
+    where
+        S: ShardRead<K, V>,
+    {
+        let offsets = self.offsets();
         self.fan_out(keys, |i, routed| {
-            let mut ranks = self.shards[i].batch_rank(routed);
+            let mut ranks = self.shards[i].batch_rank_ref(routed);
             for r in &mut ranks {
                 *r += offsets[i];
             }
@@ -480,17 +758,25 @@ where
         })
     }
 
-    /// Per-pair [`ShardedMap::range_count`] (reversed pairs yield 0).
-    /// Endpoint ranks go through [`ShardedMap::batch_rank`], so ranges
-    /// straddling shard boundaries cost the same two descents as local
-    /// ones.
-    pub fn batch_range_count(&self, ranges: &[(K, K)]) -> Vec<usize> {
-        let mut flat = Vec::with_capacity(2 * ranges.len());
+    fn batch_range_count<V>(&self, ranges: &[(K, K)]) -> Vec<usize>
+    where
+        S: ShardRead<K, V>,
+    {
+        // Flatten the endpoints by reference (no key clones), rank them
+        // all in one routed fan-out, difference per pair.
+        let offsets = self.offsets();
+        let mut flat: Vec<&K> = Vec::with_capacity(2 * ranges.len());
         for (lo, hi) in ranges {
-            flat.push(lo.clone());
-            flat.push(hi.clone());
+            flat.push(lo);
+            flat.push(hi);
         }
-        let ranks = self.batch_rank(&flat);
+        let ranks = self.fan_out_refs(&flat, |i, routed| {
+            let mut ranks = self.shards[i].batch_rank_ref(routed);
+            for r in &mut ranks {
+                *r += offsets[i];
+            }
+            ranks
+        });
         ranges
             .iter()
             .enumerate()
@@ -504,19 +790,61 @@ where
             .collect()
     }
 
-    // ----- internals -----
+    /// Cumulative live-key counts below each shard (the global-rank
+    /// offsets).
+    fn offsets<V>(&self) -> Vec<usize>
+    where
+        S: ShardRead<K, V>,
+    {
+        let mut offsets = Vec::with_capacity(self.shards.len());
+        let mut below = 0usize;
+        for shard in self.shards {
+            offsets.push(below);
+            below += shard.len();
+        }
+        offsets
+    }
 
     /// The batched-query skeleton shared by every fan-out read:
-    /// partition `keys` per shard, run `per_shard(i, sub_batch)` for
-    /// every non-empty sub-batch in parallel (the sub-batches are
-    /// disjoint), and scatter the per-shard results back into input
-    /// order.
+    /// partition `keys` per shard **by reference**
+    /// ([`partition_batch_ref`] — routing never clones a key), run
+    /// `per_shard(i, sub_batch)` for every non-empty sub-batch in
+    /// parallel (the sub-batches are disjoint), and scatter the
+    /// per-shard results back into input order. The split vector is
+    /// debug-validated **once here**, not per routed item.
     fn fan_out<R, F>(&self, keys: &[K], per_shard: F) -> Vec<R>
     where
         R: Send,
-        F: Fn(usize, &[K]) -> Vec<R> + Sync,
+        F: Fn(usize, &[&K]) -> Vec<R> + Sync,
     {
+        debug_assert_valid_splits(self.splits);
+        let parts = partition_batch_ref(keys, self.shards.len(), |k| self.shard_of(k));
+        self.run_parts(keys.len(), parts, per_shard)
+    }
+
+    /// [`RangeView::fan_out`] for an already-borrowed batch (partition
+    /// over `&K` items copies references, never keys).
+    fn fan_out_refs<R, F>(&self, keys: &[&K], per_shard: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, &[&K]) -> Vec<R> + Sync,
+    {
+        debug_assert_valid_splits(self.splits);
         let parts = partition_batch(keys, self.shards.len(), |k| self.shard_of(k));
+        self.run_parts(keys.len(), parts, per_shard)
+    }
+
+    fn run_parts<'k, R, F>(
+        &self,
+        len: usize,
+        parts: Vec<(Vec<usize>, Vec<&'k K>)>,
+        per_shard: F,
+    ) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, &[&'k K]) -> Vec<R> + Sync,
+        'a: 'k,
+    {
         let mut results: Vec<Vec<R>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
         rayon::scope(|s| {
             for (i, out) in results.iter_mut().enumerate() {
@@ -528,14 +856,14 @@ where
                 s.spawn(move |_| *out = per_shard(i, routed));
             }
         });
-        scatter_to_input_order(
-            keys.len(),
-            parts.into_iter().map(|(idx, _)| idx).zip(results),
-        )
+        scatter_to_input_order(len, parts.into_iter().map(|(idx, _)| idx).zip(results))
     }
 
     /// Minimum live entry of the first non-empty shard after `i`.
-    fn first_live_after_shard(&self, i: usize) -> Option<(&K, &V)> {
+    fn first_live_after_shard<V>(&self, i: usize) -> Option<(&'a K, &'a V)>
+    where
+        S: ShardRead<K, V>,
+    {
         for j in i + 1..self.shards.len() {
             // Every key in shard j is ≥ its lower boundary, so a
             // lower_bound there is the shard's minimum entry.
@@ -547,7 +875,10 @@ where
     }
 
     /// Maximum live entry of the last non-empty shard before `i`.
-    fn last_live_before_shard(&self, i: usize) -> Option<(&K, &V)> {
+    fn last_live_before_shard<V>(&self, i: usize) -> Option<(&'a K, &'a V)>
+    where
+        S: ShardRead<K, V>,
+    {
         for j in (0..i).rev() {
             // Every key in shard j is < its upper boundary, so a
             // predecessor there is the shard's maximum entry.
@@ -556,6 +887,177 @@ where
             }
         }
         None
+    }
+}
+
+/// An immutable composite snapshot of a [`ShardedMap`]: one [`Frozen`]
+/// per shard plus the shared split vector, behind the whole read API
+/// (scalar, order statistics, and the parallel batched fan-outs).
+///
+/// Cheap to clone (`Arc` bumps), `Send + Sync` when the key and value
+/// types are, and independent of the writer: compactions that retire
+/// the referenced runs only drop refcounts.
+///
+/// **Coherence**: a snapshot from [`ShardedMap::snapshot`] is a
+/// globally-consistent cut (no write can interleave — see there). A
+/// snapshot from [`ShardedReader::snapshot`] is consistent **per
+/// shard** only; see that method for the contract.
+pub struct ShardedFrozen<K, V> {
+    splits: Arc<Vec<K>>,
+    shards: Vec<Frozen<K, V>>,
+}
+
+impl<K, V> Clone for ShardedFrozen<K, V> {
+    fn clone(&self) -> Self {
+        Self {
+            splits: Arc::clone(&self.splits),
+            shards: self.shards.clone(),
+        }
+    }
+}
+
+impl<K, V> ShardedFrozen<K, V>
+where
+    K: Ord + Clone + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    fn view(&self) -> RangeView<'_, K, Frozen<K, V>> {
+        RangeView {
+            splits: &self.splits,
+            shards: &self.shards,
+        }
+    }
+
+    /// Number of shards in the snapshot.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of live keys across all shards.
+    pub fn len(&self) -> usize {
+        self.view().len()
+    }
+
+    /// `true` iff no key is live in any shard.
+    pub fn is_empty(&self) -> bool {
+        self.view().is_empty()
+    }
+
+    /// See [`ShardedMap::get`].
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.view().get(key)
+    }
+
+    /// See [`ShardedMap::contains_key`].
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// See [`ShardedMap::rank`].
+    pub fn rank(&self, key: &K) -> usize {
+        self.view().rank(key)
+    }
+
+    /// See [`ShardedMap::range_count`] (reversed bounds yield 0).
+    pub fn range_count(&self, lo: &K, hi: &K) -> usize {
+        self.view().range_count(lo, hi)
+    }
+
+    /// See [`ShardedMap::lower_bound`].
+    pub fn lower_bound(&self, key: &K) -> Option<(&K, &V)> {
+        self.view().lower_bound(key)
+    }
+
+    /// See [`ShardedMap::successor`].
+    pub fn successor(&self, key: &K) -> Option<(&K, &V)> {
+        self.view().successor(key)
+    }
+
+    /// See [`ShardedMap::predecessor`].
+    pub fn predecessor(&self, key: &K) -> Option<(&K, &V)> {
+        self.view().predecessor(key)
+    }
+
+    /// See [`ShardedMap::batch_get`].
+    pub fn batch_get(&self, keys: &[K]) -> Vec<Option<&V>> {
+        self.view().batch_get(keys)
+    }
+
+    /// See [`ShardedMap::batch_rank`].
+    pub fn batch_rank(&self, keys: &[K]) -> Vec<usize> {
+        self.view().batch_rank(keys)
+    }
+
+    /// See [`ShardedMap::batch_range_count`].
+    pub fn batch_range_count(&self, ranges: &[(K, K)]) -> Vec<usize> {
+        self.view().batch_range_count(ranges)
+    }
+}
+
+/// A cloneable handle for observing a [`ShardedMap`] from threads that
+/// do not own it, layered on the per-shard [`Reader`] cells. Obtain it
+/// with [`ShardedMap::reader`] **before** handing the map to a writer
+/// thread.
+///
+/// # Examples
+/// ```
+/// use implicit_search_trees::{Layout, ShardedMap};
+///
+/// let keys: Vec<u64> = (0..1000).collect();
+/// let vals = keys.clone();
+/// let mut m = ShardedMap::build(keys, vals, Layout::Veb, 4).unwrap();
+/// let reader = m.reader();
+///
+/// let writer = std::thread::spawn(move || {
+///     for k in 0..500u64 {
+///         m.remove(&k);
+///     }
+///     m
+/// });
+/// // Concurrently, any thread can query a coherent composite snapshot.
+/// let snap = reader.snapshot();
+/// assert!(snap.len() <= 1000);
+/// assert_eq!(snap.rank(&0), 0);
+/// let m = writer.join().unwrap();
+/// assert_eq!(m.len(), 500);
+/// ```
+pub struct ShardedReader<K, V> {
+    splits: Arc<Vec<K>>,
+    readers: Vec<Reader<K, V>>,
+}
+
+impl<K, V> Clone for ShardedReader<K, V> {
+    fn clone(&self) -> Self {
+        Self {
+            splits: Arc::clone(&self.splits),
+            readers: self.readers.clone(),
+        }
+    }
+}
+
+impl<K, V> ShardedReader<K, V> {
+    /// The latest published composite snapshot: one [`Reader::snapshot`]
+    /// per shard, assembled under the shared split vector.
+    ///
+    /// **The honest coherence contract.** Each per-shard snapshot is a
+    /// prefix of that shard's operation sequence (never going
+    /// backwards across successive calls, lag bounded by that shard's
+    /// `buffer_cap` — see [`DynamicMap::reader`]), and every answer the
+    /// composite gives is exact over that combination of prefixes. But
+    /// the per-shard cells are read one after another while a writer
+    /// may be mutating: the cuts are **per shard, not one global
+    /// instant**. A cross-shard `range_count` can therefore combine
+    /// shard states that never coexisted — e.g. counting a key batch
+    /// whose shard-3 half was already applied while its shard-1 half
+    /// was not. Writers that need tick-aligned cuts (the `ist-serve`
+    /// coalescer) take [`ShardedMap::snapshot`] between batches
+    /// instead, where the `&self`/`&mut self` borrow rules make global
+    /// consistency free.
+    pub fn snapshot(&self) -> ShardedFrozen<K, V> {
+        ShardedFrozen {
+            splits: Arc::clone(&self.splits),
+            shards: self.readers.iter().map(Reader::snapshot).collect(),
+        }
     }
 }
 
@@ -642,5 +1144,93 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn unsorted_splits_are_rejected() {
         let _ = ShardedMap::<u64, u64>::with_splits(vec![20, 10], Layout::Veb);
+    }
+
+    /// The composite snapshot answers every query exactly like the live
+    /// map it froze, including cross-shard order statistics, and stays
+    /// pinned while the live map moves on.
+    #[test]
+    fn sharded_snapshot_matches_live_map_then_stays_pinned() {
+        let mut m = map_with_gaps();
+        let snap = m.snapshot();
+        let keys = [30u64, 2, 11, 25, 5, 2];
+        assert_eq!(snap.len(), m.len());
+        assert_eq!(snap.batch_get(&keys), m.batch_get(&keys));
+        assert_eq!(snap.batch_rank(&keys), m.batch_rank(&keys));
+        assert_eq!(
+            snap.batch_range_count(&[(0, 100), (26, 3), (5, 26)]),
+            m.batch_range_count(&[(0, 100), (26, 3), (5, 26)])
+        );
+        assert_eq!(snap.successor(&5), Some((&25, &2500)));
+        assert_eq!(snap.predecessor(&25), Some((&5, &500)));
+
+        m.insert(11, 1100); // lands in the empty middle shard
+        m.remove(&2);
+        assert_eq!(m.len(), 4);
+        assert_eq!(snap.len(), 4); // pinned: pre-write state
+        assert_eq!(snap.get(&11), None);
+        assert_eq!(snap.get(&2), Some(&200));
+        assert_eq!(snap.rank(&100), 4);
+    }
+
+    #[test]
+    fn reader_snapshot_publishes_current_state() {
+        let mut m = map_with_gaps();
+        let reader = m.reader();
+        let snap = reader.snapshot();
+        assert_eq!(snap.len(), 4);
+        assert_eq!(snap.get(&25), Some(&2500));
+        assert_eq!(snap.rank(&26), 3);
+        // A fresh reader() re-publishes the post-write state.
+        m.insert(12, 1200);
+        let snap2 = m.reader().snapshot();
+        assert_eq!(snap2.len(), 5);
+        assert_eq!(snap2.get(&12), Some(&1200));
+        // The old snapshot is unaffected.
+        assert_eq!(snap.len(), 4);
+    }
+
+    /// Regression for the serial shard drain: `quiesce` and
+    /// `compact_buffers` must leave observable state unchanged while
+    /// actually draining every shard (they now run shard-parallel under
+    /// the rayon-shim scope).
+    #[test]
+    fn parallel_quiesce_and_compact_preserve_state_and_drain() {
+        let keys: Vec<u64> = (0..4000).collect();
+        let vals: Vec<u64> = (0..4000).map(|v| v * 7).collect();
+        let mut m = ShardedMap::build_for_kind(
+            keys,
+            vals,
+            QueryKind::Veb,
+            Algorithm::CycleLeader,
+            32, // tiny buffers: constant seals and merges
+            4,
+        )
+        .unwrap()
+        .with_compaction_mode(CompactionMode::Background);
+
+        // Churn every shard so seals and background merges are in
+        // flight when the drains run.
+        for k in 0..2000u64 {
+            if k % 5 == 0 {
+                m.remove(&(2 * k));
+            } else {
+                m.insert(2 * k + 1, k);
+            }
+        }
+        let before_len = m.len();
+        let probe: Vec<u64> = (0..800).map(|i| i * 5).collect();
+        let before_get: Vec<Option<u64>> = m.batch_get(&probe).iter().map(|v| v.copied()).collect();
+        let before_rank = m.batch_rank(&probe);
+
+        m.compact_buffers();
+        m.quiesce();
+
+        assert_eq!(m.len(), before_len, "quiesce changed the live count");
+        let after_get: Vec<Option<u64>> = m.batch_get(&probe).iter().map(|v| v.copied()).collect();
+        assert_eq!(after_get, before_get, "quiesce changed get answers");
+        assert_eq!(m.batch_rank(&probe), before_rank, "quiesce changed ranks");
+        assert_eq!(m.sealed_runs(), 0, "quiesce left sealed runs behind");
+        assert!(!m.compaction_in_flight(), "quiesce left a merge in flight");
     }
 }

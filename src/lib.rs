@@ -156,7 +156,7 @@ pub use ist_dynamic::{
     CompactionMode, CompactionPolicy, CompactionStyle, DynamicMap, Frozen, Reader, StaticIndex,
     StaticMap, DEFAULT_BUFFER_CAP, MAX_SEALED_RUNS,
 };
-pub use ist_shard::ShardedMap;
+pub use ist_shard::{ShardedFrozen, ShardedMap, ShardedReader};
 
 pub use ist_core::{
     construct, cycle_leader, fich_baseline, involution, nonperfect, permute_in_place,

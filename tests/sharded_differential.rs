@@ -247,6 +247,37 @@ fn check_full_state(
             return fail(format!("batch_range_count({lo},{hi}) != {expect}"));
         }
     }
+    // Composite snapshots: the writer-side globally-consistent cut and
+    // a fresh reader handle's published cut must both answer every
+    // query bit-identically to the live sharded map they froze.
+    let writer_snap = sharded.snapshot();
+    let reader_snap = sharded.reader().snapshot();
+    for (name, snap) in [("snapshot", &writer_snap), ("reader", &reader_snap)] {
+        if snap.len() != sharded.len() {
+            return fail(format!("{name}: len differs from live map"));
+        }
+        if snap.batch_get(&probes) != batch {
+            return fail(format!("{name}: batch_get differs from live map"));
+        }
+        if snap.batch_rank(&probes) != ranks {
+            return fail(format!("{name}: batch_rank differs from live map"));
+        }
+        if snap.batch_range_count(&pairs) != counts {
+            return fail(format!("{name}: batch_range_count differs from live map"));
+        }
+        for &k in probes.iter().step_by(7) {
+            if snap.successor(&k).map(|(a, b)| (*a, *b))
+                != sharded.successor(&k).map(|(a, b)| (*a, *b))
+            {
+                return fail(format!("{name}: successor({k}) differs from live map"));
+            }
+            if snap.predecessor(&k).map(|(a, b)| (*a, *b))
+                != sharded.predecessor(&k).map(|(a, b)| (*a, *b))
+            {
+                return fail(format!("{name}: predecessor({k}) differs from live map"));
+            }
+        }
+    }
     Ok(())
 }
 
