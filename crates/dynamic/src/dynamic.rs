@@ -311,7 +311,7 @@ struct Run<K, V> {
     prefix: Vec<i64>,
 }
 
-impl<K: Ord + Send + Sync, V: Send> Run<K, V> {
+impl<K: Ord + Send + Sync + 'static, V: Send> Run<K, V> {
     fn build(
         keys: Vec<K>,
         slots: Vec<Option<V>>,
@@ -491,7 +491,7 @@ fn merge_runs<K, V>(
     threads: usize,
 ) -> Option<Run<K, V>>
 where
-    K: Ord + Clone + Send + Sync,
+    K: Ord + Clone + Send + Sync + 'static,
     V: Clone + Send + Sync,
 {
     let total: usize = sources.iter().map(|r| r.versions()).sum();
@@ -581,7 +581,7 @@ fn merge_slice<K, V>(
     cooperative: bool,
 ) -> MergedColumns<K, V>
 where
-    K: Ord + Clone + Send + Sync,
+    K: Ord + Clone + Send + Sync + 'static,
     V: Clone + Send + Sync,
 {
     let mut srcs: Vec<Source<'_, K, V>> = sources
@@ -1762,7 +1762,7 @@ impl<'s, K, V> Source<'s, K, V> {
 
 impl<K, V> Frozen<K, V>
 where
-    K: Ord + Clone + Send + Sync,
+    K: Ord + Clone + Send + Sync + 'static,
     V: Clone + Send + Sync,
 {
     /// Number of live keys in the snapshot.
@@ -1853,7 +1853,7 @@ struct ViewRef<'a, K, V> {
 
 impl<'a, K, V> ViewRef<'a, K, V>
 where
-    K: Ord + Clone + Send + Sync,
+    K: Ord + Clone + Send + Sync + 'static,
     V: Clone + Send + Sync,
 {
     /// The newest resident version of `key`: `None` = absent from every

@@ -1,14 +1,17 @@
 //! [`StaticIndex`]: the one-stop facade for "I have keys, serve
 //! queries fast".
 //!
-//! Owns its key array: construction sorts the keys and permutes them
-//! **in place** (no second buffer — the index lives in the allocation
-//! the keys arrived in) into the chosen layout, then every point,
-//! batch, and range query from `ist-query` is available as a method.
-//! Batch queries run on the software-pipelined multi-descent engine and
-//! parallelize over adaptively-sized chunks.
+//! Owns its key array: construction sorts the keys and scatters them
+//! into a fresh **cache-line-aligned** buffer ([`crate::AlignedVec`]) in
+//! the chosen layout — the permutation is applied *during* the move, in
+//! one parallel pass, so node base addresses coincide with cache lines
+//! without any extra copy. Then every point, batch, and range query
+//! from `ist-query` is available as a method. Batch queries run on the
+//! software-pipelined multi-descent engine and parallelize over
+//! adaptively-sized chunks.
 
-use ist_core::{permute_in_place, Algorithm, Error, Layout};
+use crate::alloc::{AlignedVec, LayoutPos};
+use ist_core::{Algorithm, Error, Layout};
 use ist_query::{QueryKind, Searcher};
 
 /// An immutable sorted-key index stored as an implicit search tree
@@ -28,14 +31,16 @@ use ist_query::{QueryKind, Searcher};
 /// assert_eq!(index.batch_count(&[10, 11, 50]), 2);
 /// ```
 pub struct StaticIndex<K> {
-    data: Vec<K>,
+    data: AlignedVec<K>,
     kind: QueryKind,
 }
 
-impl<K: Ord + Send + Sync> StaticIndex<K> {
-    /// Sort `keys` and permute them in place into `layout`, using the
-    /// best default query descent for that layout (grandchild
-    /// prefetching for the BST).
+impl<K: Ord + Send + Sync + 'static> StaticIndex<K> {
+    /// Sort `keys` and scatter them into `layout` inside aligned run
+    /// storage, using the best default query descent for that layout
+    /// (grandchild prefetching for the BST; the const-width SIMD kernel
+    /// for B-tree widths 8/16 on eligible key types — see
+    /// [`default_kind_for_layout`]).
     ///
     /// Duplicates are kept (see [`ist_query`'s duplicate-key
     /// contract](ist_query#duplicate-keys)).
@@ -64,8 +69,16 @@ impl<K: Ord + Send + Sync> StaticIndex<K> {
     /// the sort: the merge-then-build fast path. A k-way merge of
     /// sorted runs (as in [`crate::DynamicMap`]'s tier merges) produces
     /// sorted output, so re-sorting would waste the dominant `O(n log n)`
-    /// term — this constructor goes straight to the parallel in-place
-    /// layout permutation.
+    /// term — this constructor goes straight to the parallel layout
+    /// scatter into aligned run storage.
+    ///
+    /// For tree layouts the permutation is applied **during** the move
+    /// into the 64-byte-aligned destination (`dst[pos(r)] = keys[r]`,
+    /// one pass — see [`crate::AlignedVec`]); `algorithm` selects the
+    /// in-place construction algorithm for callers permuting their own
+    /// buffers via [`ist_core::permute_in_place`], and is retained here
+    /// for API stability. [`QueryKind::Sorted`] adopts the caller's
+    /// allocation zero-copy.
     ///
     /// Sortedness is the caller's contract; debug builds assert it.
     ///
@@ -79,7 +92,7 @@ impl<K: Ord + Send + Sync> StaticIndex<K> {
     /// assert_eq!(idx.rank(&51), 26);
     /// ```
     pub fn build_presorted(
-        mut keys: Vec<K>,
+        keys: Vec<K>,
         kind: QueryKind,
         algorithm: Algorithm,
     ) -> Result<Self, Error> {
@@ -87,18 +100,21 @@ impl<K: Ord + Send + Sync> StaticIndex<K> {
             keys.windows(2).all(|w| w[0] <= w[1]),
             "StaticIndex::build_presorted: keys are not sorted"
         );
-        if !keys.is_empty() {
-            if let Some(layout) = layout_of_kind(kind) {
-                permute_in_place(&mut keys, layout, algorithm)?;
+        let _ = algorithm; // see the doc note: kept for API stability
+        let data = match layout_of_kind(kind) {
+            Some(layout) if !keys.is_empty() => {
+                let pos = LayoutPos::new(layout, keys.len())?;
+                AlignedVec::scatter_from_vec(keys, &pos)
             }
-        }
-        Ok(Self { data: keys, kind })
+            _ => AlignedVec::from_vec(keys),
+        };
+        Ok(Self { data, kind })
     }
 
     /// Wrap keys that are **already** sorted-and-permuted into `kind`'s
     /// layout (`StaticMap` builds its key side this way after
     /// co-permuting the payloads through the same index maps).
-    pub(crate) fn from_layout_order(data: Vec<K>, kind: QueryKind) -> Self {
+    pub(crate) fn from_layout_order(data: AlignedVec<K>, kind: QueryKind) -> Self {
         Self { data, kind }
     }
 
@@ -135,9 +151,18 @@ impl<K: Ord + Send + Sync> StaticIndex<K> {
         self.data.get(pos)
     }
 
-    /// Consume the index, returning the keys in layout order.
+    /// The guaranteed alignment of the key buffer: ≥ 64 bytes for tree
+    /// layouts (see [`crate::AlignedVec`]), the key type's natural
+    /// alignment for the un-permuted [`QueryKind::Sorted`] baseline.
+    pub fn buffer_alignment(&self) -> usize {
+        self.data.alignment()
+    }
+
+    /// Consume the index, returning the keys in layout order (copies
+    /// out of the aligned buffer for tree layouts; zero-copy for
+    /// [`QueryKind::Sorted`]).
     pub fn into_inner(self) -> Vec<K> {
-        self.data
+        self.data.into_vec()
     }
 
     /// A borrowing [`Searcher`] over the stored keys, for the full
@@ -240,6 +265,15 @@ pub(crate) fn layout_of_kind(kind: QueryKind) -> Option<Layout> {
 /// the BST); the `build` constructors of the facades use this, and
 /// callers that pre-partition data for the kind-explicit constructors
 /// (e.g. a sharded bulk load) can apply the same mapping.
+///
+/// `Layout::Btree { b: 8 | 16 }` maps to `QueryKind::Btree(b)` like any
+/// other width — the kind names the *shape*, which is physical — but
+/// [`Searcher`] construction upgrades that kind to the monomorphized
+/// wide-node SIMD kernel whenever the key type is
+/// [`SimdKey`](ist_query::SimdKey)-eligible
+/// ([`Searcher::is_wide`](ist_query::Searcher::is_wide) reports the
+/// route), so the default build path lands on the wide kernel with no
+/// opt-in here.
 pub fn default_kind_for_layout(layout: Layout) -> QueryKind {
     match layout {
         Layout::Bst => QueryKind::BstPrefetch,

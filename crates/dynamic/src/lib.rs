@@ -35,10 +35,12 @@
 //! seal/compaction granularity) decouple concurrent readers from
 //! merges entirely.
 
+pub mod alloc;
 pub mod dynamic;
 mod index;
 mod map;
 
+pub use alloc::AlignedVec;
 pub use dynamic::{
     CompactionMode, CompactionPolicy, CompactionStyle, DynamicMap, Frozen, Reader,
     DEFAULT_BUFFER_CAP, MAX_SEALED_RUNS,

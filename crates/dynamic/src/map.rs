@@ -11,9 +11,11 @@
 //! 1. argsorts the keys (the only comparisons anywhere),
 //! 2. applies the sort's index permutation to keys **and** values in
 //!    one in-place cycle walk ([`ist_perm::co_permute_by_gather`]),
-//! 3. runs the oblivious layout permutation over each array separately
-//!    ([`ist_core::permute_in_place`] — note its `V: Send` bound:
-//!    values need no `Ord`, no `Eq`, nothing).
+//! 3. scatters each array through the same oblivious layout map into
+//!    cache-line-aligned run storage ([`crate::AlignedVec`] — one pass
+//!    per array, the permutation applied during the move; note the
+//!    `V: Send` bound is all the value side needs: no `Ord`, no `Eq`,
+//!    nothing).
 //!
 //! After that, `keys()[p]` and `values()[p]` are parallel for every
 //! layout position `p`, so every query the key side answers (point,
@@ -21,8 +23,9 @@
 //! software-pipelined batched engine) resolves to a payload with one
 //! array read.
 
+use crate::alloc::{AlignedVec, LayoutPos};
 use crate::index::StaticIndex;
-use ist_core::{permute_in_place, Algorithm, Error, Layout};
+use ist_core::{Algorithm, Error, Layout};
 use ist_perm::co_permute_by_gather;
 use ist_query::{QueryKind, Searcher};
 
@@ -52,10 +55,10 @@ use ist_query::{QueryKind, Searcher};
 /// ```
 pub struct StaticMap<K, V> {
     index: StaticIndex<K>,
-    values: Vec<V>,
+    values: AlignedVec<V>,
 }
 
-impl<K: Ord + Send + Sync, V: Send> StaticMap<K, V> {
+impl<K: Ord + Send + Sync + 'static, V: Send> StaticMap<K, V> {
     /// Sort `keys`, co-permute `values` alongside them, and permute
     /// both into `layout` in place (BST uses the grandchild-prefetching
     /// descent, like [`StaticIndex::build`]).
@@ -105,9 +108,12 @@ impl<K: Ord + Send + Sync, V: Send> StaticMap<K, V> {
     ///
     /// [`crate::DynamicMap`]'s tier merges produce exactly this shape —
     /// a k-way merge of sorted runs is sorted, and its values were
-    /// carried along during the merge — so the rebuild reduces to the
-    /// two oblivious layout permutations (keys, then values through the
-    /// same index map; see [`ist_perm::oblivious`]).
+    /// carried along during the merge — so the rebuild reduces to two
+    /// oblivious layout scatters (keys, then values through the same
+    /// position map; see [`ist_perm::oblivious`]) that move each array
+    /// **directly** into its aligned destination buffer: exactly one
+    /// allocation per array on the rebuild hot path, no intermediate
+    /// copy (a regression test pins the allocation count).
     ///
     /// Sortedness of `keys` is the caller's contract; debug builds
     /// assert it.
@@ -129,8 +135,8 @@ impl<K: Ord + Send + Sync, V: Send> StaticMap<K, V> {
     /// assert_eq!(map.get(&20), Some(&"twenty"));
     /// ```
     pub fn build_presorted(
-        mut keys: Vec<K>,
-        mut values: Vec<V>,
+        keys: Vec<K>,
+        values: Vec<V>,
         kind: QueryKind,
         algorithm: Algorithm,
     ) -> Result<Self, Error> {
@@ -145,12 +151,20 @@ impl<K: Ord + Send + Sync, V: Send> StaticMap<K, V> {
             keys.windows(2).all(|w| w[0] <= w[1]),
             "StaticMap::build_presorted: keys are not sorted"
         );
-        if !keys.is_empty() {
-            if let Some(layout) = crate::index::layout_of_kind(kind) {
-                permute_in_place(&mut keys, layout, algorithm)?;
-                permute_in_place(&mut values, layout, algorithm)?;
+        let _ = algorithm; // see StaticIndex::build_presorted's doc note
+        let (keys, values) = match crate::index::layout_of_kind(kind) {
+            Some(layout) if !keys.is_empty() => {
+                // One shape computation serves both scatters: the maps
+                // are data-oblivious, so the value side reuses the key
+                // side's arithmetic untouched.
+                let pos = LayoutPos::new(layout, keys.len())?;
+                (
+                    AlignedVec::scatter_from_vec(keys, &pos),
+                    AlignedVec::scatter_from_vec(values, &pos),
+                )
             }
-        }
+            _ => (AlignedVec::from_vec(keys), AlignedVec::from_vec(values)),
+        };
         Ok(Self {
             index: StaticIndex::from_layout_order(keys, kind),
             values,
@@ -204,9 +218,11 @@ impl<K: Ord + Send + Sync, V: Send> StaticMap<K, V> {
         self.index.searcher()
     }
 
-    /// Consume the map, returning `(keys, values)` in layout order.
+    /// Consume the map, returning `(keys, values)` in layout order
+    /// (copies out of the aligned buffers for tree layouts; zero-copy
+    /// for [`QueryKind::Sorted`]).
     pub fn into_parts(self) -> (Vec<K>, Vec<V>) {
-        (self.index.into_inner(), self.values)
+        (self.index.into_inner(), self.values.into_vec())
     }
 
     /// `true` iff `key` is stored.

@@ -231,7 +231,7 @@ pub(crate) fn window_rank_into<'k, T, N, const W: usize, const UPPER: bool>(
     }
 }
 
-impl<'a, T: Ord + Sync> Searcher<'a, T> {
+impl<'a, T: Ord + Sync + 'static> Searcher<'a, T> {
     /// Run the pipelined **search** engine over `n` queries, delivering
     /// `(query index, layout position)` pairs to `sink` in query order.
     pub(crate) fn pipelined_search_into<'k, const W: usize>(

@@ -87,8 +87,10 @@ pub mod nav;
 mod order;
 mod range;
 pub mod route;
+mod wide;
 
 pub use batch::DEFAULT_WINDOW;
+pub use wide::SimdKey;
 
 use nav::{BinaryShape, BstNav, BtreeNav, BtreeSearchShape, VebNav};
 
@@ -109,6 +111,14 @@ macro_rules! dispatch_nav {
             }
             $crate::ShapeData::Btree(shape) => {
                 let $nav = $crate::nav::BtreeNav::from_shape(s.data, shape);
+                $body
+            }
+            $crate::ShapeData::BtreeWide8(shape) => {
+                let $nav = $crate::nav::WideBtreeNav::<_, 8>::from_shape(s.data, shape);
+                $body
+            }
+            $crate::ShapeData::BtreeWide16(shape) => {
+                let $nav = $crate::nav::WideBtreeNav::<_, 16>::from_shape(s.data, shape);
                 $body
             }
             $crate::ShapeData::Veb(shape) => {
@@ -245,12 +255,20 @@ pub struct Searcher<'a, T> {
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum ShapeData {
     Sorted,
-    Bst { shape: BinaryShape, prefetch: bool },
+    Bst {
+        shape: BinaryShape,
+        prefetch: bool,
+    },
     Btree(BtreeSearchShape),
+    /// B-tree shape served by the const-width [`nav::WideBtreeNav`]
+    /// kernel (`b == 8`); see [`Searcher::new`]'s width dispatch.
+    BtreeWide8(BtreeSearchShape),
+    /// As [`ShapeData::BtreeWide8`], with `b == 16`.
+    BtreeWide16(BtreeSearchShape),
     Veb(BinaryShape),
 }
 
-impl<'a, T: Ord + Sync> Searcher<'a, T> {
+impl<'a, T: Ord + Sync + 'static> Searcher<'a, T> {
     /// Searcher for data permuted with [`ist_core::permute_in_place`]
     /// into `layout` (BST uses the non-prefetching descent; see
     /// [`Searcher::new`] for full control).
@@ -264,7 +282,33 @@ impl<'a, T: Ord + Sync> Searcher<'a, T> {
     }
 
     /// Searcher for an explicit [`QueryKind`].
+    ///
+    /// **Width dispatch**: a [`QueryKind::Btree`] whose `b` matches a
+    /// compiled const-width kernel (8 or 16) on a [`SimdKey`] key type
+    /// is served by the monomorphized [`nav::WideBtreeNav`] — unrolled,
+    /// branchless, vectorized per-node compare-and-count — instead of
+    /// the runtime-width [`nav::BtreeNav`]. Results, traces, and
+    /// duplicate semantics are bit-identical (pinned by
+    /// `tests/navigator_equivalence.rs`); only throughput changes.
+    /// [`Searcher::new_runtime`] opts out.
     pub fn new(data: &'a [T], kind: QueryKind) -> Self {
+        let mut s = Self::new_runtime(data, kind);
+        if wide::is_simd_key::<T>() {
+            s.shape = match s.shape {
+                ShapeData::Btree(shape) if shape.b == 8 => ShapeData::BtreeWide8(shape),
+                ShapeData::Btree(shape) if shape.b == 16 => ShapeData::BtreeWide16(shape),
+                other => other,
+            };
+        }
+        s
+    }
+
+    /// [`Searcher::new`] without the const-width upgrade: a B-tree kind
+    /// always descends through the general runtime-width
+    /// [`nav::BtreeNav`]. The escape hatch the node-width bench and the
+    /// wide-vs-runtime equivalence suites are built on; answers are
+    /// identical to [`Searcher::new`]'s for every query.
+    pub fn new_runtime(data: &'a [T], kind: QueryKind) -> Self {
         let shape = if data.is_empty() {
             ShapeData::Sorted // degenerate; every search misses anyway
         } else {
@@ -283,6 +327,15 @@ impl<'a, T: Ord + Sync> Searcher<'a, T> {
             }
         };
         Self { data, shape }
+    }
+
+    /// `true` iff queries descend through a const-width wide-node
+    /// kernel (see [`Searcher::new`]'s width dispatch).
+    pub fn is_wide(&self) -> bool {
+        matches!(
+            self.shape,
+            ShapeData::BtreeWide8(_) | ShapeData::BtreeWide16(_)
+        )
     }
 
     /// Find a layout index holding `key`, if present (any matching slot
@@ -385,7 +438,9 @@ impl<'a, T: Ord + Sync> Searcher<'a, T> {
             ShapeData::Sorted => r,
             ShapeData::Bst { .. } => CompleteShape::new(n).pos(r, ist_layout::bst_pos),
             ShapeData::Veb(_) => CompleteShape::new(n).pos(r, veb_pos),
-            ShapeData::Btree(shape) => {
+            ShapeData::Btree(shape)
+            | ShapeData::BtreeWide8(shape)
+            | ShapeData::BtreeWide16(shape) => {
                 ist_layout::complete::BtreeCompleteShape::new(n, shape.b).pos(r)
             }
         })

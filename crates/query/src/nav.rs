@@ -63,13 +63,23 @@
 
 use ist_layout::{veb_pos, CompleteShape};
 
+pub use crate::wide::{SimdKey, WideBtreeNav};
+
 /// Sentinel for "no equality hit latched yet" in a search descent's
 /// result register (never a valid layout index: indices are
 /// `< data.len()`).
 pub const MISS: usize = usize::MAX;
 
-/// Issue a best-effort prefetch of `data[index]` (no-op when out of
-/// bounds or on non-x86_64 targets).
+/// Issue a best-effort prefetch of `data[index]` into the first-level
+/// data cache.
+///
+/// **Contract**: purely a performance hint — never a semantic
+/// dependency. Out-of-bounds indices are dropped (never dereferenced),
+/// and on architectures without a wired-up hint instruction the call
+/// compiles to nothing; results must be identical either way (the
+/// forced-serial and cross-arch CI legs run with whatever this lowers
+/// to). Wired instructions: `prefetcht0` on `x86_64`, `prfm pldl1keep`
+/// on `aarch64`.
 #[inline(always)]
 pub(crate) fn prefetch<T>(data: &[T], index: usize) {
     #[cfg(target_arch = "x86_64")]
@@ -84,7 +94,22 @@ pub(crate) fn prefetch<T>(data: &[T], index: usize) {
             }
         }
     }
-    #[cfg(not(target_arch = "x86_64"))]
+    #[cfg(target_arch = "aarch64")]
+    {
+        if index < data.len() {
+            // SAFETY: the pointer is in bounds (checked); PRFM is
+            // side-effect free (the stable-toolchain spelling of the
+            // unstable `core::arch::aarch64::_prefetch` intrinsic).
+            unsafe {
+                core::arch::asm!(
+                    "prfm pldl1keep, [{ptr}]",
+                    ptr = in(reg) data.as_ptr().add(index),
+                    options(readonly, nostack, preserves_flags),
+                );
+            }
+        }
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
     {
         let _ = (data, index);
     }

@@ -21,7 +21,7 @@
 use crate::batch::{par_chunked, DEFAULT_WINDOW};
 use crate::Searcher;
 
-impl<'a, T: Ord + Sync> Searcher<'a, T> {
+impl<'a, T: Ord + Sync + 'static> Searcher<'a, T> {
     /// Layout position of the smallest stored key **strictly greater**
     /// than `key`, or `None` if no stored key exceeds it.
     ///

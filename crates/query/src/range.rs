@@ -11,7 +11,7 @@
 use crate::batch::{par_chunked, DEFAULT_WINDOW};
 use crate::Searcher;
 
-impl<'a, T: Ord + Sync> Searcher<'a, T> {
+impl<'a, T: Ord + Sync + 'static> Searcher<'a, T> {
     /// Number of stored keys in the half-open interval `[lo, hi)`
     /// (duplicates counted with multiplicity), via two rank descents.
     ///
@@ -66,7 +66,11 @@ impl<'a, T: Ord + Sync> Searcher<'a, T> {
 
 /// Pipeline the `2·len` rank descents of one chunk of ranges, then
 /// difference each pair into `counts`.
-fn range_chunk<T: Ord + Sync>(s: &Searcher<'_, T>, ranges: &[(T, T)], counts: &mut [usize]) {
+fn range_chunk<T: Ord + Sync + 'static>(
+    s: &Searcher<'_, T>,
+    ranges: &[(T, T)],
+    counts: &mut [usize],
+) {
     let mut ranks = vec![0usize; 2 * ranges.len()];
     s.pipelined_rank_into::<DEFAULT_WINDOW, false>(
         2 * ranges.len(),

@@ -612,7 +612,7 @@ where
 
 impl<K, V> ShardRead<K, V> for Frozen<K, V>
 where
-    K: Ord + Clone + Send + Sync,
+    K: Ord + Clone + Send + Sync + 'static,
     V: Clone + Send + Sync,
 {
     fn len(&self) -> usize {
@@ -918,7 +918,7 @@ impl<K, V> Clone for ShardedFrozen<K, V> {
 
 impl<K, V> ShardedFrozen<K, V>
 where
-    K: Ord + Clone + Send + Sync,
+    K: Ord + Clone + Send + Sync + 'static,
     V: Clone + Send + Sync,
 {
     fn view(&self) -> RangeView<'_, K, Frozen<K, V>> {

@@ -153,8 +153,8 @@
 //! | [`gpu_sim`] | SIMT (GPU) execution cost backend |
 
 pub use ist_dynamic::{
-    CompactionMode, CompactionPolicy, CompactionStyle, DynamicMap, Frozen, Reader, StaticIndex,
-    StaticMap, DEFAULT_BUFFER_CAP, MAX_SEALED_RUNS,
+    default_kind_for_layout, AlignedVec, CompactionMode, CompactionPolicy, CompactionStyle,
+    DynamicMap, Frozen, Reader, StaticIndex, StaticMap, DEFAULT_BUFFER_CAP, MAX_SEALED_RUNS,
 };
 pub use ist_shard::{ShardedFrozen, ShardedMap, ShardedReader};
 
@@ -165,6 +165,7 @@ pub use ist_core::{
 };
 pub use ist_query::{
     search_bst, search_bst_prefetch, search_btree, search_sorted, search_veb, QueryKind, Searcher,
+    SimdKey,
 };
 
 /// Digit reversal and modular arithmetic primitives.

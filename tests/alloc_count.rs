@@ -1,0 +1,84 @@
+//! Allocation-count regression test for the rebuild hot path.
+//!
+//! `StaticMap::build_presorted` is the only construction work on
+//! `DynamicMap`'s writer path (seals and tier merges both funnel into
+//! it), so an accidental intermediate copy there — e.g. permuting into
+//! a scratch `Vec` and then relocating into the aligned buffer — would
+//! tax every compaction. The build must allocate exactly **one**
+//! payload-sized buffer per array (keys, values): the aligned
+//! destination the layout scatter writes into directly.
+//!
+//! Lives in its own integration-test binary because it installs a
+//! counting `#[global_allocator]`; run with `--test-threads=1`
+//! semantics by construction (single `#[test]`).
+
+use std::alloc::{GlobalAlloc, Layout as AllocLayout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Counts allocations at least `THRESHOLD` bytes (0 = disarmed). The
+/// size gate filters out incidental small allocations (thread-spawn
+/// packets from the parallel scatter, test-harness bookkeeping) so the
+/// count isolates payload-sized buffers.
+struct CountingAlloc;
+
+static THRESHOLD: AtomicUsize = AtomicUsize::new(0);
+static BIG_ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: AllocLayout) -> *mut u8 {
+        let t = THRESHOLD.load(Ordering::Relaxed);
+        if t != 0 && layout.size() >= t {
+            BIG_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: AllocLayout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn rebuild_hot_path_allocates_once_per_array() {
+    use implicit_search_trees::{Algorithm, QueryKind, StaticMap};
+
+    let n = 1usize << 16;
+    let payload = n * size_of::<u64>();
+    let keys: Vec<u64> = (0..n as u64).collect();
+    let vals: Vec<u64> = (0..n as u64).map(|x| x * 7).collect();
+
+    for kind in [
+        QueryKind::Bst,
+        QueryKind::Btree(8),
+        QueryKind::Btree(16),
+        QueryKind::Veb,
+    ] {
+        let (k, v) = (keys.clone(), vals.clone()); // cloned while disarmed
+        BIG_ALLOCS.store(0, Ordering::SeqCst);
+        THRESHOLD.store(payload, Ordering::SeqCst);
+        let map = StaticMap::build_presorted(k, v, kind, Algorithm::CycleLeader);
+        THRESHOLD.store(0, Ordering::SeqCst);
+        let map = map.unwrap();
+        assert_eq!(
+            BIG_ALLOCS.load(Ordering::SeqCst),
+            2,
+            "{kind:?}: rebuild must allocate exactly the 2 aligned destination buffers"
+        );
+        assert_eq!(map.len(), n);
+    }
+
+    // The sorted (zero-copy adoption) path allocates nothing at all.
+    let (k, v) = (keys.clone(), vals.clone());
+    BIG_ALLOCS.store(0, Ordering::SeqCst);
+    THRESHOLD.store(payload, Ordering::SeqCst);
+    let map = StaticMap::build_presorted(k, v, QueryKind::Sorted, Algorithm::CycleLeader);
+    THRESHOLD.store(0, Ordering::SeqCst);
+    assert_eq!(
+        BIG_ALLOCS.load(Ordering::SeqCst),
+        0,
+        "Sorted: zero-copy adoption must not allocate"
+    );
+    assert_eq!(map.unwrap().len(), n);
+}

@@ -44,6 +44,11 @@ fn kinds() -> Vec<(QueryKind, Option<Layout>, GpuQueryKind)> {
             Some(Layout::Btree { b: 8 }),
             GpuQueryKind::Btree(8),
         ),
+        (
+            QueryKind::Btree(16),
+            Some(Layout::Btree { b: 16 }),
+            GpuQueryKind::Btree(16),
+        ),
         (QueryKind::Veb, Some(Layout::Veb), GpuQueryKind::Veb),
     ]
 }
@@ -97,6 +102,50 @@ fn all_paths_visit_identical_node_sequences() {
                 assert_eq!(scalar_rank, piped_rank[i], "{tag}: rank traces differ");
                 let gpu = lane_node_trace(&data, gpu_kind, *key);
                 assert_eq!(gpu, scalar_search, "{tag}: gpu lane trace differs");
+            }
+        }
+    }
+}
+
+/// The const-width wide kernel visits the **same node sequence** as the
+/// runtime navigator at the same `b` — not just the same results. Both
+/// widths 8 and 16 are on u64 keys, so `Searcher::new` routes through
+/// `WideBtreeNav` (pinned by `is_wide`) while `new_runtime` steps the
+/// general `BtreeNav` over the identical buffer; every trace flavor
+/// must agree exactly, at perfect and non-perfect sizes.
+#[test]
+fn wide_kernel_traces_equal_runtime_traces() {
+    for b in [8usize, 16] {
+        let kind = QueryKind::Btree(b);
+        let layout = Layout::Btree { b };
+        for n in sizes() {
+            let data = layout_data(n, Some(layout));
+            let wide = Searcher::new(&data, kind);
+            let runtime = Searcher::new_runtime(&data, kind);
+            assert!(wide.is_wide(), "b={b} n={n}");
+            assert!(!runtime.is_wide(), "b={b} n={n}");
+            let keys = probes(n);
+            assert_eq!(
+                wide.trace_search_pipelined(&keys),
+                runtime.trace_search_pipelined(&keys),
+                "b={b} n={n} pipelined search traces"
+            );
+            assert_eq!(
+                wide.trace_rank_pipelined(&keys),
+                runtime.trace_rank_pipelined(&keys),
+                "b={b} n={n} pipelined rank traces"
+            );
+            for key in &keys {
+                assert_eq!(
+                    wide.trace_search(key),
+                    runtime.trace_search(key),
+                    "b={b} n={n} key={key} search trace"
+                );
+                assert_eq!(
+                    wide.trace_rank(key),
+                    runtime.trace_rank(key),
+                    "b={b} n={n} key={key} rank trace"
+                );
             }
         }
     }

@@ -21,7 +21,10 @@ use implicit_search_trees::{permute_in_place, Algorithm, Layout, QueryKind, Sear
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-const BTREE_BS: [usize; 4] = [1, 2, 3, 8];
+/// Includes both compiled wide-kernel widths (8, 16): `Searcher::new`
+/// on `u64` keys routes those through `WideBtreeNav`, so every sweep
+/// below exercises the SIMD kernels against the oracle.
+const BTREE_BS: [usize; 5] = [1, 2, 3, 8, 16];
 
 fn kinds() -> Vec<(QueryKind, Option<Layout>)> {
     let mut v = vec![
@@ -365,6 +368,95 @@ fn reversed_range_bounds_yield_zero() {
         assert_eq!(index.batch_range_count(&bounds), vec![0; bounds.len()]);
         assert_eq!(map.batch_range_count(&bounds), vec![0; bounds.len()]);
     }
+}
+
+/// The const-width wide kernel must be **bit-identical** to the runtime
+/// `BtreeNav` at the same `b` — same `Option<usize>` positions out of
+/// every op and tier, across non-perfect sizes, heavy duplication, and
+/// batch boundaries. `Searcher::new` is the wide route (pinned by
+/// `is_wide`), `Searcher::new_runtime` forces the general path over the
+/// very same layout buffer.
+#[test]
+fn wide_kernel_bit_identical_to_runtime() {
+    let mut rng = StdRng::seed_from_u64(0x51de);
+    for b in [8usize, 16] {
+        let kind = QueryKind::Btree(b);
+        let layout = Layout::Btree { b };
+        // Perfect node counts ± 1, sizes straddling the overflow node,
+        // and arbitrary non-perfect sizes.
+        let perfect = (b + 1) * (b + 1) - 1;
+        for n in [
+            1,
+            b - 1,
+            b,
+            b + 1,
+            perfect - 1,
+            perfect,
+            perfect + 1,
+            perfect + b,
+            1000,
+            2047,
+        ] {
+            for sorted in key_sets(n, &mut rng) {
+                let mut data = sorted.clone();
+                permute_in_place(&mut data, layout, Algorithm::CycleLeader).unwrap();
+                let wide = Searcher::new(&data, kind);
+                let runtime = Searcher::new_runtime(&data, kind);
+                assert!(wide.is_wide(), "b={b}: u64 keys must take the wide kernel");
+                assert!(!runtime.is_wide(), "new_runtime must stay general");
+                let probes = probes(&sorted, &mut rng);
+                for p in &probes {
+                    let t = format!("b={b} n={n} probe={p}");
+                    assert_eq!(wide.search(p), runtime.search(p), "search {t}");
+                    assert_eq!(wide.rank(p), runtime.rank(p), "rank {t}");
+                    assert_eq!(wide.rank_upper(p), runtime.rank_upper(p), "rank_upper {t}");
+                    assert_eq!(
+                        wide.lower_bound(p),
+                        runtime.lower_bound(p),
+                        "lower_bound {t}"
+                    );
+                    assert_eq!(wide.successor(p), runtime.successor(p), "successor {t}");
+                    assert_eq!(
+                        wide.predecessor(p),
+                        runtime.predecessor(p),
+                        "predecessor {t}"
+                    );
+                }
+                // Batch tiers, including lengths around the pipeline
+                // window drain.
+                for len in [1usize, 15, 16, 17, 63, 65, probes.len()] {
+                    let chunk = &probes[..len.min(probes.len())];
+                    let t = format!("b={b} n={n} len={len}");
+                    assert_eq!(
+                        wide.batch_search_pipelined(chunk),
+                        runtime.batch_search_pipelined(chunk),
+                        "batch_search {t}"
+                    );
+                    assert_eq!(
+                        wide.batch_rank_pipelined(chunk),
+                        runtime.batch_rank_pipelined(chunk),
+                        "batch_rank {t}"
+                    );
+                }
+                let ranges: Vec<(u64, u64)> = probes.windows(2).map(|w| (w[0], w[1])).collect();
+                assert_eq!(
+                    wide.batch_range_count(&ranges),
+                    runtime.batch_range_count(&ranges),
+                    "batch_range_count b={b} n={n}"
+                );
+            }
+        }
+    }
+    // Non-SimdKey key types never take the wide route, even at a
+    // compiled width.
+    let data: Vec<(u64, u64)> = (0..100).map(|x| (x, x)).collect();
+    let mut tree = data.clone();
+    permute_in_place(&mut tree, Layout::Btree { b: 8 }, Algorithm::CycleLeader).unwrap();
+    assert!(!Searcher::new(&tree, QueryKind::Btree(8)).is_wide());
+    // Non-compiled widths stay runtime for SIMD keys too.
+    let mut seven: Vec<u64> = (0..100).collect();
+    permute_in_place(&mut seven, Layout::Btree { b: 7 }, Algorithm::CycleLeader).unwrap();
+    assert!(!Searcher::new(&seven, QueryKind::Btree(7)).is_wide());
 }
 
 /// Duplicate-key contract, spelled out on a hand-checkable multiset.
