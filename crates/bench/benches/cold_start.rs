@@ -1,0 +1,148 @@
+//! Cold-start: recover a persisted [`DynamicMap`] from its run files
+//! (`open` — one sequential read per run, zero-copy key adoption for
+//! fixed-width integer keys) versus rebuilding the same map from a
+//! sorted key/value dump file (`rebuild` — read the dump, decode, and
+//! run the argsort-free presorted construction; the full in-place
+//! layout permutation still runs). Both sides start from bytes on
+//! disk. The gap is the point of the on-disk format: run files store
+//! keys **already in layout order**, so recovery replaces the whole
+//! construction phase with a sequential, checksummed read.
+//!
+//! `open_wal_tail` opens a store that was killed with 256 unsealed
+//! writes in its WAL — the same path plus tail replay and a
+//! checkpoint rotation.
+//!
+//! A second group measures WAL append throughput under each
+//! [`implicit_search_trees::FsyncPolicy`] — the knob's honest cost:
+//! `always` pays an fsync per acknowledged record, `every=N`
+//! amortizes it, `never` leaves durability to the OS.
+//!
+//! Sizes: 2^20 resident keys (2^16 under `IST_BENCH_SMOKE=1`).
+//! `IST_BENCH_JSON=<path>` appends one JSON line per benchmark; the
+//! committed `BENCH_cold_start.json` records the full-size run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use implicit_search_trees::store::{wal_file_name, FsyncPolicy, StdVfs, StoreConfig, WalWriter};
+use implicit_search_trees::{Algorithm, CompactionMode, DynamicMap, QueryKind};
+use ist_bench::sorted_keys;
+use std::path::{Path, PathBuf};
+
+/// Fresh subdirectory under the cargo-managed bench tmpdir.
+fn bench_dir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("cold_start_{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+    dir
+}
+
+/// Persist a quiesced `n`-key map (every version in a tier run) into a
+/// fresh directory; with `tail`, follow with 256 unsealed inserts so
+/// the WAL carries a replayable tail.
+fn persist_store(name: &str, keys: &[u64], vals: &[u64], tail: bool) -> PathBuf {
+    let dir = bench_dir(name);
+    let mut map = DynamicMap::build_for_kind(
+        keys.to_vec(),
+        vals.to_vec(),
+        QueryKind::Veb,
+        Algorithm::CycleLeader,
+        4096,
+    )
+    .unwrap()
+    .with_compaction_mode(CompactionMode::Inline);
+    map.quiesce();
+    map.persist_to(&dir, StoreConfig::new()).expect("persist");
+    if tail {
+        for k in 0..256u64 {
+            map.insert(k, k);
+        }
+        map.flush().expect("flush");
+    }
+    drop(map);
+    dir
+}
+
+/// Write the rebuild side's input: raw little-endian keys then values,
+/// the minimal sorted dump a recovery-by-reconstruction would read.
+fn write_dump(path: &Path, keys: &[u64], vals: &[u64]) {
+    let mut bytes = Vec::with_capacity((keys.len() + vals.len()) * 8);
+    for k in keys {
+        bytes.extend_from_slice(&k.to_le_bytes());
+    }
+    for v in vals {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    std::fs::write(path, bytes).expect("write dump");
+}
+
+fn bench_cold_start(c: &mut Criterion) {
+    let smoke = std::env::var_os("IST_BENCH_SMOKE").is_some();
+    let n = if smoke { 1 << 16 } else { 1 << 20 };
+    let keys = sorted_keys(n);
+    let vals: Vec<u64> = keys.iter().map(|&k| k.wrapping_mul(3)).collect();
+
+    let clean_dir = persist_store("open", &keys, &vals, false);
+    let tail_dir = persist_store("open_tail", &keys, &vals, true);
+    let dump_path = bench_dir("dump").join("sorted.dump");
+    write_dump(&dump_path, &keys, &vals);
+
+    let mut group = c.benchmark_group("cold_start");
+    group.sample_size(if smoke { 3 } else { 10 });
+    group.bench_function(BenchmarkId::new("open", format!("n_{n}")), |b| {
+        b.iter(|| {
+            let m = DynamicMap::<u64, u64>::open(&clean_dir).expect("open");
+            std::hint::black_box(m.len())
+        })
+    });
+    group.bench_function(BenchmarkId::new("open_wal_tail", format!("n_{n}")), |b| {
+        b.iter(|| {
+            let m = DynamicMap::<u64, u64>::open(&tail_dir).expect("open");
+            std::hint::black_box(m.len())
+        })
+    });
+    group.bench_function(BenchmarkId::new("rebuild", format!("n_{n}")), |b| {
+        b.iter(|| {
+            let bytes = std::fs::read(&dump_path).expect("read dump");
+            let (kb, vb) = bytes.split_at(n * 8);
+            let k: Vec<u64> = kb
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            let v: Vec<u64> = vb
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            let m = DynamicMap::build_for_kind(k, v, QueryKind::Veb, Algorithm::CycleLeader, 4096)
+                .unwrap();
+            std::hint::black_box(m.len())
+        })
+    });
+    group.finish();
+
+    // --- WAL append throughput under the fsync knob ---
+    let mut wal_group = c.benchmark_group("wal_append");
+    wal_group.sample_size(if smoke { 3 } else { 10 });
+    let payload = [0xA5u8; 64];
+    let batch = if smoke { 64 } else { 1024 };
+    for (label, policy) in [
+        ("always", FsyncPolicy::Always),
+        ("every_64", FsyncPolicy::EveryN(64)),
+        ("never", FsyncPolicy::Never),
+    ] {
+        let dir = bench_dir(&format!("wal_{label}"));
+        let vfs = StdVfs;
+        let mut wal =
+            WalWriter::create(&vfs, &dir.join(wal_file_name(1)), 1, policy).expect("create wal");
+        wal_group.bench_function(BenchmarkId::new("append_64b", label), |b| {
+            b.iter(|| {
+                for _ in 0..batch {
+                    wal.append(std::hint::black_box(&payload)).expect("append");
+                }
+                std::hint::black_box(wal.appended())
+            })
+        });
+    }
+    wal_group.finish();
+}
+
+criterion_group!(benches, bench_cold_start);
+criterion_main!(benches);

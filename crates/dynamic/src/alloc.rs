@@ -167,6 +167,59 @@ impl<T> AlignedVec<T> {
     unsafe fn assume_len(&mut self, n: usize) {
         self.len = n;
     }
+
+    /// Allocate an aligned raw-backed buffer for `n` elements and let
+    /// `fill` initialize it through its raw **byte** view — the
+    /// zero-copy load path for fixed-width keys: the persistence layer
+    /// streams a run file's key section straight into the aligned
+    /// allocation, no staging `Vec` in between.
+    ///
+    /// If `fill` errors, the allocation is freed and the error is
+    /// returned.
+    ///
+    /// # Safety
+    /// `T` must be plain old data: every bit pattern of
+    /// `size_of::<T>()` bytes must be a valid `T` (the integer key
+    /// types), and `T` must not have a destructor that could observe a
+    /// partially-filled buffer. `fill` must either fully initialize the
+    /// byte view or return `Err`.
+    pub(crate) unsafe fn from_pod_bytes_with<E>(
+        n: usize,
+        fill: impl FnOnce(&mut [u8]) -> Result<(), E>,
+    ) -> Result<Self, E> {
+        debug_assert!(size_of::<T>() != 0, "ZSTs take the from_vec path");
+        if n == 0 {
+            return Ok(Self::from_vec(Vec::new()));
+        }
+        let mut buf = Self::with_uninit(n);
+        // SAFETY: `with_uninit(n)` allocated `n * size_of::<T>()`
+        // writable bytes at `ptr`.
+        let bytes = unsafe {
+            core::slice::from_raw_parts_mut(buf.ptr.as_ptr().cast::<u8>(), n * size_of::<T>())
+        };
+        match fill(bytes) {
+            Ok(()) => {
+                // SAFETY: `fill` initialized every byte, and by the
+                // caller's POD contract those bytes are `n` valid `T`s.
+                unsafe { buf.assume_len(n) };
+                Ok(buf)
+            }
+            Err(e) => {
+                // `buf.len` is still 0, but the allocation holds `n`
+                // elements — its Drop would dealloc with the wrong
+                // layout. Free manually with the true capacity.
+                let ptr = buf.ptr;
+                let Backing::Raw { align } = buf.backing else {
+                    unreachable!("with_uninit always raw-backs")
+                };
+                core::mem::forget(buf);
+                // SAFETY: same layout as the allocation; no elements
+                // are dropped (POD contract).
+                unsafe { dealloc_raw::<T>(ptr, n, align) };
+                Err(e)
+            }
+        }
+    }
 }
 
 impl<T: Send> AlignedVec<T> {

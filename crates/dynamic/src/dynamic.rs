@@ -287,10 +287,10 @@ impl CompactionPolicy {
 /// a tombstone. `weight` maintains the per-key sum invariant described
 /// in the [module docs](self).
 #[derive(Clone)]
-struct BufEntry<K, V> {
-    key: K,
-    slot: Option<V>,
-    weight: i64,
+pub(crate) struct BufEntry<K, V> {
+    pub(crate) key: K,
+    pub(crate) slot: Option<V>,
+    pub(crate) weight: i64,
 }
 
 /// A `(key, payload-or-tombstone, weight)` triple streamed out of a
@@ -301,14 +301,69 @@ type MergedEntry<K, V> = (K, Option<V>, i64);
 /// [`merge_slice`] produces it and the stitch step concatenates it.
 type MergedColumns<K, V> = (Vec<K>, Vec<Option<V>>, Vec<i64>);
 
+/// Rank-indexed prefix sums of a run's per-version weights.
+///
+/// Fully compacted runs have unit weights everywhere, making the
+/// prefix the identity `0, 1, …, n`; `Unit` represents that without
+/// materializing 8 bytes per version — which matters on the recovery
+/// path, where every resident run is reloaded at once.
+#[derive(Debug, Clone)]
+pub(crate) enum Prefix {
+    /// Every version weighs 1: `prefix[r] == r`, over `n` versions.
+    Unit(usize),
+    /// Explicit sums, length `n + 1`, starting at 0.
+    Explicit(Vec<i64>),
+}
+
+impl Prefix {
+    /// Build from per-version weights, collapsing the all-unit case.
+    pub(crate) fn from_weights(weights: &[i64]) -> Self {
+        if weights.iter().all(|&w| w == 1) {
+            return Prefix::Unit(weights.len());
+        }
+        let mut prefix = Vec::with_capacity(weights.len() + 1);
+        let mut acc = 0i64;
+        prefix.push(0);
+        for &w in weights {
+            acc += w;
+            prefix.push(acc);
+        }
+        Prefix::Explicit(prefix)
+    }
+
+    /// `prefix[r]`: summed weight of the `r` smallest versions.
+    #[inline]
+    pub(crate) fn at(&self, r: usize) -> i64 {
+        match self {
+            Prefix::Unit(_) => r as i64,
+            Prefix::Explicit(p) => p[r],
+        }
+    }
+
+    /// Weight of the rank-`r` version (`prefix[r+1] - prefix[r]`).
+    #[inline]
+    pub(crate) fn span(&self, r: usize) -> i64 {
+        match self {
+            Prefix::Unit(_) => 1,
+            Prefix::Explicit(p) => p[r + 1] - p[r],
+        }
+    }
+
+    /// The run's total weight (`prefix[n]`).
+    pub(crate) fn total(&self) -> i64 {
+        match self {
+            Prefix::Unit(n) => *n as i64,
+            Prefix::Explicit(p) => *p.last().expect("prefix is never empty"),
+        }
+    }
+}
+
 /// One immutable run: a static layout over this run's versions plus the
 /// rank-indexed prefix sums of their weights.
-struct Run<K, V> {
-    map: StaticMap<K, Option<V>>,
-    /// `prefix[r]` = summed weight of the `r` smallest versions;
-    /// `prefix[len]` is the run's total weight. Rank-indexed (sorted
-    /// order), not layout-indexed.
-    prefix: Vec<i64>,
+pub(crate) struct Run<K, V> {
+    pub(crate) map: StaticMap<K, Option<V>>,
+    /// Rank-indexed (sorted order), not layout-indexed.
+    pub(crate) prefix: Prefix,
 }
 
 impl<K: Ord + Send + Sync + 'static, V: Send> Run<K, V> {
@@ -320,16 +375,9 @@ impl<K: Ord + Send + Sync + 'static, V: Send> Run<K, V> {
         algorithm: Algorithm,
     ) -> Result<Self, Error> {
         debug_assert_eq!(keys.len(), weights.len());
-        let mut prefix = Vec::with_capacity(weights.len() + 1);
-        let mut acc = 0i64;
-        prefix.push(0);
-        for &w in weights {
-            acc += w;
-            prefix.push(acc);
-        }
         Ok(Self {
             map: StaticMap::build_presorted(keys, slots, kind, algorithm)?,
-            prefix,
+            prefix: Prefix::from_weights(weights),
         })
     }
 
@@ -340,12 +388,12 @@ impl<K: Ord + Send + Sync + 'static, V: Send> Run<K, V> {
 
     /// Total weight of the run (its contribution to `len`).
     fn total_weight(&self) -> i64 {
-        *self.prefix.last().expect("prefix is never empty")
+        self.prefix.total()
     }
 
     /// Summed weight of versions with key strictly below `key`.
     fn weight_below(&self, key: &K) -> i64 {
-        self.prefix[self.map.rank(key)]
+        self.prefix.at(self.map.rank(key))
     }
 
     /// Weight of this run's version of `key` (0 if absent): one rank
@@ -356,7 +404,7 @@ impl<K: Ord + Send + Sync + 'static, V: Send> Run<K, V> {
         let s = self.map.searcher();
         let r = s.rank(key);
         match s.position_of_rank(r) {
-            Some(p) if self.map.keys()[p] == *key => self.prefix[r + 1] - self.prefix[r],
+            Some(p) if self.map.keys()[p] == *key => self.prefix.span(r),
             _ => 0,
         }
     }
@@ -384,7 +432,7 @@ impl<K: Ord + Send + Sync + 'static, V: Send> Run<K, V> {
             (
                 self.map.keys()[p].clone(),
                 self.map.values()[p].clone(),
-                self.prefix[r + 1] - self.prefix[r],
+                self.prefix.span(r),
             )
         })
     }
@@ -392,7 +440,7 @@ impl<K: Ord + Send + Sync + 'static, V: Send> Run<K, V> {
 
 /// Lock that shrugs off poisoning: publication is a single pointer
 /// store, so a panicked writer cannot leave the cell torn.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
@@ -410,20 +458,20 @@ fn buffer_slot<K: Ord, V>(buffer: &[BufEntry<K, V>], key: &K) -> Result<usize, u
 /// keeps the global newest-first run order valid under every
 /// [`CompactionPolicy`].
 #[derive(Debug, Clone, Copy)]
-struct Plan {
+pub(crate) struct Plan {
     /// How many sealed runs (the oldest prefix of `l0`) the merge
     /// consumes — always all of them.
-    consumed_l0: usize,
+    pub(crate) consumed_l0: usize,
     /// Tiers `0..full_tiers` are consumed entirely…
-    full_tiers: usize,
+    pub(crate) full_tiers: usize,
     /// …plus the `partial_runs` **newest** runs of tier `full_tiers`
     /// (non-zero only for lazy-bottom plans that stop short of the
     /// bottom run).
-    partial_runs: usize,
+    pub(crate) partial_runs: usize,
     /// The merged run is pushed as the **newest** run of this tier.
     /// After the consumed runs are removed, every tier above `target`
     /// is empty.
-    target: usize,
+    pub(crate) target: usize,
     /// Whether any run survives below the consumed prefix (tombstones
     /// are annihilated iff `false`).
     deeper_occupied: bool,
@@ -715,20 +763,20 @@ impl<K, V> Reader<K, V> {
 /// ```
 pub struct DynamicMap<K, V> {
     /// Sorted by key, at most one entry per key (the newest version).
-    buffer: Vec<BufEntry<K, V>>,
+    pub(crate) buffer: Vec<BufEntry<K, V>>,
     /// Sealed-but-uncompacted L0 runs, **oldest first** (seals push to
     /// the back); all are newer than every tier run.
-    l0: Vec<Arc<Run<K, V>>>,
+    pub(crate) l0: Vec<Arc<Run<K, V>>>,
     /// `tiers[0]` is the shallowest (newest-data) tier; within a tier,
     /// runs are **newest first**. Under the default policy every tier
     /// holds at most one run; tiered policies with `fanout > 1` (and
     /// lazy-bottom debt) hold several.
-    tiers: Vec<Vec<Arc<Run<K, V>>>>,
+    pub(crate) tiers: Vec<Vec<Arc<Run<K, V>>>>,
     /// The single in-flight compaction, if any.
     pending: Option<Pending<K, V>>,
-    kind: QueryKind,
-    algorithm: Algorithm,
-    buffer_cap: usize,
+    pub(crate) kind: QueryKind,
+    pub(crate) algorithm: Algorithm,
+    pub(crate) buffer_cap: usize,
     mode: CompactionMode,
     policy: CompactionPolicy,
     /// Cumulative count of buffer entries displaced toward the back by
@@ -747,6 +795,14 @@ pub struct DynamicMap<K, V> {
     /// publication every `buffer_cap` mutations regardless, which is
     /// what makes the reader-lag bound an *operation* bound.
     muts_since_publish: std::sync::atomic::AtomicUsize,
+    /// The attached durability engine, if this map is persistent (see
+    /// the [`crate::persist`] module). Behind a `Mutex` only so the map
+    /// stays `Sync` — every access is `&mut self`, so the lock is
+    /// uncontended.
+    pub(crate) store: Option<Mutex<Box<dyn crate::persist::RunSink<K, V>>>>,
+    /// Set during WAL replay: overflow seals are deferred until the
+    /// durability engine is attached (see [`DynamicMap::maybe_seal`]).
+    pub(crate) seal_suppressed: bool,
 }
 
 impl<K, V> DynamicMap<K, V>
@@ -799,7 +855,18 @@ where
             published: Arc::new(Mutex::new(Arc::new(empty))),
             published_dirty: AtomicBool::new(false),
             muts_since_publish: std::sync::atomic::AtomicUsize::new(0),
+            store: None,
+            seal_suppressed: false,
         }
+    }
+
+    /// The attached durability sink, if any — `&mut self` access never
+    /// contends, so the mutex is bypassed via `get_mut`.
+    pub(crate) fn sink_mut(&mut self) -> Option<&mut Box<dyn crate::persist::RunSink<K, V>>> {
+        self.store.as_mut().map(|m| {
+            m.get_mut()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+        })
     }
 
     /// Builder-style override of the [`CompactionMode`] (the
@@ -942,6 +1009,14 @@ where
     /// path unless [`MAX_SEALED_RUNS`] backpressure engages.
     pub fn insert(&mut self, key: K, value: V) -> bool {
         self.try_install();
+        // Durability: the write is in the WAL before it is applied. A
+        // poisoned or failing sink rejects the mutation outright (see
+        // [`DynamicMap::store_error`]).
+        if let Some(sink) = self.sink_mut() {
+            if !sink.log_put(&key, &value) {
+                return false;
+            }
+        }
         let live_before;
         match buffer_slot(&self.buffer, &key) {
             Ok(i) => {
@@ -986,6 +1061,13 @@ where
     /// tombstone, annihilated when a merge reaches the bottom tier.
     pub fn remove(&mut self, key: &K) -> bool {
         self.try_install();
+        // Log-before-apply, as in `insert` (no-op removes are logged
+        // too: replay reproduces them as no-ops).
+        if let Some(sink) = self.sink_mut() {
+            if !sink.log_del(key) {
+                return false;
+            }
+        }
         let live_before;
         match buffer_slot(&self.buffer, key) {
             Ok(i) => {
@@ -1083,11 +1165,19 @@ where
 
     /// Shared bulk-delta path: `Some(v)` entries insert, `None` entries
     /// remove. Returns the number of delta keys that were live before.
-    fn apply_batch(&mut self, mut delta: Vec<(K, Option<V>)>) -> usize {
+    pub(crate) fn apply_batch(&mut self, mut delta: Vec<(K, Option<V>)>) -> usize {
         if delta.is_empty() {
             return 0;
         }
         self.try_install();
+        // One WAL record for the whole delta, logged **before** the
+        // sort so replay applies the verbatim batch through this same
+        // path (sort + dedup are deterministic).
+        if let Some(sink) = self.sink_mut() {
+            if !sink.log_delta(&delta) {
+                return 0;
+            }
+        }
         // Sort once; stable, so "last pair wins" survives the dedup.
         delta.sort_by(|a, b| a.0.cmp(&b.0));
         delta.dedup_by(|later, kept| {
@@ -1108,7 +1198,7 @@ where
             for (s, (&r, key)) in s_runs.iter_mut().zip(ranks.iter().zip(&keys)) {
                 if let Some(p) = searcher.position_of_rank(r) {
                     if run.map.keys()[p] == *key {
-                        *s += run.prefix[r + 1] - run.prefix[r];
+                        *s += run.prefix.span(r);
                     }
                 }
             }
@@ -1480,7 +1570,14 @@ where
         self.all_runs().map(|r| r.weight_of(key)).sum()
     }
 
-    fn maybe_seal(&mut self) {
+    /// `pub(crate)` for WAL recovery: replay suppresses sealing (the
+    /// engine's manifest mirror is not attached yet, so a replay seal
+    /// would create a run the store never hears about), then triggers
+    /// the deferred overflow through here once the engine is attached.
+    pub(crate) fn maybe_seal(&mut self) {
+        if self.seal_suppressed {
+            return;
+        }
         if self.buffer.len() >= self.buffer_cap {
             self.seal();
             self.ensure_compaction();
@@ -1514,6 +1611,15 @@ where
         let run = Run::build(keys, slots, &weights, QueryKind::Sorted, self.algorithm)
             .expect("sorted runs never fail to build");
         self.l0.push(Arc::new(run));
+        // Durable seal: write the run file, rotate the WAL (whose
+        // records are now all represented by the run), and point the
+        // manifest at the new file set.
+        if self.store.is_some() {
+            let sealed = Arc::clone(self.l0.last().expect("just pushed"));
+            if let Some(sink) = self.sink_mut() {
+                sink.on_seal(&sealed);
+            }
+        }
         self.publish_event();
     }
 
@@ -1692,6 +1798,17 @@ where
     /// Observable answers are identical before and after (the merge
     /// preserves newest-wins resolution and per-key weight sums).
     fn install(&mut self, plan: Plan, merged: Option<Run<K, V>>) {
+        let merged = merged.map(Arc::new);
+        // Durable install first: the merged run file and rotated
+        // manifest hit storage before the in-memory swap, so a sink
+        // error leaves the on-disk state at the (fully consistent)
+        // pre-merge file set.
+        if self.store.is_some() {
+            let run = merged.clone();
+            if let Some(sink) = self.sink_mut() {
+                sink.on_install(plan, run.as_deref());
+            }
+        }
         self.l0.drain(..plan.consumed_l0);
         for tier in &mut self.tiers[..plan.full_tiers] {
             tier.clear();
@@ -1704,7 +1821,7 @@ where
             "merged run would sit below an occupied shallower tier"
         );
         if let Some(run) = merged {
-            self.tiers[plan.target].insert(0, Arc::new(run));
+            self.tiers[plan.target].insert(0, run);
         }
         self.publish_event();
     }
@@ -2019,7 +2136,7 @@ where
         let mut acc: Vec<i64> = keys.iter().map(|&k| self.buffer_weight_below(k)).collect();
         for run in &self.runs {
             for (a, r) in acc.iter_mut().zip(run.map.index().batch_rank_ref(keys)) {
-                *a += run.prefix[r];
+                *a += run.prefix.at(r);
             }
         }
         acc.into_iter()

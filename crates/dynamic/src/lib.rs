@@ -39,6 +39,7 @@ pub mod alloc;
 pub mod dynamic;
 mod index;
 mod map;
+pub(crate) mod persist;
 
 pub use alloc::AlignedVec;
 pub use dynamic::{

@@ -171,6 +171,24 @@ impl<K: Ord + Send + Sync + 'static, V: Send> StaticMap<K, V> {
         })
     }
 
+    /// Reassemble a map from arrays already in **layout order** — the
+    /// run-file load path: a persisted run stores its keys and values
+    /// exactly as the in-memory `AlignedVec`s hold them, so a load is
+    /// adoption plus this constructor, with no permutation work.
+    /// Layout-order correctness is the caller's (the run file format's)
+    /// contract.
+    pub(crate) fn from_layout_parts(
+        keys: AlignedVec<K>,
+        values: AlignedVec<V>,
+        kind: QueryKind,
+    ) -> Self {
+        debug_assert_eq!(keys.len(), values.len());
+        Self {
+            index: StaticIndex::from_layout_order(keys, kind),
+            values,
+        }
+    }
+
     /// Number of stored entries (duplicate keys counted).
     pub fn len(&self) -> usize {
         self.values.len()

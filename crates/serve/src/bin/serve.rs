@@ -1,20 +1,32 @@
 //! Standalone server: `serve [--addr 127.0.0.1:0] [--mode
 //! coalescing|direct] [--shards 4] [--preload 0] [--max-tick 8192]
-//! [--linger-us 0]`.
+//! [--linger-us 0] [--data-dir DIR] [--fsync always|never|every=N]`.
+//!
+//! Without `--data-dir` the map is memory-only. With it, the server is
+//! durable: an existing store directory (one whose `SHARDS` root file
+//! is present) is **reopened** — manifest, run files, WAL-tail replay —
+//! and `--preload`/`--shards` are ignored in favor of the recovered
+//! state; a fresh directory gets the preloaded map persisted into it.
+//! `--fsync` sets the WAL acknowledgement policy (`always` is the
+//! default and the only setting under which every acknowledged write
+//! survives an OS crash; see the README's durability contract).
 //!
 //! Preloads `--preload` sequential keys (little-endian value = key),
 //! prints the bound address on stdout (`listening on <addr>`), and
 //! serves until killed.
 
 use std::net::TcpListener;
+use std::path::{Path, PathBuf};
 
 use ist_core::Layout;
 use ist_serve::{serve_on, Mode, ServeMap, ServerConfig};
+use ist_store::{FsyncPolicy, StoreConfig, SHARDS_NAME};
 
 fn usage() -> ! {
     eprintln!(
         "usage: serve [--addr HOST:PORT] [--mode coalescing|direct] \
-         [--shards N] [--preload N] [--max-tick N] [--linger-us N]"
+         [--shards N] [--preload N] [--max-tick N] [--linger-us N] \
+         [--data-dir DIR] [--fsync always|never|every=N]"
     );
     std::process::exit(2)
 }
@@ -24,6 +36,8 @@ fn main() {
     let mut mode = Mode::Coalescing;
     let mut shards = 4usize;
     let mut preload = 0usize;
+    let mut data_dir: Option<PathBuf> = None;
+    let mut fsync = FsyncPolicy::Always;
     let mut cfg = ServerConfig::default();
 
     let mut args = std::env::args().skip(1);
@@ -45,15 +59,38 @@ fn main() {
                 cfg.linger =
                     std::time::Duration::from_micros(val().parse().unwrap_or_else(|_| usage()))
             }
+            "--data-dir" => data_dir = Some(PathBuf::from(val())),
+            "--fsync" => fsync = FsyncPolicy::parse(&val()).unwrap_or_else(|| usage()),
             _ => usage(),
         }
     }
     cfg.mode = mode;
 
-    let keys: Vec<u64> = (0..preload as u64).collect();
-    let vals: Vec<Vec<u8>> = keys.iter().map(|k| k.to_le_bytes().to_vec()).collect();
-    let map =
-        ServeMap::build(keys, vals, Layout::Veb, shards.max(1)).expect("valid build configuration");
+    let map = match &data_dir {
+        Some(dir) if dir.join(SHARDS_NAME).exists() => {
+            let map = ServeMap::open_with(dir, StoreConfig::new().fsync(fsync))
+                .unwrap_or_else(|e| fatal(dir, "open", &e));
+            println!(
+                "recovered {} keys across {} shards from {}",
+                map.len(),
+                map.shard_count(),
+                dir.display()
+            );
+            map
+        }
+        _ => {
+            let keys: Vec<u64> = (0..preload as u64).collect();
+            let vals: Vec<Vec<u8>> = keys.iter().map(|k| k.to_le_bytes().to_vec()).collect();
+            let mut map = ServeMap::build(keys, vals, Layout::Veb, shards.max(1))
+                .expect("valid build configuration");
+            if let Some(dir) = &data_dir {
+                map.persist_to(dir, StoreConfig::new().fsync(fsync))
+                    .unwrap_or_else(|e| fatal(dir, "persist to", &e));
+                println!("persisting to {}", dir.display());
+            }
+            map
+        }
+    };
 
     let listener = TcpListener::bind(&addr).expect("bind");
     let handle = serve_on(listener, map, cfg).expect("serve");
@@ -64,4 +101,9 @@ fn main() {
     loop {
         std::thread::park();
     }
+}
+
+fn fatal(dir: &Path, action: &str, err: &dyn std::fmt::Display) -> ! {
+    eprintln!("serve: cannot {action} {}: {err}", dir.display());
+    std::process::exit(1)
 }

@@ -60,6 +60,7 @@
 //!   global instant — see [`ShardedReader::snapshot`] for the honest
 //!   contract.
 
+use std::path::Path;
 use std::sync::Arc;
 
 use ist_core::{Algorithm, Error, Layout};
@@ -72,6 +73,7 @@ use ist_query::route::{
     scatter_to_input_order, shard_of_key,
 };
 use ist_query::QueryKind;
+use ist_store::{shard_dir_name, Codec, ShardsFile, StoreConfig, StoreError};
 
 /// A key-range-sharded map: range-partitioned shards, each a
 /// [`DynamicMap`] with its own buffer and background compaction, behind
@@ -560,6 +562,123 @@ where
     /// ones.
     pub fn batch_range_count(&self, ranges: &[(K, K)]) -> Vec<usize> {
         self.view().batch_range_count(ranges)
+    }
+}
+
+// ----- durability -----
+
+impl<K, V> ShardedMap<K, V>
+where
+    K: Ord + Clone + Send + Sync + 'static + Codec,
+    V: Clone + Send + Sync + 'static + Codec,
+{
+    /// Make this map persistent in `dir`: the split vector is written
+    /// to the atomically-installed `SHARDS` root file, and every shard
+    /// becomes a full persistent [`DynamicMap`] in its own
+    /// `shard-NNNN/` subdirectory (manifest + run files + WAL each).
+    /// Shards log, seal, and rotate **independently** — a hot shard's
+    /// fsyncs never serialize against a cold one's.
+    ///
+    /// # Panics
+    /// Panics if the map is already persistent.
+    ///
+    /// # Errors
+    /// Any filesystem failure; shards persisted before the failing one
+    /// stay attached (reopenable), later ones stay memory-only.
+    pub fn persist_to(
+        &mut self,
+        dir: impl AsRef<Path>,
+        cfg: StoreConfig,
+    ) -> Result<(), StoreError> {
+        let dir = dir.as_ref();
+        cfg.vfs.create_dir_all(dir)?;
+        ShardsFile {
+            splits: (*self.splits).clone(),
+        }
+        .write_atomic(&*cfg.vfs, dir)?;
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            shard.persist_to(dir.join(shard_dir_name(i)), cfg.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Reopen a sharded map persisted in `dir` with the default
+    /// [`StoreConfig`].
+    ///
+    /// # Errors
+    /// See [`ShardedMap::open_with`].
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
+        Self::open_with(dir, StoreConfig::new())
+    }
+
+    /// Reopen a sharded map persisted in `dir`: the `SHARDS` root file
+    /// names the split points, and each `shard-NNNN/` subdirectory is
+    /// recovered as its own [`DynamicMap::open_with`] (manifest, runs,
+    /// WAL-tail replay). Per-shard recovery is independent, so a crash
+    /// mid-write in one shard never affects the others' state.
+    ///
+    /// # Errors
+    /// Typed [`StoreError`]s for every failure mode — missing or
+    /// corrupt files never panic.
+    pub fn open_with(dir: impl AsRef<Path>, cfg: StoreConfig) -> Result<Self, StoreError> {
+        let dir = dir.as_ref();
+        let splits = ShardsFile::<K>::read(&*cfg.vfs, dir)?.splits;
+        if !splits.windows(2).all(|w| w[0] < w[1]) {
+            return Err(StoreError::Corrupt(
+                "shards file splits are not strictly increasing".into(),
+            ));
+        }
+        let shards = (0..splits.len() + 1)
+            .map(|i| DynamicMap::open_with(dir.join(shard_dir_name(i)), cfg.clone()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            splits: Arc::new(splits),
+            shards,
+        })
+    }
+}
+
+impl<K, V> ShardedMap<K, V>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    /// `true` iff every shard logs its mutations to a store directory.
+    pub fn is_persistent(&self) -> bool {
+        !self.shards.is_empty() && self.shards.iter().all(DynamicMap::is_persistent)
+    }
+
+    /// Fsync every shard's WAL; on return every applied mutation is
+    /// crash-durable regardless of the configured fsync policy. A no-op
+    /// `Ok` on a non-persistent map.
+    ///
+    /// # Errors
+    /// The first shard's [`StoreError`], if any is poisoned or fails to
+    /// sync (remaining shards are still flushed).
+    pub fn flush(&mut self) -> Result<(), StoreError> {
+        let mut first_err = None;
+        for shard in &mut self.shards {
+            if let Err(e) = shard.flush() {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// The first poisoned shard's latched storage error, if any. While
+    /// a shard is poisoned, its mutations are rejected and its reads
+    /// keep serving the in-memory state.
+    pub fn store_error(&self) -> Option<StoreError> {
+        self.shards.iter().find_map(DynamicMap::store_error)
+    }
+
+    /// Total crash-durable WAL records across all shards since their
+    /// engines were attached; see [`DynamicMap::acked_records`].
+    pub fn acked_records(&self) -> u64 {
+        self.shards.iter().map(DynamicMap::acked_records).sum()
     }
 }
 

@@ -1,0 +1,316 @@
+//! CRC-64 (ECMA-182 polynomial, as used by XZ). Run files checksum
+//! every section on both write and read, so this sits on the
+//! cold-start critical path; two implementations share one stream:
+//!
+//! * **slicing-by-8** — eight compile-time lookup tables fold a whole
+//!   64-bit word per step, breaking the byte-serial dependency chain.
+//!   Portable baseline, ~1 GB/s.
+//! * **carry-less-multiply folding** (`x86_64` with `pclmulqdq`,
+//!   runtime-detected) — four 128-bit accumulators each fold 64 bytes
+//!   per iteration by multiplying with precomputed `x^(N-1) mod P`
+//!   constants, then collapse through the table path for the final
+//!   reduction. An order of magnitude faster on large buffers.
+//!
+//! A 64-bit CRC keeps the per-record overhead at one word while still
+//! detecting every burst error shorter than the polynomial and any
+//! single bit flip — the corruption classes the fault-injection suite
+//! exercises. Table and constant generation are `const fn`s, so the
+//! 16 KiB of tables are baked into the binary with no startup cost.
+
+const POLY: u64 = 0xC96C_5795_D787_0F42; // ECMA-182, reflected
+
+/// `TABLES[0]` is the classic byte-at-a-time table; `TABLES[t][b]` is
+/// the CRC contribution of byte `b` seen `t` positions before the end
+/// of an 8-byte word.
+const fn make_tables() -> [[u64; 256]; 8] {
+    let mut tables = [[0u64; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u64;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        tables[0][i] = crc;
+        i += 1;
+    }
+    let mut t = 1;
+    while t < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = tables[0][(prev & 0xFF) as usize] ^ (prev >> 8);
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
+}
+
+static TABLES: [[u64; 256]; 8] = make_tables();
+
+/// Fold `bytes` into a running (pre-inversion) CRC state, dispatching
+/// to the carry-less-multiply path for large buffers when the CPU has
+/// it.
+fn fold(crc: u64, bytes: &[u8]) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    if bytes.len() >= 128 && std::arch::is_x86_feature_detected!("pclmulqdq") {
+        // SAFETY: feature presence just checked.
+        return unsafe { clmul::fold_pclmul(crc, bytes) };
+    }
+    fold_table(crc, bytes)
+}
+
+/// Slicing-by-8 fold: the portable baseline, and the final-reduction
+/// step of the carry-less-multiply path.
+fn fold_table(mut crc: u64, bytes: &[u8]) -> u64 {
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let word = crc ^ u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        crc = TABLES[7][(word & 0xFF) as usize]
+            ^ TABLES[6][((word >> 8) & 0xFF) as usize]
+            ^ TABLES[5][((word >> 16) & 0xFF) as usize]
+            ^ TABLES[4][((word >> 24) & 0xFF) as usize]
+            ^ TABLES[3][((word >> 32) & 0xFF) as usize]
+            ^ TABLES[2][((word >> 40) & 0xFF) as usize]
+            ^ TABLES[1][((word >> 48) & 0xFF) as usize]
+            ^ TABLES[0][(word >> 56) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = TABLES[0][((crc ^ b as u64) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc
+}
+
+/// Carry-less-multiply (PCLMULQDQ) folding for the bulk of a large
+/// buffer.
+///
+/// The reflected-CRC register convention here: a 128-bit lane read as
+/// a little-endian value `v` encodes the polynomial whose coefficient
+/// of `x^(127-i)` is bit `i` of `v` — exactly the mirrored polynomial
+/// of those 16 bytes as a message fragment. Under that convention,
+/// multiplying a lane half's content by `x^N (mod P)` is a single
+/// `clmul` with the constant `rev64(x^(N-1) mod P)` (the `N-1`
+/// absorbs the one-bit skew of carry-less products of bit-reversed
+/// operands). Folding one lane over a 16-byte stride therefore
+/// multiplies its low half (the *earlier*, higher-degree bytes) by
+/// `x^192` and its high half by `x^128`; the four-accumulator loop
+/// uses the 64-byte-stride constants `x^576`/`x^512`.
+///
+/// The final 128→64-bit reduction reuses the table path: because the
+/// accumulator register *is* the mirrored polynomial of its own 16
+/// bytes, running those bytes through the table fold from state 0
+/// yields the exact table-algorithm state — no Barrett reduction
+/// needed, and the two implementations can never disagree on the
+/// stream's tail handling.
+#[cfg(target_arch = "x86_64")]
+mod clmul {
+    use core::arch::x86_64::*;
+
+    /// Low 64 bits of the ECMA-182 polynomial, normal (non-reflected)
+    /// bit order: `P = x^64 + POLY_NORMAL`.
+    const POLY_NORMAL: u64 = 0x42F0_E1EB_A9EA_3693;
+
+    /// `x^n mod P` in normal bit order, for `n >= 64`.
+    const fn xpow_mod(n: u32) -> u64 {
+        let mut r = POLY_NORMAL; // x^64 mod P
+        let mut i = 64;
+        while i < n {
+            r = if r >> 63 != 0 {
+                (r << 1) ^ POLY_NORMAL
+            } else {
+                r << 1
+            };
+            i += 1;
+        }
+        r
+    }
+
+    /// Fold constants: `rev64(x^(N-1) mod P)` advances a mirrored
+    /// 64-bit half by `N` bits.
+    const K_128: u64 = xpow_mod(127).reverse_bits();
+    const K_192: u64 = xpow_mod(191).reverse_bits();
+    const K_512: u64 = xpow_mod(511).reverse_bits();
+    const K_576: u64 = xpow_mod(575).reverse_bits();
+
+    /// Unaligned 16-byte load of block `i`. `sse2` is in the `x86_64`
+    /// baseline, so no feature gate is needed.
+    #[inline(always)]
+    unsafe fn load(ptr: *const u8, i: usize) -> __m128i {
+        _mm_loadu_si128(ptr.add(i * 16).cast())
+    }
+
+    /// One fold step: advance `x` by the stride encoded in `k`
+    /// (`k = [lo-half constant, hi-half constant]`) and absorb the
+    /// next data block `y`.
+    #[inline]
+    #[target_feature(enable = "pclmulqdq", enable = "sse2")]
+    unsafe fn fold16(x: __m128i, k: __m128i, y: __m128i) -> __m128i {
+        let lo = _mm_clmulepi64_si128::<0x00>(x, k);
+        let hi = _mm_clmulepi64_si128::<0x11>(x, k);
+        _mm_xor_si128(_mm_xor_si128(lo, hi), y)
+    }
+
+    /// Fold `bytes` (any length >= 16) into the running state `crc`.
+    ///
+    /// # Safety
+    /// Caller must ensure the CPU supports `pclmulqdq`.
+    #[target_feature(enable = "pclmulqdq", enable = "sse2")]
+    pub unsafe fn fold_pclmul(crc: u64, bytes: &[u8]) -> u64 {
+        let n16 = bytes.len() / 16;
+        debug_assert!(n16 >= 1, "clmul path needs at least one block");
+        let (blocks, tail) = bytes.split_at(n16 * 16);
+        let p = blocks.as_ptr();
+        let k128 = _mm_set_epi64x(K_128 as i64, K_192 as i64);
+        // The running state xors into the *first* 8 bytes: in the
+        // mirrored convention the existing state occupies the
+        // highest-degree (earliest) positions.
+        let crc_v = _mm_cvtsi64_si128(crc as i64);
+        let mut i;
+        let mut x;
+        if n16 >= 8 {
+            // Four independent accumulators, 64 bytes per iteration:
+            // the clmul latency chains run in parallel.
+            let k512 = _mm_set_epi64x(K_512 as i64, K_576 as i64);
+            let mut x0 = _mm_xor_si128(load(p, 0), crc_v);
+            let mut x1 = load(p, 1);
+            let mut x2 = load(p, 2);
+            let mut x3 = load(p, 3);
+            i = 4;
+            while i + 4 <= n16 {
+                x0 = fold16(x0, k512, load(p, i));
+                x1 = fold16(x1, k512, load(p, i + 1));
+                x2 = fold16(x2, k512, load(p, i + 2));
+                x3 = fold16(x3, k512, load(p, i + 3));
+                i += 4;
+            }
+            // Collapse the accumulators (each 16 bytes apart) into one.
+            x = fold16(x0, k128, x1);
+            x = fold16(x, k128, x2);
+            x = fold16(x, k128, x3);
+        } else {
+            x = _mm_xor_si128(load(p, 0), crc_v);
+            i = 1;
+        }
+        while i < n16 {
+            x = fold16(x, k128, load(p, i));
+            i += 1;
+        }
+        // Final reduction via the table path: the register's 16 bytes
+        // are the mirrored remainder-so-far, so table-folding them
+        // from state 0 produces the exact table-algorithm state.
+        let mut buf = [0u8; 16];
+        _mm_storeu_si128(buf.as_mut_ptr().cast(), x);
+        super::fold_table(super::fold_table(0, &buf), tail)
+    }
+}
+
+/// CRC-64/XZ of `bytes` (init `!0`, reflected, final xor `!0`).
+#[must_use]
+pub fn crc64(bytes: &[u8]) -> u64 {
+    !fold(!0u64, bytes)
+}
+
+/// Incremental CRC-64 over multiple slices (same stream as [`crc64`]
+/// over their concatenation).
+#[derive(Debug, Clone)]
+pub struct Crc64 {
+    state: u64,
+}
+
+impl Default for Crc64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc64 {
+    /// Fresh hasher.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { state: !0u64 }
+    }
+
+    /// Fold `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        self.state = fold(self.state, bytes);
+    }
+
+    /// Finish and return the checksum.
+    #[must_use]
+    pub fn finalize(&self) -> u64 {
+        !self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector() {
+        // CRC-64/XZ check value for "123456789".
+        assert_eq!(crc64(b"123456789"), 0x995D_C9BB_DF19_39FA);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        for split in 0..data.len() {
+            let mut h = Crc64::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), crc64(data));
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn clmul_matches_table_every_length() {
+        if !std::arch::is_x86_feature_detected!("pclmulqdq") {
+            return;
+        }
+        // Deterministic pseudo-random buffer; compare the clmul fold
+        // against the table fold at every length (covering the
+        // single-lane, multi-lane, four-accumulator, and ragged-tail
+        // regimes) and at an unaligned offset.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let data: Vec<u8> = (0..2048)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) as u8
+            })
+            .collect();
+        for len in 16..512 {
+            let table = fold_table(!0u64, &data[..len]);
+            // SAFETY: feature presence checked above.
+            let fast = unsafe { clmul::fold_pclmul(!0u64, &data[..len]) };
+            assert_eq!(fast, table, "clmul diverged at length {len}");
+            let table = fold_table(!0u64, &data[3..3 + len]);
+            let fast = unsafe { clmul::fold_pclmul(!0u64, &data[3..3 + len]) };
+            assert_eq!(fast, table, "clmul diverged at offset 3, length {len}");
+        }
+        let table = fold_table(0x1234_5678_9ABC_DEF0, &data);
+        let fast = unsafe { clmul::fold_pclmul(0x1234_5678_9ABC_DEF0, &data) };
+        assert_eq!(fast, table, "clmul diverged on full buffer");
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = b"durability is a property of the crash schedule";
+        let base = crc64(data);
+        let mut copy = data.to_vec();
+        for bit in 0..copy.len() * 8 {
+            copy[bit / 8] ^= 1 << (bit % 8);
+            assert_ne!(crc64(&copy), base, "flip at bit {bit} went undetected");
+            copy[bit / 8] ^= 1 << (bit % 8);
+        }
+    }
+}

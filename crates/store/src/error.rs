@@ -1,0 +1,105 @@
+//! Typed durability errors.
+//!
+//! Every decode path in this crate is total: arbitrary on-disk bytes —
+//! including bytes produced by a torn write, a bit flip, or an
+//! adversarial fuzzer — map to `Err(StoreError)` and never to a panic
+//! or an unbounded allocation. The crash-injection suite
+//! (`tests/store_crash.rs`) pins this contract.
+
+use std::fmt;
+use std::io;
+
+/// Error type for every fallible operation in the persistence layer.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed (including injected
+    /// crash faults from [`crate::MemVfs`]).
+    Io(io::Error),
+    /// A file's leading magic bytes did not match; `what` names the
+    /// file kind we were trying to read.
+    BadMagic {
+        /// File kind ("run", "manifest", "wal", "shards").
+        what: &'static str,
+    },
+    /// The file carries a format version this build cannot read.
+    UnsupportedVersion {
+        /// File kind whose version field was rejected.
+        what: &'static str,
+        /// Version found on disk.
+        found: u32,
+        /// Newest version this build understands.
+        supported: u32,
+    },
+    /// A checksum over `what` did not match its stored value: the
+    /// bytes were fully present but corrupted in place.
+    ChecksumMismatch {
+        /// Region whose checksum failed ("run header", "keys section", ...).
+        what: &'static str,
+    },
+    /// The file ended before a structurally-required region was
+    /// complete. For the write-ahead log a truncated *tail record* is
+    /// tolerated (it is the signature of a crash mid-append); for
+    /// every other file a short read is fatal.
+    Truncated {
+        /// Region that was cut short.
+        what: &'static str,
+    },
+    /// Structurally invalid contents: impossible lengths, unknown
+    /// record tags, sections that disagree with the header.
+    Corrupt(String),
+    /// The map's durability engine latched an earlier storage error
+    /// and refuses further writes; `reason` is the original failure.
+    /// The in-memory map stays readable — only mutation and flush are
+    /// rejected.
+    Poisoned {
+        /// Display form of the error that poisoned the engine.
+        reason: String,
+    },
+}
+
+impl StoreError {
+    /// Short helper used by decode paths.
+    pub(crate) fn corrupt(msg: impl Into<String>) -> Self {
+        StoreError::Corrupt(msg.into())
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "io error: {e}"),
+            StoreError::BadMagic { what } => write!(f, "bad magic: not a {what} file"),
+            StoreError::UnsupportedVersion {
+                what,
+                found,
+                supported,
+            } => write!(
+                f,
+                "unsupported {what} format version {found} (this build reads <= {supported})"
+            ),
+            StoreError::ChecksumMismatch { what } => {
+                write!(f, "checksum mismatch in {what}")
+            }
+            StoreError::Truncated { what } => write!(f, "truncated file: {what} cut short"),
+            StoreError::Corrupt(msg) => write!(f, "corrupt file: {msg}"),
+            StoreError::Poisoned { reason } => {
+                write!(f, "store poisoned by earlier error: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}

@@ -108,6 +108,32 @@
 //! assert_eq!(m.rank(&20_000), 19_999); // exact across shards
 //! ```
 //!
+//! Both [`DynamicMap`] and [`ShardedMap`] can be made **durable**:
+//! [`DynamicMap::persist_to`] writes every resident run as an immutable
+//! run file (one sequential pass — the flat implicit-layout arrays need
+//! no pointer fixup) and from then on logs each mutation to a
+//! write-ahead log before applying it; `DynamicMap::open` recovers the
+//! exact pre-crash state (manifest → run files → WAL-tail replay). See
+//! the [`store`] module for the format, the fsync/atomicity contract,
+//! and the fault-injection harness that pins it down.
+//!
+//! ```
+//! use implicit_search_trees::{DynamicMap, Layout};
+//! use implicit_search_trees::store::{MemVfs, StoreConfig};
+//! use std::sync::Arc;
+//!
+//! // MemVfs keeps the doctest off the real disk; StoreConfig::new()
+//! // is the production (std::fs + fsync-always) configuration.
+//! let cfg = StoreConfig::with_vfs(Arc::new(MemVfs::new()));
+//! let mut m: DynamicMap<u64, u64> = DynamicMap::new(Layout::Veb);
+//! m.insert(1, 100);
+//! m.persist_to("db", cfg.clone()).unwrap();
+//! m.insert(2, 200); // WAL-logged before it is applied
+//! drop(m);
+//! let m = DynamicMap::<u64, u64>::open_with("db", cfg).unwrap();
+//! assert_eq!(m.batch_get(&[1, 2]), vec![Some(&100), Some(&200)]);
+//! ```
+//!
 //! For borrowed data (or full control over the descent variant and
 //! construction algorithm), use [`permute_in_place`] + [`Searcher`]
 //! directly:
@@ -142,6 +168,7 @@
 //! | [`StaticMap`] (`ist-dynamic`, re-exported here) | key→value facade: payloads co-permuted obliviously alongside the keys |
 //! | [`DynamicMap`] (`ist-dynamic`, re-exported here) | log-structured tiers of static runs: write buffer, sealed L0 runs, background compaction, tombstones + weights, snapshot readers |
 //! | [`ShardedMap`] (`ist-shard`, re-exported here) | key-range-sharded serving layer: per-shard `DynamicMap`s, parallel scatter/gather batch routing |
+//! | [`store`] (`ist-store`, re-exported here) | durability substrate: zero-copy run files, write-ahead log, atomically-rotated manifest, fault-injection VFS |
 //! | [`machine`] | the `Machine` execution-substrate trait and the `Ram` backend |
 //! | [`query`] | the per-layout `Navigator`s (`nav` — the single home of all descent arithmetic) and the layout-agnostic engines: scalar descents, `batch` (software-pipelined multi-descent window, rayon composition), `range` (range counts over rank descents), `order` (successor/predecessor on the rank engine) |
 //! | [`layout`] | position maps / index arithmetic per layout |
@@ -157,6 +184,7 @@ pub use ist_dynamic::{
     DynamicMap, Frozen, Reader, StaticIndex, StaticMap, DEFAULT_BUFFER_CAP, MAX_SEALED_RUNS,
 };
 pub use ist_shard::{ShardedFrozen, ShardedMap, ShardedReader};
+pub use ist_store::{CrashModel, FsyncPolicy, MemVfs, StdVfs, StoreConfig, StoreError, Vfs};
 
 pub use ist_core::{
     construct, cycle_leader, fich_baseline, involution, nonperfect, permute_in_place,
@@ -190,3 +218,5 @@ pub use ist_query as query;
 pub use ist_shard as shard;
 /// Perfect shuffles and rotations.
 pub use ist_shuffle as shuffle;
+/// Durability substrate: run files, WAL, manifest, fault-injection VFS.
+pub use ist_store as store;

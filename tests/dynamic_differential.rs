@@ -24,12 +24,16 @@
 //! CI runs 3 fixed seeds; `IST_FUZZ_LONG=1` widens the sweep to 30
 //! seeds with longer sequences.
 
-use implicit_search_trees::{Algorithm, CompactionMode, CompactionPolicy, DynamicMap, QueryKind};
+use implicit_search_trees::{
+    Algorithm, CompactionMode, CompactionPolicy, CrashModel, DynamicMap, FsyncPolicy, MemVfs,
+    QueryKind, StoreConfig,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::ops::Bound::{Excluded, Unbounded};
+use std::sync::Arc;
 
 /// Key universe: small, so collisions, overwrites and re-inserts are
 /// the common case rather than the rare one.
@@ -620,6 +624,171 @@ fn differential_long_sweep() {
                     );
                 }
             }
+        }
+    }
+    // Persistent kill-and-restart sweep: kinds × caps × modes × fsync.
+    for seed in 0..8u64 {
+        for kind in [QueryKind::Veb, QueryKind::Btree(2)] {
+            for &cap in &CAPS {
+                for mode in [CompactionMode::Inline, CompactionMode::Background] {
+                    for fsync in [FsyncPolicy::Always, FsyncPolicy::EveryN(3)] {
+                        run_persistent_sequence(
+                            0x70_0000 + seed,
+                            kind,
+                            cap,
+                            300,
+                            mode,
+                            CompactionPolicy::tiered(2),
+                            Ingest::Bulk,
+                            fsync,
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The persistent variant of the harness: the map lives on a [`MemVfs`]
+/// store and is **killed and reopened at random points** mid-sequence
+/// (power-cycle with `CrashModel::DropUnsynced` — everything that was
+/// not fsynced vanishes, the strictest loss model). Under
+/// [`FsyncPolicy::Always`] every applied op is durable at the op
+/// boundary, so the recovered map must equal the oracle *exactly*; for
+/// the weaker policies the harness calls `flush()` before the kill, at
+/// which point the same exactness holds. The sequence then continues on
+/// the reopened map, so recovery composes with further mutation,
+/// sealing, and compaction — full observable state checked after every
+/// op, exactly like the volatile harness.
+#[allow(clippy::too_many_arguments)]
+fn run_persistent_sequence(
+    seed: u64,
+    kind: QueryKind,
+    buffer_cap: usize,
+    num_ops: usize,
+    mode: CompactionMode,
+    policy: CompactionPolicy,
+    ingest: Ingest,
+    fsync: FsyncPolicy,
+) {
+    let vfs = Arc::new(MemVfs::new());
+    let cfg = StoreConfig::with_vfs(vfs.clone()).fsync(fsync);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut map: DynamicMap<u64, u64> =
+        DynamicMap::with_config(kind, Algorithm::CycleLeader, buffer_cap)
+            .with_compaction_mode(mode)
+            .with_policy(policy);
+    map.persist_to("db", cfg.clone()).expect("persist_to");
+    let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut restarts = 0usize;
+    let ctx = |i: usize, restarts: usize| {
+        format!(
+            "persistent differential (seed={seed:#x} kind={kind:?} cap={buffer_cap} \
+             mode={mode:?} fsync={fsync:?} ingest={ingest:?}, op {i}, {restarts} restarts)"
+        )
+    };
+    for i in 0..num_ops {
+        let op = gen_op(&mut rng, i, ingest);
+        apply_op(&mut map, &mut oracle, &op)
+            .and_then(|()| check_full_state(&map, &oracle))
+            .unwrap_or_else(|why| panic!("{}: {why} after {op}", ctx(i, restarts)));
+        assert!(
+            map.store_error().is_none(),
+            "{}: store poisoned: {:?}",
+            ctx(i, restarts),
+            map.store_error()
+        );
+        // Kill-and-restart at random (seed-reproducible) points.
+        if rng.gen_range(0..32u32) == 0 {
+            if !matches!(fsync, FsyncPolicy::Always) {
+                // Acked-but-unsynced records would (correctly) vanish
+                // under DropUnsynced; flush makes the check exact.
+                map.flush().expect("flush before restart");
+            }
+            drop(map);
+            vfs.power_cycle(CrashModel::DropUnsynced);
+            map = DynamicMap::open_with("db", cfg.clone())
+                .unwrap_or_else(|e| panic!("{}: reopen failed: {e}", ctx(i, restarts)))
+                .with_compaction_mode(mode)
+                .with_policy(policy);
+            restarts += 1;
+            check_full_state(&map, &oracle)
+                .unwrap_or_else(|why| panic!("{}: diverged after reopen: {why}", ctx(i, restarts)));
+        }
+    }
+    // Draining deferred compactions goes through the durable install
+    // path here; one final kill/reopen pins the quiesced state too.
+    map.quiesce();
+    check_full_state(&map, &oracle)
+        .unwrap_or_else(|why| panic!("{}: diverged after quiesce: {why}", ctx(num_ops, restarts)));
+    if !matches!(fsync, FsyncPolicy::Always) {
+        map.flush().expect("final flush");
+    }
+    drop(map);
+    vfs.power_cycle(CrashModel::DropUnsynced);
+    let reopened = DynamicMap::<u64, u64>::open_with("db", cfg).expect("final reopen");
+    check_full_state(&reopened, &oracle)
+        .unwrap_or_else(|why| panic!("{}: final reopen diverged: {why}", ctx(num_ops, restarts)));
+}
+
+/// Kill-and-restart differential across both compaction modes with the
+/// always-fsync policy: every op is durable the moment it returns, so
+/// the reopened map must equal the oracle exactly at every kill point.
+#[test]
+fn differential_persistent_restarts() {
+    for &seed in &CI_SEEDS {
+        for mode in [CompactionMode::Inline, CompactionMode::Background] {
+            run_persistent_sequence(
+                seed,
+                QueryKind::Veb,
+                3,
+                160,
+                mode,
+                CompactionPolicy::default(),
+                Ingest::PerKey,
+                FsyncPolicy::Always,
+            );
+        }
+    }
+}
+
+/// The persistent matrix rides the weaker fsync policies (flush before
+/// each kill), bulk ingest, non-default compaction policies, and a
+/// second query kind — recovery must compose with all of them.
+#[test]
+fn differential_persistent_policy_matrix() {
+    let cases = [
+        (
+            QueryKind::Veb,
+            CompactionPolicy::tiered(2).with_merge_threads(4),
+            Ingest::Bulk,
+            FsyncPolicy::EveryN(4),
+        ),
+        (
+            QueryKind::Btree(2),
+            CompactionPolicy::leveled(2),
+            Ingest::PerKey,
+            FsyncPolicy::Never,
+        ),
+        (
+            QueryKind::Sorted,
+            CompactionPolicy::tiered(3).with_lazy_bottom(true),
+            Ingest::Bulk,
+            FsyncPolicy::Always,
+        ),
+    ];
+    for (c, (kind, policy, ingest, fsync)) in cases.into_iter().enumerate() {
+        for mode in [CompactionMode::Inline, CompactionMode::Background] {
+            run_persistent_sequence(
+                0xD15C + c as u64,
+                kind,
+                if c == 0 { 1 } else { 4 },
+                140,
+                mode,
+                policy,
+                ingest,
+                fsync,
+            );
         }
     }
 }

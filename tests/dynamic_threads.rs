@@ -32,10 +32,12 @@
 //! which also arm the weight-invariant debug assertions inside the
 //! merge).
 
-use implicit_search_trees::{Algorithm, CompactionMode, DynamicMap, QueryKind};
+use implicit_search_trees::{
+    Algorithm, CompactionMode, CrashModel, DynamicMap, MemVfs, QueryKind, StoreConfig,
+};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Duration;
 
@@ -173,6 +175,106 @@ fn run_concurrent_snapshot_load(mode: CompactionMode) {
     assert!(!map.compaction_in_flight());
     assert_eq!(map.len() as u64, N / 2);
     assert_eq!(check_prefix_state(&map.snapshot()), N + N / 2);
+}
+
+/// Restart under concurrent readers: a **persistent** map is killed
+/// (power-cycle dropping everything unsynced) and reopened several
+/// times while reader threads snapshot continuously through a shared
+/// [`implicit_search_trees::Reader`] slot.
+///
+/// What must hold:
+///
+/// * readers polling the *old* map's reader during the restart window
+///   keep getting valid prefix states — never a panic, never a torn
+///   state, even though the map behind their handle is gone;
+/// * the reopened map's reader starts at the full recovered state, and
+///   under fsync-always that state is **exactly** the pre-kill state —
+///   so no reader ever observes time moving backwards across a restart;
+/// * recovery composes with the concurrent-reader machinery: sealing,
+///   background compaction, and publication all resume on the reopened
+///   map while the same reader threads keep polling.
+#[test]
+fn restart_under_concurrent_readers() {
+    const RN: u64 = 900;
+    const RCAP: usize = 32;
+    let vfs = Arc::new(MemVfs::new());
+    let cfg = StoreConfig::with_vfs(vfs.clone());
+    let mut map: DynamicMap<u64, u64> =
+        DynamicMap::with_config(QueryKind::Veb, Algorithm::CycleLeader, RCAP)
+            .with_compaction_mode(CompactionMode::Background);
+    map.persist_to("db", cfg.clone()).expect("persist_to");
+
+    // Readers fetch the *current* reader from this slot each round; the
+    // writer swaps in the reopened map's reader after every restart.
+    let slot = Arc::new(Mutex::new(map.reader()));
+    let done = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for r in 0..READERS {
+        let slot = Arc::clone(&slot);
+        let done = Arc::clone(&done);
+        handles.push(thread::spawn(move || {
+            let mut last_len = 0u64;
+            let mut observed = 0usize;
+            while !done.load(Ordering::Acquire) {
+                let snap = slot.lock().expect("slot").snapshot();
+                let len = snap.len() as u64;
+                assert!(len <= RN, "reader {r}: more keys than ever inserted");
+                if len > 0 {
+                    // Insert-only workload: the state is {0, …, len−1}.
+                    assert_eq!(snap.get(&0), Some(&value_of(0)));
+                    assert_eq!(snap.get(&(len - 1)), Some(&value_of(len - 1)));
+                    if len < RN {
+                        assert_eq!(snap.get(&len), None, "key {len} must not exist yet");
+                    }
+                    assert_eq!(snap.rank(&len), len as usize);
+                    assert_eq!(snap.lower_bound(&0), Some((&0, &value_of(0))));
+                }
+                assert!(
+                    len >= last_len,
+                    "reader {r} went backwards across a restart: {len} < {last_len}"
+                );
+                last_len = len;
+                observed += 1;
+            }
+            observed
+        }));
+    }
+
+    for k in 0..RN {
+        map.insert(k, value_of(k));
+        if k == RN / 4 || k == RN / 2 || k == 3 * RN / 4 {
+            // Kill-and-restart while the readers above keep polling the
+            // old reader handle.
+            drop(map);
+            vfs.power_cycle(CrashModel::DropUnsynced);
+            map = DynamicMap::open_with("db", cfg.clone())
+                .expect("reopen after power cycle")
+                .with_compaction_mode(CompactionMode::Background);
+            assert_eq!(map.len() as u64, k + 1, "fsync-always recovery is exact");
+            *slot.lock().expect("slot") = map.reader();
+        }
+    }
+    done.store(true, Ordering::Release);
+    for handle in handles {
+        let observed = handle.join().expect("reader must not panic");
+        assert!(observed > 0, "reader never got a snapshot in");
+    }
+
+    map.quiesce();
+    assert_eq!(map.len() as u64, RN);
+    assert!(
+        map.store_error().is_none(),
+        "store poisoned during restarts"
+    );
+    for k in (0..RN).step_by(97) {
+        assert_eq!(map.get(&k), Some(&value_of(k)));
+    }
+    // One final cold open confirms the whole history is on disk.
+    drop(map);
+    vfs.power_cycle(CrashModel::DropUnsynced);
+    let cold = DynamicMap::<u64, u64>::open_with("db", cfg).expect("final open");
+    assert_eq!(cold.len() as u64, RN);
+    assert_eq!(cold.rank(&RN), RN as usize);
 }
 
 /// A payload whose `Clone` sleeps: every clone a compaction streams
