@@ -9,6 +9,8 @@
 //! (`cargo run -p ist-bench --release --bin figures -- <fig>`); Criterion
 //! micro-benchmarks live under `benches/`.
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};

@@ -13,6 +13,8 @@
 //! median-of-N wall clocks are what a perf trajectory needs. Swap the
 //! manifest back to real criterion when a registry is available.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::fs::OpenOptions;
 use std::io::Write as _;

@@ -17,6 +17,8 @@
 //! `u64::reverse_bits` plus a shift) and a portable software path for
 //! arbitrary `k` ([`rev_k`]), mirroring that distinction.
 
+#![forbid(unsafe_code)]
+
 pub mod digits;
 pub mod modular;
 pub mod tree;

@@ -46,6 +46,8 @@
 //! // `data` is now the vEB layout of the original sorted array.
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod algorithms;
 pub mod cycle_leader;
 pub mod fich_baseline;

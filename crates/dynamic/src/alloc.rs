@@ -36,6 +36,9 @@ const HUGE_PAGE: usize = 2 * 1024 * 1024;
 #[cfg(target_os = "linux")]
 const MADV_HUGEPAGE: i32 = 14;
 
+// SAFETY: the declared signature matches POSIX `madvise`; the symbol
+// is in every linux libc (declared directly because the workspace
+// builds offline, without the `libc` crate).
 #[cfg(target_os = "linux")]
 unsafe extern "C" {
     /// Declared directly (the workspace builds offline, without the
@@ -74,6 +77,8 @@ pub struct AlignedVec<T> {
 // SAFETY: AlignedVec owns its elements exactly like Vec<T> does; the
 // raw pointer is not shared.
 unsafe impl<T: Send> Send for AlignedVec<T> {}
+// SAFETY: shared access only hands out `&T` (Deref), so `Sync` lifts
+// directly from `T: Sync`, as for Vec<T>.
 unsafe impl<T: Sync> Sync for AlignedVec<T> {}
 
 impl<T> AlignedVec<T> {
@@ -109,14 +114,14 @@ impl<T> AlignedVec<T> {
     pub fn into_vec(self) -> Vec<T> {
         let this = core::mem::ManuallyDrop::new(self);
         match this.backing {
+            // SAFETY: round-trip of the adopted Vec's raw parts.
             Backing::Vec { cap } => unsafe {
-                // SAFETY: round-trip of the adopted Vec's raw parts.
                 Vec::from_raw_parts(this.ptr.as_ptr(), this.len, cap)
             },
+            // SAFETY: the buffer holds `len` initialized elements;
+            // reading them out transfers ownership, after which only
+            // the raw allocation is freed (not the elements).
             Backing::Raw { align } => unsafe {
-                // SAFETY: the buffer holds `len` initialized elements;
-                // reading them out transfers ownership, after which only
-                // the raw allocation is freed (not the elements).
                 let mut out = Vec::with_capacity(this.len);
                 core::ptr::copy_nonoverlapping(this.ptr.as_ptr(), out.as_mut_ptr(), this.len);
                 out.set_len(this.len);
@@ -145,10 +150,11 @@ impl<T> AlignedVec<T> {
         };
         #[cfg(target_os = "linux")]
         if align == HUGE_PAGE {
-            // Advisory: ask the kernel to back the range with
-            // transparent huge pages. Failure is harmless (the buffer
-            // still works at 4 KiB granularity), so the result is
-            // deliberately ignored.
+            // SAFETY: `raw` points at a live allocation of `bytes`
+            // bytes. The call is advisory: ask the kernel to back the
+            // range with transparent huge pages. Failure is harmless
+            // (the buffer still works at 4 KiB granularity), so the
+            // result is deliberately ignored.
             unsafe {
                 let _ = madvise(raw.cast(), bytes, MADV_HUGEPAGE);
             }
@@ -240,10 +246,11 @@ impl<T: Send> AlignedVec<T> {
         let mut dst = Self::with_uninit(n);
         let src_ptr = SendPtr(src.as_mut_ptr());
         let dst_ptr = SendPtr(dst.ptr.as_ptr());
-        // Ownership of the elements transfers to `dst` now; if a write
-        // below panicked (it cannot — the maps are pure arithmetic and
-        // the moves are bitwise), both vectors would report length 0
-        // and the elements would leak rather than double-drop.
+        // SAFETY: zero is always a valid length. Ownership of the
+        // elements transfers to `dst` now; if a write below panicked
+        // (it cannot — the maps are pure arithmetic and the moves are
+        // bitwise), both vectors would report length 0 and the
+        // elements would leak rather than double-drop.
         unsafe { src.set_len(0) };
         // Sequential below this grain: thread spawn + shape math beat
         // the memory traffic on small runs.
@@ -287,11 +294,21 @@ impl<T> Clone for SendPtr<T> {
     }
 }
 impl<T> Copy for SendPtr<T> {}
+// SAFETY: the pointer is only dereferenced inside the scatter tasks,
+// which write provably disjoint index ranges; `T: Send` because
+// elements move across the task boundary.
 unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: same argument — no `&T` is ever shared, tasks copy through
+// disjoint raw offsets.
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 /// Free a raw-backed allocation of `cap` elements at `align` without
 /// touching the elements.
+///
+/// # Safety
+/// `ptr` must be a live `std::alloc::alloc` allocation made with
+/// exactly this element count and alignment, and its elements must
+/// already be moved out or trivially droppable.
 unsafe fn dealloc_raw<T>(ptr: NonNull<T>, cap: usize, align: usize) {
     let layout = core::alloc::Layout::from_size_align(cap * size_of::<T>(), align)
         .expect("layout was valid at alloc time");
@@ -303,14 +320,14 @@ unsafe fn dealloc_raw<T>(ptr: NonNull<T>, cap: usize, align: usize) {
 impl<T> Drop for AlignedVec<T> {
     fn drop(&mut self) {
         match self.backing {
+            // SAFETY: round-trip of the adopted Vec.
             Backing::Vec { cap } => unsafe {
-                // SAFETY: round-trip of the adopted Vec.
                 drop(Vec::from_raw_parts(self.ptr.as_ptr(), self.len, cap));
             },
+            // SAFETY: the first `len` slots are initialized, and
+            // raw-backed buffers are allocated with cap == len (the
+            // scatter fills every slot before assume_len).
             Backing::Raw { align } => unsafe {
-                // SAFETY: the first `len` slots are initialized, and
-                // raw-backed buffers are allocated with cap == len (the
-                // scatter fills every slot before assume_len).
                 core::ptr::drop_in_place(core::ptr::slice_from_raw_parts_mut(
                     self.ptr.as_ptr(),
                     self.len,

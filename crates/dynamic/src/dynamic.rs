@@ -121,11 +121,11 @@
 
 use crate::index::default_kind_for_layout;
 use crate::map::StaticMap;
+use crate::sync::{
+    spawn, yield_now, Arc, AtomicBool, AtomicUsize, JoinHandle, Mutex, MutexGuard, Ordering,
+};
 use ist_core::{Algorithm, Error, Layout};
 use ist_query::QueryKind;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
-use std::thread::JoinHandle;
 
 /// Default write-buffer capacity (entries buffered between seals).
 ///
@@ -644,7 +644,7 @@ where
     loop {
         streamed += 1;
         if cooperative && streamed.is_multiple_of(MERGE_YIELD_STRIDE) {
-            std::thread::yield_now();
+            yield_now();
         }
         // Newest source holding the minimum head key (strict `<` keeps
         // the earliest source on ties).
@@ -794,7 +794,7 @@ pub struct DynamicMap<K, V> {
     /// hits an existing entry, so no seal fires); this counter forces a
     /// publication every `buffer_cap` mutations regardless, which is
     /// what makes the reader-lag bound an *operation* bound.
-    muts_since_publish: std::sync::atomic::AtomicUsize,
+    muts_since_publish: AtomicUsize,
     /// The attached durability engine, if this map is persistent (see
     /// the [`crate::persist`] module). Behind a `Mutex` only so the map
     /// stays `Sync` — every access is `&mut self`, so the lock is
@@ -803,6 +803,10 @@ pub struct DynamicMap<K, V> {
     /// Set during WAL replay: overflow seals are deferred until the
     /// durability engine is attached (see [`DynamicMap::maybe_seal`]).
     pub(crate) seal_suppressed: bool,
+    /// Model-check hook: the next background worker panics inside its
+    /// `DoneGuard` scope (exercises panic propagation to the writer).
+    #[cfg(ist_loom)]
+    panic_next_compaction: bool,
 }
 
 impl<K, V> DynamicMap<K, V>
@@ -854,9 +858,11 @@ where
             buffer_moves: 0,
             published: Arc::new(Mutex::new(Arc::new(empty))),
             published_dirty: AtomicBool::new(false),
-            muts_since_publish: std::sync::atomic::AtomicUsize::new(0),
+            muts_since_publish: AtomicUsize::new(0),
             store: None,
             seal_suppressed: false,
+            #[cfg(ist_loom)]
+            panic_next_compaction: false,
         }
     }
 
@@ -1307,6 +1313,23 @@ where
         self.after_mutation();
     }
 
+    // ----- model-check hooks (compiled only under `--cfg ist_loom`) -----
+
+    /// Make the next background compaction worker panic after arming
+    /// its `DoneGuard`, to model-check panic propagation to the writer.
+    #[cfg(ist_loom)]
+    pub fn debug_panic_next_compaction(&mut self) {
+        self.panic_next_compaction = true;
+    }
+
+    /// Size of the published cell's snapshot as `(buffer entries,
+    /// runs)` — `(0, 0)` once the departed-reader release has fired.
+    #[cfg(ist_loom)]
+    pub fn debug_published_size(&self) -> (usize, usize) {
+        let frozen = Arc::clone(&lock(&self.published));
+        (frozen.buffer.len(), frozen.runs.len())
+    }
+
     // ----- snapshots -----
 
     /// An immutable view of the current state; later writes to `self`
@@ -1515,7 +1538,12 @@ where
     fn publish(&self) {
         let frozen = Arc::new(self.freeze());
         *lock(&self.published) = frozen;
+        // Relaxed: both flags are only read and written on the writer
+        // thread (mutation paths hold `&mut self`); readers receive
+        // the snapshot itself through the `published` mutex, which
+        // provides all cross-thread ordering.
         self.published_dirty.store(true, Ordering::Relaxed);
+        // Relaxed: same argument — writer-thread-private bookkeeping.
         self.muts_since_publish.store(0, Ordering::Relaxed);
     }
 
@@ -1552,14 +1580,19 @@ where
     /// (bulk deltas count every key toward the publication bound).
     fn after_mutations(&self, n: usize) {
         if self.has_readers() {
+            // Relaxed: writer-thread-private counter (see `publish`);
+            // no other thread observes it.
             if self.muts_since_publish.fetch_add(n, Ordering::Relaxed) + n >= self.buffer_cap {
                 self.publish();
             }
+        // Relaxed: writer-thread-private flag (see `publish`); the
+        // reader-visible effect (the cell swap below) is mutex-ordered.
         } else if self.published_dirty.load(Ordering::Relaxed) {
             *lock(&self.published) = Arc::new(Frozen {
                 buffer: Arc::new(Vec::new()),
                 runs: Arc::new(Vec::new()),
             });
+            // Relaxed: same writer-thread-private flag as above.
             self.published_dirty.store(false, Ordering::Relaxed);
         }
     }
@@ -1768,7 +1801,11 @@ where
                 // otherwise.
                 let done = Arc::new(AtomicBool::new(false));
                 let worker_done = Arc::clone(&done);
-                let handle = std::thread::spawn(move || {
+                #[cfg(ist_loom)]
+                let inject_panic = std::mem::take(&mut self.panic_next_compaction);
+                #[cfg(not(ist_loom))]
+                let inject_panic = false;
+                let handle = spawn(move || {
                     /// Sets `done` even when the merge panics, so the
                     /// writer's next `try_install` joins the worker and
                     /// re-raises the panic instead of sealing on top of
@@ -1780,6 +1817,9 @@ where
                         }
                     }
                     let _guard = DoneGuard(worker_done);
+                    if inject_panic {
+                        panic!("injected compaction worker panic (ist-loom test hook)");
+                    }
                     merge_runs(&sources, deeper_occupied, kind, algorithm, true, threads)
                 });
                 self.pending = Some(Pending {

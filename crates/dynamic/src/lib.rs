@@ -40,6 +40,7 @@ pub mod dynamic;
 mod index;
 mod map;
 pub(crate) mod persist;
+pub(crate) mod sync;
 
 pub use alloc::AlignedVec;
 pub use dynamic::{

@@ -40,11 +40,11 @@
 //! in-memory map stays fully readable. The on-disk state is always a
 //! consistent prefix of the acknowledged history.
 
+use crate::sync::{Arc, Mutex};
 use std::any::TypeId;
 use std::marker::PhantomData;
 use std::mem::size_of;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
 
 use crate::alloc::AlignedVec;
 use crate::dynamic::{lock, DynamicMap, Plan, Prefix, Run};
@@ -397,16 +397,15 @@ fn decode_values_streaming<V: Codec + 'static>(
                 next += 1;
             }
             // Bulk-decode whole elements with no per-element error or
-            // presence paths. SAFETY: `pod_width` proved `V` is a
-            // fixed-width integer type (any bit pattern valid, size
-            // `w`, little-endian encoding matches the host), and each
-            // chunk handed to `read_unaligned` is exactly `w` bytes.
+            // presence paths.
             let full = ((chunk.len() / w) * w).min((n - next) * w);
-            values.extend(
-                chunk[..full]
-                    .chunks_exact(w)
-                    .map(|c| Some(unsafe { std::ptr::read_unaligned(c.as_ptr().cast::<V>()) })),
-            );
+            values.extend(chunk[..full].chunks_exact(w).map(|c| {
+                // SAFETY: `pod_width` proved `V` is a fixed-width
+                // integer type (any bit pattern valid, size `w`,
+                // little-endian encoding matches the host), and each
+                // `chunks_exact` chunk is exactly `w` bytes.
+                Some(unsafe { std::ptr::read_unaligned(c.as_ptr().cast::<V>()) })
+            }));
             next += full / w;
             chunk = &chunk[full..];
             if next >= n {

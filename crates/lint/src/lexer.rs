@@ -1,0 +1,726 @@
+//! A hand-rolled token-level lexer for Rust source — just enough
+//! structure for the lints in [`crate::lints`], with **no** `syn`
+//! dependency (the workspace builds fully offline).
+//!
+//! The lexer understands what a naive `grep` does not:
+//!
+//! * **Comments** (line, doc, and nested block comments) are stripped
+//!   from the token stream but retained per line, so lints can demand
+//!   "a `// SAFETY:` comment above this line" and suppressions
+//!   (`// LINT-ALLOW(..): ..`) can be resolved.
+//! * **Strings** (plain, raw `r#".."#`, byte, and char literals) are
+//!   consumed whole — a `"thread::spawn"` inside a string or doc
+//!   example never becomes a token.
+//! * **Nesting**: every token carries its square-bracket depth (so
+//!   `ranks[2 * i + 1]` is distinguishable from descent arithmetic),
+//!   and `#[cfg(test)]`-gated items are delimited by brace matching so
+//!   lints can skip test-only regions.
+
+/// One lexed token kind. Only the shapes the lints match are
+/// distinguished; everything else is [`Tok::Other`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword.
+    Ident(String),
+    /// A single punctuation character (`::` is two `Punct(':')`).
+    Punct(char),
+    /// An integer literal small enough to matter to a lint.
+    Int(u64),
+    /// Any other literal (floats, huge ints).
+    Other,
+}
+
+/// A token plus the positional facts lints key on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: Tok,
+    /// 1-based source line.
+    pub line: u32,
+    /// Square-bracket nesting depth at this token (inside `a[...]`
+    /// the depth is ≥ 1).
+    pub bracket_depth: u32,
+    /// `true` if this token sits inside a `#[cfg(test)]`-gated item.
+    pub in_test: bool,
+}
+
+/// One comment's worth of text on one line (block comments spanning
+/// lines produce one entry per line).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based source line.
+    pub line: u32,
+    pub text: String,
+}
+
+/// The lexed view of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    /// All comments, in order; at most a handful per line.
+    pub comments: Vec<Comment>,
+    /// Doc comments (`///`, `//!`, `/**`, `/*!`), kept apart from
+    /// [`Lexed::comments`]: prose about SAFETY or LINT-ALLOW syntax
+    /// must not count as the real annotation, but a `# Safety` doc
+    /// section may legitimately document an `unsafe fn` contract.
+    pub doc_comments: Vec<Comment>,
+    /// Lines that hold at least one non-comment token.
+    code_lines: Vec<bool>,
+    /// Lines whose tokens all belong to attributes (`#[...]`) — the
+    /// comment-adjacency walk skips these so `// SAFETY:` may sit
+    /// above `#[inline]`.
+    attr_only_lines: Vec<bool>,
+}
+
+impl Lexed {
+    fn has_code(&self, line: u32) -> bool {
+        self.code_lines.get(line as usize).copied().unwrap_or(false)
+    }
+
+    fn attr_only(&self, line: u32) -> bool {
+        self.attr_only_lines
+            .get(line as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// All comment text "attached" to `line`: a trailing comment on the
+    /// line itself plus the contiguous comment block immediately above
+    /// it (attribute-only lines in between are skipped, blank lines
+    /// terminate the walk).
+    pub fn comment_context(&self, line: u32) -> Vec<&str> {
+        Self::context(
+            &self.comments,
+            line,
+            |l| self.attr_only(l),
+            |l| self.has_code(l),
+        )
+    }
+
+    /// Like [`Lexed::comment_context`], but over doc comments — used to
+    /// accept a `/// # Safety` section as documentation of an
+    /// `unsafe fn` declaration.
+    pub fn doc_context(&self, line: u32) -> Vec<&str> {
+        Self::context(
+            &self.doc_comments,
+            line,
+            |l| self.attr_only(l),
+            |l| self.has_code(l),
+        )
+    }
+
+    fn context(
+        comments: &[Comment],
+        line: u32,
+        attr_only: impl Fn(u32) -> bool,
+        has_code: impl Fn(u32) -> bool,
+    ) -> Vec<&str> {
+        let mut out: Vec<&str> = comments
+            .iter()
+            .filter(|c| c.line == line)
+            .map(|c| c.text.as_str())
+            .collect();
+        let mut l = line.saturating_sub(1);
+        while l >= 1 {
+            if attr_only(l) {
+                l -= 1;
+                continue;
+            }
+            let mut found = false;
+            if !has_code(l) {
+                for c in comments.iter().filter(|c| c.line == l) {
+                    out.push(c.text.as_str());
+                    found = true;
+                }
+            }
+            if !found {
+                break;
+            }
+            l -= 1;
+        }
+        out
+    }
+}
+
+/// Lex `src`. Never fails: unterminated constructs consume to EOF,
+/// which is the forgiving behavior a lint wants.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut line: u32 = 1;
+    let mut i = 0usize;
+    let mut bracket_depth: u32 = 0;
+    let mut lexed = Lexed::default();
+    let total_lines = src.lines().count() + 2;
+    lexed.code_lines = vec![false; total_lines];
+    lexed.attr_only_lines = vec![false; total_lines];
+    // Temporarily collect (token, is_attr) so attr-only lines can be
+    // computed once attribute spans are known.
+    let mut toks: Vec<Token> = Vec::new();
+
+    macro_rules! push_tok {
+        ($kind:expr, $ln:expr) => {
+            toks.push(Token {
+                kind: $kind,
+                line: $ln,
+                bracket_depth,
+                in_test: false,
+            })
+        };
+    }
+
+    while i < n {
+        let c = b[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && b[i + 1] == b'/' => {
+                // Line comment. Doc comments (`///`, `//!`) are
+                // documentation, not code annotations: they go to the
+                // separate `doc_comments` list so prose about SAFETY or
+                // LINT-ALLOW syntax never counts as the real thing.
+                let start = i;
+                let doc = i + 2 < n && (b[i + 2] == b'/' || b[i + 2] == b'!');
+                while i < n && b[i] != b'\n' {
+                    i += 1;
+                }
+                let list = if doc {
+                    &mut lexed.doc_comments
+                } else {
+                    &mut lexed.comments
+                };
+                list.push(Comment {
+                    line,
+                    text: src[start..i].to_string(),
+                });
+            }
+            '/' if i + 1 < n && b[i + 1] == b'*' => {
+                // Block comment, nested per Rust rules; one Comment
+                // entry per spanned line. Doc blocks (`/**`, `/*!`)
+                // go to `doc_comments`, like line doc comments.
+                let doc = i + 2 < n && (b[i + 2] == b'*' || b[i + 2] == b'!');
+                let mut depth = 1;
+                i += 2;
+                let mut seg_start = i;
+                while i < n && depth > 0 {
+                    if b[i] == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < n && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else if b[i] == b'\n' {
+                        let list = if doc {
+                            &mut lexed.doc_comments
+                        } else {
+                            &mut lexed.comments
+                        };
+                        list.push(Comment {
+                            line,
+                            text: src[seg_start..i].to_string(),
+                        });
+                        line += 1;
+                        i += 1;
+                        seg_start = i;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let list = if doc {
+                    &mut lexed.doc_comments
+                } else {
+                    &mut lexed.comments
+                };
+                list.push(Comment {
+                    line,
+                    text: src[seg_start..i.saturating_sub(2).max(seg_start)].to_string(),
+                });
+            }
+            '"' => i = skip_string(b, i, &mut line),
+            '\'' => {
+                // Char literal vs lifetime. A char literal closes with
+                // a `'` after one (possibly escaped) character.
+                if i + 2 < n && b[i + 1] == b'\\' {
+                    // Escaped char literal: skip to closing quote.
+                    i += 2;
+                    while i < n && b[i] != b'\'' {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                    i += 1;
+                } else if i + 2 < n && b[i + 2] == b'\'' && b[i + 1] != b'\'' {
+                    i += 3; // 'x'
+                } else {
+                    // Lifetime: one `Tok::Other` for quote + ident, so
+                    // `&'a [u8]` can't read as ident-then-indexing.
+                    i += 1;
+                    while i < n && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                    push_tok!(Tok::Other, line);
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < n && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.') {
+                    // Stop a `..` range from being eaten by a number.
+                    if b[i] == b'.' && i + 1 < n && b[i + 1] == b'.' {
+                        break;
+                    }
+                    i += 1;
+                }
+                let text: String = src[start..i].chars().filter(|&c| c != '_').collect();
+                let digits: &str = text
+                    .split(|c: char| !c.is_ascii_digit())
+                    .next()
+                    .unwrap_or("");
+                match digits.parse::<u64>() {
+                    Ok(v) if text.starts_with(digits) && !text.contains('.') => {
+                        push_tok!(Tok::Int(v), line)
+                    }
+                    _ => push_tok!(Tok::Other, line),
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let ident = &src[start..i];
+                // Raw/byte string prefixes: `r"`, `r#"`, `b"`, `br#"` …
+                let is_str_prefix = matches!(ident, "r" | "b" | "br" | "rb" | "c" | "cr")
+                    && i < n
+                    && (b[i] == b'"' || b[i] == b'#');
+                if is_str_prefix && (b[i] == b'"' || is_raw_start(b, i)) {
+                    if ident.contains('r') || ident.contains('c') {
+                        i = skip_raw_string(b, i, &mut line);
+                    } else {
+                        i = skip_string(b, i, &mut line);
+                    }
+                } else {
+                    push_tok!(Tok::Ident(ident.to_string()), line);
+                }
+            }
+            '[' => {
+                push_tok!(Tok::Punct('['), line);
+                bracket_depth += 1;
+                i += 1;
+            }
+            ']' => {
+                bracket_depth = bracket_depth.saturating_sub(1);
+                push_tok!(Tok::Punct(']'), line);
+                i += 1;
+            }
+            c if c.is_ascii() => {
+                push_tok!(Tok::Punct(c), line);
+                i += 1;
+            }
+            _ => {
+                // Non-ASCII outside a string or comment (e.g. a µ in a
+                // const name context): opaque, advance one whole char.
+                let ch_len = src[i..].chars().next().map_or(1, char::len_utf8);
+                push_tok!(Tok::Other, line);
+                i += ch_len;
+            }
+        }
+    }
+
+    mark_regions(&mut toks, &mut lexed);
+    lexed.tokens = toks;
+    for t in &lexed.tokens {
+        if let Some(slot) = lexed.code_lines.get_mut(t.line as usize) {
+            *slot = true;
+        }
+    }
+    lexed
+}
+
+/// `#` at a raw-string hash run: `r##"` etc.
+fn is_raw_start(b: &[u8], mut i: usize) -> bool {
+    while i < b.len() && b[i] == b'#' {
+        i += 1;
+    }
+    i < b.len() && b[i] == b'"'
+}
+
+/// Skip a plain (or byte) string starting at the opening `"` (or at a
+/// prefix position where the next char is `"`). Returns the index past
+/// the closing quote.
+fn skip_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    while i < b.len() && b[i] != b'"' {
+        i += 1; // step over the prefix (`b`)
+    }
+    i += 1; // opening quote
+    while i < b.len() {
+        match b[i] {
+            b'\\' => {
+                // A line-continuation escape (`\` before a newline)
+                // still ends a source line — keep the count right.
+                if b.get(i + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skip a raw string starting at the hash run / opening quote. Returns
+/// the index past the closing `"##…`.
+fn skip_raw_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // opening quote
+    while i < b.len() {
+        if b[i] == b'\n' {
+            *line += 1;
+            i += 1;
+            continue;
+        }
+        if b[i] == b'"' {
+            let mut j = i + 1;
+            let mut h = 0usize;
+            while j < b.len() && b[j] == b'#' && h < hashes {
+                h += 1;
+                j += 1;
+            }
+            if h == hashes {
+                return j;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Mark `in_test` for tokens inside `#[cfg(test)]`-gated items (a
+/// `cfg` attribute whose argument list mentions the bare ident `test`,
+/// e.g. `#[cfg(test)]` or `#[cfg(any(test, ist_loom))]`), and record
+/// attribute-only lines. A `#![cfg(test)]` inner attribute marks the
+/// whole file.
+fn mark_regions(toks: &mut [Token], lexed: &mut Lexed) {
+    let mut attr_token_idx: Vec<bool> = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].kind != Tok::Punct('#') {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        let inner = j < toks.len() && toks[j].kind == Tok::Punct('!');
+        if inner {
+            j += 1;
+        }
+        if j >= toks.len() || toks[j].kind != Tok::Punct('[') {
+            i += 1;
+            continue;
+        }
+        // Scan the attribute body to its matching `]`.
+        let open_depth = toks[j].bracket_depth;
+        let start = j;
+        let mut k = j + 1;
+        let mut is_cfg_test = false;
+        let mut saw_cfg = false;
+        while k < toks.len() {
+            if toks[k].kind == Tok::Punct(']') && toks[k].bracket_depth == open_depth {
+                break;
+            }
+            if let Tok::Ident(s) = &toks[k].kind {
+                if k == start + 1 && s == "cfg" {
+                    saw_cfg = true;
+                }
+                // `test` under a `not(..)` (e.g. `#[cfg(not(test))]`)
+                // gates *production* code — not a test region.
+                let negated = k >= 2
+                    && toks[k - 1].kind == Tok::Punct('(')
+                    && toks[k - 2].kind == Tok::Ident("not".to_string());
+                if saw_cfg && s == "test" && !negated {
+                    is_cfg_test = true;
+                }
+            }
+            k += 1;
+        }
+        for covered in attr_token_idx[i..=k.min(toks.len() - 1)].iter_mut() {
+            *covered = true;
+        }
+        if is_cfg_test {
+            if inner {
+                for t in toks.iter_mut() {
+                    t.in_test = true;
+                }
+            } else {
+                // Gate the item that follows (skipping further
+                // attributes): up to the matching `}` of its first
+                // brace, or the `;` that ends a braceless item.
+                let mut m = k + 1;
+                while m + 1 < toks.len()
+                    && toks[m].kind == Tok::Punct('#')
+                    && toks[m + 1].kind == Tok::Punct('[')
+                {
+                    // Skip the chained attribute.
+                    let d = toks[m + 1].bracket_depth;
+                    let mut e = m + 2;
+                    while e < toks.len()
+                        && !(toks[e].kind == Tok::Punct(']') && toks[e].bracket_depth == d)
+                    {
+                        e += 1;
+                    }
+                    for covered in attr_token_idx[m..=e.min(toks.len() - 1)].iter_mut() {
+                        *covered = true;
+                    }
+                    m = e + 1;
+                }
+                let item_start = m;
+                let mut brace: i64 = 0;
+                let mut entered = false;
+                while m < toks.len() {
+                    match toks[m].kind {
+                        Tok::Punct('{') => {
+                            brace += 1;
+                            entered = true;
+                        }
+                        Tok::Punct('}') => {
+                            brace -= 1;
+                            if entered && brace == 0 {
+                                break;
+                            }
+                        }
+                        Tok::Punct(';') if !entered => break,
+                        _ => {}
+                    }
+                    m += 1;
+                }
+                let end = m.saturating_add(1).min(toks.len());
+                for t in toks.iter_mut().take(end).skip(item_start) {
+                    t.in_test = true;
+                }
+            }
+        }
+        i = k + 1;
+    }
+    // Attribute-only lines: every token on the line is attribute.
+    let mut line_has_nonattr = std::collections::HashMap::new();
+    for (idx, t) in toks.iter().enumerate() {
+        let e = line_has_nonattr.entry(t.line).or_insert(false);
+        if !attr_token_idx[idx] {
+            *e = true;
+        }
+    }
+    for (&line, &has_nonattr) in &line_has_nonattr {
+        if !has_nonattr {
+            if let Some(slot) = lexed.attr_only_lines.get_mut(line as usize) {
+                *slot = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(l: &Lexed) -> Vec<String> {
+        l.tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                Tok::Ident(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_stripped() {
+        let src = r###"
+// unsafe in a line comment
+/* unsafe in a /* nested */ block */
+let a = "unsafe in a string";
+let b = r#"unsafe in a raw "quoted" string"#;
+let c = 'u';
+let lt: &'static str = b"unsafe bytes";
+fn real() { }
+"###;
+        let l = lex(src);
+        let ids = idents(&l);
+        assert!(!ids.contains(&"unsafe".to_string()), "{ids:?}");
+        assert!(ids.contains(&"real".to_string()));
+        // The comments themselves were retained.
+        assert!(l.comments.iter().any(|c| c.text.contains("line comment")));
+        assert!(l.comments.iter().any(|c| c.text.contains("nested")));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let src = r#"let s = "a \" unsafe \\"; fn after() {}"#;
+        let l = lex(src);
+        assert!(idents(&l).contains(&"after".to_string()));
+        assert!(!idents(&l).contains(&"unsafe".to_string()));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a u8) -> char { '\\'' }";
+        let l = lex(src);
+        assert!(idents(&l).contains(&"f".to_string()));
+        // The lifetime ident survives; that is fine for every lint.
+    }
+
+    #[test]
+    fn bracket_depth_tracks_indexing() {
+        let src = "let x = ranks[2 * i + 1]; let y = 2 * i + 1;";
+        let l = lex(src);
+        let twos: Vec<&Token> = l.tokens.iter().filter(|t| t.kind == Tok::Int(2)).collect();
+        assert_eq!(twos.len(), 2);
+        assert_eq!(twos[0].bracket_depth, 1);
+        assert_eq!(twos[1].bracket_depth, 0);
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "
+fn prod() { body(); }
+#[cfg(test)]
+mod tests {
+    fn in_test() { x(); }
+}
+fn prod2() { }
+";
+        let l = lex(src);
+        let find = |name: &str| {
+            l.tokens
+                .iter()
+                .find(|t| t.kind == Tok::Ident(name.to_string()))
+                .unwrap()
+        };
+        assert!(!find("prod").in_test);
+        assert!(find("in_test").in_test);
+        assert!(!find("prod2").in_test);
+    }
+
+    #[test]
+    fn cfg_any_test_counts_as_test() {
+        let src = "#[cfg(any(test, feature_x))]\nfn gated() {}\nfn open() {}";
+        let l = lex(src);
+        let find = |name: &str| {
+            l.tokens
+                .iter()
+                .find(|t| t.kind == Tok::Ident(name.to_string()))
+                .unwrap()
+        };
+        assert!(find("gated").in_test);
+        assert!(!find("open").in_test);
+    }
+
+    #[test]
+    fn non_cfg_attribute_with_test_ident_is_not_a_region() {
+        let src = "#[doc = \"x\"]\nfn a() { let test = 1; }\nfn b() {}";
+        let l = lex(src);
+        assert!(l.tokens.iter().all(|t| !t.in_test));
+    }
+
+    #[test]
+    fn comment_context_walks_over_attributes() {
+        let src = "// SAFETY: fine\n#[inline]\nunsafe fn g() {}\n";
+        let l = lex(src);
+        let unsafe_line = l
+            .tokens
+            .iter()
+            .find(|t| t.kind == Tok::Ident("unsafe".into()))
+            .unwrap()
+            .line;
+        let ctx = l.comment_context(unsafe_line);
+        assert!(ctx.iter().any(|c| c.contains("SAFETY:")), "{ctx:?}");
+    }
+
+    #[test]
+    fn blank_line_breaks_comment_context() {
+        let src = "// SAFETY: far away\n\nunsafe fn g() {}\n";
+        let l = lex(src);
+        let unsafe_line = l
+            .tokens
+            .iter()
+            .find(|t| t.kind == Tok::Ident("unsafe".into()))
+            .unwrap()
+            .line;
+        assert!(l.comment_context(unsafe_line).is_empty());
+    }
+
+    #[test]
+    fn trailing_comment_is_in_context() {
+        let src = "x.store(true, Ordering::Relaxed); // advisory counter\n";
+        let l = lex(src);
+        let ctx = l.comment_context(1);
+        assert!(ctx.iter().any(|c| c.contains("advisory")));
+    }
+
+    #[test]
+    fn doc_comments_are_stripped_but_not_collected() {
+        let src = "\
+/// SAFETY: prose about the convention, not a real annotation
+//! LINT-ALLOW(serve-no-panic): docs only
+/** block doc SAFETY: */
+// real comment SAFETY: kept
+fn f() {}
+";
+        let l = lex(src);
+        assert_eq!(l.comments.len(), 1, "{:?}", l.comments);
+        assert!(l.comments[0].text.contains("kept"));
+        assert_eq!(l.doc_comments.len(), 3, "{:?}", l.doc_comments);
+    }
+
+    #[test]
+    fn string_line_continuation_keeps_line_numbers() {
+        let src = "let s = \"a \\\n  b \\\n  c\";\nunsafe {}\n";
+        let l = lex(src);
+        let t = l
+            .tokens
+            .iter()
+            .find(|t| t.kind == Tok::Ident("unsafe".to_string()))
+            .unwrap();
+        assert_eq!(t.line, 4, "escaped newlines inside strings count");
+    }
+
+    #[test]
+    fn lifetime_before_bracket_is_not_an_ident() {
+        let src = "struct C<'a>(&'a [u8]);\n";
+        let l = lex(src);
+        let open = l
+            .tokens
+            .iter()
+            .position(|t| t.kind == Tok::Punct('['))
+            .unwrap();
+        assert!(
+            !matches!(l.tokens[open - 1].kind, Tok::Ident(_)),
+            "`'a` must not lex as a bare ident: {:?}",
+            l.tokens[open - 1].kind
+        );
+    }
+
+    #[test]
+    fn doc_context_reaches_over_attributes() {
+        let src = "\
+/// # Safety
+/// caller keeps `i` in bounds.
+#[inline]
+pub unsafe fn read(i: usize) {}
+";
+        let l = lex(src);
+        let ctx = l.doc_context(4);
+        assert!(ctx.iter().any(|c| c.contains("# Safety")), "{ctx:?}");
+        assert!(l.comment_context(4).is_empty());
+    }
+}

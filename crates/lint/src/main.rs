@@ -1,0 +1,130 @@
+//! CLI front-end for the workspace lint engine.
+//!
+//! ```text
+//! ist-lint [--root DIR] [--baseline FILE] [--json] [--out FILE]
+//!          [--deny-all] [--write-baseline] [--list]
+//! ```
+//!
+//! Exit status: 0 when no new findings (or `--write-baseline`), 1 when
+//! `--deny-all` and new findings exist, 2 on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ist_lint::{apply_baseline, check_workspace, render_human, render_json, Baseline, LINT_NAMES};
+
+struct Opts {
+    root: PathBuf,
+    baseline: PathBuf,
+    json: bool,
+    out: Option<PathBuf>,
+    deny_all: bool,
+    write_baseline: bool,
+    list: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: ist-lint [--root DIR] [--baseline FILE] [--json] [--out FILE]\n\
+     \x20               [--deny-all] [--write-baseline] [--list]\n\
+     \x20 --root DIR         workspace root to scan (default: .)\n\
+     \x20 --baseline FILE    baseline path (default: <root>/lint-baseline.txt)\n\
+     \x20 --json             emit JSON diagnostics instead of human text\n\
+     \x20 --out FILE         also write the report to FILE\n\
+     \x20 --deny-all         exit 1 if any non-baselined finding exists\n\
+     \x20 --write-baseline   snapshot current findings into the baseline file\n\
+     \x20 --list             print the lint catalog and exit"
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        root: PathBuf::from("."),
+        baseline: PathBuf::new(),
+        json: false,
+        out: None,
+        deny_all: false,
+        write_baseline: false,
+        list: false,
+    };
+    let mut baseline_set = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => opts.root = args.next().ok_or("--root needs a value")?.into(),
+            "--baseline" => {
+                opts.baseline = args.next().ok_or("--baseline needs a value")?.into();
+                baseline_set = true;
+            }
+            "--json" => opts.json = true,
+            "--out" => opts.out = Some(args.next().ok_or("--out needs a value")?.into()),
+            "--deny-all" => opts.deny_all = true,
+            "--write-baseline" => opts.write_baseline = true,
+            "--list" => opts.list = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    if !baseline_set {
+        opts.baseline = opts.root.join("lint-baseline.txt");
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            if !e.is_empty() {
+                eprintln!("ist-lint: {e}");
+            }
+            eprintln!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list {
+        for name in LINT_NAMES {
+            println!("{name}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let diags = match check_workspace(&opts.root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("ist-lint: scan failed under {}: {e}", opts.root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.write_baseline {
+        if let Err(e) = std::fs::write(&opts.baseline, Baseline::render(&diags)) {
+            eprintln!("ist-lint: cannot write {}: {e}", opts.baseline.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "ist-lint: wrote {} finding(s) to {}",
+            diags.len(),
+            opts.baseline.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let base = Baseline::load(&opts.baseline);
+    let (new, baselined) = apply_baseline(diags, &base);
+    let report = if opts.json {
+        render_json(&new, &baselined)
+    } else {
+        render_human(&new, &baselined)
+    };
+    print!("{report}");
+    if let Some(out) = &opts.out {
+        if let Err(e) = std::fs::write(out, &report) {
+            eprintln!("ist-lint: cannot write {}: {e}", out.display());
+            return ExitCode::from(2);
+        }
+    }
+    if opts.deny_all && !new.is_empty() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

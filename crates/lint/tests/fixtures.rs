@@ -1,0 +1,251 @@
+//! Per-lint fixture tests: each lint proven to fire on a minimal
+//! violation and stay silent on the compliant twin.
+
+use ist_lint::{check_file, Diagnostic, FileClass};
+
+fn lints_at(diags: &[Diagnostic], lint: &str) -> Vec<u32> {
+    diags
+        .iter()
+        .filter(|d| d.lint == lint)
+        .map(|d| d.line)
+        .collect()
+}
+
+fn src(path: &str, code: &str) -> Vec<Diagnostic> {
+    check_file(path, FileClass::Src, code)
+}
+
+#[test]
+fn unsafe_fires_without_safety_comment() {
+    let code = "fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+    let d = src("crates/query/src/x.rs", code);
+    assert_eq!(lints_at(&d, "unsafe-needs-safety-comment"), vec![2]);
+}
+
+#[test]
+fn unsafe_quiet_with_safety_comment_above() {
+    let code = "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid\n    unsafe { *p }\n}\n";
+    let d = src("crates/query/src/x.rs", code);
+    assert!(lints_at(&d, "unsafe-needs-safety-comment").is_empty());
+}
+
+#[test]
+fn unsafe_quiet_with_trailing_safety_comment() {
+    let code = "unsafe fn g() {} // SAFETY: no preconditions\n";
+    let d = src("crates/query/src/x.rs", code);
+    assert!(lints_at(&d, "unsafe-needs-safety-comment").is_empty());
+}
+
+#[test]
+fn unsafe_fn_decl_satisfied_by_safety_doc_section() {
+    let code = "\
+/// Reads a raw pointer.
+///
+/// # Safety
+/// `p` must be valid for reads.
+pub unsafe fn f(p: *const u8) -> u8 {
+    // SAFETY: caller contract above.
+    unsafe { *p }
+}
+";
+    let d = src("crates/query/src/x.rs", code);
+    assert!(lints_at(&d, "unsafe-needs-safety-comment").is_empty());
+}
+
+#[test]
+fn unsafe_impl_not_satisfied_by_safety_doc_section() {
+    // Only fn/trait declarations may lean on `# Safety` docs; an
+    // `unsafe impl` still needs the inline comment.
+    let code = "/// # Safety\n/// always fine.\nunsafe impl Send for X {}\n";
+    let d = src("crates/query/src/x.rs", code);
+    assert_eq!(lints_at(&d, "unsafe-needs-safety-comment"), vec![3]);
+}
+
+#[test]
+fn slice_type_after_lifetime_is_not_indexing() {
+    let code = "pub struct Cursor<'a>(&'a [u8]);\n";
+    let d = src("crates/serve/src/x.rs", code);
+    assert!(lints_at(&d, "serve-no-panic").is_empty());
+}
+
+#[test]
+fn unsafe_in_doc_comment_ignored() {
+    let code = "/// ```\n/// unsafe { core::hint::unreachable_unchecked() }\n/// ```\nfn f() {}\n";
+    let d = src("crates/query/src/x.rs", code);
+    assert!(lints_at(&d, "unsafe-needs-safety-comment").is_empty());
+}
+
+#[test]
+fn spawn_fires_outside_parallel() {
+    let code = "fn f() {\n    std::thread::spawn(|| {});\n}\n";
+    let d = src("crates/dynamic/src/x.rs", code);
+    assert_eq!(lints_at(&d, "no-spawn-outside-parallel"), vec![2]);
+}
+
+#[test]
+fn spawn_allowed_in_substrate_crates() {
+    let code = "fn f() {\n    std::thread::spawn(|| {});\n}\n";
+    for path in [
+        "crates/parallel/src/lib.rs",
+        "crates/loom-shim/src/lib.rs",
+        "crates/dynamic/src/sync.rs",
+    ] {
+        let d = src(path, code);
+        assert!(
+            lints_at(&d, "no-spawn-outside-parallel").is_empty(),
+            "{path}"
+        );
+    }
+}
+
+#[test]
+fn spawn_allowed_in_cfg_test_region() {
+    let code =
+        "#[cfg(test)]\nmod tests {\n    fn f() {\n        std::thread::spawn(|| {});\n    }\n}\n";
+    let d = src("crates/dynamic/src/x.rs", code);
+    assert!(lints_at(&d, "no-spawn-outside-parallel").is_empty());
+}
+
+#[test]
+fn layout_arith_fires_outside_nav() {
+    let code = "fn child(v: usize) -> usize {\n    2 * v + 1\n}\n";
+    let d = src("crates/shard/src/lib.rs", code);
+    assert_eq!(lints_at(&d, "no-layout-arith-outside-nav"), vec![2]);
+}
+
+#[test]
+fn layout_arith_allowed_in_nav_and_layouts() {
+    let code = "fn child(v: usize) -> usize {\n    2 * v + 2\n}\n";
+    for path in [
+        "crates/query/src/nav.rs",
+        "crates/query/src/wide.rs",
+        "crates/tree-layout/src/bst.rs",
+    ] {
+        let d = src(path, code);
+        assert!(
+            lints_at(&d, "no-layout-arith-outside-nav").is_empty(),
+            "{path}"
+        );
+    }
+}
+
+#[test]
+fn layout_arith_ignores_bracketed_rank_unpacking() {
+    // `ranks[2 * i + 1]` is rank-pair unpacking, not tree descent.
+    let code = "fn f(ranks: &[u32], i: usize) -> u32 {\n    ranks[2 * i + 1]\n}\n";
+    let d = src("crates/shard/src/lib.rs", code);
+    assert!(lints_at(&d, "no-layout-arith-outside-nav").is_empty());
+}
+
+#[test]
+fn relaxed_fires_without_comment() {
+    let code = "use std::sync::atomic::{AtomicBool, Ordering};\nfn f(b: &AtomicBool) {\n    b.store(true, Ordering::Relaxed);\n}\n";
+    let d = src("crates/dynamic/src/x.rs", code);
+    assert_eq!(
+        lints_at(&d, "relaxed-ordering-needs-justification"),
+        vec![3]
+    );
+}
+
+#[test]
+fn relaxed_quiet_with_comment() {
+    let code = "fn f(b: &std::sync::atomic::AtomicBool) {\n    // Relaxed: advisory flag, re-checked under the lock.\n    b.store(true, std::sync::atomic::Ordering::Relaxed);\n}\n";
+    let d = src("crates/dynamic/src/x.rs", code);
+    assert!(lints_at(&d, "relaxed-ordering-needs-justification").is_empty());
+}
+
+#[test]
+fn serve_unwrap_fires() {
+    let code = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n";
+    let d = src("crates/serve/src/server.rs", code);
+    assert_eq!(lints_at(&d, "serve-no-panic"), vec![2]);
+}
+
+#[test]
+fn serve_expect_and_panic_fire() {
+    let code = "fn f(x: Option<u8>) -> u8 {\n    let v = x.expect(\"x\");\n    if v > 9 { panic!(\"big\") }\n    v\n}\n";
+    let d = src("crates/serve/src/server.rs", code);
+    assert_eq!(lints_at(&d, "serve-no-panic"), vec![2, 3]);
+}
+
+#[test]
+fn serve_indexing_fires() {
+    let code = "fn f(xs: &[u8]) -> u8 {\n    xs[0]\n}\n";
+    let d = src("crates/serve/src/server.rs", code);
+    assert_eq!(lints_at(&d, "serve-no-panic"), vec![2]);
+}
+
+#[test]
+fn serve_quiet_outside_serve_and_in_tests() {
+    let code = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n";
+    assert!(lints_at(&src("crates/query/src/lib.rs", code), "serve-no-panic").is_empty());
+    let test_code = "#[cfg(test)]\nmod tests {\n    fn f(x: Option<u8>) -> u8 { x.unwrap() }\n}\n";
+    assert!(lints_at(
+        &src("crates/serve/src/server.rs", test_code),
+        "serve-no-panic"
+    )
+    .is_empty());
+}
+
+#[test]
+fn serve_slice_pattern_and_array_literal_not_indexing() {
+    let code = "fn f(xs: &[u8]) -> u8 {\n    let [a, b] = [1u8, 2];\n    if let [x, ..] = xs { *x } else { a + b }\n}\n";
+    let d = src("crates/serve/src/server.rs", code);
+    assert!(lints_at(&d, "serve-no-panic").is_empty());
+}
+
+#[test]
+fn lint_allow_suppresses_on_same_line() {
+    let code = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap() // LINT-ALLOW(serve-no-panic): fixture — invariant upheld by caller\n}\n";
+    let d = src("crates/serve/src/server.rs", code);
+    assert!(lints_at(&d, "serve-no-panic").is_empty());
+    assert!(lints_at(&d, "bad-lint-allow").is_empty());
+}
+
+#[test]
+fn lint_allow_suppresses_from_block_above() {
+    let code = "fn f(x: Option<u8>) -> u8 {\n    // LINT-ALLOW(serve-no-panic): fixture — value proven present above\n    x.unwrap()\n}\n";
+    let d = src("crates/serve/src/server.rs", code);
+    assert!(lints_at(&d, "serve-no-panic").is_empty());
+}
+
+#[test]
+fn lint_allow_does_not_cover_other_lints() {
+    let code = "fn f(p: *const u8) -> u8 {\n    // LINT-ALLOW(serve-no-panic): wrong lint named\n    unsafe { *p }\n}\n";
+    let d = src("crates/query/src/x.rs", code);
+    assert_eq!(lints_at(&d, "unsafe-needs-safety-comment"), vec![3]);
+}
+
+#[test]
+fn bad_allow_unknown_lint_and_missing_reason() {
+    let code = "// LINT-ALLOW(no-such-lint): whatever\nfn f() {}\n// LINT-ALLOW(serve-no-panic)\nfn g() {}\n";
+    let d = src("crates/serve/src/server.rs", code);
+    assert_eq!(lints_at(&d, "bad-lint-allow"), vec![1, 3]);
+}
+
+#[test]
+fn reasonless_allow_does_not_suppress() {
+    let code = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap() // LINT-ALLOW(serve-no-panic)\n}\n";
+    let d = src("crates/serve/src/server.rs", code);
+    assert_eq!(lints_at(&d, "serve-no-panic"), vec![2]);
+    assert_eq!(lints_at(&d, "bad-lint-allow"), vec![2]);
+}
+
+#[test]
+fn non_src_classes_skip_src_only_lints() {
+    let code =
+        "fn f() {\n    std::thread::spawn(|| {});\n    let c = 2 * 3 + 1;\n    let _ = c;\n}\n";
+    for class in [FileClass::Test, FileClass::Example, FileClass::Bench] {
+        let d = check_file("crates/dynamic/tests/x.rs", class, code);
+        assert!(lints_at(&d, "no-spawn-outside-parallel").is_empty());
+    }
+}
+
+#[test]
+fn classify_by_path_segments() {
+    use ist_lint::classify;
+    assert_eq!(classify("crates/serve/src/server.rs"), FileClass::Src);
+    assert_eq!(classify("crates/dynamic/tests/x.rs"), FileClass::Test);
+    assert_eq!(classify("crates/bench/benches/b.rs"), FileClass::Bench);
+    assert_eq!(classify("examples/e.rs"), FileClass::Example);
+}

@@ -1,0 +1,225 @@
+//! # ist-loom — deterministic-interleaving model checker
+//!
+//! A loom-style checker rebuilt in-tree (offline, no registry), in the
+//! same shim spirit as `ist-parallel`/`ist-rand`: [`sync`] and
+//! [`thread`] provide drop-in stand-ins for the `std` primitives the
+//! `DynamicMap` publication/compaction path uses, and [`Model`] runs a
+//! closure under **every** thread interleaving (bounded-exhaustive DFS
+//! over scheduling decisions, with a CHESS-style preemption bound).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ist_loom::{sync::{Arc, AtomicUsize, Ordering}, thread, Model};
+//!
+//! let stats = Model::new()
+//!     .check(|| {
+//!         let c = Arc::new(AtomicUsize::new(0));
+//!         let c2 = Arc::clone(&c);
+//!         let t = thread::spawn(move || {
+//!             c2.fetch_add(1, Ordering::Relaxed);
+//!         });
+//!         c.fetch_add(1, Ordering::Relaxed);
+//!         t.join().unwrap();
+//!         assert_eq!(c.load(Ordering::Relaxed), 2);
+//!     })
+//!     .expect("no interleaving violates the invariant");
+//! assert!(stats.complete);
+//! ```
+//!
+//! A failing check returns a [`Failure`] carrying the exact
+//! [`Failure::schedule`] (vector of scheduler choices); feed it to
+//! [`Model::replay`] to reproduce that interleaving deterministically.
+//! The same program and model always explore schedules in the same
+//! order, so the *first* failure found is stable too.
+//!
+//! ## How production code opts in
+//!
+//! Code under test routes its primitives through a `sync` module that
+//! resolves to `std` normally and to these shims under
+//! `--cfg ist_loom` (see `ist_dynamic::sync`). The model-check test
+//! suite is then compiled and run with
+//! `RUSTFLAGS="--cfg ist_loom" cargo test -p ist-dynamic --test model_check`.
+//!
+//! ## Model semantics (deliberate simplifications)
+//!
+//! - One thread runs at a time; every shim op is a preemption point.
+//! - Atomics execute sequentially consistent regardless of the
+//!   ordering argument: invariants are checked against the strongest
+//!   memory model. Relaxed-ordering *weakness* is out of scope; what
+//!   is in scope is every interleaving of the operations themselves.
+//! - Mutex poisoning is not modeled (`lock` never errors); panics in
+//!   spawned threads still surface through `join`, and a panic in the
+//!   root closure — or a deadlock — becomes a [`Failure`].
+//! - `Arc`/`MutexGuard` drops are visible to other threads at the next
+//!   preemption point rather than being preemption points themselves
+//!   (drops must never block or panic during unwinding).
+
+#![forbid(unsafe_code)]
+
+pub mod model;
+pub mod sync;
+pub mod thread;
+
+pub use model::{Failure, Model, Stats};
+
+#[cfg(test)]
+mod tests {
+    use super::sync::{Arc, AtomicBool, AtomicUsize, Mutex, Ordering};
+    use super::{thread, Model};
+
+    /// The classic lost update: load + store is not atomic.
+    fn racy_counter() {
+        let c = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let c = Arc::clone(&c);
+            handles.push(thread::spawn(move || {
+                let v = c.load(Ordering::SeqCst);
+                c.store(v + 1, Ordering::SeqCst);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.load(Ordering::SeqCst), 2, "lost update");
+    }
+
+    #[test]
+    fn finds_lost_update() {
+        let failure = Model::new().check(racy_counter).unwrap_err();
+        assert!(failure.message.contains("lost update"), "{failure}");
+        assert!(!failure.schedule.is_empty());
+    }
+
+    #[test]
+    fn failing_schedule_is_deterministic_and_replayable() {
+        let first = Model::new().check(racy_counter).unwrap_err();
+        let second = Model::new().check(racy_counter).unwrap_err();
+        assert_eq!(first, second, "exploration order must be stable");
+        let replayed = Model::new()
+            .replay(&first.schedule, racy_counter)
+            .unwrap_err();
+        assert_eq!(replayed.message, first.message);
+    }
+
+    #[test]
+    fn mutex_protected_counter_is_exhaustively_clean() {
+        let stats = Model::new()
+            .check(|| {
+                let c = Arc::new(Mutex::new(0u32));
+                let mut handles = Vec::new();
+                for _ in 0..2 {
+                    let c = Arc::clone(&c);
+                    handles.push(thread::spawn(move || {
+                        let mut g = c.lock().unwrap();
+                        *g += 1;
+                    }));
+                }
+                for h in handles {
+                    h.join().unwrap();
+                }
+                assert_eq!(*c.lock().unwrap(), 2);
+            })
+            .expect("mutex makes the increment atomic");
+        assert!(stats.complete, "small model must be fully explored");
+        assert!(stats.executions > 1, "must explore more than one order");
+    }
+
+    #[test]
+    fn detects_abba_deadlock() {
+        // Unbounded: the deadlock needs a preemption between the two
+        // acquisitions on each side.
+        let model = Model {
+            preemption_bound: None,
+            max_executions: 50_000,
+        };
+        let failure = model
+            .check(|| {
+                let a = Arc::new(Mutex::new(()));
+                let b = Arc::new(Mutex::new(()));
+                let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+                let t = thread::spawn(move || {
+                    let _ga = a2.lock().unwrap();
+                    let _gb = b2.lock().unwrap();
+                });
+                {
+                    let _gb = b.lock().unwrap();
+                    let _ga = a.lock().unwrap();
+                }
+                t.join().unwrap();
+            })
+            .unwrap_err();
+        assert!(failure.message.contains("deadlock"), "{failure}");
+    }
+
+    #[test]
+    fn spawned_panic_surfaces_through_join_in_every_interleaving() {
+        let stats = Model::new()
+            .check(|| {
+                let flag = Arc::new(AtomicBool::new(false));
+                let f2 = Arc::clone(&flag);
+                let t = thread::spawn(move || {
+                    f2.store(true, Ordering::SeqCst);
+                    panic!("worker blew up");
+                });
+                let res = t.join();
+                assert!(res.is_err(), "panic must surface through join");
+                assert!(flag.load(Ordering::SeqCst));
+            })
+            .expect("join always reports the panic");
+        assert!(stats.complete);
+    }
+
+    #[test]
+    fn mutex_message_passing_holds() {
+        // Flag-then-read under SeqCst atomics: no interleaving may see
+        // the flag set without the payload.
+        let stats = Model::new()
+            .check(|| {
+                let data = Arc::new(AtomicUsize::new(0));
+                let ready = Arc::new(AtomicBool::new(false));
+                let (d2, r2) = (Arc::clone(&data), Arc::clone(&ready));
+                let t = thread::spawn(move || {
+                    d2.store(42, Ordering::SeqCst);
+                    r2.store(true, Ordering::SeqCst);
+                });
+                if ready.load(Ordering::SeqCst) {
+                    assert_eq!(data.load(Ordering::SeqCst), 42);
+                }
+                t.join().unwrap();
+            })
+            .expect("publication order is respected");
+        assert!(stats.complete);
+    }
+
+    #[test]
+    fn shims_fall_back_to_std_outside_the_model() {
+        let c = Arc::new(AtomicUsize::new(0));
+        let m = Arc::new(Mutex::new(7u32));
+        let (c2, m2) = (Arc::clone(&c), Arc::clone(&m));
+        let t = thread::spawn(move || {
+            c2.fetch_add(1, Ordering::SeqCst);
+            *m2.lock().unwrap() += 1;
+        });
+        t.join().unwrap();
+        assert_eq!(c.load(Ordering::SeqCst), 1);
+        assert_eq!(*m.lock().unwrap(), 8);
+        assert_eq!(Arc::strong_count(&c), 1);
+        thread::yield_now();
+    }
+
+    #[test]
+    fn preemption_bound_zero_is_serial() {
+        // With no preemptions allowed, each spawned thread runs to
+        // completion once scheduled: exactly the schedules where the
+        // racy counter happens to be correct... unless a blocking
+        // switch exposes it. Bound 0 still finds nothing here.
+        let model = Model {
+            preemption_bound: Some(0),
+            max_executions: 50_000,
+        };
+        let stats = model.check(racy_counter).expect("no preemption, no race");
+        assert!(stats.complete);
+    }
+}

@@ -1,0 +1,266 @@
+//! Drop-in stand-ins for the `std::sync` types the publication path
+//! uses. Under a [`crate::model::Model::check`] execution every
+//! operation is a scheduling point; outside one they behave exactly
+//! like `std` (so code built with `--cfg ist_loom` still works in
+//! ordinary tests).
+//!
+//! All atomic operations are executed `SeqCst` under the model
+//! regardless of the ordering requested — the checker verifies the
+//! algorithm against the *strongest* memory model, while the ordering
+//! arguments remain whatever the production build uses. Poisoning is
+//! not modeled: `lock` never returns `Err` (production code here
+//! ignores poisoning anyway via `unwrap_or_else(PoisonError::into_inner)`).
+
+use std::sync::atomic::Ordering as StdOrdering;
+use std::sync::{Arc as StdArc, LockResult, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+pub use std::sync::atomic::Ordering;
+
+use crate::model::{acquire_resource, current_ctx, release_resource, yield_point, Execution};
+
+static NEXT_RESOURCE_ID: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+fn fresh_resource_id() -> usize {
+    // Relaxed: the id is only used as a unique key, never for ordering.
+    NEXT_RESOURCE_ID.fetch_add(1, StdOrdering::Relaxed)
+}
+
+/// Model-aware `AtomicBool`: every op is a preemption point, executed
+/// `SeqCst` under the model.
+#[derive(Debug, Default)]
+pub struct AtomicBool {
+    inner: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    pub fn new(v: bool) -> Self {
+        AtomicBool {
+            inner: std::sync::atomic::AtomicBool::new(v),
+        }
+    }
+
+    pub fn load(&self, _order: Ordering) -> bool {
+        yield_point();
+        self.inner.load(StdOrdering::SeqCst)
+    }
+
+    pub fn store(&self, v: bool, _order: Ordering) {
+        yield_point();
+        self.inner.store(v, StdOrdering::SeqCst);
+    }
+
+    pub fn swap(&self, v: bool, _order: Ordering) -> bool {
+        yield_point();
+        self.inner.swap(v, StdOrdering::SeqCst)
+    }
+
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        _success: Ordering,
+        _failure: Ordering,
+    ) -> Result<bool, bool> {
+        yield_point();
+        self.inner
+            .compare_exchange(current, new, StdOrdering::SeqCst, StdOrdering::SeqCst)
+    }
+}
+
+/// Model-aware `AtomicUsize`: every op is a preemption point, executed
+/// `SeqCst` under the model.
+#[derive(Debug, Default)]
+pub struct AtomicUsize {
+    inner: std::sync::atomic::AtomicUsize,
+}
+
+impl AtomicUsize {
+    pub fn new(v: usize) -> Self {
+        AtomicUsize {
+            inner: std::sync::atomic::AtomicUsize::new(v),
+        }
+    }
+
+    pub fn load(&self, _order: Ordering) -> usize {
+        yield_point();
+        self.inner.load(StdOrdering::SeqCst)
+    }
+
+    pub fn store(&self, v: usize, _order: Ordering) {
+        yield_point();
+        self.inner.store(v, StdOrdering::SeqCst);
+    }
+
+    pub fn fetch_add(&self, v: usize, _order: Ordering) -> usize {
+        yield_point();
+        self.inner.fetch_add(v, StdOrdering::SeqCst)
+    }
+
+    pub fn fetch_sub(&self, v: usize, _order: Ordering) -> usize {
+        yield_point();
+        self.inner.fetch_sub(v, StdOrdering::SeqCst)
+    }
+
+    pub fn swap(&self, v: usize, _order: Ordering) -> usize {
+        yield_point();
+        self.inner.swap(v, StdOrdering::SeqCst)
+    }
+}
+
+/// Model-aware `Arc`: `clone` and `strong_count` are preemption
+/// points. Dropping is deliberately *not* a scheduling point — drops
+/// run during unwinding, where the scheduler must never panic or
+/// block — but the refcount decrement itself is the real (atomic)
+/// one, so counts observed by `strong_count` are always coherent.
+pub struct Arc<T: ?Sized> {
+    inner: StdArc<T>,
+}
+
+impl<T> Arc<T> {
+    pub fn new(v: T) -> Self {
+        Arc {
+            inner: StdArc::new(v),
+        }
+    }
+}
+
+impl<T: ?Sized> Arc<T> {
+    pub fn strong_count(this: &Self) -> usize {
+        yield_point();
+        StdArc::strong_count(&this.inner)
+    }
+
+    pub fn ptr_eq(a: &Self, b: &Self) -> bool {
+        StdArc::ptr_eq(&a.inner, &b.inner)
+    }
+
+    pub fn get_mut(this: &mut Self) -> Option<&mut T> {
+        StdArc::get_mut(&mut this.inner)
+    }
+}
+
+impl<T: ?Sized> Clone for Arc<T> {
+    fn clone(&self) -> Self {
+        yield_point();
+        Arc {
+            inner: StdArc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for Arc<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> AsRef<T> for Arc<T> {
+    fn as_ref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Arc<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<T: Default> Default for Arc<T> {
+    fn default() -> Self {
+        Arc::new(T::default())
+    }
+}
+
+/// Model-aware `Mutex`. Under the model, contention is resolved by the
+/// scheduler (the inner real mutex is then uncontended by
+/// construction); outside the model it *is* a plain `std` mutex.
+pub struct Mutex<T: ?Sized> {
+    id: usize,
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(v: T) -> Self {
+        Mutex {
+            id: fresh_resource_id(),
+            inner: StdMutex::new(v),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match current_ctx() {
+            Some(ctx) => {
+                yield_point();
+                acquire_resource(&ctx, self.id);
+                let guard = match self.inner.try_lock() {
+                    Ok(g) => g,
+                    // A model thread panicked while holding the inner
+                    // guard; the model already released ownership.
+                    Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+                    Err(std::sync::TryLockError::WouldBlock) => {
+                        unreachable!("model grants the lock exclusively")
+                    }
+                };
+                Ok(MutexGuard {
+                    inner: guard,
+                    model: Some((ctx.exec, self.id)),
+                })
+            }
+            None => {
+                let guard = self
+                    .inner
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                Ok(MutexGuard {
+                    inner: guard,
+                    model: None,
+                })
+            }
+        }
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        Ok(self
+            .inner
+            .get_mut()
+            .unwrap_or_else(|poisoned| poisoned.into_inner()))
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// Guard for [`Mutex`]; releasing updates model ownership and wakes
+/// waiters without itself being a scheduling point (drop-safe).
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: StdMutexGuard<'a, T>,
+    model: Option<(StdArc<Execution>, usize)>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some((exec, id)) = self.model.take() {
+            release_resource(&exec, id);
+        }
+    }
+}

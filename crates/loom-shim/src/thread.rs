@@ -1,0 +1,102 @@
+//! Model-aware `thread::spawn` / `JoinHandle` / `yield_now`. Inside a
+//! model execution spawned closures run on real OS threads gated by
+//! the scheduler token; outside one they are plain `std` threads.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc as StdArc, Mutex as StdMutex};
+
+use crate::model::{
+    current_ctx, finish_thread, join_thread, register_thread, wait_first_turn, yield_point, Ctx,
+};
+
+type Slot<T> = StdArc<StdMutex<Option<std::thread::Result<T>>>>;
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        tid: usize,
+        slot: Slot<T>,
+        os: std::thread::JoinHandle<()>,
+    },
+}
+
+/// Join handle mirroring `std::thread::JoinHandle`: `join` returns
+/// `Err(payload)` when the thread panicked, under the model as in
+/// production.
+pub struct JoinHandle<T>(Inner<T>);
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Inner::Std(h) => h.join(),
+            Inner::Model { tid, slot, os } => {
+                let ctx =
+                    current_ctx().expect("ist-loom: model JoinHandle joined outside its execution");
+                join_thread(&ctx, tid);
+                // The target stored its result before finishing; its OS
+                // thread exits immediately after, so this real join is
+                // only a momentary wait.
+                let _ = os.join();
+                let res = slot
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .take();
+                res.expect("ist-loom: finished thread left no result")
+            }
+        }
+    }
+}
+
+/// Spawn a thread. Under the model the new thread becomes runnable
+/// immediately (as with `std`) but only executes when scheduled.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let Some(ctx) = current_ctx() else {
+        return JoinHandle(Inner::Std(std::thread::spawn(f)));
+    };
+    // The spawn itself is a visible action: give the scheduler a
+    // chance to interleave before the new thread exists.
+    yield_point();
+    let tid = register_thread(&ctx);
+    let slot: Slot<T> = StdArc::new(StdMutex::new(None));
+    let slot2 = StdArc::clone(&slot);
+    let exec = StdArc::clone(&ctx.exec);
+    let os = std::thread::Builder::new()
+        .name(format!("ist-loom-{tid}"))
+        .spawn(move || {
+            crate::model::set_thread_ctx(Ctx {
+                exec: StdArc::clone(&exec),
+                tid,
+            });
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                wait_first_turn(&exec, tid);
+                f()
+            }));
+            let aborted = result
+                .as_ref()
+                .err()
+                .is_some_and(|p| p.is::<crate::model::Abort>());
+            if !aborted {
+                *slot2
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(result);
+            }
+            finish_thread(&exec, tid);
+            crate::model::clear_thread_ctx();
+        })
+        .unwrap_or_else(|e| panic!("ist-loom: OS thread spawn failed: {e}"));
+    JoinHandle(Inner::Model { tid, slot, os })
+}
+
+/// A bare scheduling point (maps to `std::thread::yield_now` outside
+/// the model).
+pub fn yield_now() {
+    if current_ctx().is_some() {
+        yield_point();
+    } else {
+        std::thread::yield_now();
+    }
+}

@@ -243,7 +243,10 @@ impl<'a, T: Send> Ram<'a, T> {
             "region [{lo}, {lo}+{len}) out of bounds for length {}",
             self.len
         );
-        std::slice::from_raw_parts_mut(self.base.add(lo), len)
+        // SAFETY: the assert above proves the range in bounds, and the
+        // caller guarantees no concurrent access to it, so the reborrow
+        // aliases nothing for its lifetime.
+        unsafe { std::slice::from_raw_parts_mut(self.base.add(lo), len) }
     }
 }
 

@@ -190,6 +190,8 @@ where
         let total = AtomicUsize::new(0);
         par_ranges(slice.len(), self.iter.min_len, |r| {
             let local = slice[r].iter().filter(|item| pred(item)).count();
+            // Relaxed: a pure tally — `par_ranges`' join provides the
+            // happens-before edge for the final `into_inner` read.
             total.fetch_add(local, Ordering::Relaxed);
         });
         total.into_inner()
@@ -237,7 +239,12 @@ pub struct ChunksExactMutParIter<'a, T> {
 /// Raw pointer wrapper for sending a chunk base address across threads;
 /// chunk tasks receive provably disjoint sub-slices.
 struct SendPtr<T>(*mut T);
+// SAFETY: each chunk task reborrows a sub-slice at a distinct offset,
+// so no two threads touch the same element; `T: Send` because the
+// elements are mutated from the receiving thread.
 unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: same argument — tasks never share an element, they partition
+// the slice by disjoint chunk offsets.
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 impl<'a, T: Send> ChunksExactMutParIter<'a, T> {

@@ -121,8 +121,12 @@ pub(crate) struct ThreadToken {
 
 impl Drop for ThreadToken {
     fn drop(&mut self) {
+        // Relaxed: the budget counters are pure reservation counts —
+        // no data is published through them, so no ordering is needed,
+        // only atomicity of the increment.
         SPAWN_BUDGET.fetch_add(1, Ordering::Relaxed);
         if let Some(pool) = &self.pool {
+            // Relaxed: same argument as the budget increment above.
             pool.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -130,11 +134,16 @@ impl Drop for ThreadToken {
 
 fn try_decrement(counter: &AtomicIsize) -> bool {
     loop {
+        // Relaxed: reservation counters guard nothing but themselves
+        // (no data is published through them); the CAS only needs the
+        // read-modify-write to be atomic.
         let cur = counter.load(Ordering::Relaxed);
         if cur <= 0 {
             return false;
         }
         if counter
+            // Relaxed: only atomicity of the decrement is needed — see
+            // the load above.
             .compare_exchange(cur, cur - 1, Ordering::Relaxed, Ordering::Relaxed)
             .is_ok()
         {
@@ -146,10 +155,12 @@ fn try_decrement(counter: &AtomicIsize) -> bool {
 /// Try to reserve one helper thread, honoring both the global budget and
 /// the installed pool's allowance.
 pub(crate) fn try_acquire_thread() -> Option<ThreadToken> {
-    // Initialize the global budget lazily on first use (racing writers
-    // store the same value).
+    // Relaxed: initialize the global budget lazily on first use;
+    // racing writers store the same value, so which store wins and in
+    // what order it becomes visible is immaterial.
     if SPAWN_BUDGET.load(Ordering::Relaxed) == -1 {
         let budget = configured_threads().saturating_sub(1) as isize;
+        // Relaxed: racing initializers compute identical values.
         let _ = SPAWN_BUDGET.compare_exchange(-1, budget, Ordering::Relaxed, Ordering::Relaxed);
     }
     let pool = match current_pool_ctx() {
@@ -164,8 +175,9 @@ pub(crate) fn try_acquire_thread() -> Option<ThreadToken> {
     if try_decrement(&SPAWN_BUDGET) {
         Some(ThreadToken { pool })
     } else {
-        // Give the pool allowance back; no global budget available.
         if let Some(pool) = pool {
+            // Relaxed: give the pool allowance back (no global budget
+            // available); a bare counter increment publishes no data.
             pool.fetch_add(1, Ordering::Relaxed);
         }
         None

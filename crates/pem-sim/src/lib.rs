@@ -33,6 +33,8 @@
 //! assert!(io_cl < io_inv);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod kernels;
 mod lru;
 mod machine;

@@ -39,6 +39,8 @@ pub struct SharedSlice<'a, T> {
 // shared across threads — reads produce copies (hence `T: Copy` bounds on
 // the accessors that read).
 unsafe impl<'a, T: Send> Send for SharedSlice<'a, T> {}
+// SAFETY: same argument as Send above — all shared access goes through
+// the unsafe accessors and their disjointness contract.
 unsafe impl<'a, T: Send> Sync for SharedSlice<'a, T> {}
 
 impl<'a, T> SharedSlice<'a, T> {
@@ -72,7 +74,10 @@ impl<'a, T> SharedSlice<'a, T> {
     pub unsafe fn swap(&self, i: usize, j: usize) {
         debug_assert!(i < self.len && j < self.len);
         if i != j {
-            std::ptr::swap(self.ptr.add(i), self.ptr.add(j));
+            // SAFETY: caller guarantees `i`/`j` in bounds (so the adds
+            // stay inside the allocation) and exclusive access to both
+            // slots; `i != j` rules out overlapping arguments.
+            unsafe { std::ptr::swap(self.ptr.add(i), self.ptr.add(j)) };
         }
     }
 
@@ -86,7 +91,9 @@ impl<'a, T> SharedSlice<'a, T> {
         T: Copy,
     {
         debug_assert!(i < self.len);
-        *self.ptr.add(i)
+        // SAFETY: caller guarantees `i` in bounds and no concurrent
+        // writer, so the slot holds a valid `T` we may copy out.
+        unsafe { *self.ptr.add(i) }
     }
 
     /// Write `v` to element `i`.
@@ -96,7 +103,9 @@ impl<'a, T> SharedSlice<'a, T> {
     #[inline]
     pub unsafe fn write(&self, i: usize, v: T) {
         debug_assert!(i < self.len);
-        *self.ptr.add(i) = v;
+        // SAFETY: caller guarantees `i` in bounds and exclusive access
+        // to the slot for the duration of this store.
+        unsafe { *self.ptr.add(i) = v };
     }
 
     /// Swap the disjoint ranges `[i, i+len)` and `[j, j+len)`.
@@ -108,7 +117,10 @@ impl<'a, T> SharedSlice<'a, T> {
     pub unsafe fn swap_range(&self, i: usize, j: usize, len: usize) {
         debug_assert!(i + len <= self.len && j + len <= self.len);
         debug_assert!(i + len <= j || j + len <= i, "ranges overlap");
-        std::ptr::swap_nonoverlapping(self.ptr.add(i), self.ptr.add(j), len);
+        // SAFETY: caller guarantees both ranges in bounds, disjoint
+        // from each other (the `swap_nonoverlapping` contract), and
+        // untouched by concurrent tasks.
+        unsafe { std::ptr::swap_nonoverlapping(self.ptr.add(i), self.ptr.add(j), len) };
     }
 
     /// Reborrow a contiguous sub-range as a mutable slice.
@@ -119,7 +131,10 @@ impl<'a, T> SharedSlice<'a, T> {
     #[inline]
     pub unsafe fn slice_mut(&self, start: usize, len: usize) -> &'a mut [T] {
         debug_assert!(start + len <= self.len);
-        std::slice::from_raw_parts_mut(self.ptr.add(start), len)
+        // SAFETY: caller guarantees the range in bounds and exclusively
+        // ours for `'a`, so materializing it as `&'a mut [T]` aliases
+        // nothing.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), len) }
     }
 }
 
@@ -131,6 +146,7 @@ mod tests {
     fn basic_ops() {
         let mut v = vec![1u32, 2, 3, 4];
         let s = SharedSlice::new(&mut v);
+        // SAFETY: single-threaded, all indices < 4, ranges disjoint.
         unsafe {
             s.swap(0, 3);
             assert_eq!(s.read(0), 4);
@@ -148,8 +164,9 @@ mod tests {
         let n = 1 << 12;
         let mut v: Vec<u64> = (0..n).collect();
         let s = SharedSlice::new(&mut v);
+        // SAFETY: task `i` touches exactly the pair (i, n-1-i), and
+        // i < n/2 keeps the pairs disjoint across tasks and in bounds.
         (0..n as usize / 2).into_par_iter().for_each(|i| unsafe {
-            // pair (i, n-1-i): disjoint across i.
             s.swap(i, n as usize - 1 - i);
         });
         assert!(v.iter().rev().copied().eq(0..n));

@@ -291,21 +291,26 @@ fn count_lt<T: Ord + 'static, const B: usize>(node: &[T], key: &T) -> usize {
     #[cfg(target_arch = "x86_64")]
     {
         let t = TypeId::of::<T>();
-        // SAFETY (all three arms): the TypeId equality proves T is the
-        // named type, so the pointer reinterpretations are identity
-        // casts; `node` holds B elements (debug-asserted, and by the
-        // caller's shape arithmetic).
         if t == TypeId::of::<u64>() {
-            let k = unsafe { *(key as *const T).cast::<u64>() };
-            return unsafe { x86::count_lt_u64::<B>(node.as_ptr().cast(), k) };
+            // SAFETY: TypeId equality proves `T` is `u64`, so the
+            // pointer reinterpretations are identity casts; `node`
+            // holds B elements (debug-asserted, and by the caller's
+            // shape arithmetic).
+            return unsafe {
+                x86::count_lt_u64::<B>(node.as_ptr().cast(), *(key as *const T).cast::<u64>())
+            };
         }
         if t == TypeId::of::<i64>() {
-            let k = unsafe { *(key as *const T).cast::<i64>() };
-            return unsafe { x86::count_lt_i64::<B>(node.as_ptr().cast(), k) };
+            // SAFETY: as above, with `T` proven to be `i64`.
+            return unsafe {
+                x86::count_lt_i64::<B>(node.as_ptr().cast(), *(key as *const T).cast::<i64>())
+            };
         }
         if t == TypeId::of::<u32>() {
-            let k = unsafe { *(key as *const T).cast::<u32>() };
-            return unsafe { x86::count_lt_u32::<B>(node.as_ptr().cast(), k) };
+            // SAFETY: as above, with `T` proven to be `u32`.
+            return unsafe {
+                x86::count_lt_u32::<B>(node.as_ptr().cast(), *(key as *const T).cast::<u32>())
+            };
         }
     }
     count_lt_portable::<T, B>(node, key)
@@ -318,18 +323,23 @@ fn count_le<T: Ord + 'static, const B: usize>(node: &[T], key: &T) -> usize {
     #[cfg(target_arch = "x86_64")]
     {
         let t = TypeId::of::<T>();
-        // SAFETY: as in `count_lt`.
         if t == TypeId::of::<u64>() {
-            let k = unsafe { *(key as *const T).cast::<u64>() };
-            return unsafe { x86::count_le_u64::<B>(node.as_ptr().cast(), k) };
+            // SAFETY: as in `count_lt` — TypeId proves `T` is `u64`.
+            return unsafe {
+                x86::count_le_u64::<B>(node.as_ptr().cast(), *(key as *const T).cast::<u64>())
+            };
         }
         if t == TypeId::of::<i64>() {
-            let k = unsafe { *(key as *const T).cast::<i64>() };
-            return unsafe { x86::count_le_i64::<B>(node.as_ptr().cast(), k) };
+            // SAFETY: as in `count_lt` — TypeId proves `T` is `i64`.
+            return unsafe {
+                x86::count_le_i64::<B>(node.as_ptr().cast(), *(key as *const T).cast::<i64>())
+            };
         }
         if t == TypeId::of::<u32>() {
-            let k = unsafe { *(key as *const T).cast::<u32>() };
-            return unsafe { x86::count_le_u32::<B>(node.as_ptr().cast(), k) };
+            // SAFETY: as in `count_lt` — TypeId proves `T` is `u32`.
+            return unsafe {
+                x86::count_le_u32::<B>(node.as_ptr().cast(), *(key as *const T).cast::<u32>())
+            };
         }
     }
     count_le_portable::<T, B>(node, key)

@@ -7,6 +7,8 @@
 //! deterministic per seed, but intentionally *not* the upstream `StdRng`
 //! stream and not cryptographically secure.
 
+#![forbid(unsafe_code)]
+
 use std::ops::Range;
 
 /// Seedable random generator constructors.

@@ -47,6 +47,8 @@ fn main() {
         .parse()
         .unwrap_or_else(|_| usage());
 
+    // LINT-ALLOW(serve-no-panic): measurement CLI — a failed run should
+    // abort with the error rather than print misleading numbers.
     let report = ist_serve::loadgen::run(addr, &cfg).expect("load run failed");
     let p = report.latency;
     println!(

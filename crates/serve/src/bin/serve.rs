@@ -82,6 +82,8 @@ fn main() {
             let keys: Vec<u64> = (0..preload as u64).collect();
             let vals: Vec<Vec<u8>> = keys.iter().map(|k| k.to_le_bytes().to_vec()).collect();
             let mut map = ServeMap::build(keys, vals, Layout::Veb, shards.max(1))
+                // LINT-ALLOW(serve-no-panic): CLI startup path —
+                // aborting on a bad configuration is correct.
                 .expect("valid build configuration");
             if let Some(dir) = &data_dir {
                 map.persist_to(dir, StoreConfig::new().fsync(fsync))
@@ -92,7 +94,10 @@ fn main() {
         }
     };
 
+    // LINT-ALLOW(serve-no-panic): startup path — failing to bind or to
+    // start serving must abort the process before it takes traffic.
     let listener = TcpListener::bind(&addr).expect("bind");
+    // LINT-ALLOW(serve-no-panic): same startup argument as `bind`.
     let handle = serve_on(listener, map, cfg).expect("serve");
     println!(
         "listening on {} ({mode:?}, {shards} shards, {preload} keys)",

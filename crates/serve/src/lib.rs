@@ -48,6 +48,8 @@
 //! standalone use: `serve --mode coalescing --preload 1000000` and
 //! `loadgen --addr 127.0.0.1:4321 --conns 1024`.
 
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod loadgen;
 pub mod proto;

@@ -155,6 +155,8 @@ fn begin_frame(out: &mut Vec<u8>) -> usize {
 fn end_frame(out: &mut [u8], at: usize) {
     let len = out.len() - at - 4;
     debug_assert!(len <= MAX_FRAME, "encoder produced an oversized frame");
+    // LINT-ALLOW(serve-no-panic): `begin_frame` reserved exactly these
+    // four bytes at `at`, so the range is in bounds by construction.
     out[at..at + 4].copy_from_slice(&(len as u32).to_le_bytes());
 }
 
@@ -223,12 +225,12 @@ impl<'a> Cursor<'a> {
     }
 
     fn u64(&mut self) -> Result<u64, ProtoError> {
-        if self.0.len() < 8 {
-            return Err(ProtoError::Truncated);
-        }
-        let (head, rest) = self.0.split_at(8);
+        let (head, rest) = self
+            .0
+            .split_first_chunk::<8>()
+            .ok_or(ProtoError::Truncated)?;
         self.0 = rest;
-        Ok(u64::from_le_bytes(head.try_into().expect("8-byte split")))
+        Ok(u64::from_le_bytes(*head))
     }
 
     fn rest(&mut self) -> Vec<u8> {
@@ -303,6 +305,8 @@ pub fn read_frame<R: Read>(r: &mut R, buf: &mut Vec<u8>) -> io::Result<bool> {
     // close) is distinguishable from EOF-mid-prefix (truncated frame).
     let mut got = 0;
     while got < 4 {
+        // LINT-ALLOW(serve-no-panic): `got < 4` is the loop guard, so
+        // the range into the 4-byte prefix array is always in bounds.
         match r.read(&mut prefix[got..]) {
             Ok(0) if got == 0 => return Ok(false),
             Ok(0) => {

@@ -60,6 +60,8 @@
 //!   global instant — see [`ShardedReader::snapshot`] for the honest
 //!   contract.
 
+#![forbid(unsafe_code)]
+
 use std::path::Path;
 use std::sync::Arc;
 

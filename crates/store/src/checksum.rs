@@ -140,14 +140,23 @@ mod clmul {
 
     /// Unaligned 16-byte load of block `i`. `sse2` is in the `x86_64`
     /// baseline, so no feature gate is needed.
+    ///
+    /// # Safety
+    /// At least `16 * (i + 1)` bytes must be readable from `ptr`.
     #[inline(always)]
     unsafe fn load(ptr: *const u8, i: usize) -> __m128i {
-        _mm_loadu_si128(ptr.add(i * 16).cast())
+        // SAFETY: caller guarantees at least `16 * (i + 1)` bytes are
+        // readable from `ptr`; `_mm_loadu_si128` tolerates any
+        // alignment and `sse2` is in the `x86_64` baseline.
+        unsafe { _mm_loadu_si128(ptr.add(i * 16).cast()) }
     }
 
     /// One fold step: advance `x` by the stride encoded in `k`
     /// (`k = [lo-half constant, hi-half constant]`) and absorb the
     /// next data block `y`.
+    ///
+    /// # Safety
+    /// Caller must ensure the CPU supports `pclmulqdq` and `sse2`.
     #[inline]
     #[target_feature(enable = "pclmulqdq", enable = "sse2")]
     unsafe fn fold16(x: __m128i, k: __m128i, y: __m128i) -> __m128i {
@@ -166,47 +175,54 @@ mod clmul {
         debug_assert!(n16 >= 1, "clmul path needs at least one block");
         let (blocks, tail) = bytes.split_at(n16 * 16);
         let p = blocks.as_ptr();
-        let k128 = _mm_set_epi64x(K_128 as i64, K_192 as i64);
-        // The running state xors into the *first* 8 bytes: in the
-        // mirrored convention the existing state occupies the
-        // highest-degree (earliest) positions.
-        let crc_v = _mm_cvtsi64_si128(crc as i64);
-        let mut i;
-        let mut x;
-        if n16 >= 8 {
-            // Four independent accumulators, 64 bytes per iteration:
-            // the clmul latency chains run in parallel.
-            let k512 = _mm_set_epi64x(K_512 as i64, K_576 as i64);
-            let mut x0 = _mm_xor_si128(load(p, 0), crc_v);
-            let mut x1 = load(p, 1);
-            let mut x2 = load(p, 2);
-            let mut x3 = load(p, 3);
-            i = 4;
-            while i + 4 <= n16 {
-                x0 = fold16(x0, k512, load(p, i));
-                x1 = fold16(x1, k512, load(p, i + 1));
-                x2 = fold16(x2, k512, load(p, i + 2));
-                x3 = fold16(x3, k512, load(p, i + 3));
-                i += 4;
+        // SAFETY: `blocks` holds exactly `n16` full 16-byte blocks, so
+        // every `load(p, i)` below has `i < n16` and reads in bounds;
+        // the clmul intrinsics are covered by the caller's cpuid check
+        // (this fn's safety contract) and the fn's own target_feature.
+        unsafe {
+            let k128 = _mm_set_epi64x(K_128 as i64, K_192 as i64);
+            // The running state xors into the *first* 8 bytes: in the
+            // mirrored convention the existing state occupies the
+            // highest-degree (earliest) positions.
+            let crc_v = _mm_cvtsi64_si128(crc as i64);
+            let mut i;
+            let mut x;
+            if n16 >= 8 {
+                // Four independent accumulators, 64 bytes per iteration:
+                // the clmul latency chains run in parallel.
+                let k512 = _mm_set_epi64x(K_512 as i64, K_576 as i64);
+                let mut x0 = _mm_xor_si128(load(p, 0), crc_v);
+                let mut x1 = load(p, 1);
+                let mut x2 = load(p, 2);
+                let mut x3 = load(p, 3);
+                i = 4;
+                while i + 4 <= n16 {
+                    x0 = fold16(x0, k512, load(p, i));
+                    x1 = fold16(x1, k512, load(p, i + 1));
+                    x2 = fold16(x2, k512, load(p, i + 2));
+                    x3 = fold16(x3, k512, load(p, i + 3));
+                    i += 4;
+                }
+                // Collapse the accumulators (each 16 bytes apart) into one.
+                x = fold16(x0, k128, x1);
+                x = fold16(x, k128, x2);
+                x = fold16(x, k128, x3);
+            } else {
+                x = _mm_xor_si128(load(p, 0), crc_v);
+                i = 1;
             }
-            // Collapse the accumulators (each 16 bytes apart) into one.
-            x = fold16(x0, k128, x1);
-            x = fold16(x, k128, x2);
-            x = fold16(x, k128, x3);
-        } else {
-            x = _mm_xor_si128(load(p, 0), crc_v);
-            i = 1;
+            while i < n16 {
+                x = fold16(x, k128, load(p, i));
+                i += 1;
+            }
+            // Final reduction via the table path: the register's 16
+            // bytes are the mirrored remainder-so-far, so table-folding
+            // them from state 0 produces the exact table-algorithm
+            // state.
+            let mut buf = [0u8; 16];
+            _mm_storeu_si128(buf.as_mut_ptr().cast(), x);
+            super::fold_table(super::fold_table(0, &buf), tail)
         }
-        while i < n16 {
-            x = fold16(x, k128, load(p, i));
-            i += 1;
-        }
-        // Final reduction via the table path: the register's 16 bytes
-        // are the mirrored remainder-so-far, so table-folding them
-        // from state 0 produces the exact table-algorithm state.
-        let mut buf = [0u8; 16];
-        _mm_storeu_si128(buf.as_mut_ptr().cast(), x);
-        super::fold_table(super::fold_table(0, &buf), tail)
     }
 }
 
@@ -294,10 +310,12 @@ mod tests {
             let fast = unsafe { clmul::fold_pclmul(!0u64, &data[..len]) };
             assert_eq!(fast, table, "clmul diverged at length {len}");
             let table = fold_table(!0u64, &data[3..3 + len]);
+            // SAFETY: feature presence checked above.
             let fast = unsafe { clmul::fold_pclmul(!0u64, &data[3..3 + len]) };
             assert_eq!(fast, table, "clmul diverged at offset 3, length {len}");
         }
         let table = fold_table(0x1234_5678_9ABC_DEF0, &data);
+        // SAFETY: feature presence checked above.
         let fast = unsafe { clmul::fold_pclmul(0x1234_5678_9ABC_DEF0, &data) };
         assert_eq!(fast, table, "clmul diverged on full buffer");
     }

@@ -16,6 +16,8 @@
 //! 1-indexed formulations (heap arithmetic, in-order trailing-zero tricks)
 //! are internal.
 
+#![forbid(unsafe_code)]
+
 pub mod bst;
 pub mod btree;
 pub mod complete;

@@ -24,15 +24,24 @@ struct CountingAlloc;
 static THRESHOLD: AtomicUsize = AtomicUsize::new(0);
 static BIG_ALLOCS: AtomicUsize = AtomicUsize::new(0);
 
+// SAFETY: pure pass-through to `System` plus a counter — allocation
+// behavior (size, alignment, validity of returned pointers) is exactly
+// the system allocator's.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: delegates to `System.alloc` under the caller's layout
+    // contract, unchanged.
     unsafe fn alloc(&self, layout: AllocLayout) -> *mut u8 {
         let t = THRESHOLD.load(Ordering::Relaxed);
         if t != 0 && layout.size() >= t {
             BIG_ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
+        // SAFETY: same layout the caller vouched for.
         unsafe { System.alloc(layout) }
     }
+    // SAFETY: delegates to `System.dealloc` under the caller's
+    // pointer/layout contract, unchanged.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: AllocLayout) {
+        // SAFETY: same pointer and layout the caller vouched for.
         unsafe { System.dealloc(ptr, layout) }
     }
 }
